@@ -1,0 +1,101 @@
+"""A5 — domain values as matching evidence (Section 2's third consideration).
+
+*"This registry also explicitly enumerates domain values ... domain values
+are often available and could be better exploited by schema matchers"* —
+and the engineers the authors watched matched coding schemes *first*.
+
+We compare the full engine with and without the domain-value voter, on
+scenarios whose schemata carry coding schemes, and on scenarios stripped
+of them; plus the domain-only corner: how well coding schemes alone
+identify their attributes.
+"""
+
+import pytest
+
+from repro.core import ElementKind
+from repro.eval import ScenarioConfig, evaluate_matrix, standard_suite
+from repro.harmony import HarmonyEngine
+from repro.harmony.voters import (
+    DatatypeVoter,
+    DomainValueVoter,
+    NameVoter,
+    default_voters,
+)
+
+
+def _without_domain_voter():
+    return [v for v in default_voters() if v.name != "domain-values"]
+
+
+def _mean_f1(scenarios, voters) -> float:
+    values = []
+    for scenario in scenarios:
+        engine = HarmonyEngine(voters=list(voters))
+        matrix = engine.match(scenario.source, scenario.target).matrix
+        values.append(evaluate_matrix(matrix, scenario.alignment).f1)
+    return sum(values) / len(values)
+
+
+def _domain_pair_recall(scenarios) -> float:
+    """Recall restricted to DOMAIN↔DOMAIN pairs, domain-value voter only."""
+    tp = fn = 0
+    for scenario in scenarios:
+        engine = HarmonyEngine(voters=[DomainValueVoter()])
+        matrix = engine.match(scenario.source, scenario.target).matrix
+        for source_id, target_id in scenario.alignment:
+            source_el = scenario.source.element(source_id)
+            if source_el.kind is not ElementKind.DOMAIN:
+                continue
+            cell = matrix.peek(source_id, target_id)
+            if cell is not None and cell.confidence > 0.3:
+                tp += 1
+            else:
+                fn += 1
+    return tp / max(1, tp + fn)
+
+
+def run_ablation():
+    seeds = (7, 19)
+    # hard naming so the domain signal has room to matter
+    coded = standard_suite(seeds=seeds, config=ScenarioConfig(
+        keep_domains=True, synonym_rate=0.6, abbreviation_rate=0.4))
+    stripped = standard_suite(seeds=seeds, config=ScenarioConfig(
+        keep_domains=False, synonym_rate=0.6, abbreviation_rate=0.4))
+    return {
+        ("coded", "with"): _mean_f1(coded, default_voters()),
+        ("coded", "without"): _mean_f1(coded, _without_domain_voter()),
+        ("stripped", "with"): _mean_f1(stripped, default_voters()),
+        ("stripped", "without"): _mean_f1(stripped, _without_domain_voter()),
+        "domain_recall": _domain_pair_recall(coded),
+    }
+
+
+def test_a5_domain_values(benchmark, report):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    lines = [
+        "A5 — mean F1: coding schemes present/stripped × domain-value voter",
+        "",
+        f"{'schemata':<12} {'voter on':>10} {'voter off':>10}",
+        "-" * 34,
+        f"{'coded':<12} {results[('coded', 'with')]:>10.3f} "
+        f"{results[('coded', 'without')]:>10.3f}",
+        f"{'stripped':<12} {results[('stripped', 'with')]:>10.3f} "
+        f"{results[('stripped', 'without')]:>10.3f}",
+        "",
+        f"coding-scheme pairs found by value overlap alone: "
+        f"{results['domain_recall']:.0%} recall",
+        "",
+        "paper claim: explicit semantic domains let tools 'more easily "
+        "identify domain correspondences' — the voter pays off exactly when "
+        "coding schemes are modeled, and costs nothing when they are not.",
+    ]
+    report("A5_domain_values", "\n".join(lines))
+
+    # the voter helps (or at worst ties) when coding schemes exist
+    assert results[("coded", "with")] >= results[("coded", "without")] - 0.005
+    # and is inert when they don't
+    assert results[("stripped", "with")] == pytest.approx(
+        results[("stripped", "without")], abs=0.01)
+    # value overlap alone finds most coding-scheme correspondences
+    assert results["domain_recall"] > 0.7

@@ -1,0 +1,126 @@
+"""A3 — iterative refinement with learning (Section 4.3).
+
+A scripted engineer reviews the engine's strongest undecided suggestions
+each round, accepting true ones and rejecting false ones; the engine
+re-runs with that feedback, which (a) reweights the voters in the merger
+and (b) reweights predictive words in the bag-of-words corpus.
+
+Two curves are compared on *identical* decision scripts:
+
+* **learning** — the real Section 4.3 engine;
+* **control** — the same engine with learning disabled.
+
+The decided links accumulate into the overall match quality (the paper's
+progress-toward-completion story); the per-round tables show both the
+total quality and the learned merger weights.
+"""
+
+import pytest
+
+from repro.eval import (
+    DOC_SOURCE_ONLY,
+    ScenarioConfig,
+    commerce_model,
+    evaluate_pairs,
+    generate_scenario,
+    select_pairs,
+)
+from repro.harmony import EngineConfig, HarmonyEngine, MatchSession
+
+ROUNDS = 5
+DECISIONS_PER_ROUND = 12
+
+
+SEEDS = (31, 47, 63)
+
+
+def _scripted_session(learning: bool, seed: int):
+    scenario = generate_scenario(
+        commerce_model(),
+        ScenarioConfig(seed=seed, synonym_rate=0.6, abbreviation_rate=0.4,
+                       documentation=DOC_SOURCE_ONLY),
+    )
+    config = EngineConfig(
+        learning_rate=0.25 if learning else 0.0,
+        learn_word_weights=learning,
+    )
+    engine = HarmonyEngine(config=config)
+    session = MatchSession(scenario.source, scenario.target, engine=engine)
+    truth = set(scenario.alignment.pairs)
+
+    curve = []
+    for _ in range(ROUNDS):
+        session.run_engine()
+        # total quality: the engineer's accepted links plus the engine's
+        # best suggestions for everything still undecided
+        decided_accepts = [c.pair for c in session.matrix.accepted()]
+        decided = {c.pair for c in session.matrix.cells() if c.is_decided}
+        suggestions = [p for p in select_pairs(session.matrix) if p not in decided]
+        quality = evaluate_pairs(decided_accepts + suggestions, scenario.alignment)
+        weights = {name: engine.merger.weight_of(name)
+                   for name in engine.voter_names()}
+        curve.append((quality, weights))
+
+        undecided = sorted(session.matrix.undecided(), key=lambda c: -c.confidence)
+        for link in undecided[:DECISIONS_PER_ROUND]:
+            if link.pair in truth:
+                session.accept(*link.pair)
+            else:
+                session.reject(*link.pair)
+    return curve
+
+
+def _mean_curve(curves):
+    """Average F1 per round across seeds; keep the first seed's weights."""
+    averaged = []
+    for index in range(ROUNDS):
+        mean_f1 = sum(c[index][0].f1 for c in curves) / len(curves)
+        averaged.append((mean_f1, curves[0][index][1]))
+    return averaged
+
+
+def run_comparison():
+    learning = [_scripted_session(True, seed) for seed in SEEDS]
+    control = [_scripted_session(False, seed) for seed in SEEDS]
+    return {"learning": _mean_curve(learning), "control": _mean_curve(control)}
+
+
+def test_a3_learning_curve(benchmark, report):
+    curves = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    lines = [
+        "A3 — iterative refinement: mean overall F1 per feedback round (3 scenarios)",
+        "",
+        f"{'round':>5} {'learning F1':>12} {'control F1':>11}   learned merger weights",
+        "-" * 100,
+    ]
+    for index in range(ROUNDS):
+        learn_f1, learn_weights = curves["learning"][index]
+        control_f1, _ = curves["control"][index]
+        moved = ", ".join(
+            f"{name}={value:.2f}" for name, value in sorted(learn_weights.items())
+            if abs(value - 1.0) > 0.01
+        ) or "(all 1.00)"
+        lines.append(
+            f"{index + 1:>5} {learn_f1:>12.3f} {control_f1:>11.3f}   {moved}"
+        )
+    lines.append("")
+    lines.append(
+        "note: quality rises with accumulated decisions in both variants; "
+        "weight learning tracks the control closely - consistent with the "
+        "paper's caution that 'learning new weights must be done carefully' "
+        "(each decision teaches the engine exactly once here)"
+    )
+    report("A3_learning_curve", "\n".join(lines))
+
+    learning_f1 = [f1 for f1, _ in curves["learning"]]
+    control_f1 = [f1 for f1, _ in curves["control"]]
+    # feedback accumulates: quality never degrades across rounds
+    assert learning_f1[-1] >= learning_f1[0] - 1e-9
+    # learning matches or beats the no-learning control at the end
+    assert learning_f1[-1] >= control_f1[-1] - 0.03
+    # and the merger weights actually moved
+    final_weights = curves["learning"][-1][1]
+    assert any(abs(value - 1.0) > 0.05 for value in final_weights.values())
+    control_weights = curves["control"][-1][1]
+    assert all(value == 1.0 for value in control_weights.values())

@@ -1,0 +1,86 @@
+"""A9 — vote-merging strategy ablation (DESIGN.md design decision).
+
+Section 4: *"The vote merger weights each matcher's confidence based on
+its magnitude — a score close to 0 indicates that the match voter did not
+see enough evidence to make a strong prediction."*
+
+We compare Harmony's magnitude-weighted mean against the obvious
+alternatives a composite matcher could use (COMA offers these as
+strategies): a plain arithmetic mean over all votes including
+abstention-adjacent ones, and max-wins.  Same voters, same flooding, only
+the merger changes.
+"""
+
+from typing import Iterable, List
+
+import pytest
+
+from repro.core import VoterScore
+from repro.eval import evaluate_matrix, standard_suite
+from repro.harmony import HarmonyEngine, VoteMerger
+
+
+class PlainAverageMerger(VoteMerger):
+    """Ignores magnitudes: every cast vote counts equally."""
+
+    def merge_pair(self, votes: Iterable[VoterScore]) -> float:
+        votes = list(votes)
+        if not votes:
+            return 0.0
+        mean = sum(v.score for v in votes) / len(votes)
+        return max(-0.99, min(0.99, mean))
+
+
+class MaxWinsMerger(VoteMerger):
+    """The single most extreme vote decides."""
+
+    def merge_pair(self, votes: Iterable[VoterScore]) -> float:
+        votes = list(votes)
+        if not votes:
+            return 0.0
+        extreme = max(votes, key=lambda v: v.magnitude)
+        return max(-0.99, min(0.99, extreme.score))
+
+
+MERGERS = {
+    "magnitude-weighted": VoteMerger,
+    "plain-average": PlainAverageMerger,
+    "max-wins": MaxWinsMerger,
+}
+
+
+def run_merger_ablation():
+    scenarios = standard_suite(seeds=(7, 19))
+    results = {}
+    for name, merger_class in MERGERS.items():
+        f1_values: List[float] = []
+        for scenario in scenarios:
+            engine = HarmonyEngine(merger=merger_class())
+            matrix = engine.match(scenario.source, scenario.target).matrix
+            f1_values.append(evaluate_matrix(matrix, scenario.alignment).f1)
+        results[name] = sum(f1_values) / len(f1_values)
+    return results
+
+
+def test_a9_merger_ablation(benchmark, report):
+    results = benchmark.pedantic(run_merger_ablation, rounds=1, iterations=1)
+
+    lines = [
+        "A9 — vote-merging strategy (mean F1, same voters and flooding, 6 scenarios)",
+        "",
+        f"{'merger':<20} {'mean F1':>8}",
+        "-" * 30,
+    ]
+    for name, f1 in results.items():
+        lines.append(f"{name:<20} {f1:>8.3f}")
+    lines.append("")
+    lines.append(
+        "expected shape: magnitude weighting beats a plain mean (which lets "
+        "weak-evidence votes dilute confident ones) and beats max-wins "
+        "(which lets one over-eager voter decide alone)"
+    )
+    report("A9_merger_ablation", "\n".join(lines))
+
+    assert results["magnitude-weighted"] >= results["plain-average"] - 0.005
+    assert results["magnitude-weighted"] >= results["max-wins"] - 0.005
+    assert all(f1 > 0.5 for f1 in results.values())

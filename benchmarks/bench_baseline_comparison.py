@@ -1,0 +1,60 @@
+"""A6 — matcher comparison: Harmony vs single-strategy baselines.
+
+Section 1.1: the workbench's payoff is that *"integration engineers can
+more easily choose which match algorithms (or suites thereof) to use when
+solving real integration problems"* — which presumes the algorithms can be
+compared on equal footing.  This bench is that comparison: Harmony's full
+voter ensemble against name-equality, similarity-flooding-only (Melnik),
+a COMA-style composite and a Cupid-style linguistic+structural matcher,
+all behind the common Matcher interface, over the standard scenario suite.
+"""
+
+import pytest
+
+from repro.baselines import (
+    ComaStyleMatcher,
+    CupidStyleMatcher,
+    FloodingOnlyMatcher,
+    HarmonyMatcher,
+    NameEqualityMatcher,
+)
+from repro.eval import run_suite, standard_suite
+
+
+def run_comparison():
+    scenarios = standard_suite(seeds=(7, 19, 42))
+    matchers = [
+        NameEqualityMatcher(),
+        FloodingOnlyMatcher(),
+        ComaStyleMatcher(),
+        CupidStyleMatcher(),
+        HarmonyMatcher(),
+    ]
+    return run_suite(
+        matchers, scenarios,
+        matcher_factory=lambda m: HarmonyMatcher() if m.name == "harmony" else m,
+    )
+
+
+def test_a6_baseline_comparison(benchmark, report):
+    result = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    lines = [
+        "A6 — matcher comparison over 9 scenarios (3 domains × 3 seeds), "
+        "best-match-per-source selection",
+        "",
+        result.to_table(),
+        "",
+        "per-scenario detail:",
+        result.to_detail_table(),
+    ]
+    report("A6_baseline_comparison", "\n".join(lines))
+
+    means = {name: result.mean(name, "f1") for name in result.matcher_names()}
+    # expected shape: the multi-strategy ensemble wins; every matcher beats
+    # the trivial floor; overall follows the same ordering at the top
+    assert means["harmony"] == max(means.values())
+    assert means["harmony"] > means["name-equality"] + 0.1
+    assert means["harmony"] > means["sf-only"] + 0.05
+    assert all(f1 > 0.4 for f1 in means.values())
+    assert result.mean("harmony", "overall") >= result.mean("coma-style", "overall")

@@ -1,0 +1,134 @@
+"""F3 — Figure 3: the annotated mapping matrix, reproduced and executed.
+
+The figure shows every cell of the shipTo→shippingInfo matrix with its
+confidence-score and is-user-defined annotations, row variable-names,
+column code, per-row is-complete flags, and the whole-matrix XQuery.  We
+rebuild it exactly, then go one step beyond the figure: assemble and run
+the mapping so the column code actually transforms documents.
+"""
+
+import pytest
+
+from repro.codegen import assemble, matrix_code_listing
+from repro.core import ElementKind, MappingMatrix, SchemaElement, SchemaGraph
+from repro.mapper import (
+    AttributeMapping,
+    DirectEntity,
+    EntityMapping,
+    MappingSpec,
+    ScalarTransform,
+    SkolemFunction,
+)
+
+#: (source local, target local) -> (confidence, user_defined), from the figure.
+FIGURE3_CELLS = {
+    ("shipTo", "shippingInfo"): (0.8, False),
+    ("shipTo", "name"): (-0.4, False),
+    ("shipTo", "total"): (-0.6, False),
+    ("firstName", "shippingInfo"): (-1.0, True),
+    ("firstName", "name"): (1.0, True),
+    ("firstName", "total"): (-1.0, True),
+    ("lastName", "shippingInfo"): (-1.0, True),
+    ("lastName", "name"): (1.0, True),
+    ("lastName", "total"): (-1.0, True),
+    ("subtotal", "shippingInfo"): (-1.0, True),
+    ("subtotal", "name"): (-1.0, True),
+    ("subtotal", "total"): (1.0, True),
+}
+
+
+def _graphs():
+    source = SchemaGraph.create("po")
+    source.add_child("po", SchemaElement(
+        "po/purchaseOrder", "purchaseOrder", ElementKind.ELEMENT),
+        label="contains-element")
+    source.add_child("po/purchaseOrder", SchemaElement(
+        "po/purchaseOrder/shipTo", "shipTo", ElementKind.ELEMENT),
+        label="contains-element")
+    for name in ("firstName", "lastName", "subtotal"):
+        source.add_child("po/purchaseOrder/shipTo", SchemaElement(
+            f"po/purchaseOrder/shipTo/{name}", name, ElementKind.ATTRIBUTE))
+    target = SchemaGraph.create("sn")
+    target.add_child("sn", SchemaElement(
+        "sn/shippingInfo", "shippingInfo", ElementKind.ELEMENT),
+        label="contains-element")
+    for name in ("name", "total"):
+        target.add_child("sn/shippingInfo", SchemaElement(
+            f"sn/shippingInfo/{name}", name, ElementKind.ATTRIBUTE))
+    return source, target
+
+
+def _source_id(local: str) -> str:
+    return ("po/purchaseOrder/shipTo" if local == "shipTo"
+            else f"po/purchaseOrder/shipTo/{local}")
+
+
+def _target_id(local: str) -> str:
+    return ("sn/shippingInfo" if local == "shippingInfo"
+            else f"sn/shippingInfo/{local}")
+
+
+def _build_matrix(source, target) -> MappingMatrix:
+    matrix = MappingMatrix.from_schemas(source, target)
+    for (row, column), (confidence, user) in FIGURE3_CELLS.items():
+        matrix.set_confidence(_source_id(row), _target_id(column),
+                              confidence, user_defined=user)
+    matrix.set_row_variable("po/purchaseOrder/shipTo", "$shipto")
+    matrix.set_row_variable("po/purchaseOrder/shipTo/firstName", "$fname")
+    matrix.set_row_variable("po/purchaseOrder/shipTo/lastName", "$lname")
+    matrix.set_row_variable("po/purchaseOrder/shipTo/subtotal", "$shipto/subtotal")
+    matrix.set_column_code("sn/shippingInfo/name",
+                           'concat($lName, concat(", ", $fName))')
+    matrix.set_column_code("sn/shippingInfo/total", "data($shipto/subtotal) * 1.05")
+    for local in ("firstName", "lastName", "subtotal"):
+        matrix.mark_row_complete(_source_id(local))
+    return matrix
+
+
+def test_fig3_mapping_matrix(benchmark, report):
+    source, target = _graphs()
+    matrix = benchmark(_build_matrix, source, target)
+
+    spec = MappingSpec("figure3", "po", "sn")
+    spec.entities.append(EntityMapping(
+        target_entity="sn/shippingInfo",
+        entity_transform=DirectEntity("po/purchaseOrder/shipTo"),
+        identity=SkolemFunction("shippingInfo", ["fName", "lName"]),
+        attributes=[
+            AttributeMapping("sn/shippingInfo/name",
+                             ScalarTransform('concat($lName, concat(", ", $fName))')),
+            AttributeMapping("sn/shippingInfo/total",
+                             ScalarTransform("data($subtotal) * 1.05")),
+        ],
+    ))
+    spec.variable_bindings.update(
+        {"fName": "firstName", "lName": "lastName", "subtotal": "subtotal"})
+    assembled = assemble(spec, source, target, matrix=matrix)
+    result = assembled.run({"po/purchaseOrder/shipTo": [
+        {"firstName": "Peter", "lastName": "Mork", "subtotal": 100.0},
+    ]})
+
+    lines = ["Figure 3 — mapping matrix with every component annotated", ""]
+    lines.append(matrix.to_text())
+    lines.append("")
+    lines.append(matrix_code_listing(matrix))
+    lines.append("")
+    lines.append(f"progress bar: {matrix.progress():.0%}")
+    lines.append("")
+    lines.append("executing the column code on a sample document:")
+    for document in result.rows("sn/shippingInfo"):
+        lines.append(f"  {document}")
+    report("F3_mapping_matrix", "\n".join(lines))
+
+    # every figure annotation is in place
+    for (row, column), (confidence, user) in FIGURE3_CELLS.items():
+        cell = matrix.cell(_source_id(row), _target_id(column))
+        assert cell.confidence == pytest.approx(confidence)
+        assert cell.is_user_defined == user
+    # and the code computes what the figure says it computes
+    document = result.rows("sn/shippingInfo")[0]
+    assert document["name"] == "Mork, Peter"
+    assert document["total"] == pytest.approx(105.0)
+    # is-complete: the three decided rows are flagged, as drawn; the
+    # matrix has 5 rows (incl. purchaseOrder) + 3 columns on its axes
+    assert matrix.progress() == pytest.approx(3 / 8)

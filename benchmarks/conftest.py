@@ -1,0 +1,31 @@
+"""Shared benchmark utilities.
+
+Every bench regenerates one paper artifact (table/figure) or one ablation
+(DESIGN.md's experiment index).  Besides timing via pytest-benchmark, each
+bench writes its reproduced table to ``benchmarks/results/<id>.txt`` so the
+paper-vs-measured record in EXPERIMENTS.md is regenerable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def report() -> Callable[[str, str], None]:
+    """Write one experiment's reproduced output to results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text.rstrip() + "\n")
+        header = f"=== {name} ==="
+        print(f"\n{header}\n{text.rstrip()}\n")
+
+    return write

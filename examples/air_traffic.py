@@ -1,0 +1,195 @@
+"""Air traffic flow management: the paper's motivating enterprise domain.
+
+Section 4.1: *"In the air traffic flow management domain, these
+sub-schemata might include facilities (airports and runways), weather, and
+routing."*  This example runs the full workbench on two independently
+modeled ATC schemas:
+
+* sub-schema focus via node filters (facilities first, then the rest);
+* coding schemes compared at the domain-value level (Section 2);
+* a feet→meters unit conversion (task 4's canonical example);
+* lookup-table conversion between two runway-surface coding schemes;
+* end-to-end execution on sample flight data.
+
+Run:  python examples/air_traffic.py
+"""
+
+from repro.codegen import assemble
+from repro.harmony import (
+    ConfidenceFilter,
+    FilterSet,
+    MatchSession,
+    SubtreeFilter,
+    render,
+)
+from repro.loaders import load_er
+from repro.mapper import (
+    LookupTransform,
+    MappingTool,
+    ScalarTransform,
+    unit_conversion,
+)
+
+US_MODEL = {
+    "name": "us_atc",
+    "documentation": "United States air traffic control facilities model.",
+    "entities": [
+        {"name": "Airport",
+         "documentation": "A facility where aircraft arrive and depart.",
+         "attributes": [
+             {"name": "airportCode", "type": "string", "key": True,
+              "documentation": "The code that identifies the airport facility."},
+             {"name": "elevationFeet", "type": "integer", "units": "feet",
+              "documentation": "Elevation of the airport above sea level in feet."}]},
+        {"name": "Runway",
+         "documentation": "A strip at an airport where aircraft take off and land.",
+         "attributes": [
+             {"name": "designator", "type": "string", "key": True,
+              "documentation": "The designator that identifies the runway."},
+             {"name": "lengthFeet", "type": "integer", "units": "feet",
+              "documentation": "Usable length of the runway in feet."},
+             {"name": "surface", "type": "string", "domain": "SurfaceUS",
+              "documentation": "The code that denotes the runway surface type."}]},
+        {"name": "Weather",
+         "documentation": "Meteorological observation at a facility.",
+         "attributes": [
+             {"name": "obsTime", "type": "datetime", "key": True,
+              "documentation": "Time the weather observation was made."},
+             {"name": "visibility", "type": "decimal",
+              "documentation": "Horizontal visibility at the facility in miles."}]},
+    ],
+    "domains": [
+        {"name": "SurfaceUS", "type": "string",
+         "documentation": "US runway surface material codes.",
+         "values": [
+             {"code": "ASPH", "documentation": "Asphalt surface"},
+             {"code": "CONC", "documentation": "Concrete surface"},
+             {"code": "TURF", "documentation": "Grass turf surface"}]},
+    ],
+}
+
+EURO_MODEL = {
+    "name": "euro_atc",
+    "documentation": "European air traffic management conceptual model.",
+    "entities": [
+        {"name": "Aerodrome",
+         "documentation": "A facility where aircraft arrive and depart.",
+         "attributes": [
+             {"name": "icaoCode", "type": "string", "key": True,
+              "documentation": "The code that identifies the aerodrome facility."},
+             {"name": "elevationMeters", "type": "decimal", "units": "meters",
+              "documentation": "Elevation of the aerodrome above sea level in meters."}]},
+        {"name": "Airstrip",
+         "documentation": "A strip at an aerodrome where aircraft take off and land.",
+         "attributes": [
+             {"name": "designation", "type": "string", "key": True,
+              "documentation": "The designation that identifies the airstrip."},
+             {"name": "lengthMeters", "type": "decimal", "units": "meters",
+              "documentation": "Usable length of the airstrip in meters."},
+             {"name": "surfaceKind", "type": "string", "domain": "SurfaceEU",
+              "documentation": "The kind of airstrip surface material."}]},
+        {"name": "Meteorology",
+         "documentation": "Meteorological observation at a facility.",
+         "attributes": [
+             {"name": "observationTime", "type": "datetime", "key": True,
+              "documentation": "Time the meteorological observation was made."},
+             {"name": "visibilityKm", "type": "decimal",
+              "documentation": "Horizontal visibility at the facility in kilometers."}]},
+    ],
+    "domains": [
+        {"name": "SurfaceEU", "type": "string",
+         "documentation": "European airstrip surface material kinds.",
+         "values": [
+             {"code": "ASPHALT", "documentation": "Asphalt surface"},
+             {"code": "CONCRETE", "documentation": "Concrete surface"},
+             {"code": "GRASS", "documentation": "Grass turf surface"}]},
+    ],
+}
+
+
+def main() -> None:
+    source = load_er(US_MODEL)
+    target = load_er(EURO_MODEL)
+    session = MatchSession(source, target)
+    session.run_engine()
+
+    # Focus on the facilities sub-schema first (Section 4.1's workflow):
+    print("=== matching with focus on the Airport facilities sub-schema ===")
+    facilities = FilterSet(
+        link_filters=[ConfidenceFilter(threshold=0.2)],
+        source_filters=[SubtreeFilter(source, "us_atc/Airport")],
+    )
+    frame = render(session, facilities)
+    for line in frame.lines:
+        print(f"  {line.source_id} ── {line.target_id} [{line.confidence:+.2f}]")
+    print()
+
+    # accept the real correspondences across all sub-schemata
+    for source_id, target_id in [
+        ("us_atc/Airport", "euro_atc/Aerodrome"),
+        ("us_atc/Airport/airportCode", "euro_atc/Aerodrome/icaoCode"),
+        ("us_atc/Airport/elevationFeet", "euro_atc/Aerodrome/elevationMeters"),
+        ("us_atc/Runway", "euro_atc/Airstrip"),
+        ("us_atc/Runway/designator", "euro_atc/Airstrip/designation"),
+        ("us_atc/Runway/lengthFeet", "euro_atc/Airstrip/lengthMeters"),
+        ("us_atc/Runway/surface", "euro_atc/Airstrip/surfaceKind"),
+    ]:
+        session.accept(source_id, target_id)
+    # mark sub-schemata complete: only the engineer's accepted (+1) links
+    # stay; every other undecided link in the sub-tree is rejected
+    strict = ConfidenceFilter(threshold=0.99)
+    session.mark_subtree_complete("us_atc/Airport", side="source", visible=strict)
+    session.mark_subtree_complete("us_atc/Runway", side="source", visible=strict)
+    print(f"progress after facilities: {session.progress():.0%}\n")
+
+    # Mapping phase: domain transformations (task 4)
+    tool = MappingTool(source, target, matrix=session.matrix)
+    for element_id, variable in [
+        ("us_atc/Airport/airportCode", "code"),
+        ("us_atc/Airport/elevationFeet", "elevFt"),
+        ("us_atc/Runway/designator", "desig"),
+        ("us_atc/Runway/lengthFeet", "lenFt"),
+        ("us_atc/Runway/surface", "surface"),
+    ]:
+        tool.bind_variable(element_id, variable)
+    tool.draft_from_matrix()
+
+    feet_to_meters = unit_conversion("feet", "meters")
+    print("feet→meters transform code:", feet_to_meters.to_code("elevFt"))
+    tool.set_attribute_transform(
+        "euro_atc/Aerodrome", "euro_atc/Aerodrome/elevationMeters",
+        ScalarTransform(f"round({feet_to_meters.to_code('elevFt')}, 1)"))
+    tool.set_attribute_transform(
+        "euro_atc/Airstrip", "euro_atc/Airstrip/lengthMeters",
+        ScalarTransform(f"round({feet_to_meters.to_code('lenFt')}, 1)"))
+
+    surface_xref = LookupTransform("surface", {
+        "ASPH": "ASPHALT", "CONC": "CONCRETE", "TURF": "GRASS"})
+    tool.register_lookup("surface", surface_xref.table)
+    tool.set_attribute_transform(
+        "euro_atc/Airstrip", "euro_atc/Airstrip/surfaceKind",
+        ScalarTransform(surface_xref.to_code("surface")))
+
+    assembled = assemble(tool.spec, source, target, matrix=tool.matrix)
+    print("\n=== generated XQuery ===")
+    print(assembled.xquery)
+    print("\nverification:", assembled.verification.to_text())
+
+    result = assembled.run({
+        "us_atc/Airport": [
+            {"airportCode": "IAD", "elevationFeet": 313},
+            {"airportCode": "DCA", "elevationFeet": 15},
+        ],
+        "us_atc/Runway": [
+            {"designator": "01R/19L", "lengthFeet": 11500, "surface": "ASPH"},
+            {"designator": "12/30", "lengthFeet": 5204, "surface": "TURF"},
+        ],
+    })
+    print("\n=== transformed European-model documents ===")
+    for entity in ("euro_atc/Aerodrome", "euro_atc/Airstrip"):
+        for document in result.rows(entity):
+            print(f"  {entity.split('/')[-1]}: {document}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Enterprise matching without instance data (Section 2).
+
+Generates a DoD-like metadata registry (schemata only — *"which contains
+schemata only, no instances!"*), prints its Table-1-style documentation
+statistics, then matches two documented registry models against each other
+using nothing but names, documentation and coding schemes — the exact
+situation the paper says enterprise integration engineers face.
+
+Run:  python examples/government_registry.py
+"""
+
+from repro.harmony import ConfidenceFilter, MatchSession
+from repro.loaders import load_registry
+from repro.registry import (
+    RegistryProfile,
+    comparison_table,
+    compute_stats,
+    generate_registry,
+)
+
+
+def main() -> None:
+    scale = 0.01
+    registry_dict = generate_registry(seed=2006, scale=scale)
+    stats = compute_stats(registry_dict)
+    actual_scale = len(registry_dict["models"]) / 265
+
+    print("=== Table 1 on the synthetic registry ===")
+    print(stats.to_table(f"synthetic registry @ scale {actual_scale:.3f}"))
+    print()
+    print("=== measured vs paper (rates and lengths are scale-free) ===")
+    print(comparison_table(stats, actual_scale))
+    print()
+
+    # Full registry models run to thousands of elements; for the matching
+    # demo we generate two compact but equally documented models (the
+    # statistics above used the realistic sizes).
+    matching_profile = RegistryProfile(
+        model_count=2, elements_per_model=6, attributes_per_element=5,
+        domain_values_per_attribute=1.0,
+    )
+    small = generate_registry(seed=42, scale=1.0, profile=matching_profile,
+                              name="matching-demo")
+    registry = load_registry(small)
+    source = registry.schemas[0]
+    target = registry.schemas[1]
+    print(f"matching registry models {source.name!r} ({len(source)} elements) "
+          f"vs {target.name!r} ({len(target)} elements) — no instance data")
+
+    # verify there is genuinely no instance data in play
+    assert all(not e.annotation("instance_values") for e in source)
+    assert all(not e.annotation("instance_values") for e in target)
+
+    session = MatchSession(source, target)
+    run = session.run_engine()
+    for line in run.stage_summary():
+        print("  " + line)
+
+    strong = [c for c in session.links(None) if c.confidence > 0.6]
+    print(f"\nstrong suggestions (confidence > 0.6): {len(strong)}")
+    for link in sorted(strong, key=lambda c: -c.confidence)[:10]:
+        print("  ", link)
+
+    documented = sum(1 for e in source if e.has_documentation)
+    print(f"\nsource documentation coverage: {documented}/{len(source)} elements — "
+          "the signal that replaces instance data in enterprise settings")
+
+
+if __name__ == "__main__":
+    main()

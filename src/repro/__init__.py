@@ -1,0 +1,33 @@
+"""integration-workbench: a reproduction of Mork et al., ICDE 2006.
+
+*"Integration Workbench: Integrating Schema Integration Tools"* proposed an
+open, extensible workbench in which schema-integration tools — loaders,
+matchers, mappers and code generators — share a common RDF knowledge
+repository (the integration blackboard) coordinated by a workbench manager.
+
+Package map
+-----------
+- :mod:`repro.core` — shared data model: schema graphs, mapping matrices,
+  the 13-task integration task model.
+- :mod:`repro.rdf` — the RDF substrate the blackboard is built on.
+- :mod:`repro.text` — linguistic preprocessing (tokenizer, stemmer,
+  thesaurus, TF-IDF).
+- :mod:`repro.loaders` — SQL DDL / XSD / ER / JSON Schema importers.
+- :mod:`repro.harmony` — the Harmony schema matcher (voters, merger,
+  similarity flooding, filters, iterative refinement).
+- :mod:`repro.mapper` — the schema-mapping tool (domain/attribute/entity
+  transformations, object identity).
+- :mod:`repro.codegen` — logical-mapping assembly and code generation
+  (XQuery-style text + executable transformations).
+- :mod:`repro.instances` — instance integration: record linkage, cleaning.
+- :mod:`repro.workbench` — the integration blackboard, transactions,
+  events, manager and tool interfaces.
+- :mod:`repro.baselines` — comparison matchers (name-equality, similarity
+  flooding only, COMA-style, Cupid-style).
+- :mod:`repro.registry` — synthetic DoD-like metadata registry (Table 1).
+- :mod:`repro.eval` — matching metrics, ground truth, scenario generators.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,19 @@
+"""Baseline matchers for comparison against Harmony (bench A6)."""
+
+from .base import HarmonyMatcher, Matcher
+from .coma import AGGREGATE_AVERAGE, AGGREGATE_MAX, AGGREGATE_WEIGHTED, ComaStyleMatcher
+from .cupid import CupidStyleMatcher
+from .flooding_only import FloodingOnlyMatcher
+from .name_equality import NameEqualityMatcher
+
+__all__ = [
+    "AGGREGATE_AVERAGE",
+    "AGGREGATE_MAX",
+    "AGGREGATE_WEIGHTED",
+    "ComaStyleMatcher",
+    "CupidStyleMatcher",
+    "FloodingOnlyMatcher",
+    "HarmonyMatcher",
+    "Matcher",
+    "NameEqualityMatcher",
+]

@@ -1,0 +1,38 @@
+"""Common interface for comparison matchers.
+
+The workbench's promise (Section 1.1) is that engineers *"can more easily
+choose which match algorithms (or suites thereof) to use"* — which
+requires the algorithms to be swappable.  Every matcher here and the
+Harmony engine itself can be wrapped as a :class:`Matcher` and run by the
+evaluation harness interchangeably.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..core.graph import SchemaGraph
+from ..core.matrix import MappingMatrix
+
+
+class Matcher(ABC):
+    """Anything that fills a mapping matrix with confidence scores."""
+
+    name: str = "matcher"
+
+    @abstractmethod
+    def match(self, source: SchemaGraph, target: SchemaGraph) -> MappingMatrix:
+        """Score all candidate pairs and return the populated matrix."""
+
+
+class HarmonyMatcher(Matcher):
+    """The Harmony engine wrapped in the common interface."""
+
+    def __init__(self, engine=None, name: str = "harmony") -> None:
+        from ..harmony.engine import HarmonyEngine
+
+        self.engine = engine if engine is not None else HarmonyEngine()
+        self.name = name
+
+    def match(self, source: SchemaGraph, target: SchemaGraph) -> MappingMatrix:
+        return self.engine.match(source, target).matrix

@@ -1,0 +1,121 @@
+"""COMA-style composite matcher (Do & Rahm, VLDB 2002).
+
+COMA's signature idea: run several *independent* similarity measures,
+then combine them with a fixed aggregation strategy (max / average /
+weighted) — no learning, no flooding, no negative evidence.  Matchers
+here: name trigram, name token Jaccard, path token Jaccard, datatype
+compatibility, leaf-set similarity for containers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.elements import ElementKind, SchemaElement
+from ..core.graph import SchemaGraph
+from ..core.matrix import MappingMatrix
+from ..harmony.voters.base import kinds_comparable
+from ..loaders.base import types_compatible
+from ..text.similarity import jaccard_similarity, ngram_similarity
+from ..text.stemmer import stem
+from ..text.tokenize import split_identifier
+from .base import Matcher
+
+AGGREGATE_MAX = "max"
+AGGREGATE_AVERAGE = "average"
+AGGREGATE_WEIGHTED = "weighted"
+
+
+def _tokens(element: SchemaElement) -> List[str]:
+    return [stem(t) for t in split_identifier(element.name)]
+
+
+def _path_tokens(graph: SchemaGraph, element: SchemaElement) -> List[str]:
+    tokens: List[str] = []
+    for name in graph.path(element.element_id):
+        tokens.extend(stem(t) for t in split_identifier(name))
+    return tokens
+
+
+def _leaf_tokens(graph: SchemaGraph, element: SchemaElement) -> List[str]:
+    tokens: List[str] = []
+    for descendant in graph.subtree(element.element_id):
+        if not graph.children(descendant.element_id):
+            tokens.extend(stem(t) for t in split_identifier(descendant.name))
+    return tokens
+
+
+class ComaStyleMatcher(Matcher):
+    """Composite of fixed similarity measures with simple aggregation."""
+
+    name = "coma-style"
+
+    def __init__(self, aggregation: str = AGGREGATE_WEIGHTED) -> None:
+        if aggregation not in (AGGREGATE_MAX, AGGREGATE_AVERAGE, AGGREGATE_WEIGHTED):
+            raise ValueError(f"unknown aggregation {aggregation!r}")
+        self.aggregation = aggregation
+        #: (measure name, weight) — weights used by the weighted strategy
+        self.measure_weights: List[Tuple[str, float]] = [
+            ("name-trigram", 0.3),
+            ("name-tokens", 0.3),
+            ("path-tokens", 0.15),
+            ("datatype", 0.1),
+            ("leaves", 0.15),
+        ]
+
+    def _measures(
+        self,
+        source_graph: SchemaGraph,
+        target_graph: SchemaGraph,
+        s: SchemaElement,
+        t: SchemaElement,
+    ) -> Dict[str, float]:
+        values = {
+            "name-trigram": ngram_similarity(s.name, t.name),
+            "name-tokens": jaccard_similarity(_tokens(s), _tokens(t)),
+            "path-tokens": jaccard_similarity(
+                _path_tokens(source_graph, s), _path_tokens(target_graph, t)
+            ),
+        }
+        if s.kind is ElementKind.ATTRIBUTE and t.kind is ElementKind.ATTRIBUTE:
+            values["datatype"] = 1.0 if types_compatible(s.datatype, t.datatype) else 0.0
+        if s.is_container and t.is_container:
+            leaves_s = _leaf_tokens(source_graph, s)
+            leaves_t = _leaf_tokens(target_graph, t)
+            if leaves_s and leaves_t:
+                values["leaves"] = jaccard_similarity(leaves_s, leaves_t)
+        return values
+
+    def _aggregate(self, values: Dict[str, float]) -> float:
+        if not values:
+            return 0.0
+        if self.aggregation == AGGREGATE_MAX:
+            return max(values.values())
+        if self.aggregation == AGGREGATE_AVERAGE:
+            return sum(values.values()) / len(values)
+        total = 0.0
+        weight_sum = 0.0
+        for measure, weight in self.measure_weights:
+            if measure in values:
+                total += weight * values[measure]
+                weight_sum += weight
+        return total / weight_sum if weight_sum else 0.0
+
+    def match(self, source: SchemaGraph, target: SchemaGraph) -> MappingMatrix:
+        matrix = MappingMatrix.from_schemas(source, target)
+        source_root = source.root.element_id
+        target_root = target.root.element_id
+        for s in source:
+            if s.element_id == source_root or s.kind is ElementKind.KEY:
+                continue
+            for t in target:
+                if t.element_id == target_root or t.kind is ElementKind.KEY:
+                    continue
+                if not kinds_comparable(s.kind, t.kind):
+                    continue
+                combined = self._aggregate(self._measures(source, target, s, t))
+                if combined > 0.0:
+                    matrix.set_confidence(
+                        s.element_id, t.element_id, min(0.99, combined)
+                    )
+        return matrix

@@ -1,0 +1,36 @@
+"""Trivial baseline: exact name equality.
+
+The floor every real matcher must beat.  Case-insensitive equality of
+local names scores 0.95; token-set equality after identifier splitting
+scores 0.85; everything else is left unscored.
+"""
+
+from __future__ import annotations
+
+from ..core.graph import SchemaGraph
+from ..core.matrix import MappingMatrix
+from ..harmony.voters.base import kinds_comparable
+from ..text.tokenize import split_identifier
+from .base import Matcher
+
+
+class NameEqualityMatcher(Matcher):
+    name = "name-equality"
+
+    def match(self, source: SchemaGraph, target: SchemaGraph) -> MappingMatrix:
+        matrix = MappingMatrix.from_schemas(source, target)
+        source_root = source.root.element_id
+        target_root = target.root.element_id
+        for s in source:
+            if s.element_id == source_root:
+                continue
+            for t in target:
+                if t.element_id == target_root:
+                    continue
+                if not kinds_comparable(s.kind, t.kind):
+                    continue
+                if s.name.lower() == t.name.lower():
+                    matrix.set_confidence(s.element_id, t.element_id, 0.95)
+                elif split_identifier(s.name) == split_identifier(t.name):
+                    matrix.set_confidence(s.element_id, t.element_id, 0.85)
+        return matrix

@@ -1,0 +1,242 @@
+"""Command-line interface for the integration workbench.
+
+Subcommands mirror the workflow:
+
+* ``load`` — parse a schema file and print its canonical graph;
+* ``match`` — run Harmony over two schema files and print the links;
+* ``map`` — match, auto-draft a mapping from the strongest links, and
+  emit XQuery or SQL;
+* ``table1`` — regenerate the paper's Table 1 from the synthetic registry;
+* ``coverage`` — print the tool × task coverage matrix (task model, §3).
+
+Run ``python -m repro.cli --help`` (or the ``integration-workbench``
+console script) for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .codegen import assemble
+from .core import coverage_table, harmony_profile, instance_tools_profile, mapper_profile, workbench_suite_profile
+from .core.errors import WorkbenchError
+from .core.graph import SchemaGraph
+from .harmony import ConfidenceFilter, MatchSession
+from .loaders import (
+    ErModelLoader,
+    JsonSchemaLoader,
+    SchemaLoader,
+    SqlDdlLoader,
+    XsdLoader,
+)
+from .mapper import MappingTool
+from .registry import comparison_table, compute_stats, generate_registry
+
+_LOADERS = {
+    "sql": SqlDdlLoader,
+    "xsd": XsdLoader,
+    "er": ErModelLoader,
+    "json-schema": JsonSchemaLoader,
+}
+
+_EXTENSION_FORMATS = {
+    ".sql": "sql",
+    ".ddl": "sql",
+    ".xsd": "xsd",
+    ".er.json": "er",
+    ".schema.json": "json-schema",
+}
+
+
+def _infer_format(path: str, explicit: Optional[str]) -> str:
+    if explicit:
+        if explicit not in _LOADERS:
+            raise WorkbenchError(
+                f"unknown format {explicit!r}; choose from {sorted(_LOADERS)}"
+            )
+        return explicit
+    lowered = path.lower()
+    for suffix, format_name in sorted(
+        _EXTENSION_FORMATS.items(), key=lambda kv: -len(kv[0])
+    ):
+        if lowered.endswith(suffix):
+            return format_name
+    raise WorkbenchError(
+        f"cannot infer schema format from {path!r}; pass --format"
+    )
+
+
+def _load(path: str, format_name: Optional[str], schema_name: Optional[str]) -> SchemaGraph:
+    loader: SchemaLoader = _LOADERS[_infer_format(path, format_name)]()
+    return loader.load_file(path, schema_name=schema_name)
+
+
+# -- subcommands --------------------------------------------------------------
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    graph = _load(args.file, args.format, args.name)
+    print(graph.to_text())
+    problems = graph.validate()
+    if problems:
+        print("\nvalidation problems:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    documented = sum(1 for e in graph if e.has_documentation)
+    print(f"\n{len(graph)} elements, {len(graph.edges)} edges, "
+          f"{documented} documented")
+    return 0
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    source = _load(args.source, args.source_format, None)
+    target = _load(args.target, args.target_format, None)
+    session = MatchSession(source, target)
+    run = session.run_engine()
+    if args.verbose:
+        for line in run.stage_summary():
+            print(f"# {line}")
+    links = sorted(
+        ConfidenceFilter(threshold=args.threshold).apply(session.matrix.cells()),
+        key=lambda c: -c.confidence,
+    )
+    if args.top:
+        links = links[: args.top]
+    for link in links:
+        print(f"{link.confidence:+.3f}  {link.source_id}  ->  {link.target_id}")
+    if not links:
+        print("no links above the threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    source = _load(args.source, args.source_format, None)
+    target = _load(args.target, args.target_format, None)
+    session = MatchSession(source, target)
+    session.run_engine()
+    # auto-accept the strongest link per source element above the threshold
+    from .core.correspondence import top_correspondences
+
+    strong = [
+        link for link in top_correspondences(list(session.matrix.cells()))
+        if link.confidence >= args.threshold
+    ]
+    for link in strong:
+        session.accept(link.source_id, link.target_id)
+    tool = MappingTool(source, target, matrix=session.matrix)
+    spec = tool.draft_from_matrix()
+    if not spec.entities:
+        print(
+            "no entity-level correspondences cleared the threshold "
+            f"({args.threshold}); lower it with --threshold",
+            file=sys.stderr,
+        )
+        return 1
+    assembled = assemble(spec, source, target, matrix=tool.matrix)
+    if args.language == "sql":
+        print(assembled.sql)
+    else:
+        print(assembled.xquery)
+    if not assembled.ok:
+        print("\n-- verification findings:", file=sys.stderr)
+        for violation in assembled.verification.violations:
+            print(f"--   {violation}", file=sys.stderr)
+        return 2 if assembled.verification.errors else 0
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    registry = generate_registry(seed=args.seed, scale=args.scale)
+    stats = compute_stats(registry)
+    actual_scale = len(registry["models"]) / 265
+    print(stats.to_table(
+        f"synthetic registry (scale {actual_scale:.4f}, seed {args.seed})"))
+    print()
+    print(comparison_table(stats, actual_scale))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(registry, handle, indent=1)
+        print(f"\nregistry written to {args.out}")
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    print(coverage_table([
+        harmony_profile(), mapper_profile(), instance_tools_profile(),
+        workbench_suite_profile(),
+    ]))
+    return 0
+
+
+# -- parser ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="integration-workbench",
+        description="Schema integration workbench (Mork et al., ICDE 2006)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    load_parser = subparsers.add_parser("load", help="parse a schema file")
+    load_parser.add_argument("file")
+    load_parser.add_argument("--format", choices=sorted(_LOADERS))
+    load_parser.add_argument("--name", help="schema name override")
+    load_parser.set_defaults(func=cmd_load)
+
+    match_parser = subparsers.add_parser("match", help="run Harmony on two schemas")
+    match_parser.add_argument("source")
+    match_parser.add_argument("target")
+    match_parser.add_argument("--source-format", choices=sorted(_LOADERS))
+    match_parser.add_argument("--target-format", choices=sorted(_LOADERS))
+    match_parser.add_argument("--threshold", type=float, default=0.3)
+    match_parser.add_argument("--top", type=int, default=0,
+                              help="show only the N strongest links")
+    match_parser.add_argument("-v", "--verbose", action="store_true")
+    match_parser.set_defaults(func=cmd_match)
+
+    map_parser = subparsers.add_parser(
+        "map", help="match, draft a mapping from the strongest links, emit code")
+    map_parser.add_argument("source")
+    map_parser.add_argument("target")
+    map_parser.add_argument("--source-format", choices=sorted(_LOADERS))
+    map_parser.add_argument("--target-format", choices=sorted(_LOADERS))
+    map_parser.add_argument("--threshold", type=float, default=0.5)
+    map_parser.add_argument("--language", choices=("xquery", "sql"),
+                            default="xquery")
+    map_parser.set_defaults(func=cmd_map)
+
+    table1_parser = subparsers.add_parser(
+        "table1", help="regenerate the paper's Table 1")
+    table1_parser.add_argument("--scale", type=float, default=0.01)
+    table1_parser.add_argument("--seed", type=int, default=2006)
+    table1_parser.add_argument("--out", help="also write the registry JSON here")
+    table1_parser.set_defaults(func=cmd_table1)
+
+    coverage_parser = subparsers.add_parser(
+        "coverage", help="print the tool × task coverage matrix")
+    coverage_parser.set_defaults(func=cmd_coverage)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except WorkbenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

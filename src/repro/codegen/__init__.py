@@ -1,0 +1,27 @@
+"""Code generation: tasks 8–9 plus execution.
+
+Assembles the mapping matrix's piecemeal code into whole-document
+mappings, rendered as XQuery-style text, SQL, and a directly executable
+Python transformation.
+"""
+
+from .assembler import AssembledMapping, assemble, matrix_code_listing
+from .deploy import generate_python_module, load_artifact
+from .executable import ExecutionResult, execute, execute_entity
+from .sql import expression_to_sql, generate_sql
+from .xquery import expression_to_xquery, generate_xquery
+
+__all__ = [
+    "AssembledMapping",
+    "ExecutionResult",
+    "assemble",
+    "execute",
+    "execute_entity",
+    "expression_to_sql",
+    "expression_to_xquery",
+    "generate_python_module",
+    "generate_sql",
+    "generate_xquery",
+    "load_artifact",
+    "matrix_code_listing",
+]

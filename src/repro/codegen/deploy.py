@@ -1,0 +1,352 @@
+"""Deployment artifact generation (tasks 12–13).
+
+*"12) Implement a solution.  The integration system designed in this phase
+must address any operational constraints...  13) Deploy the application.
+This step does not receive much research attention, but ease of deployment
+is an important concern."*
+
+:func:`generate_python_module` turns an assembled mapping into a
+standalone, dependency-free Python source file: lookup tables embedded,
+one transform function per target entity, an exception policy knob
+(abort / skip-and-log, task 12's *"policy that governs exceptional
+conditions"*), and a ``main()`` that reads JSON rows from stdin and writes
+transformed documents to stdout.  The artifact imports nothing from this
+library — copy one file, run it anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import TransformError
+from ..mapper.attribute_transforms import (
+    AggregateTransform,
+    AttributeTransform,
+    CommentPopulation,
+    MetadataPushdown,
+    ScalarTransform,
+)
+from ..mapper.entity_transforms import (
+    DirectEntity,
+    JoinEntity,
+    SplitEntity,
+    UnionEntity,
+)
+from ..mapper.expressions import (
+    Binary,
+    Call,
+    Field,
+    Literal,
+    Node,
+    Unary,
+    Var,
+    parse,
+)
+from ..mapper.identity import IdentityRule, InheritedIdentity, KeyIdentity, SkolemFunction
+from ..mapper.mapping_tool import EntityMapping, MappingSpec
+
+_PY_FUNCTIONS = {
+    "concat": "_concat",
+    "upper": "_upper",
+    "lower": "_lower",
+    "trim": "_trim",
+    "length": "_length",
+    "substring": "_substring",
+    "number": "_number",
+    "int": "_int",
+    "string": "_string",
+    "round": "round",
+    "floor": "_floor",
+    "ceil": "_ceil",
+    "abs": "abs",
+    "min": "min",
+    "max": "max",
+    "coalesce": "_coalesce",
+    "if": "_iif",
+    "data": "_identity",
+    "replace": "_replace",
+    "starts_with": "_starts_with",
+    "contains": "_contains",
+}
+
+_RUNTIME_HELPERS = '''\
+import math
+
+
+def _concat(*parts):
+    return "".join("" if p is None else str(p) for p in parts)
+
+
+def _upper(v):
+    return str(v).upper() if v is not None else None
+
+
+def _lower(v):
+    return str(v).lower() if v is not None else None
+
+
+def _trim(v):
+    return str(v).strip() if v is not None else None
+
+
+def _length(v):
+    return len(str(v)) if v is not None else 0
+
+
+def _substring(v, start, length=None):
+    text = "" if v is None else str(v)
+    start = max(0, int(start) - 1)
+    if length is None:
+        return text[start:]
+    return text[start:start + int(length)]
+
+
+def _number(v):
+    return float(v) if v is not None else None
+
+
+def _int(v):
+    return int(float(v)) if v is not None else None
+
+
+def _string(v):
+    return "" if v is None else str(v)
+
+
+def _floor(v):
+    return math.floor(float(v))
+
+
+def _ceil(v):
+    return math.ceil(float(v))
+
+
+def _coalesce(*vs):
+    for v in vs:
+        if v is not None:
+            return v
+    return None
+
+
+def _iif(c, a, b):
+    return a if c else b
+
+
+def _identity(v):
+    return v
+
+
+def _replace(v, old, new):
+    return str(v).replace(str(old), str(new))
+
+
+def _starts_with(v, p):
+    return str(v).startswith(str(p))
+
+
+def _contains(v, p):
+    return str(p) in str(v)
+
+
+def _skolem(name, *args):
+    import hashlib
+    rendered = "\\x1f".join(repr(a) for a in args)
+    digest = hashlib.sha1(f"{name}({rendered})".encode("utf-8")).hexdigest()[:12]
+    return f"{name}_{digest}"
+'''
+
+
+def _render(node: Node) -> str:
+    """Expression AST → a Python expression over the row dict ``r``."""
+    if isinstance(node, Literal):
+        return repr(node.value)
+    if isinstance(node, Var):
+        return f"r.get({node.name!r})"
+    if isinstance(node, Field):
+        return f"({_render(node.base)} or {{}}).get({node.name!r})"
+    if isinstance(node, Call):
+        if node.name.startswith("lookup_"):
+            table = node.name[len("lookup_"):]
+            return f"LOOKUP_{table.upper()}.get({_render(node.args[0])})"
+        fn = _PY_FUNCTIONS.get(node.name)
+        if fn is None:
+            raise TransformError(f"no deployment rendering for function {node.name!r}")
+        args = ", ".join(_render(a) for a in node.args)
+        return f"{fn}({args})"
+    if isinstance(node, Unary):
+        if node.op == "not":
+            return f"(not {_render(node.operand)})"
+        return f"(-{_render(node.operand)})"
+    if isinstance(node, Binary):
+        op = {"==": "==", "!=": "!=", "and": "and", "or": "or"}.get(node.op, node.op)
+        return f"({_render(node.left)} {op} {_render(node.right)})"
+    raise TransformError(f"cannot render {node!r}")
+
+
+def _render_transform(transform: AttributeTransform) -> str:
+    if isinstance(transform, ScalarTransform):
+        return _render(parse(transform.code))
+    if isinstance(transform, MetadataPushdown):
+        return repr(transform.value)
+    if isinstance(transform, CommentPopulation):
+        return _render(parse(transform.to_code()))
+    if isinstance(transform, AggregateTransform):
+        raise TransformError(
+            "aggregate transforms need grouped inputs; pre-aggregate before "
+            "deployment or extend the artifact by hand"
+        )
+    return _render(parse(transform.to_code()))
+
+
+def _render_identity(rule: Optional[IdentityRule]) -> Optional[str]:
+    if rule is None:
+        return None
+    if isinstance(rule, KeyIdentity):
+        if len(rule.attributes) == 1:
+            return f"r.get({rule.attributes[0]!r})"
+        parts = ", ".join(f"r.get({a!r})" for a in rule.attributes)
+        return f"{rule.separator!r}.join(str(v) for v in ({parts}))"
+    if isinstance(rule, SkolemFunction):
+        args = ", ".join(f"r.get({a!r})" for a in rule.arguments)
+        return f"_skolem({rule.name!r}, {args})" if args else f"_skolem({rule.name!r})"
+    if isinstance(rule, InheritedIdentity):
+        parent = _render_identity(rule.parent_rule)
+        return (f"str({parent}) + {rule.separator!r} + "
+                f"str(r.get({rule.local_attribute!r}))")
+    raise TransformError(f"no deployment rendering for {type(rule).__name__}")
+
+
+def _render_input_rows(entity: EntityMapping) -> str:
+    transform = entity.entity_transform
+    if isinstance(transform, DirectEntity):
+        return f"list(sources.get({transform.source!r}, []))"
+    if isinstance(transform, SplitEntity):
+        predicate = _render(parse(transform.predicate.replace("$row.", "$")))
+        return (f"[r for r in sources.get({transform.source!r}, []) "
+                f"if {predicate}]")
+    if isinstance(transform, UnionEntity):
+        parts = " + ".join(
+            f"list(sources.get({s!r}, []))" for s in transform.sources)
+        return f"({parts})"
+    if isinstance(transform, JoinEntity):
+        keys = repr(transform.on)
+        return (
+            f"_join(sources.get({transform.left!r}, []), "
+            f"sources.get({transform.right!r}, []), {keys}, "
+            f"{transform.kind!r})"
+        )
+    raise TransformError(
+        f"no deployment rendering for {type(transform).__name__}")
+
+
+_JOIN_HELPER = '''\
+def _join(left_rows, right_rows, on, kind):
+    index = {}
+    for row in right_rows:
+        key = tuple(row.get(b) for _, b in on)
+        index.setdefault(key, []).append(row)
+    out = []
+    for row in left_rows:
+        key = tuple(row.get(a) for a, _ in on)
+        matches = index.get(key, [])
+        if matches:
+            for match in matches:
+                merged = dict(row)
+                for attr, value in match.items():
+                    merged.setdefault(attr, value)
+                out.append(merged)
+        elif kind == "left":
+            out.append(dict(row))
+    return out
+'''
+
+
+def generate_python_module(
+    spec: MappingSpec,
+    on_error: str = "abort",
+) -> str:
+    """Emit a standalone Python module implementing the mapping.
+
+    *on_error* is the task-12 exception policy baked into the artifact:
+    ``"abort"`` re-raises; ``"skip"`` logs to stderr and continues.
+    """
+    if on_error not in ("abort", "skip"):
+        raise TransformError("on_error must be 'abort' or 'skip'")
+    lines: List[str] = [
+        '"""Auto-generated integration mapping (integration-workbench).',
+        "",
+        f"mapping: {spec.name}",
+        f"source schema: {spec.source_schema}",
+        f"target schema: {spec.target_schema}",
+        f"exception policy: {on_error}",
+        '"""',
+        "",
+        "import json",
+        "import sys",
+        "",
+        _RUNTIME_HELPERS,
+        "",
+        _JOIN_HELPER,
+        "",
+    ]
+    for name, table in sorted(spec.lookup_tables.items()):
+        lines.append(f"LOOKUP_{name.upper()} = {table!r}")
+    if spec.lookup_tables:
+        lines.append("")
+
+    entity_functions: List[str] = []
+    for index, entity in enumerate(spec.entities):
+        fn_name = f"transform_{entity.target_entity.rsplit('/', 1)[-1].replace('-', '_')}"
+        entity_functions.append((fn_name, entity.target_entity))
+        lines.append(f"def {fn_name}(sources):")
+        lines.append(f'    """Populate {entity.target_entity!r}."""')
+        lines.append(f"    rows = {_render_input_rows(entity)}")
+        lines.append("    out = []")
+        lines.append("    for raw in rows:")
+        lines.append("        r = dict(raw)")
+        if spec.variable_bindings:
+            for variable, attribute in sorted(spec.variable_bindings.items()):
+                lines.append(
+                    f"        r.setdefault({variable!r}, r.get({attribute!r}))")
+        lines.append("        try:")
+        lines.append("            doc = {}")
+        for mapping in entity.attributes:
+            expression = _render_transform(mapping.transform)
+            lines.append(f"            doc[{mapping.output_name!r}] = {expression}")
+        identity = _render_identity(entity.identity)
+        if identity is not None:
+            lines.append(f"            doc['_id'] = {identity}")
+        lines.append("        except Exception as exc:")
+        if on_error == "skip":
+            lines.append(
+                "            print(f'skipping row: {exc}', file=sys.stderr)")
+            lines.append("            continue")
+        else:
+            lines.append("            raise")
+        lines.append("        out.append(doc)")
+        lines.append("    return out")
+        lines.append("")
+
+    lines.append("def run(sources):")
+    lines.append('    """Transform named source row lists into target documents."""')
+    lines.append("    return {")
+    for fn_name, target_entity in entity_functions:
+        lines.append(f"        {target_entity!r}: {fn_name}(sources),")
+    lines.append("    }")
+    lines.append("")
+    lines.append("def main():")
+    lines.append("    sources = json.load(sys.stdin)")
+    lines.append("    json.dump(run(sources), sys.stdout, indent=1, default=str)")
+    lines.append("")
+    lines.append('if __name__ == "__main__":')
+    lines.append("    main()")
+    return "\n".join(lines) + "\n"
+
+
+def load_artifact(source_code: str) -> Any:
+    """Execute a generated artifact and return its module namespace —
+    used by tests and by callers who want ``run()`` in-process."""
+    namespace: Dict[str, Any] = {"__name__": "generated_mapping"}
+    exec(compile(source_code, "<generated mapping>", "exec"), namespace)
+    return namespace

@@ -1,0 +1,215 @@
+"""Executable transformations: run a mapping spec on instance data.
+
+The workbench's ultimate product is *"a transformation that translates
+instances of one or more source schemata into instances of a target
+schema"* (abstract).  This module is that transformation, executed
+directly in Python: given a :class:`~repro.mapper.MappingSpec` and named
+source row sets, it produces target documents — nested dicts shaped by the
+target schema graph when one is supplied, flat rows otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..core.elements import ElementKind
+from ..core.errors import TransformError, WorkbenchError
+from ..core.graph import SchemaGraph
+from ..mapper.expressions import Environment
+from ..mapper.mapping_tool import EntityMapping, MappingSpec
+
+Row = Dict[str, Any]
+RowSet = List[Row]
+
+
+@dataclass
+class ExecutionResult:
+    """Target documents per entity, plus per-row errors that were skipped."""
+
+    documents: Dict[str, List[Row]] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    def rows(self, target_entity: str) -> List[Row]:
+        return self.documents.get(target_entity, [])
+
+    @property
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self.documents.values())
+
+
+def _bind_row(
+    env: Environment,
+    row: Mapping[str, Any],
+    variable_bindings: Optional[Mapping[str, str]] = None,
+) -> Environment:
+    """Bind a source row: ``$row``, one variable per attribute, plus the
+    spec's declared variable-name bindings (``$fName`` → row's
+    ``ship_first_name``)."""
+    bindings: Dict[str, Any] = {"row": dict(row)}
+    for key, value in row.items():
+        variable = key.rsplit("/", 1)[-1].replace(".", "_")
+        bindings.setdefault(variable, value)
+    for variable, attribute in (variable_bindings or {}).items():
+        if attribute in row:
+            bindings.setdefault(variable, row[attribute])
+    return env.child(bindings)
+
+
+def _relative_path(target: SchemaGraph, entity_id: str, attribute_id: str) -> List[str]:
+    """Element names from (under) the entity down to the attribute."""
+    names = [target.element(attribute_id).name]
+    for ancestor in target.ancestors(attribute_id):
+        if ancestor.element_id == entity_id:
+            return list(reversed(names))
+        names.append(ancestor.name)
+    # attribute not under the entity: flat placement by local name
+    return [target.element(attribute_id).name]
+
+
+def _place(document: Row, path: Sequence[str], value: Any) -> None:
+    cursor = document
+    for step in path[:-1]:
+        nxt = cursor.get(step)
+        if not isinstance(nxt, dict):
+            nxt = {}
+            cursor[step] = nxt
+        cursor = nxt
+    cursor[path[-1]] = value
+
+
+def execute_entity(
+    entity: EntityMapping,
+    sources: Mapping[str, RowSet],
+    env: Environment,
+    target: Optional[SchemaGraph] = None,
+    strict: bool = True,
+    variable_bindings: Optional[Mapping[str, str]] = None,
+) -> List[Row]:
+    """Run one entity mapping; returns the produced target documents.
+
+    With *strict* (the default) any per-row transform failure raises;
+    otherwise the offending row is skipped (deployment-style exception
+    policy, task 12) and the error is re-raised by the caller's policy.
+    """
+    input_rows = entity.entity_transform.rows(sources)
+    documents: List[Row] = []
+    seen_ids: Dict[Any, int] = {}
+    for index, row in enumerate(input_rows):
+        row_env = _bind_row(env, row, variable_bindings)
+        document: Row = {}
+        for mapping in entity.attributes:
+            value = mapping.transform.compute(row_env)
+            if target is not None and mapping.target_attribute in target:
+                path = _relative_path(target, entity.target_entity, mapping.target_attribute)
+            else:
+                path = [mapping.output_name]
+            _place(document, path, value)
+        if entity.identity is not None:
+            identity_view = {**row, **_flatten(document)}
+            for variable, attribute in (variable_bindings or {}).items():
+                if attribute in row:
+                    identity_view.setdefault(variable, row[attribute])
+            identifier = entity.identity.identify(identity_view)
+            if identifier in seen_ids:
+                raise TransformError(
+                    f"duplicate identifier {identifier!r} for input rows "
+                    f"{seen_ids[identifier]} and {index} of {entity.target_entity}"
+                )
+            seen_ids[identifier] = index
+            document["_id"] = identifier
+        documents.append(document)
+    return documents
+
+
+def _flatten(document: Mapping[str, Any], prefix: str = "") -> Dict[str, Any]:
+    flat: Dict[str, Any] = {}
+    for key, value in document.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, prefix=f"{name}."))
+            flat.setdefault(key, None)
+        else:
+            flat[name] = value
+            flat.setdefault(key.rsplit(".", 1)[-1], value)
+    return flat
+
+
+def execute(
+    spec: MappingSpec,
+    sources: Mapping[str, RowSet],
+    target: Optional[SchemaGraph] = None,
+    skip_bad_rows: bool = False,
+) -> ExecutionResult:
+    """Run a whole mapping spec against named source row sets.
+
+    *sources* keys are source entity ids (matching the entity transforms'
+    ``source`` references).  With ``skip_bad_rows`` the exceptional-
+    condition policy is "log and continue" instead of "abort".
+    """
+    result = ExecutionResult()
+    env = spec.environment()
+    for entity in spec.entities:
+        if skip_bad_rows:
+            produced: List[tuple] = []  # (input row, document) pairs
+            input_rows = entity.entity_transform.rows(sources)
+            for index, row in enumerate(input_rows):
+                try:
+                    sub = EntityMapping(
+                        target_entity=entity.target_entity,
+                        entity_transform=_SingleRow(row),
+                        attributes=entity.attributes,
+                        identity=None,
+                    )
+                    for document in execute_entity(
+                        sub, {}, env, target=target,
+                        variable_bindings=spec.variable_bindings,
+                    ):
+                        produced.append((row, document))
+                except WorkbenchError as exc:
+                    result.errors.append(
+                        f"{entity.target_entity} row {index}: {exc}"
+                    )
+            documents = []
+            if entity.identity is not None:
+                seen: Dict[Any, bool] = {}
+                for row, document in produced:
+                    identity_view = {**row, **_flatten(document)}
+                    for variable, attribute in spec.variable_bindings.items():
+                        if attribute in row:
+                            identity_view.setdefault(variable, row[attribute])
+                    try:
+                        identifier = entity.identity.identify(identity_view)
+                    except TransformError as exc:
+                        result.errors.append(f"{entity.target_entity}: {exc}")
+                        continue
+                    if identifier in seen:
+                        result.errors.append(
+                            f"{entity.target_entity}: duplicate id {identifier!r} skipped"
+                        )
+                        continue
+                    seen[identifier] = True
+                    document["_id"] = identifier
+                    documents.append(document)
+            else:
+                documents = [document for _, document in produced]
+            result.documents[entity.target_entity] = documents
+        else:
+            result.documents[entity.target_entity] = execute_entity(
+                entity, sources, env, target=target,
+                variable_bindings=spec.variable_bindings,
+            )
+    return result
+
+
+class _SingleRow:
+    """Internal entity transform wrapping one pre-computed row."""
+
+    def __init__(self, row: Row) -> None:
+        self._row = row
+
+    def rows(self, sources: Mapping[str, RowSet]) -> RowSet:
+        return [dict(self._row)]
+
+    def to_code(self) -> str:  # pragma: no cover - internal
+        return "<single row>"

@@ -1,0 +1,189 @@
+"""SQL emission for relational targets.
+
+When the target of an integration is itself relational (warehouse
+population — Section 2: *"the mappings from data sources are the actual
+means for populating it"*), the logical mapping is best rendered as
+``INSERT ... SELECT`` statements.  This emitter handles the direct and
+join entity transforms and translates expression snippets into SQL
+(``concat`` → ``||``, ``if`` → ``CASE WHEN``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Mapping, Optional
+
+from ..core.errors import TransformError
+from ..mapper.entity_transforms import DirectEntity, JoinEntity, SplitEntity, UnionEntity
+from ..mapper.expressions import Binary, Call, Field, Literal, Node, Unary, Var, parse
+from ..mapper.mapping_tool import EntityMapping, MappingSpec
+
+_COMPARISONS = {"==": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+_FUNCTION_SQL = {
+    "upper": "UPPER",
+    "lower": "LOWER",
+    "trim": "TRIM",
+    "length": "LENGTH",
+    "abs": "ABS",
+    "round": "ROUND",
+    "floor": "FLOOR",
+    "ceil": "CEILING",
+    "coalesce": "COALESCE",
+    "min": "LEAST",
+    "max": "GREATEST",
+    "sum": "SUM",
+    "avg": "AVG",
+    "count": "COUNT",
+}
+
+
+def expression_to_sql(code: str, renames: Optional[Mapping[str, str]] = None) -> str:
+    """Translate one expression snippet to a SQL scalar expression.
+
+    *renames* maps expression variable names to column names (the spec's
+    ``variable_bindings``).
+    """
+    rendered = _render(parse(code))
+    for variable, column in (renames or {}).items():
+        rendered = re.sub(rf"\b{re.escape(variable)}\b", column, rendered)
+    return rendered
+
+
+def _render(node: Node) -> str:
+    if isinstance(node, Literal):
+        if node.value is None:
+            return "NULL"
+        if isinstance(node.value, bool):
+            return "TRUE" if node.value else "FALSE"
+        if isinstance(node.value, str):
+            escaped = node.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(node.value)
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, Field):
+        return f"{_render(node.base)}.{node.name}"
+    if isinstance(node, Call):
+        if node.name == "concat":
+            return "(" + " || ".join(_render(a) for a in node.args) + ")"
+        if node.name == "if" and len(node.args) == 3:
+            cond, then, otherwise = (_render(a) for a in node.args)
+            return f"CASE WHEN {cond} THEN {then} ELSE {otherwise} END"
+        if node.name == "substring" and len(node.args) in (2, 3):
+            args = ", ".join(_render(a) for a in node.args)
+            return f"SUBSTR({args})"
+        if node.name in ("number", "int", "string"):
+            cast = {"number": "DECIMAL", "int": "INTEGER", "string": "VARCHAR"}[node.name]
+            return f"CAST({_render(node.args[0])} AS {cast})"
+        if node.name.startswith("lookup_"):
+            table = node.name[len("lookup_"):]
+            key = _render(node.args[0])
+            return (
+                f"(SELECT target_code FROM {table}_xref WHERE source_code = {key})"
+            )
+        if node.name == "data":
+            return _render(node.args[0])
+        fn = _FUNCTION_SQL.get(node.name)
+        if fn is None:
+            raise TransformError(f"no SQL rendering for function {node.name!r}")
+        args = ", ".join(_render(a) for a in node.args)
+        return f"{fn}({args})"
+    if isinstance(node, Unary):
+        if node.op == "not":
+            return f"NOT ({_render(node.operand)})"
+        return f"-{_render(node.operand)}"
+    if isinstance(node, Binary):
+        if node.op in ("and", "or"):
+            return f"({_render(node.left)} {node.op.upper()} {_render(node.right)})"
+        if node.op == "+":
+            return f"({_render(node.left)} + {_render(node.right)})"
+        op = _COMPARISONS.get(node.op, node.op)
+        return f"({_render(node.left)} {op} {_render(node.right)})"
+    raise TransformError(f"cannot render {node!r}")
+
+
+def _table_name(element_id: str) -> str:
+    return element_id.rsplit("/", 1)[-1]
+
+
+def _from_clause(entity: EntityMapping) -> str:
+    transform = entity.entity_transform
+    if isinstance(transform, DirectEntity):
+        return f"FROM {_table_name(transform.source)}"
+    if isinstance(transform, JoinEntity):
+        left = _table_name(transform.left)
+        right = _table_name(transform.right)
+        keyword = "LEFT JOIN" if transform.kind == "left" else "JOIN"
+        condition = " AND ".join(
+            f"{left}.{a} = {right}.{b}" for a, b in transform.on
+        )
+        return f"FROM {left} {keyword} {right} ON {condition}"
+    if isinstance(transform, SplitEntity):
+        predicate = expression_to_sql(
+            transform.predicate.replace("$row.", "").replace("$row", "")
+        )
+        return f"FROM {_table_name(transform.source)} WHERE {predicate}"
+    if isinstance(transform, UnionEntity):
+        raise TransformError(
+            "union entities emit one INSERT per branch; use generate_sql"
+        )
+    raise TransformError(f"no SQL FROM clause for {type(transform).__name__}")
+
+
+def generate_sql(spec: MappingSpec, pretty: bool = True) -> str:
+    """Emit INSERT ... SELECT statements for a whole mapping spec."""
+    statements: List[str] = []
+    for entity in spec.entities:
+        target_table = _table_name(entity.target_entity)
+        transform = entity.entity_transform
+        if isinstance(transform, UnionEntity):
+            for source in transform.sources:
+                statements.append(
+                    _select_statement(entity, target_table, f"FROM {_table_name(source)}",
+                                      discriminator=(transform.discriminator, source),
+                                      renames=spec.variable_bindings)
+                )
+            continue
+        statements.append(
+            _select_statement(entity, target_table, _from_clause(entity),
+                              renames=spec.variable_bindings)
+        )
+    return "\n\n".join(statements)
+
+
+def _select_statement(
+    entity: EntityMapping,
+    target_table: str,
+    from_clause: str,
+    discriminator: Optional[tuple] = None,
+    renames: Optional[Mapping[str, str]] = None,
+) -> str:
+    columns: List[str] = []
+    selects: List[str] = []
+    for mapping in entity.attributes:
+        columns.append(mapping.output_name)
+        selects.append(expression_to_sql(mapping.transform.to_code(), renames=renames))
+    if entity.identity is not None:
+        columns.insert(0, "id")
+        selects.insert(0, expression_to_sql(_identity_sql(entity), renames=renames))
+    if discriminator is not None and discriminator[0]:
+        columns.append(discriminator[0])
+        selects.append(f"'{_table_name(discriminator[1])}'")
+    column_list = ", ".join(columns)
+    select_list = ",\n       ".join(selects)
+    return (
+        f"INSERT INTO {target_table} ({column_list})\n"
+        f"SELECT {select_list}\n{from_clause};"
+    )
+
+
+def _identity_sql(entity: EntityMapping) -> str:
+    code = entity.identity.to_code()
+    if code.startswith("skolem:"):
+        # Skolem functions become deterministic surrogate expressions
+        inner = code[len("skolem:"):]
+        name, _, args = inner.partition("(")
+        args = args.rstrip(")")
+        return f'concat("{name}:", {args})' if args else f'"{name}"'
+    return code

@@ -1,0 +1,183 @@
+"""XQuery-style code emission.
+
+The case study's mapping tool initiates *"the automatic generation of
+XQuery code"* (Section 5.3), and Figure 3's matrix-level ``code``
+annotation is an XQuery snippet (``let $shipto := $purchOrd/shipTo return
+<shippingInfo>...``).  This emitter turns a mapping spec into that style
+of FLWOR text: human-readable, diffable, and faithful to what the
+commercial tools produce.
+
+Expression-language snippets are translated where XQuery spells things
+differently (``if(c,a,b)`` → ``if (c) then a else b``, ``==`` → ``=``,
+lookup tables → pre-declared maps).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Mapping, Optional
+
+from ..core.elements import ElementKind
+from ..core.graph import SchemaGraph
+from ..mapper.expressions import (
+    Binary,
+    Call,
+    Field,
+    Literal,
+    Node,
+    Unary,
+    Var,
+    parse,
+)
+from ..mapper.mapping_tool import EntityMapping, MappingSpec
+
+_COMPARISONS = {"==": "=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def expression_to_xquery(code: str) -> str:
+    """Translate one expression snippet into XQuery syntax."""
+    return _render(parse(code))
+
+
+def _render(node: Node) -> str:
+    if isinstance(node, Literal):
+        if node.value is None:
+            return "()"
+        if isinstance(node.value, bool):
+            return "true()" if node.value else "false()"
+        if isinstance(node.value, str):
+            escaped = node.value.replace('"', '""')
+            return f'"{escaped}"'
+        return str(node.value)
+    if isinstance(node, Var):
+        return f"${node.name}"
+    if isinstance(node, Field):
+        return f"{_render(node.base)}/{node.name}"
+    if isinstance(node, Call):
+        if node.name == "if" and len(node.args) == 3:
+            cond, then, otherwise = (_render(a) for a in node.args)
+            return f"if ({cond}) then {then} else {otherwise}"
+        if node.name.startswith("lookup_"):
+            table = node.name[len("lookup_"):]
+            return f"map:get(${table}-table, {_render(node.args[0])})"
+        if node.name == "data":
+            return f"data({_render(node.args[0])})"
+        args = ", ".join(_render(a) for a in node.args)
+        name = {"int": "xs:integer", "number": "xs:double", "length": "string-length"}.get(
+            node.name, node.name
+        )
+        return f"{name}({args})"
+    if isinstance(node, Unary):
+        if node.op == "not":
+            return f"not({_render(node.operand)})"
+        return f"-{_render(node.operand)}"
+    if isinstance(node, Binary):
+        op = _COMPARISONS.get(node.op, node.op)
+        return f"{_render(node.left)} {op} {_render(node.right)}"
+    raise TypeError(f"cannot render {node!r}")
+
+
+def _element_xml(
+    target: SchemaGraph,
+    entity: EntityMapping,
+    element_id: str,
+    indent: int,
+) -> List[str]:
+    """Recursive element constructor for the target sub-tree."""
+    pad = "  " * indent
+    element = target.element(element_id)
+    mapping = entity.attribute_for(element_id)
+    if mapping is not None:
+        body = expression_to_xquery(mapping.transform.to_code())
+        return [f"{pad}<{element.name}>{{ {body} }}</{element.name}>"]
+    children = [
+        child for child in target.children(element_id)
+        if child.kind in (ElementKind.ELEMENT, ElementKind.ATTRIBUTE,
+                          ElementKind.TABLE, ElementKind.ENTITY)
+    ]
+    mapped_below = [
+        child for child in children
+        if any(
+            m.target_attribute == child.element_id
+            or m.target_attribute.startswith(child.element_id + "/")
+            for m in entity.attributes
+        )
+    ]
+    if not mapped_below:
+        return []
+    lines = [f"{pad}<{element.name}>"]
+    for child in mapped_below:
+        lines.extend(_element_xml(target, entity, child.element_id, indent + 1))
+    lines.append(f"{pad}</{element.name}>")
+    return lines
+
+
+def generate_xquery(
+    spec: MappingSpec,
+    target: SchemaGraph,
+    source_paths: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Emit the full FLWOR mapping for a spec.
+
+    *source_paths* optionally maps source entity ids to the XPath used in
+    the ``for`` clause (defaults to the entity's local name under
+    ``$source``).
+    """
+    source_paths = dict(source_paths or {})
+    blocks: List[str] = []
+    for name, table in sorted(spec.lookup_tables.items()):
+        entries = ", ".join(
+            f"{_literal(k)} : {_literal(v)}" for k, v in sorted(table.items(), key=lambda kv: str(kv[0]))
+        )
+        blocks.append(f"let ${name}-table := map {{ {entries} }}")
+    for entity in spec.entities:
+        source_ref = _source_path(entity, source_paths)
+        lines = [f"for $row in {source_ref}"]
+        bound = set()
+        for mapping in entity.attributes:
+            for variable in sorted(_variables(mapping.transform.to_code())):
+                if variable not in bound and variable != "row":
+                    attribute = spec.variable_bindings.get(variable, variable)
+                    lines.append(f"let ${variable} := $row/{attribute}")
+                    bound.add(variable)
+        lines.append("return")
+        if entity.target_entity in target:
+            xml = _element_xml(target, entity, entity.target_entity, indent=1)
+            if xml:
+                lines.extend(xml)
+            else:
+                lines.append(f"  <{target.element(entity.target_entity).name}/>")
+        else:
+            lines.append(f"  <{entity.target_entity.rsplit('/', 1)[-1]}/>")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def _source_path(entity: EntityMapping, source_paths: Mapping[str, str]) -> str:
+    code = entity.entity_transform.to_code()
+    match = re.search(r"in\s+(\S+)", code)
+    source_id = None
+    if hasattr(entity.entity_transform, "source"):
+        source_id = entity.entity_transform.source
+    elif match:
+        source_id = match.group(1)
+    if source_id and source_id in source_paths:
+        return source_paths[source_id]
+    if source_id:
+        return f"$source/{source_id.rsplit('/', 1)[-1]}"
+    return "$source/*"
+
+
+def _variables(code: str) -> List[str]:
+    from ..mapper.expressions import variables_used
+
+    try:
+        return variables_used(code)
+    except Exception:
+        return []
+
+
+def _literal(value: Any) -> str:
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)

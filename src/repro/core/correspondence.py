@@ -1,0 +1,176 @@
+"""Semantic correspondences between schema elements.
+
+Section 3.2: *"There is a semantic correspondence between two schema
+elements if instances of one schema element imply the existence of
+corresponding instances of the other."*  A correspondence is a *weak*
+semantic link — the precise transformation is established later, in the
+mapping phase.
+
+Confidence scores follow the paper's convention (Section 4): the range is
+``[-1, +1]`` where ``-1`` means *definitely no correspondence*, ``+1`` a
+*definite correspondence*, and ``0`` complete uncertainty.  User-drawn or
+explicitly accepted links have confidence ``+1``; explicitly rejected links
+``-1``; machine-suggested links fall strictly inside ``(-1, +1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from .errors import MappingError
+
+#: Annotation keys from the paper's controlled vocabulary (Section 5.1.2).
+CONFIDENCE_SCORE = "confidence-score"
+IS_USER_DEFINED = "is-user-defined"
+IS_COMPLETE = "is-complete"
+VARIABLE_NAME = "variable-name"
+CODE = "code"
+
+
+def clamp_confidence(value: float) -> float:
+    """Clamp a raw score into the legal ``[-1, +1]`` range."""
+    return max(-1.0, min(1.0, float(value)))
+
+
+def validate_confidence(value: float) -> float:
+    """Validate (without clamping) that *value* is a legal confidence."""
+    value = float(value)
+    if not -1.0 <= value <= 1.0:
+        raise MappingError(f"confidence {value} outside [-1, +1]")
+    return value
+
+
+@dataclass
+class Correspondence:
+    """A scored link between one source element and one target element.
+
+    This is the unit produced by match voters and consumed by the vote
+    merger, similarity flooding and the GUI filters.  The pair
+    ``(source_id, target_id)`` identifies a cell of the mapping matrix.
+    """
+
+    source_id: str
+    target_id: str
+    confidence: float = 0.0
+    is_user_defined: bool = False
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.confidence = validate_confidence(self.confidence)
+        if self.is_user_defined and abs(self.confidence) != 1.0:
+            raise MappingError(
+                "user-defined correspondences must have confidence +1 or -1, "
+                f"got {self.confidence}"
+            )
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        return (self.source_id, self.target_id)
+
+    @property
+    def is_accepted(self) -> bool:
+        """Explicitly accepted by the user (confidence pinned to +1)."""
+        return self.is_user_defined and self.confidence == 1.0
+
+    @property
+    def is_rejected(self) -> bool:
+        """Explicitly rejected by the user (confidence pinned to -1)."""
+        return self.is_user_defined and self.confidence == -1.0
+
+    @property
+    def is_decided(self) -> bool:
+        """True once the user has pinned this link either way.
+
+        Section 4.3: *"Once a link has been accepted or rejected, the engine
+        will not try to modify that link."*
+        """
+        return self.is_user_defined
+
+    def accept(self) -> "Correspondence":
+        """Pin this link as correct (confidence := +1, user-defined)."""
+        self.confidence = 1.0
+        self.is_user_defined = True
+        return self
+
+    def reject(self) -> "Correspondence":
+        """Pin this link as incorrect (confidence := -1, user-defined)."""
+        self.confidence = -1.0
+        self.is_user_defined = True
+        return self
+
+    def suggest(self, confidence: float) -> "Correspondence":
+        """Record a machine suggestion; ignored if the user already decided."""
+        if self.is_decided:
+            return self
+        confidence = validate_confidence(confidence)
+        self.confidence = confidence
+        self.is_user_defined = False
+        return self
+
+    def copy(self) -> "Correspondence":
+        return Correspondence(
+            source_id=self.source_id,
+            target_id=self.target_id,
+            confidence=self.confidence,
+            is_user_defined=self.is_user_defined,
+            annotations=dict(self.annotations),
+        )
+
+    def __str__(self) -> str:
+        origin = "user" if self.is_user_defined else "machine"
+        return f"{self.source_id} ~ {self.target_id} ({self.confidence:+.2f}, {origin})"
+
+
+@dataclass(frozen=True)
+class VoterScore:
+    """One match voter's opinion about one element pair.
+
+    Kept separate from :class:`Correspondence` because the vote merger
+    needs all k voters' raw scores (with magnitudes) before producing the
+    single merged confidence that lands in the matrix.
+    """
+
+    voter: str
+    source_id: str
+    target_id: str
+    score: float
+    evidence: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "score", validate_confidence(self.score))
+
+    @property
+    def magnitude(self) -> float:
+        """|score| — how much evidence the voter saw (Section 4's merger
+        weights each matcher's confidence based on its magnitude)."""
+        return abs(self.score)
+
+
+def top_correspondences(
+    correspondences: "list[Correspondence]",
+    per_source: bool = True,
+) -> "list[Correspondence]":
+    """Keep, for each source (or target) element, the maximal-confidence links.
+
+    Implements the paper's third link filter (Section 4.2): *"displays, for
+    each schema element, those links with maximal confidence (usually a
+    single link, but ties are possible)"*.  Ties are all retained.
+    """
+    best: Dict[str, float] = {}
+    key = (lambda c: c.source_id) if per_source else (lambda c: c.target_id)
+    for corr in correspondences:
+        k = key(corr)
+        if k not in best or corr.confidence > best[k]:
+            best[k] = corr.confidence
+    return [c for c in correspondences if c.confidence == best[key(c)]]
+
+
+def best_match_for(
+    correspondences: "list[Correspondence]", source_id: str
+) -> Optional[Correspondence]:
+    """The single highest-confidence link for one source element, if any."""
+    candidates = [c for c in correspondences if c.source_id == source_id]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda c: c.confidence)

@@ -1,0 +1,148 @@
+"""Schema elements: the nodes of a canonical schema graph.
+
+The paper (Section 5.1.1) represents every schema — relational, XML, or
+entity-relationship — as a directed labeled graph whose nodes are *schema
+elements*.  In the relational model the elements are databases, tables,
+attributes and keys; in XML they are elements and attributes; in ER models
+they are entities, relationships, attributes and domains.
+
+Each element carries three annotations the paper singles out as load-bearing
+for matchers (``name``, ``type``, ``documentation``) plus an open-ended
+annotation dictionary, mirroring RDF's "any element can be annotated".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+
+class ElementKind(Enum):
+    """The structural role an element plays in its schema.
+
+    The canonical graph is metamodel-agnostic: loaders map their native
+    constructs onto these kinds so that matchers never need to know which
+    modeling language a schema came from.
+    """
+
+    SCHEMA = "schema"              # the root node of a schema graph
+    DATABASE = "database"          # relational database / XSD target namespace
+    TABLE = "table"                # relational table
+    ENTITY = "entity"              # ER entity / XML complex element
+    RELATIONSHIP = "relationship"  # ER relationship
+    ELEMENT = "element"            # XML element (simple or complex)
+    ATTRIBUTE = "attribute"        # column / XML attribute / ER attribute
+    DOMAIN = "domain"              # semantic domain (coding scheme)
+    DOMAIN_VALUE = "domain_value"  # one code within a coding scheme
+    KEY = "key"                    # primary/unique key
+    FOREIGN_KEY = "foreign_key"    # referential constraint
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Kinds that act as containers of attributes ("top-level" for matching).
+CONTAINER_KINDS = frozenset(
+    {
+        ElementKind.DATABASE,
+        ElementKind.TABLE,
+        ElementKind.ENTITY,
+        ElementKind.RELATIONSHIP,
+        ElementKind.ELEMENT,
+    }
+)
+
+#: Kinds that carry data values directly.
+VALUE_KINDS = frozenset({ElementKind.ATTRIBUTE, ElementKind.DOMAIN_VALUE})
+
+
+@dataclass
+class SchemaElement:
+    """One node in a canonical schema graph.
+
+    Parameters
+    ----------
+    element_id:
+        Identifier unique within the owning :class:`~repro.core.graph.SchemaGraph`.
+        Loaders use path-style ids (``"po/shipTo/firstName"``) so that ids are
+        stable and human-readable.
+    name:
+        The element's local name as it appears in the source schema.
+    kind:
+        Structural role (see :class:`ElementKind`).
+    datatype:
+        Declared data type if any (``"string"``, ``"decimal"``, ...), already
+        normalized by the loader to the canonical type names in
+        :mod:`repro.loaders.base`.
+    documentation:
+        Free-text definition/description attached to the element.  Section 2
+        of the paper argues this is usually present in enterprise schemata
+        and should be exploited by matchers.
+    annotations:
+        Open-ended metadata (RDF-style).  Well-known keys used elsewhere in
+        this library include ``"nullable"``, ``"default"``, ``"units"``, and
+        ``"instance_values"`` (sample values, when instance data is
+        available).
+    """
+
+    element_id: str
+    name: str
+    kind: ElementKind = ElementKind.ELEMENT
+    datatype: Optional[str] = None
+    documentation: str = ""
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.element_id:
+            raise ValueError("element_id must be a non-empty string")
+        if not isinstance(self.kind, ElementKind):
+            self.kind = ElementKind(self.kind)
+
+    # -- convenience predicates ------------------------------------------
+
+    @property
+    def is_container(self) -> bool:
+        """True if this element groups other elements (entity-like)."""
+        return self.kind in CONTAINER_KINDS
+
+    @property
+    def is_attribute(self) -> bool:
+        return self.kind is ElementKind.ATTRIBUTE
+
+    @property
+    def is_domain(self) -> bool:
+        return self.kind is ElementKind.DOMAIN
+
+    @property
+    def has_documentation(self) -> bool:
+        return bool(self.documentation.strip())
+
+    def annotation(self, key: str, default: Any = None) -> Any:
+        """Return an annotation value, or *default* when absent."""
+        return self.annotations.get(key, default)
+
+    def annotate(self, key: str, value: Any) -> "SchemaElement":
+        """Set an annotation and return ``self`` (chainable)."""
+        self.annotations[key] = value
+        return self
+
+    def copy(self) -> "SchemaElement":
+        """Deep-enough copy: annotations dict is copied, values shared."""
+        return SchemaElement(
+            element_id=self.element_id,
+            name=self.name,
+            kind=self.kind,
+            datatype=self.datatype,
+            documentation=self.documentation,
+            annotations=dict(self.annotations),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.element_id}"
+
+    def __repr__(self) -> str:
+        return (
+            f"SchemaElement(element_id={self.element_id!r}, name={self.name!r}, "
+            f"kind={self.kind!r}, datatype={self.datatype!r})"
+        )

@@ -1,0 +1,338 @@
+"""The task model for data integration (Section 3).
+
+The paper enumerates *"13 fine grained integration tasks, grouped into five
+phases: schema preparation, schema matching, schema mapping, instance
+integration and finally system implementation."*
+
+This module makes the model first-class so we can do what the paper says
+the model is *for*: compare integration problems (which tasks are
+unnecessary because of simplifying conditions?) and compare tools (what
+does each tool contribute to each task?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class Phase(Enum):
+    """The five phases of the task model."""
+
+    SCHEMA_PREPARATION = "schema preparation"
+    SCHEMA_MATCHING = "schema matching"
+    SCHEMA_MAPPING = "schema mapping"
+    INSTANCE_INTEGRATION = "instance integration"
+    SYSTEM_IMPLEMENTATION = "system implementation"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Task:
+    """One of the 13 subtasks, numbered as in the paper."""
+
+    number: int
+    name: str
+    phase: Phase
+    description: str
+    optional_when: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.number}) {self.name}"
+
+
+#: The complete task model, in paper order.
+TASKS: Tuple[Task, ...] = (
+    Task(
+        1,
+        "Obtain the source schemata",
+        Phase.SCHEMA_PREPARATION,
+        "Gather documentation and import the source schemata into the "
+        "integration platform, including any syntactic transformations.",
+    ),
+    Task(
+        2,
+        "Obtain or develop the target schema",
+        Phase.SCHEMA_PREPARATION,
+        "Import a given target schema, or develop one from the queries to be "
+        "supported / the sources to be combined.",
+        optional_when="the target schema is derived from source correspondences",
+    ),
+    Task(
+        3,
+        "Generate semantic correspondences",
+        Phase.SCHEMA_MATCHING,
+        "Determine which schema elements loosely correspond to the same "
+        "real-world concepts.",
+    ),
+    Task(
+        4,
+        "Develop domain transformations",
+        Phase.SCHEMA_MAPPING,
+        "For each pair of corresponding domains, relate source-domain values "
+        "to target-domain values (identity, algorithmic, or lookup table).",
+    ),
+    Task(
+        5,
+        "Develop attribute transformations",
+        Phase.SCHEMA_MAPPING,
+        "Derive target properties from different-but-derivable source "
+        "properties: scalar transforms, aggregation, metadata push-down, "
+        "comment population.",
+    ),
+    Task(
+        6,
+        "Develop entity transformations",
+        Phase.SCHEMA_MAPPING,
+        "Determine structural transformations: 1:1, join/union combination, "
+        "or value-based splitting (data elevated to metadata).",
+    ),
+    Task(
+        7,
+        "Determine object identity",
+        Phase.SCHEMA_MAPPING,
+        "Decide how target unique identifiers are generated: source keys, "
+        "inherited/implicit keys, or Skolem functions.",
+    ),
+    Task(
+        8,
+        "Create logical mappings",
+        Phase.SCHEMA_MAPPING,
+        "Aggregate the piecemeal transformations into an explicit mapping "
+        "for entire databases or documents (a query over the sources).",
+    ),
+    Task(
+        9,
+        "Verify mappings against target schema",
+        Phase.SCHEMA_MAPPING,
+        "Check the transformations are guaranteed to generate valid target "
+        "instances, or modify/generate the target schema.",
+        optional_when="no specific target schema was given",
+    ),
+    Task(
+        10,
+        "Link instance elements",
+        Phase.INSTANCE_INTEGRATION,
+        "Merge instance elements with different identifiers that represent "
+        "the same real-world object.",
+    ),
+    Task(
+        11,
+        "Clean the data",
+        Phase.INSTANCE_INTEGRATION,
+        "Remove values that violate domain constraints or contradict a more "
+        "reliable source.",
+    ),
+    Task(
+        12,
+        "Implement a solution",
+        Phase.SYSTEM_IMPLEMENTATION,
+        "Address operational constraints: update frequency/granularity and "
+        "exception policy.",
+    ),
+    Task(
+        13,
+        "Deploy the application",
+        Phase.SYSTEM_IMPLEMENTATION,
+        "Ship the integration system; ease of deployment matters in practice.",
+    ),
+)
+
+_BY_NUMBER: Dict[int, Task] = {t.number: t for t in TASKS}
+
+
+def task(number: int) -> Task:
+    """Look up a task by its paper number (1..13)."""
+    if number not in _BY_NUMBER:
+        raise KeyError(f"no task numbered {number}; the model has tasks 1..13")
+    return _BY_NUMBER[number]
+
+
+def tasks_in_phase(phase: Phase) -> List[Task]:
+    return [t for t in TASKS if t.phase is phase]
+
+
+class Support(Enum):
+    """How strongly a tool supports a task."""
+
+    NONE = 0
+    PARTIAL = 1      # helps a human perform the task
+    MANUAL = 2       # provides a complete manual (GUI/API) workflow
+    AUTOMATED = 3    # performs the task (semi-)automatically
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+@dataclass
+class ToolProfile:
+    """What one tool contributes to each task (Section 1.1: "Among tools, we
+    can ask what each tool contributes to each task")."""
+
+    name: str
+    support: Dict[int, Support] = field(default_factory=dict)
+    notes: Dict[int, str] = field(default_factory=dict)
+
+    def set_support(self, number: int, level: Support, note: str = "") -> None:
+        task(number)  # validate
+        self.support[number] = level
+        if note:
+            self.notes[number] = note
+
+    def support_for(self, number: int) -> Support:
+        task(number)
+        return self.support.get(number, Support.NONE)
+
+    def supported_tasks(self, minimum: Support = Support.PARTIAL) -> List[Task]:
+        return [
+            t for t in TASKS if self.support_for(t.number).value >= minimum.value
+        ]
+
+    def coverage(self, required: Optional[Iterable[int]] = None) -> float:
+        """Fraction of (required) tasks with at least PARTIAL support."""
+        numbers = list(required) if required is not None else [t.number for t in TASKS]
+        if not numbers:
+            return 1.0
+        supported = sum(
+            1 for n in numbers if self.support_for(n) is not Support.NONE
+        )
+        return supported / len(numbers)
+
+
+@dataclass
+class ProblemProfile:
+    """An integration problem instance, with its simplifying conditions.
+
+    Section 1.1: *"Among integration problems, we can ask which of the tasks
+    are unnecessary because of simplifying conditions in the problem
+    instance."*
+    """
+
+    name: str
+    #: target schema is given by the problem specification
+    target_given: bool = True
+    #: correspondences alone suffice (no instance-level transformation needed)
+    instances_available: bool = True
+    #: sources are already clean and deduplicated
+    instances_clean: bool = False
+    #: one-shot translation — no operational deployment
+    one_shot: bool = False
+    #: extra task numbers to prune, with reasons
+    pruned: Dict[int, str] = field(default_factory=dict)
+
+    def required_tasks(self) -> List[Task]:
+        """Tasks that remain necessary for this problem instance."""
+        skip: Set[int] = set(self.pruned)
+        if not self.instances_available:
+            # No instance data reachable -> instance integration deferred.
+            skip.update({10, 11})
+        if self.instances_clean:
+            skip.update({10, 11})
+        if self.one_shot:
+            skip.update({12, 13})
+        return [t for t in TASKS if t.number not in skip]
+
+    def prune(self, number: int, reason: str) -> None:
+        task(number)
+        self.pruned[number] = reason
+
+
+def combined_profile(name: str, tools: Iterable[ToolProfile]) -> ToolProfile:
+    """The profile of a tool *suite*: per task, the best support any member
+    provides.  This is how the workbench's value shows up — Section 5.3's
+    case study combines Harmony (matching) with a mapper (mapping/codegen).
+    """
+    combined = ToolProfile(name)
+    for t in TASKS:
+        best = Support.NONE
+        note = ""
+        for tool in tools:
+            level = tool.support_for(t.number)
+            if level.value > best.value:
+                best = level
+                note = tool.name
+        if best is not Support.NONE:
+            combined.set_support(t.number, best, note=f"via {note}")
+    return combined
+
+
+def coverage_table(
+    tools: Iterable[ToolProfile],
+    problem: Optional[ProblemProfile] = None,
+) -> str:
+    """Render a tool × task coverage matrix (bench A8)."""
+    tools = list(tools)
+    required = (
+        {t.number for t in problem.required_tasks()} if problem else
+        {t.number for t in TASKS}
+    )
+    width = max(len(t.name) for t in tools) if tools else 4
+    header = "task".ljust(42) + " | " + " | ".join(t.name.ljust(width) for t in tools)
+    lines = [header, "-" * len(header)]
+    for t in TASKS:
+        marker = "" if t.number in required else " (pruned)"
+        row = f"{t.number:>2}) {t.name[:36]:<37}{marker[:9]:<0}".ljust(42)
+        cells = []
+        for tool in tools:
+            cells.append(str(tool.support_for(t.number)).ljust(width))
+        suffix = "" if t.number in required else "   [pruned for this problem]"
+        lines.append(row + " | " + " | ".join(cells) + suffix)
+    if tools:
+        lines.append("-" * len(header))
+        cov = "coverage".ljust(42) + " | " + " | ".join(
+            f"{tool.coverage(required):.0%}".ljust(width) for tool in tools
+        )
+        lines.append(cov)
+    return "\n".join(lines)
+
+
+# -- canonical profiles for the tools built in this repository -----------------
+
+def harmony_profile() -> ToolProfile:
+    """Harmony's contributions (Sections 4 and 5.3): loading + matching,
+    but *"neither a mechanism for authoring code snippets, nor a code
+    generation feature"*."""
+    p = ToolProfile("Harmony")
+    p.set_support(1, Support.AUTOMATED, "XSD / ER / SQL loaders")
+    p.set_support(2, Support.AUTOMATED, "same loaders apply to the target")
+    p.set_support(3, Support.AUTOMATED, "match voters + merger + flooding + GUI")
+    return p
+
+
+def mapper_profile() -> ToolProfile:
+    """The AquaLogic stand-in: manual mapping plus automatic code generation."""
+    p = ToolProfile("MapperTool")
+    p.set_support(1, Support.MANUAL, "schema loading")
+    p.set_support(2, Support.MANUAL, "schema loading")
+    p.set_support(3, Support.MANUAL, "draw links by hand")
+    p.set_support(4, Support.MANUAL, "domain transformations")
+    p.set_support(5, Support.MANUAL, "attribute transformations")
+    p.set_support(6, Support.MANUAL, "entity transformations")
+    p.set_support(7, Support.MANUAL, "keys and Skolem functions")
+    p.set_support(8, Support.AUTOMATED, "code generator assembles the mapping")
+    p.set_support(9, Support.AUTOMATED, "verification against target constraints")
+    return p
+
+
+def instance_tools_profile() -> ToolProfile:
+    """The instance-integration utilities in :mod:`repro.instances`."""
+    p = ToolProfile("InstanceTools")
+    p.set_support(10, Support.AUTOMATED, "record linkage")
+    p.set_support(11, Support.AUTOMATED, "constraint + reliability cleaning")
+    return p
+
+
+def workbench_suite_profile() -> ToolProfile:
+    """The combined suite the workbench makes possible."""
+    suite = combined_profile(
+        "Workbench suite",
+        [harmony_profile(), mapper_profile(), instance_tools_profile()],
+    )
+    # Deployment support comes from the executable code generator producing a
+    # runnable artifact, which is PARTIAL support for tasks 12-13.
+    suite.set_support(12, Support.PARTIAL, "executable transformation artifact")
+    suite.set_support(13, Support.PARTIAL, "single-file runnable mapping")
+    return suite

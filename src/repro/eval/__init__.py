@@ -1,0 +1,49 @@
+"""Evaluation: metrics, ground truth, scenario generation, harness."""
+
+from .base_models import BASE_MODELS, air_traffic_model, commerce_model, personnel_model
+from .groundtruth import Alignment, Pair
+from .harness import RunResult, SuiteResult, run_suite
+from .metrics import (
+    SELECT_BEST_PER_SOURCE,
+    SELECT_THRESHOLD,
+    MatchQuality,
+    evaluate_matrix,
+    evaluate_pairs,
+    precision_recall_curve,
+    select_pairs,
+)
+from .scenarios import (
+    DOC_BOTH,
+    DOC_NONE,
+    DOC_SOURCE_ONLY,
+    Scenario,
+    ScenarioConfig,
+    generate_scenario,
+    standard_suite,
+)
+
+__all__ = [
+    "Alignment",
+    "BASE_MODELS",
+    "DOC_BOTH",
+    "DOC_NONE",
+    "DOC_SOURCE_ONLY",
+    "MatchQuality",
+    "Pair",
+    "RunResult",
+    "SELECT_BEST_PER_SOURCE",
+    "SELECT_THRESHOLD",
+    "Scenario",
+    "ScenarioConfig",
+    "SuiteResult",
+    "air_traffic_model",
+    "commerce_model",
+    "evaluate_matrix",
+    "evaluate_pairs",
+    "generate_scenario",
+    "personnel_model",
+    "precision_recall_curve",
+    "run_suite",
+    "select_pairs",
+    "standard_suite",
+]

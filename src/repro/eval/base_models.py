@@ -1,0 +1,272 @@
+"""Hand-built base ER models for the evaluation scenarios.
+
+Three domains the paper's narrative touches: commerce (purchase orders —
+Figures 2/3), air traffic flow management (Section 4.1's sub-schema
+example: facilities, weather, routing) and personnel (Section 3.3's
+Professor/Employee/Student example).  Every element is documented in data-
+dictionary register, and coding schemes are explicit domains — the
+enterprise situation Section 2 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def commerce_model() -> Dict[str, Any]:
+    return {
+        "name": "commerce",
+        "documentation": "Purchase order processing for the supply directorate.",
+        "entities": [
+            {
+                "name": "PurchaseOrder",
+                "documentation": "A purchase order placed by a customer for one or more items.",
+                "attributes": [
+                    {"name": "orderNumber", "type": "integer", "key": True,
+                     "documentation": "The unique number that identifies the purchase order."},
+                    {"name": "orderDate", "type": "date",
+                     "documentation": "The date on which the purchase order was placed."},
+                    {"name": "status", "type": "string", "domain": "OrderStatus",
+                     "documentation": "The code that denotes the lifecycle status of the order."},
+                    {"name": "subtotal", "type": "decimal",
+                     "documentation": "The sum of the line item prices before tax is applied."},
+                    {"name": "comment", "type": "string", "nullable": True,
+                     "documentation": "Free text remark supplied by the customer."},
+                ],
+            },
+            {
+                "name": "Customer",
+                "documentation": "A person or organization that places purchase orders.",
+                "attributes": [
+                    {"name": "customerNumber", "type": "integer", "key": True,
+                     "documentation": "The unique number that identifies the customer."},
+                    {"name": "firstName", "type": "string",
+                     "documentation": "The given name of the customer."},
+                    {"name": "lastName", "type": "string",
+                     "documentation": "The family name of the customer."},
+                    {"name": "phone", "type": "string", "nullable": True,
+                     "documentation": "The telephone number used to contact the customer."},
+                ],
+            },
+            {
+                "name": "OrderLine",
+                "documentation": "One line of a purchase order identifying an ordered item.",
+                "attributes": [
+                    {"name": "lineNumber", "type": "integer", "key": True,
+                     "documentation": "The sequence number of the line within the order."},
+                    {"name": "itemCode", "type": "string",
+                     "documentation": "The code that identifies the ordered product."},
+                    {"name": "quantity", "type": "integer",
+                     "documentation": "The count of units of the item that were ordered."},
+                    {"name": "unitPrice", "type": "decimal",
+                     "documentation": "The price charged for a single unit of the item."},
+                ],
+            },
+            {
+                "name": "ShippingAddress",
+                "documentation": "The location to which an order is delivered.",
+                "attributes": [
+                    {"name": "street", "type": "string",
+                     "documentation": "The street portion of the delivery address."},
+                    {"name": "city", "type": "string",
+                     "documentation": "The city portion of the delivery address."},
+                    {"name": "state", "type": "string", "domain": "StateCode",
+                     "documentation": "The code that denotes the state of the delivery address."},
+                    {"name": "zip", "type": "string",
+                     "documentation": "The postal code of the delivery address."},
+                ],
+            },
+        ],
+        "domains": [
+            {"name": "OrderStatus", "type": "string",
+             "documentation": "Lifecycle states of a purchase order.",
+             "values": [
+                 {"code": "OPEN", "documentation": "Order received, not shipped"},
+                 {"code": "SHIP", "documentation": "Order shipped to customer"},
+                 {"code": "CANC", "documentation": "Order cancelled"},
+                 {"code": "HOLD", "documentation": "Order held pending review"},
+             ]},
+            {"name": "StateCode", "type": "string",
+             "documentation": "United States state postal codes.",
+             "values": [
+                 {"code": "VA", "documentation": "Virginia"},
+                 {"code": "MD", "documentation": "Maryland"},
+                 {"code": "CA", "documentation": "California"},
+                 {"code": "TX", "documentation": "Texas"},
+                 {"code": "NY", "documentation": "New York"},
+             ]},
+        ],
+    }
+
+
+def air_traffic_model() -> Dict[str, Any]:
+    return {
+        "name": "air_traffic",
+        "documentation": "Air traffic flow management: facilities, weather and routing.",
+        "entities": [
+            {
+                "name": "Airport",
+                "documentation": "A facility where aircraft arrive and depart.",
+                "attributes": [
+                    {"name": "airportCode", "type": "string", "key": True, "domain": "AirportCode",
+                     "documentation": "The code that identifies the airport facility."},
+                    {"name": "airportName", "type": "string",
+                     "documentation": "The full name of the airport facility."},
+                    {"name": "elevation", "type": "integer", "units": "feet",
+                     "documentation": "The elevation of the airport above sea level in feet."},
+                ],
+            },
+            {
+                "name": "Runway",
+                "documentation": "A strip at an airport where aircraft take off and land.",
+                "attributes": [
+                    {"name": "runwayDesignator", "type": "string", "key": True,
+                     "documentation": "The designator that identifies the runway at its airport."},
+                    {"name": "length", "type": "integer", "units": "feet",
+                     "documentation": "The usable length of the runway in feet."},
+                    {"name": "surfaceType", "type": "string", "domain": "SurfaceType",
+                     "documentation": "The code that denotes the type of runway surface."},
+                ],
+            },
+            {
+                "name": "Flight",
+                "documentation": "A scheduled movement of an aircraft between airports.",
+                "attributes": [
+                    {"name": "flightNumber", "type": "string", "key": True,
+                     "documentation": "The number that identifies the flight."},
+                    {"name": "departureTime", "type": "datetime",
+                     "documentation": "The scheduled time of departure from the origin airport."},
+                    {"name": "arrivalTime", "type": "datetime",
+                     "documentation": "The scheduled time of arrival at the destination airport."},
+                    {"name": "aircraftType", "type": "string", "domain": "AircraftType",
+                     "documentation": "The code that denotes the type of aircraft flown."},
+                ],
+            },
+            {
+                "name": "WeatherReport",
+                "documentation": "An observation of meteorological conditions at a facility.",
+                "attributes": [
+                    {"name": "observationTime", "type": "datetime", "key": True,
+                     "documentation": "The time at which the weather observation was made."},
+                    {"name": "visibility", "type": "decimal", "units": "miles",
+                     "documentation": "The horizontal visibility at the facility in miles."},
+                    {"name": "windSpeed", "type": "integer", "units": "knots",
+                     "documentation": "The speed of the wind at the facility in knots."},
+                ],
+            },
+            {
+                "name": "Route",
+                "documentation": "A path through the airspace between two facilities.",
+                "attributes": [
+                    {"name": "routeIdentifier", "type": "string", "key": True,
+                     "documentation": "The identifier that designates the airspace route."},
+                    {"name": "distance", "type": "decimal", "units": "miles",
+                     "documentation": "The total distance of the route in nautical miles."},
+                ],
+            },
+        ],
+        "domains": [
+            {"name": "AirportCode", "type": "string",
+             "documentation": "International airport identifier codes.",
+             "values": [
+                 {"code": "IAD", "documentation": "Washington Dulles International"},
+                 {"code": "DCA", "documentation": "Ronald Reagan Washington National"},
+                 {"code": "BWI", "documentation": "Baltimore Washington International"},
+                 {"code": "JFK", "documentation": "John F Kennedy International"},
+             ]},
+            {"name": "SurfaceType", "type": "string",
+             "documentation": "Types of runway surface material.",
+             "values": [
+                 {"code": "ASPH", "documentation": "Asphalt surface"},
+                 {"code": "CONC", "documentation": "Concrete surface"},
+                 {"code": "TURF", "documentation": "Grass turf surface"},
+                 {"code": "GRVL", "documentation": "Gravel surface"},
+             ]},
+            {"name": "AircraftType", "type": "string",
+             "documentation": "Codes for types of aircraft.",
+             "values": [
+                 {"code": "B737", "documentation": "Boeing 737 narrow body"},
+                 {"code": "B777", "documentation": "Boeing 777 wide body"},
+                 {"code": "A320", "documentation": "Airbus A320 narrow body"},
+                 {"code": "C130", "documentation": "Lockheed C-130 transport"},
+             ]},
+        ],
+    }
+
+
+def personnel_model() -> Dict[str, Any]:
+    return {
+        "name": "personnel",
+        "documentation": "University personnel and course administration.",
+        "entities": [
+            {
+                "name": "Employee",
+                "documentation": "A person employed by the university in any capacity.",
+                "attributes": [
+                    {"name": "employeeNumber", "type": "integer", "key": True,
+                     "documentation": "The unique number that identifies the employee."},
+                    {"name": "fullName", "type": "string",
+                     "documentation": "The family name and given name of the employee."},
+                    {"name": "birthdate", "type": "date",
+                     "documentation": "The date on which the employee was born."},
+                    {"name": "salary", "type": "decimal",
+                     "documentation": "The annual gross salary paid to the employee in dollars."},
+                    {"name": "grade", "type": "string", "domain": "PayGrade",
+                     "documentation": "The code that denotes the pay grade of the employee."},
+                ],
+            },
+            {
+                "name": "Professor",
+                "documentation": "An employee who holds a faculty appointment and teaches.",
+                "attributes": [
+                    {"name": "facultyId", "type": "integer", "key": True,
+                     "documentation": "The unique number that identifies the faculty member."},
+                    {"name": "department", "type": "string",
+                     "documentation": "The name of the department that holds the appointment."},
+                    {"name": "tenured", "type": "boolean",
+                     "documentation": "Whether the faculty member has been granted tenure."},
+                ],
+            },
+            {
+                "name": "Student",
+                "documentation": "A person enrolled in courses at the university.",
+                "attributes": [
+                    {"name": "studentNumber", "type": "integer", "key": True,
+                     "documentation": "The unique number that identifies the student."},
+                    {"name": "major", "type": "string",
+                     "documentation": "The name of the program of study the student pursues."},
+                    {"name": "gpa", "type": "decimal",
+                     "documentation": "The grade point average earned by the student."},
+                ],
+            },
+            {
+                "name": "Course",
+                "documentation": "A unit of instruction offered by a department.",
+                "attributes": [
+                    {"name": "courseCode", "type": "string", "key": True,
+                     "documentation": "The code that identifies the course offering."},
+                    {"name": "title", "type": "string",
+                     "documentation": "The descriptive title of the course."},
+                    {"name": "credits", "type": "integer",
+                     "documentation": "The count of credit hours awarded for the course."},
+                ],
+            },
+        ],
+        "domains": [
+            {"name": "PayGrade", "type": "string",
+             "documentation": "Pay grade codes for university employees.",
+             "values": [
+                 {"code": "GS7", "documentation": "General schedule grade seven"},
+                 {"code": "GS9", "documentation": "General schedule grade nine"},
+                 {"code": "GS11", "documentation": "General schedule grade eleven"},
+                 {"code": "GS13", "documentation": "General schedule grade thirteen"},
+             ]},
+        ],
+    }
+
+
+BASE_MODELS = {
+    "commerce": commerce_model,
+    "air_traffic": air_traffic_model,
+    "personnel": personnel_model,
+}

@@ -1,0 +1,52 @@
+"""Ground-truth alignments for matcher evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Set, Tuple
+
+Pair = Tuple[str, str]
+
+
+@dataclass
+class Alignment:
+    """The reference set of true correspondences for one matching problem."""
+
+    pairs: Set[Pair] = field(default_factory=set)
+
+    def add(self, source_id: str, target_id: str) -> None:
+        self.pairs.add((source_id, target_id))
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self.pairs
+
+    def __iter__(self):
+        return iter(sorted(self.pairs))
+
+    def sources(self) -> Set[str]:
+        return {s for s, _ in self.pairs}
+
+    def targets(self) -> Set[str]:
+        return {t for _, t in self.pairs}
+
+    def restrict(
+        self,
+        source_ids: Optional[Iterable[str]] = None,
+        target_ids: Optional[Iterable[str]] = None,
+    ) -> "Alignment":
+        """The sub-alignment touching only the given ids (both sides)."""
+        source_set = set(source_ids) if source_ids is not None else None
+        target_set = set(target_ids) if target_ids is not None else None
+        kept = {
+            (s, t)
+            for s, t in self.pairs
+            if (source_set is None or s in source_set)
+            and (target_set is None or t in target_set)
+        }
+        return Alignment(pairs=kept)
+
+    def union(self, other: "Alignment") -> "Alignment":
+        return Alignment(pairs=set(self.pairs) | set(other.pairs))

@@ -1,0 +1,104 @@
+"""Experiment harness: run matchers over scenario suites and tabulate.
+
+The benches are thin wrappers over this module, so every experiment is
+also runnable programmatically (and testable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..baselines.base import Matcher
+from .groundtruth import Alignment
+from .metrics import (
+    SELECT_BEST_PER_SOURCE,
+    MatchQuality,
+    evaluate_matrix,
+)
+from .scenarios import Scenario
+
+
+@dataclass
+class RunResult:
+    """One matcher on one scenario."""
+
+    matcher: str
+    scenario: str
+    quality: MatchQuality
+
+
+@dataclass
+class SuiteResult:
+    """All matchers over all scenarios, with aggregation and rendering."""
+
+    runs: List[RunResult] = field(default_factory=list)
+
+    def for_matcher(self, name: str) -> List[RunResult]:
+        return [r for r in self.runs if r.matcher == name]
+
+    def matcher_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for run in self.runs:
+            seen.setdefault(run.matcher, None)
+        return list(seen)
+
+    def mean(self, name: str, metric: str) -> float:
+        runs = self.for_matcher(name)
+        if not runs:
+            return 0.0
+        return sum(getattr(r.quality, metric) for r in runs) / len(runs)
+
+    def to_table(self, title: str = "") -> str:
+        header = (
+            f"{'matcher':<16} {'precision':>10} {'recall':>10} {'F1':>10} {'overall':>10}"
+        )
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in self.matcher_names():
+            lines.append(
+                f"{name:<16} {self.mean(name, 'precision'):>10.3f} "
+                f"{self.mean(name, 'recall'):>10.3f} {self.mean(name, 'f1'):>10.3f} "
+                f"{self.mean(name, 'overall'):>+10.3f}"
+            )
+        return "\n".join(lines)
+
+    def to_detail_table(self) -> str:
+        lines = [f"{'matcher':<16} {'scenario':<24} {'P':>7} {'R':>7} {'F1':>7}"]
+        lines.append("-" * len(lines[0]))
+        for run in self.runs:
+            lines.append(
+                f"{run.matcher:<16} {run.scenario:<24} "
+                f"{run.quality.precision:>7.3f} {run.quality.recall:>7.3f} "
+                f"{run.quality.f1:>7.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run_suite(
+    matchers: Sequence[Matcher],
+    scenarios: Sequence[Scenario],
+    strategy: str = SELECT_BEST_PER_SOURCE,
+    threshold: float = 0.0,
+    matcher_factory: Optional[Callable[[Matcher], Matcher]] = None,
+) -> SuiteResult:
+    """Run each matcher on each scenario.
+
+    When *matcher_factory* is given it is called per (matcher, scenario)
+    so that stateful matchers (Harmony learns!) start fresh each time.
+    """
+    result = SuiteResult()
+    for matcher in matchers:
+        for scenario in scenarios:
+            instance = matcher_factory(matcher) if matcher_factory else matcher
+            matrix = instance.match(scenario.source, scenario.target)
+            quality = evaluate_matrix(
+                matrix, scenario.alignment, strategy=strategy, threshold=threshold
+            )
+            result.runs.append(
+                RunResult(matcher=matcher.name, scenario=scenario.name, quality=quality)
+            )
+    return result

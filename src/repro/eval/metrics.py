@@ -1,0 +1,108 @@
+"""Matching-quality metrics.
+
+Standard precision / recall / F1 over predicted vs true correspondences,
+plus Melnik's *overall* metric (accuracy: how much post-match human work
+remains).  Two selection strategies turn a confidence-scored matrix into
+a predicted set: a confidence threshold, or best-match-per-source (the
+GUI's maximal-confidence filter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.correspondence import Correspondence, top_correspondences
+from ..core.matrix import MappingMatrix
+from .groundtruth import Alignment, Pair
+
+SELECT_THRESHOLD = "threshold"
+SELECT_BEST_PER_SOURCE = "best-per-source"
+
+
+@dataclass
+class MatchQuality:
+    """P/R/F1/overall for one prediction against one alignment."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def overall(self) -> float:
+        """Melnik's overall = recall · (2 − 1/precision); can be negative
+        when precision < 0.5 (fixing wrong matches costs more than they
+        saved)."""
+        p = self.precision
+        if p == 0.0:
+            return -float(self.false_positives) if self.false_positives else 0.0
+        return self.recall * (2.0 - 1.0 / p)
+
+    def row(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} "
+            f"F1={self.f1:.3f} overall={self.overall:+.3f}"
+        )
+
+
+def evaluate_pairs(predicted: Iterable[Pair], truth: Alignment) -> MatchQuality:
+    """Score a predicted pair set against the alignment."""
+    predicted_set = set(predicted)
+    tp = len(predicted_set & truth.pairs)
+    fp = len(predicted_set - truth.pairs)
+    fn = len(truth.pairs - predicted_set)
+    return MatchQuality(true_positives=tp, false_positives=fp, false_negatives=fn)
+
+
+def select_pairs(
+    matrix: MappingMatrix,
+    strategy: str = SELECT_BEST_PER_SOURCE,
+    threshold: float = 0.0,
+) -> List[Pair]:
+    """Turn a scored matrix into a predicted correspondence set."""
+    links = [c for c in matrix.cells() if c.confidence > threshold]
+    if strategy == SELECT_THRESHOLD:
+        return [c.pair for c in links]
+    if strategy == SELECT_BEST_PER_SOURCE:
+        return [c.pair for c in top_correspondences(links, per_source=True)]
+    raise ValueError(f"unknown selection strategy {strategy!r}")
+
+
+def evaluate_matrix(
+    matrix: MappingMatrix,
+    truth: Alignment,
+    strategy: str = SELECT_BEST_PER_SOURCE,
+    threshold: float = 0.0,
+) -> MatchQuality:
+    """Select + score in one step."""
+    return evaluate_pairs(select_pairs(matrix, strategy, threshold), truth)
+
+
+def precision_recall_curve(
+    matrix: MappingMatrix,
+    truth: Alignment,
+    thresholds: Optional[List[float]] = None,
+) -> List[Tuple[float, float, float]]:
+    """(threshold, precision, recall) points across the confidence range."""
+    if thresholds is None:
+        thresholds = [i / 10 for i in range(0, 10)]
+    curve = []
+    for threshold in thresholds:
+        quality = evaluate_matrix(matrix, truth, SELECT_THRESHOLD, threshold)
+        curve.append((threshold, quality.precision, quality.recall))
+    return curve

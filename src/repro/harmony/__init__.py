@@ -1,0 +1,119 @@
+"""Harmony: the paper's schema matching tool (Section 4).
+
+Match voters score every candidate element pair, a magnitude- and
+performance-weighted merger combines the votes, a directional variant of
+similarity flooding adjusts the scores structurally, and a session layer
+supports the iterative accept/reject/mark-complete workflow with learning
+from feedback.
+"""
+
+from .engine import (
+    FLOODING_CLASSIC,
+    FLOODING_DIRECTIONAL,
+    FLOODING_OFF,
+    EngineConfig,
+    HarmonyEngine,
+    MatchRun,
+)
+from .filters import (
+    ConfidenceFilter,
+    DepthFilter,
+    FilterSet,
+    LinkFilter,
+    MaxConfidenceFilter,
+    NodeFilter,
+    OriginFilter,
+    SubtreeFilter,
+)
+from .flooding import (
+    DirectionalConfig,
+    FloodingConfig,
+    classic_flooding,
+    directional_flooding,
+    flooded_ranking,
+)
+from .gui_model import GuiState, LineView, TreeNodeView, line_color, render
+from .learning import (
+    FeedbackStats,
+    decisions_from_matrix,
+    update_merger_weights,
+    update_word_weights,
+)
+from .merger import MAX_WEIGHT, MIN_WEIGHT, MergeResult, VoteMerger
+from .multisource import (
+    MultiSourceResult,
+    cluster_elements,
+    derive_target_schema,
+    integrate_sources,
+    match_all_pairs,
+)
+from .session import MatchSession
+from .voters import (
+    AcronymVoter,
+    DatatypeVoter,
+    DocumentationVoter,
+    DomainValueVoter,
+    InstanceVoter,
+    MatchContext,
+    MatchVoter,
+    NameVoter,
+    StructureVoter,
+    ThesaurusVoter,
+    calibrate,
+    default_voters,
+    kinds_comparable,
+)
+
+__all__ = [
+    "AcronymVoter",
+    "ConfidenceFilter",
+    "DatatypeVoter",
+    "DepthFilter",
+    "DirectionalConfig",
+    "DocumentationVoter",
+    "DomainValueVoter",
+    "EngineConfig",
+    "FLOODING_CLASSIC",
+    "FLOODING_DIRECTIONAL",
+    "FLOODING_OFF",
+    "FeedbackStats",
+    "FilterSet",
+    "FloodingConfig",
+    "GuiState",
+    "HarmonyEngine",
+    "InstanceVoter",
+    "LineView",
+    "LinkFilter",
+    "MAX_WEIGHT",
+    "MIN_WEIGHT",
+    "MatchContext",
+    "MatchRun",
+    "MatchSession",
+    "MatchVoter",
+    "MaxConfidenceFilter",
+    "MergeResult",
+    "MultiSourceResult",
+    "NameVoter",
+    "NodeFilter",
+    "OriginFilter",
+    "StructureVoter",
+    "SubtreeFilter",
+    "ThesaurusVoter",
+    "TreeNodeView",
+    "VoteMerger",
+    "calibrate",
+    "classic_flooding",
+    "cluster_elements",
+    "derive_target_schema",
+    "integrate_sources",
+    "match_all_pairs",
+    "decisions_from_matrix",
+    "default_voters",
+    "directional_flooding",
+    "flooded_ranking",
+    "kinds_comparable",
+    "line_color",
+    "render",
+    "update_merger_weights",
+    "update_word_weights",
+]

@@ -1,0 +1,216 @@
+"""The Harmony match engine (Section 4, Figure 1).
+
+Pipeline, exactly as the architecture figure draws it::
+
+    schemata → [normalize]        (loaders already produced canonical graphs)
+             → [linguistic preprocessing]   (MatchContext: tokens, TF-IDF)
+             → [match voters]               (k strategies score each pair)
+             → [vote merger]                (magnitude+performance weighting)
+             → [similarity flooding]        (structural adjustment)
+             → mapping matrix               (confidence-scored cells)
+
+The engine never touches user-decided cells (Section 4.3: *"Once a link
+has been accepted or rejected, the engine will not try to modify that
+link"*) and it consumes feedback both ways the paper describes: merger
+reweighting and bag-of-words word reweighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.correspondence import VoterScore
+from ..core.graph import SchemaGraph
+from ..core.matrix import MappingMatrix
+from ..text.thesaurus import Thesaurus
+from .flooding import (
+    DirectionalConfig,
+    FloodingConfig,
+    classic_flooding,
+    directional_flooding,
+)
+from .learning import decisions_from_matrix, update_merger_weights, update_word_weights
+from .merger import MergeResult, VoteMerger
+from .voters import MatchContext, MatchVoter, default_voters
+
+Pair = Tuple[str, str]
+
+#: Flooding modes the engine supports (bench A2 sweeps these).
+FLOODING_OFF = "off"
+FLOODING_CLASSIC = "classic"
+FLOODING_DIRECTIONAL = "directional"
+
+
+@dataclass
+class EngineConfig:
+    """Tunable knobs of the Harmony engine."""
+
+    flooding: str = FLOODING_DIRECTIONAL
+    directional: DirectionalConfig = field(default_factory=DirectionalConfig)
+    classic: FloodingConfig = field(default_factory=FloodingConfig)
+    #: blend factor when folding classic-flooding output back into scores
+    classic_blend: float = 0.5
+    learning_rate: float = 0.25
+    learn_word_weights: bool = True
+
+
+@dataclass
+class MatchRun:
+    """Everything one engine invocation produced (per-stage, for Figure 1)."""
+
+    context: MatchContext
+    votes: List[VoterScore]
+    merged: List[MergeResult]
+    pre_flooding: Dict[Pair, float]
+    post_flooding: Dict[Pair, float]
+    matrix: MappingMatrix
+
+    def stage_summary(self) -> List[str]:
+        """Human-readable per-stage trace (the Figure-1 bench prints this)."""
+        changed = sum(
+            1
+            for pair, value in self.post_flooding.items()
+            if abs(value - self.pre_flooding.get(pair, 0.0)) > 1e-9
+        )
+        return [
+            f"linguistic preprocessing: {len(self.context.corpus)} documented elements indexed",
+            f"match voters: {len(self.votes)} votes over "
+            f"{len({(v.source_id, v.target_id) for v in self.votes})} candidate pairs",
+            f"vote merger: {len(self.merged)} merged confidence scores",
+            f"similarity flooding: {changed} scores structurally adjusted",
+            f"mapping matrix: {len(list(self.matrix.cells()))} cells populated",
+        ]
+
+
+class HarmonyEngine:
+    """Bundles the voters, merger and flooding into one matcher."""
+
+    def __init__(
+        self,
+        voters: Optional[Sequence[MatchVoter]] = None,
+        merger: Optional[VoteMerger] = None,
+        config: Optional[EngineConfig] = None,
+        thesaurus: Optional[Thesaurus] = None,
+    ) -> None:
+        self.voters: List[MatchVoter] = list(voters) if voters is not None else default_voters()
+        self.merger = merger if merger is not None else VoteMerger()
+        self.config = config or EngineConfig()
+        self.thesaurus = thesaurus
+        #: votes from the most recent run, kept for feedback learning
+        self._last_votes: List[VoterScore] = []
+        self._last_context: Optional[MatchContext] = None
+        #: decisions already learned from — each accept/reject teaches the
+        #: engine exactly once (re-learning from the same decision every
+        #: re-run would compound weights, the over-crediting the paper's
+        #: Section 4.3 warns about)
+        self._consumed_decisions: set = set()
+
+    # -- main entry point ----------------------------------------------------
+
+    def match(
+        self,
+        source: SchemaGraph,
+        target: SchemaGraph,
+        matrix: Optional[MappingMatrix] = None,
+    ) -> MatchRun:
+        """Run the full pipeline, writing confidences into *matrix*.
+
+        When *matrix* already holds user decisions (accepted/rejected
+        cells), they are (a) left untouched, (b) excluded from flooding
+        adjustments, and (c) used as feedback to reweight the voters and
+        the bag-of-words vocabulary before scoring.
+        """
+        if matrix is None:
+            matrix = MappingMatrix.from_schemas(source, target)
+        context = MatchContext(source, target, thesaurus=self.thesaurus)
+
+        decisions = decisions_from_matrix(matrix.cells())
+        fresh_decisions = {
+            pair: value for pair, value in decisions.items()
+            if pair not in self._consumed_decisions
+        }
+        if fresh_decisions and self._last_votes:
+            update_merger_weights(
+                self.merger, self._last_votes, fresh_decisions,
+                learning_rate=self.config.learning_rate,
+            )
+        if fresh_decisions and self.config.learn_word_weights:
+            update_word_weights(context.corpus, context, fresh_decisions)
+        self._consumed_decisions.update(fresh_decisions)
+
+        for voter in self.voters:
+            voter.prepare(context)
+
+        votes: List[VoterScore] = []
+        for source_el, target_el in context.candidate_pairs():
+            for voter in self.voters:
+                score = voter.score(source_el, target_el, context)
+                if score != 0.0:
+                    votes.append(
+                        VoterScore(
+                            voter=voter.name,
+                            source_id=source_el.element_id,
+                            target_id=target_el.element_id,
+                            score=score,
+                        )
+                    )
+
+        merged = self.merger.merge(votes)
+        pre_flooding: Dict[Pair, float] = {
+            (m.source_id, m.target_id): m.confidence for m in merged
+        }
+        post_flooding = self._flood(source, target, pre_flooding, decisions)
+
+        for (source_id, target_id), confidence in post_flooding.items():
+            if source_id not in source or target_id not in target:
+                continue  # flooding can surface pairs outside the matrix axes
+            if source_id not in matrix.row_ids or target_id not in matrix.column_ids:
+                continue
+            matrix.set_confidence(source_id, target_id, confidence)
+
+        self._last_votes = votes
+        self._last_context = context
+        return MatchRun(
+            context=context,
+            votes=votes,
+            merged=merged,
+            pre_flooding=pre_flooding,
+            post_flooding=post_flooding,
+            matrix=matrix,
+        )
+
+    # -- flooding dispatch ---------------------------------------------------------
+
+    def _flood(
+        self,
+        source: SchemaGraph,
+        target: SchemaGraph,
+        scores: Dict[Pair, float],
+        decisions: Mapping[Pair, bool],
+    ) -> Dict[Pair, float]:
+        mode = self.config.flooding
+        pinned = set(decisions)
+        if mode == FLOODING_OFF or not scores:
+            return dict(scores)
+        if mode == FLOODING_DIRECTIONAL:
+            return directional_flooding(
+                source, target, scores, config=self.config.directional, pinned=pinned
+            )
+        if mode == FLOODING_CLASSIC:
+            positive = {pair: max(0.0, value) for pair, value in scores.items()}
+            flooded = classic_flooding(source, target, positive, config=self.config.classic)
+            blend = self.config.classic_blend
+            out: Dict[Pair, float] = {}
+            for pair, original in scores.items():
+                if pair in pinned:
+                    out[pair] = original
+                    continue
+                structural = flooded.get(pair, 0.0) * 2.0 - 1.0  # [0,1] → [-1,1]
+                mixed = (1.0 - blend) * original + blend * structural
+                out[pair] = max(-0.99, min(0.99, mixed))
+            return out
+        raise ValueError(f"unknown flooding mode {mode!r}")
+
+    def voter_names(self) -> List[str]:
+        return [voter.name for voter in self.voters]

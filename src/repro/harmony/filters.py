@@ -1,0 +1,179 @@
+"""Link and node filters (Section 4.2).
+
+*"A link filter is a predicate that is evaluated against each candidate
+correspondence to determine if it should be displayed.  A node filter
+determines if a given schema element should be enabled.  An enabled
+element is displayed along with its links; a disabled element is grayed
+out and its links are not displayed."*
+
+Harmony's three link filters — the confidence slider, the human/machine
+origin filter and the maximal-confidence filter — and its two node
+filters — depth and sub-tree — are all here, plus the composition logic
+(*"By combining these filters, the engineer can restrict her attention to
+the entities in a given sub-schema"*).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set
+
+from ..core.correspondence import Correspondence
+from ..core.elements import SchemaElement
+from ..core.graph import SchemaGraph
+
+
+class LinkFilter(ABC):
+    """A predicate over candidate correspondences."""
+
+    @abstractmethod
+    def admits(self, link: Correspondence) -> bool:
+        """Should this link be displayed?"""
+
+    def apply(self, links: Iterable[Correspondence]) -> List[Correspondence]:
+        return [link for link in links if self.admits(link)]
+
+
+@dataclass
+class ConfidenceFilter(LinkFilter):
+    """The confidence slider: *"Only links that exceed some threshold are
+    displayed."*  User-drawn/accepted links sit at +1 and always pass any
+    slider position; rejected links sit at −1 and never do.
+    """
+
+    threshold: float = 0.0
+
+    def admits(self, link: Correspondence) -> bool:
+        return link.confidence > self.threshold
+
+
+@dataclass
+class OriginFilter(LinkFilter):
+    """Display links by origin: human-generated, machine-suggested, or both."""
+
+    show_human: bool = True
+    show_machine: bool = True
+
+    def admits(self, link: Correspondence) -> bool:
+        if link.is_user_defined:
+            return self.show_human
+        return self.show_machine
+
+
+class MaxConfidenceFilter(LinkFilter):
+    """*"displays, for each schema element, those links with maximal
+    confidence (usually a single link, but ties are possible)"*.
+
+    Stateful: it must see the whole link population before judging one
+    link, so ``apply`` computes the per-element maxima and ``admits``
+    consults them.
+    """
+
+    def __init__(self, per: str = "source") -> None:
+        if per not in ("source", "target"):
+            raise ValueError("per must be 'source' or 'target'")
+        self.per = per
+        self._maxima: Dict[str, float] = {}
+
+    def fit(self, links: Iterable[Correspondence]) -> "MaxConfidenceFilter":
+        self._maxima = {}
+        for link in links:
+            key = link.source_id if self.per == "source" else link.target_id
+            if key not in self._maxima or link.confidence > self._maxima[key]:
+                self._maxima[key] = link.confidence
+        return self
+
+    def admits(self, link: Correspondence) -> bool:
+        key = link.source_id if self.per == "source" else link.target_id
+        return key in self._maxima and link.confidence == self._maxima[key]
+
+    def apply(self, links: Iterable[Correspondence]) -> List[Correspondence]:
+        links = list(links)
+        self.fit(links)
+        return [link for link in links if self.admits(link)]
+
+
+class NodeFilter(ABC):
+    """A predicate over schema elements: enabled or grayed out."""
+
+    @abstractmethod
+    def enabled(self, graph: SchemaGraph, element: SchemaElement) -> bool:
+        """Is this element enabled under the filter?"""
+
+    def enabled_ids(self, graph: SchemaGraph) -> Set[str]:
+        return {
+            element.element_id
+            for element in graph
+            if self.enabled(graph, element)
+        }
+
+
+@dataclass
+class DepthFilter(NodeFilter):
+    """*"enables only those schema elements that appear at a given depth or
+    above.  For example, in an ER model, entities appear at level 1, while
+    attributes are at level 2."*"""
+
+    max_depth: int = 1
+
+    def enabled(self, graph: SchemaGraph, element: SchemaElement) -> bool:
+        return graph.depth(element.element_id) <= self.max_depth
+
+
+class SubtreeFilter(NodeFilter):
+    """*"enables only those elements that appear in the indicated sub-tree"*
+    — e.g. focus on the 'Facility' sub-schema."""
+
+    def __init__(self, graph: SchemaGraph, root_id: str) -> None:
+        self.root_id = root_id
+        self._members = {e.element_id for e in graph.subtree(root_id)}
+
+    def enabled(self, graph: SchemaGraph, element: SchemaElement) -> bool:
+        return element.element_id in self._members
+
+
+class FilterSet:
+    """A composition of link filters and per-schema node filters.
+
+    A link is visible iff every link filter admits it AND both of its
+    endpoints are enabled by every applicable node filter.
+    """
+
+    def __init__(
+        self,
+        link_filters: Sequence[LinkFilter] = (),
+        source_filters: Sequence[NodeFilter] = (),
+        target_filters: Sequence[NodeFilter] = (),
+    ) -> None:
+        self.link_filters = list(link_filters)
+        self.source_filters = list(source_filters)
+        self.target_filters = list(target_filters)
+
+    def visible_links(
+        self,
+        links: Iterable[Correspondence],
+        source: SchemaGraph,
+        target: SchemaGraph,
+    ) -> List[Correspondence]:
+        remaining = list(links)
+        # node filters first: MaxConfidenceFilter then ranks only what the
+        # engineer can actually see
+        if self.source_filters or self.target_filters:
+            enabled_source = self._enabled(source, self.source_filters)
+            enabled_target = self._enabled(target, self.target_filters)
+            remaining = [
+                link
+                for link in remaining
+                if link.source_id in enabled_source and link.target_id in enabled_target
+            ]
+        for flt in self.link_filters:
+            remaining = flt.apply(remaining)
+        return remaining
+
+    @staticmethod
+    def _enabled(graph: SchemaGraph, filters: Sequence[NodeFilter]) -> Set[str]:
+        enabled = {element.element_id for element in graph}
+        for flt in filters:
+            enabled &= flt.enabled_ids(graph)
+        return enabled

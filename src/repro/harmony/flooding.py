@@ -1,0 +1,211 @@
+"""Similarity flooding: classic (Melnik et al., ICDE 2002) and Harmony's
+directional variant.
+
+Section 4: *"A version of similarity flooding adjusts the confidence
+scores based on structural information.  Positive confidence scores
+propagate up the schema graph (e.g., from attributes to entities), and
+negative confidence scores trickle down the schema graph.  Intuitively,
+two attributes are unlikely to match if their parent entities do not
+match."*
+
+Two algorithms live here:
+
+* :func:`classic_flooding` — the original fixpoint computation over the
+  pairwise connectivity graph, on [0,1] similarities.  Used standalone by
+  the SF-only baseline and available to the engine (bench A2 compares it
+  against the directional variant).
+* :func:`directional_flooding` — Harmony's asymmetric propagation over
+  the containment hierarchy, on [-1,+1] confidences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.correspondence import clamp_confidence
+from ..core.elements import ElementKind
+from ..core.graph import CONTAINMENT_LABELS, SchemaGraph
+
+Pair = Tuple[str, str]
+
+
+# -- classic similarity flooding ------------------------------------------------
+
+@dataclass
+class FloodingConfig:
+    """Fixpoint parameters for classic similarity flooding."""
+
+    max_iterations: int = 50
+    epsilon: float = 1e-4
+
+
+def _pcg_edges(source: SchemaGraph, target: SchemaGraph) -> Dict[Pair, List[Pair]]:
+    """The pairwise connectivity graph.
+
+    PCG node (a, b) has an l-labeled edge to (a', b') whenever
+    ``a --l--> a'`` in the source and ``b --l--> b'`` in the target.
+    Returns, for every PCG node, its *neighbors with propagation
+    coefficients folded in* — i.e. each out-edge already carries weight
+    1/fanout(label) per Melnik's inverse-average scheme, and edges are
+    symmetrized (flooding runs on the induced undirected graph).
+    """
+    out_by_label: Dict[Pair, Dict[str, List[Pair]]] = {}
+    for edge_s in source.edges:
+        for edge_t in target.edges:
+            if edge_s.label != edge_t.label:
+                continue
+            node = (edge_s.subject, edge_t.subject)
+            successor = (edge_s.object, edge_t.object)
+            out_by_label.setdefault(node, {}).setdefault(edge_s.label, []).append(successor)
+
+    weighted: Dict[Pair, List[Tuple[Pair, float]]] = {}
+    for node, by_label in out_by_label.items():
+        for label, successors in by_label.items():
+            weight = 1.0 / len(successors)
+            for successor in successors:
+                weighted.setdefault(node, []).append((successor, weight))
+                # reverse edge, coefficient computed from reverse fanout below
+
+    # reverse edges need their own fanout normalization
+    in_by_label: Dict[Pair, Dict[str, List[Pair]]] = {}
+    for node, by_label in out_by_label.items():
+        for label, successors in by_label.items():
+            for successor in successors:
+                in_by_label.setdefault(successor, {}).setdefault(label, []).append(node)
+    for node, by_label in in_by_label.items():
+        for label, predecessors in by_label.items():
+            weight = 1.0 / len(predecessors)
+            for predecessor in predecessors:
+                weighted.setdefault(node, []).append((predecessor, weight))
+
+    # collapse to plain adjacency with summed weights
+    adjacency: Dict[Pair, List[Tuple[Pair, float]]] = {}
+    for node, entries in weighted.items():
+        summed: Dict[Pair, float] = {}
+        for neighbor, weight in entries:
+            summed[neighbor] = summed.get(neighbor, 0.0) + weight
+        adjacency[node] = sorted(summed.items())
+    return adjacency
+
+
+def classic_flooding(
+    source: SchemaGraph,
+    target: SchemaGraph,
+    initial: Mapping[Pair, float],
+    config: Optional[FloodingConfig] = None,
+) -> Dict[Pair, float]:
+    """Melnik's basic fixpoint: σ⁺ = normalize(σ⁰ + σ + φ(σ)).
+
+    *initial* maps (source element id, target element id) → similarity in
+    [0, 1].  The result is normalized so the best pair scores 1.0.
+    """
+    config = config or FloodingConfig()
+    adjacency = _pcg_edges(source, target)
+    nodes = set(initial) | set(adjacency)
+    for neighbors in adjacency.values():
+        nodes.update(n for n, _ in neighbors)
+
+    sigma0 = {node: max(0.0, float(initial.get(node, 0.0))) for node in nodes}
+    sigma = dict(sigma0)
+    for _ in range(config.max_iterations):
+        incoming: Dict[Pair, float] = {node: 0.0 for node in nodes}
+        for node, neighbors in adjacency.items():
+            value = sigma[node]
+            if value == 0.0:
+                continue
+            for neighbor, weight in neighbors:
+                incoming[neighbor] += value * weight
+        updated = {
+            node: sigma0[node] + sigma[node] + incoming[node] for node in nodes
+        }
+        peak = max(updated.values(), default=0.0)
+        if peak > 0.0:
+            updated = {node: value / peak for node, value in updated.items()}
+        residual = max(
+            (abs(updated[node] - sigma[node]) for node in nodes), default=0.0
+        )
+        sigma = updated
+        if residual < config.epsilon:
+            break
+    return sigma
+
+
+# -- Harmony's directional variant ------------------------------------------------
+
+@dataclass
+class DirectionalConfig:
+    """Parameters for the directional (up/down) propagation."""
+
+    #: weight of positive child evidence flowing to the parent pair
+    up_rate: float = 0.3
+    #: weight of negative parent evidence flowing to child pairs
+    down_rate: float = 0.4
+    iterations: int = 2
+
+
+def _containment_parent(graph: SchemaGraph, element_id: str) -> Optional[str]:
+    parent = graph.parent(element_id)
+    return parent.element_id if parent is not None else None
+
+
+def directional_flooding(
+    source: SchemaGraph,
+    target: SchemaGraph,
+    scores: Mapping[Pair, float],
+    config: Optional[DirectionalConfig] = None,
+    pinned: Optional[set] = None,
+) -> Dict[Pair, float]:
+    """Harmony's structural adjustment on [-1, +1] confidences.
+
+    Up: a parent pair absorbs the average of its children pairs' *positive*
+    scores.  Down: a child pair absorbs its parent pair's *negative* score.
+    Pairs in *pinned* (user-decided links, Section 4.3) are never modified.
+    """
+    config = config or DirectionalConfig()
+    pinned = pinned or set()
+    adjusted: Dict[Pair, float] = {
+        pair: clamp_confidence(value) for pair, value in scores.items()
+    }
+
+    # child-pair lists per parent pair, derived from containment
+    children_of: Dict[Pair, List[Pair]] = {}
+    parent_of: Dict[Pair, Pair] = {}
+    for (s_id, t_id) in adjusted:
+        parent_s = _containment_parent(source, s_id) if s_id in source else None
+        parent_t = _containment_parent(target, t_id) if t_id in target else None
+        if parent_s is None or parent_t is None:
+            continue
+        parent_pair = (parent_s, parent_t)
+        if parent_pair in adjusted:
+            children_of.setdefault(parent_pair, []).append((s_id, t_id))
+            parent_of[(s_id, t_id)] = parent_pair
+
+    for _ in range(config.iterations):
+        updated = dict(adjusted)
+        # positive evidence propagates up
+        for parent_pair, child_pairs in children_of.items():
+            if parent_pair in pinned:
+                continue
+            positives = [adjusted[c] for c in child_pairs if adjusted[c] > 0.0]
+            if positives:
+                boost = config.up_rate * (sum(positives) / len(positives))
+                updated[parent_pair] = clamp_confidence(
+                    min(0.99, adjusted[parent_pair] + boost)
+                )
+        # negative evidence trickles down
+        for child_pair, parent_pair in parent_of.items():
+            if child_pair in pinned:
+                continue
+            parent_score = adjusted[parent_pair]
+            if parent_score < 0.0:
+                updated[child_pair] = clamp_confidence(
+                    max(-0.99, updated[child_pair] + config.down_rate * parent_score)
+                )
+        adjusted = updated
+    return adjusted
+
+
+def flooded_ranking(result: Mapping[Pair, float], top: int = 10) -> List[Tuple[Pair, float]]:
+    """The highest-scoring pairs after flooding (diagnostics/benches)."""
+    return sorted(result.items(), key=lambda kv: -kv[1])[:top]

@@ -1,0 +1,150 @@
+"""Headless view-model of the Harmony GUI.
+
+The real Harmony shows *"confidence scores ... graphically as color-coded
+lines connecting source and target elements"* (Section 4) with filters and
+a progress bar.  This module computes exactly what that GUI would render —
+which elements are enabled, which lines are visible, what color each line
+gets, where the progress bar sits — as plain data, so the display logic is
+testable and the case-study bench can show it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.correspondence import Correspondence
+from ..core.graph import SchemaGraph
+from .filters import FilterSet
+from .session import MatchSession
+
+#: Line colors by confidence band (as a typical Harmony screenshot codes them).
+COLOR_ACCEPTED = "green"
+COLOR_REJECTED = "red"
+COLOR_STRONG = "dark-blue"
+COLOR_MEDIUM = "blue"
+COLOR_WEAK = "light-blue"
+
+
+def line_color(link: Correspondence) -> str:
+    """Color-code one line the way the GUI would."""
+    if link.is_accepted:
+        return COLOR_ACCEPTED
+    if link.is_rejected:
+        return COLOR_REJECTED
+    if link.confidence >= 0.7:
+        return COLOR_STRONG
+    if link.confidence >= 0.35:
+        return COLOR_MEDIUM
+    return COLOR_WEAK
+
+
+@dataclass
+class LineView:
+    """One rendered line between a source and a target element."""
+
+    source_id: str
+    target_id: str
+    confidence: float
+    color: str
+    user_defined: bool
+
+
+@dataclass
+class TreeNodeView:
+    """One rendered schema-tree node."""
+
+    element_id: str
+    name: str
+    depth: int
+    enabled: bool
+    complete: bool
+
+
+@dataclass
+class GuiState:
+    """A full frame of the GUI: two trees, the lines, the progress bar."""
+
+    source_tree: List[TreeNodeView] = field(default_factory=list)
+    target_tree: List[TreeNodeView] = field(default_factory=list)
+    lines: List[LineView] = field(default_factory=list)
+    progress: float = 0.0
+
+    def visible_line_count(self) -> int:
+        return len(self.lines)
+
+    def to_text(self) -> str:
+        """ASCII rendering (used by the case-study bench)."""
+        out = [f"progress: {self.progress:.0%}"]
+        out.append("source tree:")
+        for node in self.source_tree:
+            marker = "" if node.enabled else " (disabled)"
+            done = " [complete]" if node.complete else ""
+            out.append(f"{'  ' * (node.depth + 1)}{node.name}{marker}{done}")
+        out.append("target tree:")
+        for node in self.target_tree:
+            marker = "" if node.enabled else " (disabled)"
+            done = " [complete]" if node.complete else ""
+            out.append(f"{'  ' * (node.depth + 1)}{node.name}{marker}{done}")
+        out.append("lines:")
+        for line in self.lines:
+            origin = "user" if line.user_defined else "engine"
+            out.append(
+                f"  {line.source_id} ── {line.target_id}"
+                f"  [{line.color}, {line.confidence:+.2f}, {origin}]"
+            )
+        return "\n".join(out)
+
+
+def render(
+    session: MatchSession,
+    filters: Optional[FilterSet] = None,
+) -> GuiState:
+    """Compute the current GUI frame for a session."""
+    filters = filters or FilterSet()
+    visible = filters.visible_links(
+        list(session.matrix.cells()), session.source, session.target
+    )
+    enabled_source = FilterSet._enabled(session.source, filters.source_filters)
+    enabled_target = FilterSet._enabled(session.target, filters.target_filters)
+
+    state = GuiState(progress=session.progress())
+    state.source_tree = _tree(session.source, enabled_source, session, side="source")
+    state.target_tree = _tree(session.target, enabled_target, session, side="target")
+    for link in sorted(visible, key=lambda c: (-c.confidence, c.source_id, c.target_id)):
+        state.lines.append(
+            LineView(
+                source_id=link.source_id,
+                target_id=link.target_id,
+                confidence=link.confidence,
+                color=line_color(link),
+                user_defined=link.is_user_defined,
+            )
+        )
+    return state
+
+
+def _tree(graph: SchemaGraph, enabled: set, session: MatchSession, side: str) -> List[TreeNodeView]:
+    axis_ids = set(
+        session.matrix.row_ids if side == "source" else session.matrix.column_ids
+    )
+    nodes: List[TreeNodeView] = []
+    for element, depth in graph.walk():
+        complete = False
+        if element.element_id in axis_ids:
+            header = (
+                session.matrix.row(element.element_id)
+                if side == "source"
+                else session.matrix.column(element.element_id)
+            )
+            complete = header.is_complete
+        nodes.append(
+            TreeNodeView(
+                element_id=element.element_id,
+                name=element.name,
+                depth=depth,
+                enabled=element.element_id in enabled,
+                complete=complete,
+            )
+        )
+    return nodes

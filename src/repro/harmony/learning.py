@@ -1,0 +1,113 @@
+"""Learning from user feedback (Section 4.3).
+
+*"When the Harmony engine is invoked after some correspondences have been
+explicitly accepted or rejected ... this information is passed to the
+engine and used in two ways.  First, each candidate matcher can learn from
+the user's choices and refine any internal parameters.  For example, a
+bag-of-words matcher that weights each word based on inverted frequency
+increases or decreases word weight based on which words were most
+predictive.  Second, the vote merger weights the candidate matchers based
+on their performance so far."*
+
+The paper also warns: *"Learning new weights must be done carefully ...
+If the engineer based her first pass on exactly that form of evidence, the
+corresponding candidate matcher will appear overly successful."*  We damp
+updates accordingly (bounded multiplicative steps, weight clamping in the
+merger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..core.correspondence import Correspondence, VoterScore
+from ..text.tfidf import TfIdfCorpus
+from .merger import VoteMerger
+from .voters.base import MatchContext
+
+
+@dataclass
+class FeedbackStats:
+    """Per-voter agreement bookkeeping for one learning round."""
+
+    agreements: Dict[str, float] = field(default_factory=dict)
+    opportunities: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, voter: str, agreement: float) -> None:
+        self.agreements[voter] = self.agreements.get(voter, 0.0) + agreement
+        self.opportunities[voter] = self.opportunities.get(voter, 0) + 1
+
+    def mean_agreement(self, voter: str) -> float:
+        n = self.opportunities.get(voter, 0)
+        if n == 0:
+            return 0.0
+        return self.agreements[voter] / n
+
+
+def update_merger_weights(
+    merger: VoteMerger,
+    votes: Iterable[VoterScore],
+    decisions: Mapping[Tuple[str, str], bool],
+    learning_rate: float = 0.25,
+) -> FeedbackStats:
+    """Reweight voters by how well their votes agreed with user decisions.
+
+    *decisions* maps (source_id, target_id) → True (accepted) / False
+    (rejected).  Agreement of a vote with truth t ∈ {+1, −1} is
+    ``score · t`` — in [−1, +1].  Each voter's weight is scaled by
+    ``1 + learning_rate · mean_agreement`` (a bounded multiplicative
+    step; the merger clamps the result).
+
+    Abstentions (score 0) are counted as opportunities with zero
+    agreement: a voter that never speaks on decided pairs drifts slowly
+    toward neutral weight rather than being rewarded for silence.
+    """
+    stats = FeedbackStats()
+    for vote in votes:
+        pair = (vote.source_id, vote.target_id)
+        if pair not in decisions:
+            continue
+        truth = 1.0 if decisions[pair] else -1.0
+        stats.record(vote.voter, vote.score * truth)
+    for voter in stats.opportunities:
+        factor = 1.0 + learning_rate * stats.mean_agreement(voter)
+        merger.scale_weight(voter, factor)
+    return stats
+
+
+def update_word_weights(
+    corpus: TfIdfCorpus,
+    context: MatchContext,
+    decisions: Mapping[Tuple[str, str], bool],
+    step: float = 1.15,
+) -> Dict[str, float]:
+    """The bag-of-words refinement: words shared by *accepted* pairs were
+    predictive (weight × step); words shared only by *rejected* pairs were
+    misleading (weight ÷ step).  Returns the factors applied per word.
+    """
+    factors: Dict[str, float] = {}
+    for (source_id, target_id), accepted in decisions.items():
+        source_el = context.source.get(source_id)
+        target_el = context.target.get(target_id)
+        if source_el is None or target_el is None:
+            continue
+        doc_a = context.doc_id(context.source, source_el)
+        doc_b = context.doc_id(context.target, target_el)
+        for term in corpus.shared_terms(doc_a, doc_b):
+            factor = step if accepted else 1.0 / step
+            factors[term] = factors.get(term, 1.0) * factor
+    for term, factor in factors.items():
+        corpus.adjust_weight(term, factor)
+    return factors
+
+
+def decisions_from_matrix(cells: Iterable[Correspondence]) -> Dict[Tuple[str, str], bool]:
+    """Extract the user's accept/reject decisions from matrix cells."""
+    decisions: Dict[Tuple[str, str], bool] = {}
+    for cell in cells:
+        if cell.is_accepted:
+            decisions[cell.pair] = True
+        elif cell.is_rejected:
+            decisions[cell.pair] = False
+    return decisions

@@ -1,0 +1,95 @@
+"""The vote merger (Section 4).
+
+*"Given k match voters, the vote merger combines the k values for each
+pair into a single confidence score.  The vote merger weights each
+matcher's confidence based on its magnitude — a score close to 0 indicates
+that the match voter did not see enough evidence to make a strong
+prediction.  The vote merger also weights each matcher in toto based on
+past performance."*
+
+Merged score for a pair, given voter scores :math:`s_v` and per-voter
+performance weights :math:`w_v`::
+
+    merged = Σ_v  w_v · |s_v| · s_v   /   Σ_v  w_v · |s_v|
+
+i.e. a weighted mean where each voter's weight is its performance weight
+times the magnitude of its own vote.  Voters that abstain (s=0) get no
+say; confident voters dominate uncertain ones; historically unreliable
+voters are discounted across the board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..core.correspondence import VoterScore, clamp_confidence
+
+#: Performance weights are clamped to this range so one bad feedback round
+#: can never silence a voter permanently.
+MIN_WEIGHT = 0.05
+MAX_WEIGHT = 4.0
+
+
+@dataclass
+class MergeResult:
+    """The merged confidence for one pair, with its provenance."""
+
+    source_id: str
+    target_id: str
+    confidence: float
+    votes: List[VoterScore] = field(default_factory=list)
+
+    def vote_of(self, voter_name: str) -> Optional[VoterScore]:
+        for vote in self.votes:
+            if vote.voter == voter_name:
+                return vote
+        return None
+
+
+class VoteMerger:
+    """Magnitude- and performance-weighted vote combination."""
+
+    def __init__(self, weights: Optional[Mapping[str, float]] = None) -> None:
+        self.weights: Dict[str, float] = dict(weights or {})
+
+    def weight_of(self, voter_name: str) -> float:
+        return self.weights.get(voter_name, 1.0)
+
+    def set_weight(self, voter_name: str, weight: float) -> None:
+        self.weights[voter_name] = max(MIN_WEIGHT, min(MAX_WEIGHT, weight))
+
+    def scale_weight(self, voter_name: str, factor: float) -> None:
+        self.set_weight(voter_name, self.weight_of(voter_name) * factor)
+
+    def merge_pair(self, votes: Iterable[VoterScore]) -> float:
+        """Merge one pair's votes into a single confidence."""
+        numerator = 0.0
+        denominator = 0.0
+        for vote in votes:
+            effective = self.weight_of(vote.voter) * vote.magnitude
+            numerator += effective * vote.score
+            denominator += effective
+        if denominator == 0.0:
+            return 0.0
+        merged = numerator / denominator
+        # The merged score is machine-generated, so it must stay strictly
+        # inside (-1, +1): ±1 is reserved for user decisions (Section 5.1.2).
+        return clamp_confidence(max(-0.99, min(0.99, merged)))
+
+    def merge(self, votes: Iterable[VoterScore]) -> List[MergeResult]:
+        """Group votes by pair and merge each group."""
+        grouped: Dict[tuple, List[VoterScore]] = {}
+        for vote in votes:
+            grouped.setdefault((vote.source_id, vote.target_id), []).append(vote)
+        results = []
+        for (source_id, target_id), pair_votes in grouped.items():
+            results.append(
+                MergeResult(
+                    source_id=source_id,
+                    target_id=target_id,
+                    confidence=self.merge_pair(pair_votes),
+                    votes=pair_votes,
+                )
+            )
+        return results

@@ -1,0 +1,373 @@
+"""Multi-source matching and target-schema derivation.
+
+Section 3.2: *"As noted in [8], in the absence of a target schema,
+correspondences can also be established between pairs of (or across sets
+of) source schemata."*  And task 2's optional case / task 9's fallback:
+*"the target schema may be derived from the correspondences identified
+among the source schemata"* / *"If a target schema was not specified, the
+final step is to generate the target schema based on the logical
+mappings."*
+
+Pipeline:
+
+1. :func:`match_all_pairs` — run a matcher over every source pair;
+2. :func:`cluster_elements` — union-find over the strong links, yielding
+   clusters of elements that denote the same concept (kind-family
+   respected: containers cluster with containers, attributes with
+   attributes, domains with domains);
+3. :func:`derive_target_schema` — synthesize a unified schema: one entity
+   per container cluster, its attributes from the attribute clusters whose
+   members live under the cluster's members, merged documentation, merged
+   coding schemes — plus per-source mapping matrices with the derived
+   correspondences pre-accepted, ready for the mapping phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..baselines.base import Matcher
+from ..core.correspondence import Correspondence
+from ..core.elements import CONTAINER_KINDS, ElementKind, SchemaElement
+from ..core.errors import SchemaError
+from ..core.graph import HAS_DOMAIN, SchemaGraph
+from ..core.matrix import MappingMatrix
+from ..text.tokenize import split_identifier
+
+#: A schema-qualified element reference.
+Ref = Tuple[str, str]  # (schema name, element id)
+
+
+@dataclass
+class MultiSourceResult:
+    """Everything multi-source integration produces."""
+
+    #: pairwise matrices, keyed by (source schema, target schema) names
+    matrices: Dict[Tuple[str, str], MappingMatrix] = field(default_factory=dict)
+    #: concept clusters over schema-qualified element refs
+    clusters: List[List[Ref]] = field(default_factory=list)
+    #: the derived unified schema (None until derive_target_schema ran)
+    target: Optional[SchemaGraph] = None
+    #: per-source matrices against the derived target, links pre-accepted
+    source_to_target: Dict[str, MappingMatrix] = field(default_factory=dict)
+
+    def cluster_of(self, schema_name: str, element_id: str) -> Optional[List[Ref]]:
+        for cluster in self.clusters:
+            if (schema_name, element_id) in cluster:
+                return cluster
+        return None
+
+
+def match_all_pairs(
+    schemas: Sequence[SchemaGraph],
+    matcher: Optional[Matcher] = None,
+) -> Dict[Tuple[str, str], MappingMatrix]:
+    """Match every unordered pair of source schemas (first-listed is the
+    row side)."""
+    if matcher is None:
+        from .engine import HarmonyEngine
+        from ..baselines.base import HarmonyMatcher
+
+        matcher = HarmonyMatcher(HarmonyEngine())
+    matrices: Dict[Tuple[str, str], MappingMatrix] = {}
+    for i in range(len(schemas)):
+        for j in range(i + 1, len(schemas)):
+            source, target = schemas[i], schemas[j]
+            matrices[(source.name, target.name)] = matcher.match(source, target)
+    return matrices
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Ref, Ref] = {}
+
+    def find(self, ref: Ref) -> Ref:
+        self._parent.setdefault(ref, ref)
+        root = ref
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[ref] != root:  # path compression
+            self._parent[ref], ref = root, self._parent[ref]
+        return root
+
+    def union(self, a: Ref, b: Ref) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[max(ra, rb)] = min(ra, rb)
+
+    def members(self) -> Dict[Ref, List[Ref]]:
+        groups: Dict[Ref, List[Ref]] = {}
+        for ref in self._parent:
+            groups.setdefault(self.find(ref), []).append(ref)
+        return groups
+
+
+def _kind_family(kind: ElementKind) -> str:
+    if kind in CONTAINER_KINDS:
+        return "container"
+    return kind.value
+
+
+def cluster_elements(
+    schemas: Sequence[SchemaGraph],
+    matrices: Mapping[Tuple[str, str], MappingMatrix],
+    threshold: float = 0.5,
+    mutual_best: bool = True,
+) -> List[List[Ref]]:
+    """Union strong cross-schema links into concept clusters.
+
+    With *mutual_best* (the default) a link only unions its endpoints when
+    each is the other's top match within that schema pair — union-find is
+    transitive, and without this guard one second-best link chains whole
+    concepts together.  Every element of every schema appears in exactly
+    one cluster (singletons included), so the derived schema loses
+    nothing.  DOMAIN_VALUE elements are not clustered directly: they
+    follow their coding scheme (derive_target_schema merges codes by
+    name within a domain cluster).
+    """
+    by_name = {graph.name: graph for graph in schemas}
+    uf = _UnionFind()
+    for graph in schemas:
+        for element in graph:
+            if element.element_id == graph.root.element_id:
+                continue
+            if element.kind in (ElementKind.KEY, ElementKind.DOMAIN_VALUE):
+                continue
+            uf.find((graph.name, element.element_id))
+    for (source_name, target_name), matrix in matrices.items():
+        source = by_name.get(source_name)
+        target = by_name.get(target_name)
+        if source is None or target is None:
+            raise SchemaError(
+                f"matrix {matrix.name!r} references unknown schema "
+                f"{source_name!r}/{target_name!r}"
+            )
+        candidates: List[Correspondence] = []
+        for cell in matrix.cells():
+            if cell.confidence < threshold:
+                continue
+            source_el = source.get(cell.source_id)
+            target_el = target.get(cell.target_id)
+            if source_el is None or target_el is None:
+                continue
+            if source_el.kind is ElementKind.DOMAIN_VALUE:
+                continue
+            if _kind_family(source_el.kind) != _kind_family(target_el.kind):
+                continue
+            candidates.append(cell)
+        if mutual_best:
+            best_for_source: Dict[str, float] = {}
+            best_for_target: Dict[str, float] = {}
+            for cell in candidates:
+                best_for_source[cell.source_id] = max(
+                    best_for_source.get(cell.source_id, -2.0), cell.confidence)
+                best_for_target[cell.target_id] = max(
+                    best_for_target.get(cell.target_id, -2.0), cell.confidence)
+            candidates = [
+                cell for cell in candidates
+                if cell.confidence == best_for_source[cell.source_id]
+                and cell.confidence == best_for_target[cell.target_id]
+            ]
+        for cell in candidates:
+            uf.union((source_name, cell.source_id), (target_name, cell.target_id))
+    clusters = sorted(
+        (sorted(group) for group in uf.members().values()),
+        key=lambda c: c[0],
+    )
+    return [list(cluster) for cluster in clusters]
+
+
+def _representative_name(members: Sequence[SchemaElement]) -> str:
+    """Most frequent name (ties: most tokens, then lexicographic) — the
+    name users of the unified schema will most likely recognize."""
+    counts: Dict[str, int] = {}
+    for element in members:
+        counts[element.name] = counts.get(element.name, 0) + 1
+    return max(
+        counts,
+        key=lambda name: (counts[name], len(split_identifier(name)), name),
+    )
+
+
+def _merged_documentation(members: Sequence[SchemaElement]) -> str:
+    """Longest documentation wins; others usually paraphrase it."""
+    docs = sorted(
+        {e.documentation.strip() for e in members if e.has_documentation},
+        key=len, reverse=True,
+    )
+    return docs[0] if docs else ""
+
+
+def _merged_datatype(members: Sequence[SchemaElement]) -> Optional[str]:
+    types = [e.datatype for e in members if e.datatype]
+    if not types:
+        return None
+    # most common; ties resolved toward 'string' (the safe supertype)
+    counts: Dict[str, int] = {}
+    for datatype in types:
+        counts[datatype] = counts.get(datatype, 0) + 1
+    best = max(counts.values())
+    candidates = sorted(t for t, n in counts.items() if n == best)
+    return "string" if len(candidates) > 1 and "string" in candidates else candidates[0]
+
+
+def derive_target_schema(
+    schemas: Sequence[SchemaGraph],
+    clusters: Sequence[Sequence[Ref]],
+    name: str = "unified",
+) -> MultiSourceResult:
+    """Synthesize the unified schema and the source→target matrices.
+
+    Container clusters become entities; an attribute cluster attaches under
+    the entity whose cluster contains any member's containment parent;
+    domain clusters merge their value code sets.  Derived correspondences
+    arrive pre-accepted in per-source matrices (they *are* decisions — the
+    clusters came from them).
+    """
+    by_name = {graph.name: graph for graph in schemas}
+    result = MultiSourceResult(clusters=[list(c) for c in clusters])
+    target = SchemaGraph.create(name)
+
+    def elements_of(cluster: Sequence[Ref]) -> List[SchemaElement]:
+        return [by_name[s].element(e) for s, e in cluster]
+
+    # index: member ref -> its cluster id (position)
+    cluster_of_ref: Dict[Ref, int] = {}
+    for index, cluster in enumerate(clusters):
+        for ref in cluster:
+            cluster_of_ref[ref] = index
+
+    derived_id_of_cluster: Dict[int, str] = {}
+    used_names: Dict[str, int] = {}
+
+    def fresh_id(parent_id: str, base_name: str) -> str:
+        candidate = f"{parent_id}/{base_name}"
+        if candidate not in target:
+            return candidate
+        used_names[candidate] = used_names.get(candidate, 1) + 1
+        return f"{candidate}#{used_names[candidate]}"
+
+    # pass 1: container clusters -> entities under the root
+    container_clusters = [
+        (index, cluster) for index, cluster in enumerate(clusters)
+        if elements_of(cluster)[0].kind in CONTAINER_KINDS
+    ]
+    for index, cluster in container_clusters:
+        members = elements_of(cluster)
+        entity_name = _representative_name(members)
+        entity_id = fresh_id(name, entity_name)
+        target.add_child(
+            name,
+            SchemaElement(entity_id, entity_name, ElementKind.ENTITY,
+                          documentation=_merged_documentation(members)),
+            label="contains-element",
+        )
+        derived_id_of_cluster[index] = entity_id
+
+    # pass 2: domain clusters -> merged coding schemes under the root
+    domain_clusters = [
+        (index, cluster) for index, cluster in enumerate(clusters)
+        if elements_of(cluster)[0].kind is ElementKind.DOMAIN
+    ]
+    for index, cluster in domain_clusters:
+        members = elements_of(cluster)
+        domain_name = _representative_name(members)
+        domain_id = fresh_id(name, f"domain:{domain_name}").replace(
+            f"{name}/domain:", f"{name}/domain:")
+        if domain_id in target:
+            continue
+        target.add_child(
+            name,
+            SchemaElement(domain_id, domain_name, ElementKind.DOMAIN,
+                          datatype=_merged_datatype(members),
+                          documentation=_merged_documentation(members)),
+            label="contains-element",
+        )
+        derived_id_of_cluster[index] = domain_id
+        codes: Dict[str, str] = {}
+        for schema_name, element_id in cluster:
+            graph = by_name[schema_name]
+            for child in graph.children(element_id):
+                if child.kind is ElementKind.DOMAIN_VALUE:
+                    codes.setdefault(child.name, child.documentation)
+        for code in sorted(codes):
+            target.add_child(
+                domain_id,
+                SchemaElement(f"{domain_id}/{code}", code,
+                              ElementKind.DOMAIN_VALUE,
+                              documentation=codes[code]),
+            )
+
+    # pass 3: attribute clusters -> under the entity of their parents
+    attribute_clusters = [
+        (index, cluster) for index, cluster in enumerate(clusters)
+        if elements_of(cluster)[0].kind is ElementKind.ATTRIBUTE
+    ]
+    for index, cluster in attribute_clusters:
+        members = elements_of(cluster)
+        parent_entity_id: Optional[str] = None
+        linked_domain_id: Optional[str] = None
+        for schema_name, element_id in cluster:
+            graph = by_name[schema_name]
+            parent = graph.parent(element_id)
+            if parent is not None:
+                parent_cluster = cluster_of_ref.get((schema_name, parent.element_id))
+                if parent_cluster in derived_id_of_cluster:
+                    parent_entity_id = derived_id_of_cluster[parent_cluster]
+            domain = graph.domain_of(element_id)
+            if domain is not None:
+                domain_cluster = cluster_of_ref.get((schema_name, domain.element_id))
+                if domain_cluster in derived_id_of_cluster:
+                    linked_domain_id = derived_id_of_cluster[domain_cluster]
+        if parent_entity_id is None:
+            # parent never clustered into an entity: park under the root
+            parent_entity_id = name
+        attr_name = _representative_name(members)
+        attr_id = fresh_id(parent_entity_id, attr_name)
+        element = SchemaElement(
+            attr_id, attr_name, ElementKind.ATTRIBUTE,
+            datatype=_merged_datatype(members),
+            documentation=_merged_documentation(members),
+        )
+        if any(member.annotation("nullable") for member in members):
+            element.annotate("nullable", True)
+        target.add_child(
+            parent_entity_id, element,
+            label="contains-attribute" if parent_entity_id != name else "contains-element",
+        )
+        derived_id_of_cluster[index] = attr_id
+        if linked_domain_id is not None:
+            target.add_edge(attr_id, HAS_DOMAIN, linked_domain_id)
+
+    # domain values (and anything else) ride along implicitly; now the
+    # per-source matrices with the derived links pre-accepted
+    result.target = target
+    for graph in schemas:
+        matrix = MappingMatrix.from_schemas(graph, target)
+        for index, cluster in enumerate(clusters):
+            derived_id = derived_id_of_cluster.get(index)
+            if derived_id is None:
+                continue
+            for schema_name, element_id in cluster:
+                if schema_name == graph.name and element_id in matrix.row_ids:
+                    matrix.set_confidence(element_id, derived_id, 1.0,
+                                          user_defined=True)
+        result.source_to_target[graph.name] = matrix
+    return result
+
+
+def integrate_sources(
+    schemas: Sequence[SchemaGraph],
+    matcher: Optional[Matcher] = None,
+    threshold: float = 0.5,
+    name: str = "unified",
+    mutual_best: bool = True,
+) -> MultiSourceResult:
+    """The whole §3.2 no-target-schema pipeline in one call."""
+    matrices = match_all_pairs(schemas, matcher=matcher)
+    clusters = cluster_elements(schemas, matrices, threshold=threshold,
+                                mutual_best=mutual_best)
+    result = derive_target_schema(schemas, clusters, name=name)
+    result.matrices = dict(matrices)
+    return result

@@ -1,0 +1,173 @@
+"""Match-voter framework.
+
+Section 4: *"several match voters are invoked, each of which identifies
+correspondences using a different strategy...  For each [source element,
+target element] pair, each match voter establishes a confidence score in
+the range (-1, +1) where -1 indicates that there is definitely no
+correspondence, +1 indicates a definite correspondence and 0 indicates
+complete uncertainty."*
+
+Voters share a :class:`MatchContext` holding the two schema graphs, the
+linguistic resources (thesaurus, TF-IDF corpus over all documentation) and
+per-element token caches, so each voter stays small and stateless.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Tuple
+
+from ...core.elements import CONTAINER_KINDS, ElementKind, SchemaElement
+from ...core.graph import SchemaGraph
+from ...text.stemmer import stem_all
+from ...text.stopwords import remove_stop_words
+from ...text.tfidf import TfIdfCorpus
+from ...text.thesaurus import Thesaurus
+from ...text.tokenize import split_identifier, word_tokens
+
+
+class MatchContext:
+    """Shared state for one matching problem (one source/target pair).
+
+    The TF-IDF corpus is built over the union of both schemata's
+    documentation, so inverse-document-frequency reflects which words
+    discriminate *within this problem* — exactly the corpus the
+    bag-of-words voter needs.
+    """
+
+    def __init__(
+        self,
+        source: SchemaGraph,
+        target: SchemaGraph,
+        thesaurus: Optional[Thesaurus] = None,
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.thesaurus = thesaurus if thesaurus is not None else Thesaurus.default()
+        self.corpus = TfIdfCorpus()
+        self._name_tokens: Dict[Tuple[str, str], List[str]] = {}
+        for graph in (source, target):
+            for element in graph:
+                if element.documentation:
+                    self.corpus.add_document(
+                        self._doc_id(graph, element), element.documentation
+                    )
+
+    @staticmethod
+    def _doc_id(graph: SchemaGraph, element: SchemaElement) -> str:
+        return f"{graph.name}::{element.element_id}"
+
+    def doc_id(self, graph: SchemaGraph, element: SchemaElement) -> str:
+        return self._doc_id(graph, element)
+
+    def graph_of(self, element: SchemaElement) -> SchemaGraph:
+        """Which of the two graphs owns this element."""
+        if element.element_id in self.source and self.source.get(element.element_id) is element:
+            return self.source
+        if element.element_id in self.target and self.target.get(element.element_id) is element:
+            return self.target
+        # fall back to id membership (copies of elements)
+        if element.element_id in self.source:
+            return self.source
+        return self.target
+
+    def name_tokens(self, graph: SchemaGraph, element: SchemaElement) -> List[str]:
+        """Stemmed, stop-word-free, abbreviation-expanded name tokens."""
+        key = (graph.name, element.element_id)
+        if key not in self._name_tokens:
+            raw = split_identifier(element.name)
+            expanded: List[str] = []
+            for token in raw:
+                expansion = self.thesaurus.expand_abbreviation(token)
+                expanded.extend(split_identifier(expansion) or [expansion])
+            self._name_tokens[key] = stem_all(remove_stop_words(expanded)) or expanded
+        return self._name_tokens[key]
+
+    def candidate_pairs(self) -> List[Tuple[SchemaElement, SchemaElement]]:
+        """All (source, target) pairs worth scoring.
+
+        Roots are excluded and only kind-compatible pairs are generated:
+        containers match containers, attributes match attributes, domains
+        match domains.  This is the pruning every practical matcher applies
+        before scoring an n×m space.
+        """
+        pairs: List[Tuple[SchemaElement, SchemaElement]] = []
+        source_root = self.source.root.element_id
+        target_root = self.target.root.element_id
+        for s in self.source:
+            if s.element_id == source_root or s.kind is ElementKind.KEY:
+                continue
+            for t in self.target:
+                if t.element_id == target_root or t.kind is ElementKind.KEY:
+                    continue
+                if kinds_comparable(s.kind, t.kind):
+                    pairs.append((s, t))
+        return pairs
+
+
+def kinds_comparable(a: ElementKind, b: ElementKind) -> bool:
+    """Can elements of these kinds plausibly correspond?
+
+    Containers correspond to containers (a relational TABLE can match an
+    XML ELEMENT — Section 3.2's relational→XML example), attributes to
+    attributes, domains to domains, values to values.
+    """
+    if a is b:
+        return True
+    if a in CONTAINER_KINDS and b in CONTAINER_KINDS:
+        return True
+    return False
+
+
+def calibrate(
+    similarity: float,
+    zero_point: float = 0.35,
+    full_point: float = 0.95,
+    negative_floor: float = -0.5,
+) -> float:
+    """Map a [0,1] similarity into a (-1,+1) voter score.
+
+    Similarities at or above *full_point* become +1-ish certainty; at
+    *zero_point* the voter has no evidence (score 0); below it the score
+    descends linearly to *negative_floor* — weak negative evidence, never
+    a definite -1, because absence of lexical similarity alone should not
+    veto a correspondence.
+    """
+    similarity = max(0.0, min(1.0, similarity))
+    if similarity >= full_point:
+        return 1.0
+    if similarity >= zero_point:
+        return (similarity - zero_point) / (full_point - zero_point)
+    if zero_point == 0:
+        return 0.0
+    return (zero_point - similarity) / zero_point * negative_floor
+
+
+class MatchVoter(ABC):
+    """One matching strategy.
+
+    ``score`` returns a confidence in [-1, +1]; 0 means "no evidence" —
+    the merger then gives this voter no say on that pair.
+    """
+
+    #: Stable identifier used in merger weights and benchmark output.
+    name: str = "voter"
+
+    @abstractmethod
+    def score(
+        self,
+        source: SchemaElement,
+        target: SchemaElement,
+        context: MatchContext,
+    ) -> float:
+        """Score one (source, target) pair under this strategy."""
+
+    def applicable(self, source: SchemaElement, target: SchemaElement) -> bool:
+        """Whether this voter has anything to say about this pair at all."""
+        return True
+
+    def prepare(self, context: MatchContext) -> None:
+        """One-time per-problem setup hook (default: nothing)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

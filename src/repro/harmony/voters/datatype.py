@@ -1,0 +1,41 @@
+"""Datatype voter: canonical-type compatibility of attributes.
+
+Weak positive evidence when two attributes' canonical types agree, weak
+negative evidence when they are incompatible (a date will not populate a
+boolean).  Deliberately low-magnitude: type agreement alone never
+confirms a correspondence, it only nudges — and the magnitude-weighted
+merger (Section 4) automatically keeps low-magnitude votes from
+dominating.
+"""
+
+from __future__ import annotations
+
+from ...core.elements import ElementKind, SchemaElement
+from ...loaders.base import types_compatible
+from .base import MatchContext, MatchVoter
+
+
+class DatatypeVoter(MatchVoter):
+    name = "datatype"
+
+    #: Score when types are identical / merely compatible / incompatible.
+    SAME = 0.25
+    COMPATIBLE = 0.1
+    INCOMPATIBLE = -0.45
+
+    def applicable(self, source: SchemaElement, target: SchemaElement) -> bool:
+        return (
+            source.kind is ElementKind.ATTRIBUTE
+            and target.kind is ElementKind.ATTRIBUTE
+            and source.datatype is not None
+            and target.datatype is not None
+        )
+
+    def score(self, source: SchemaElement, target: SchemaElement, context: MatchContext) -> float:
+        if not self.applicable(source, target):
+            return 0.0
+        if source.datatype == target.datatype:
+            return self.SAME
+        if types_compatible(source.datatype, target.datatype):
+            return self.COMPATIBLE
+        return self.INCOMPATIBLE

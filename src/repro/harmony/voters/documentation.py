@@ -1,0 +1,34 @@
+"""Documentation voter: TF-IDF cosine over element definitions.
+
+Section 4: *"one matcher compares the words appearing in the elements'
+definitions"*.  Section 4.1 notes these matchers *"have good recall,
+although their precision is less impressive"* — the calibration reflects
+that: generous positive scores for any real word overlap, and only mild
+negative evidence when both elements are documented yet share nothing.
+When either element lacks documentation the voter abstains (score 0),
+which is what lets Harmony degrade gracefully on undocumented schemata.
+"""
+
+from __future__ import annotations
+
+from ...core.elements import SchemaElement
+from .base import MatchContext, MatchVoter, calibrate
+
+
+class DocumentationVoter(MatchVoter):
+    """Bag-of-words comparison of documentation, IDF-weighted."""
+
+    name = "documentation"
+
+    def applicable(self, source: SchemaElement, target: SchemaElement) -> bool:
+        return source.has_documentation and target.has_documentation
+
+    def score(self, source: SchemaElement, target: SchemaElement, context: MatchContext) -> float:
+        if not self.applicable(source, target):
+            return 0.0
+        doc_a = context.doc_id(context.graph_of(source), source)
+        doc_b = context.doc_id(context.graph_of(target), target)
+        cosine = context.corpus.cosine(doc_a, doc_b)
+        # recall-oriented: positive territory starts at low cosine, and the
+        # negative floor is shallow.
+        return calibrate(cosine, zero_point=0.08, full_point=0.75, negative_floor=-0.35)

@@ -1,0 +1,65 @@
+"""Domain-value voter: overlap of coding schemes.
+
+Section 2's third pragmatic consideration: *"domain values are often
+available and could be better exploited by schema matchers"* — and the
+engineers the authors observed matched coding schemes *first*, then worked
+up the hierarchy.  This voter compares:
+
+* two DOMAIN elements by the overlap of their value codes;
+* two ATTRIBUTEs by the overlap of their attached domains' codes (via
+  ``has-domain``), falling back to any ``instance_values`` annotation.
+
+Code sets are strong evidence in both directions: coding schemes with high
+overlap almost certainly encode the same concept, and documented schemes
+with zero overlap almost certainly do not.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ...core.elements import ElementKind, SchemaElement
+from ...core.graph import SchemaGraph
+from ...text.similarity import jaccard_similarity
+from .base import MatchContext, MatchVoter, calibrate
+
+
+def _domain_codes(graph: SchemaGraph, element: SchemaElement) -> Optional[FrozenSet[str]]:
+    """The value-code set behind an element, if it has one."""
+    if element.kind is ElementKind.DOMAIN:
+        domain = element
+    elif element.kind is ElementKind.ATTRIBUTE:
+        domain = graph.domain_of(element.element_id)
+        if domain is None:
+            values = element.annotation("instance_values")
+            if values:
+                return frozenset(str(v).strip().lower() for v in values)
+            return None
+    else:
+        return None
+    codes = frozenset(
+        child.name.strip().lower()
+        for child in graph.children(domain.element_id)
+        if child.kind is ElementKind.DOMAIN_VALUE
+    )
+    return codes or None
+
+
+class DomainValueVoter(MatchVoter):
+    name = "domain-values"
+
+    def applicable(self, source: SchemaElement, target: SchemaElement) -> bool:
+        return source.kind in (ElementKind.DOMAIN, ElementKind.ATTRIBUTE) and target.kind in (
+            ElementKind.DOMAIN,
+            ElementKind.ATTRIBUTE,
+        )
+
+    def score(self, source: SchemaElement, target: SchemaElement, context: MatchContext) -> float:
+        if not self.applicable(source, target):
+            return 0.0
+        codes_a = _domain_codes(context.graph_of(source), source)
+        codes_b = _domain_codes(context.graph_of(target), target)
+        if codes_a is None or codes_b is None:
+            return 0.0  # abstain: at least one side has no coding scheme
+        overlap = jaccard_similarity(codes_a, codes_b)
+        return calibrate(overlap, zero_point=0.15, full_point=0.8, negative_floor=-0.8)

@@ -1,0 +1,77 @@
+"""Instance voter: value-overlap evidence when instance data exists.
+
+Section 2's core observation is that instance data is *often unavailable*
+in enterprise settings — so this voter is optional and abstains whenever
+either element carries no sample values.  Bench A4 measures how Harmony
+degrades when it is disabled or starved.
+
+Sample values travel on the ``instance_values`` element annotation
+(loaders and scenario generators populate it when instances exist).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence
+
+from ...core.elements import ElementKind, SchemaElement
+from ...text.similarity import jaccard_similarity
+from .base import MatchContext, MatchVoter, calibrate
+
+_PATTERN_BUCKETS = (
+    (re.compile(r"^\d+$"), "digits"),
+    (re.compile(r"^\d+\.\d+$"), "decimal"),
+    (re.compile(r"^\d{4}-\d{2}-\d{2}"), "iso-date"),
+    (re.compile(r"^[A-Z]{2,5}\d*$"), "code"),
+    (re.compile(r"^[A-Za-z]+(?: [A-Za-z]+)*$"), "words"),
+    (re.compile(r"^[\w.+-]+@[\w-]+\.[\w.]+$"), "email"),
+)
+
+
+def _pattern_signature(values: Sequence[str]) -> str:
+    """The dominant syntactic shape of a value sample."""
+    counts = {}
+    for value in values:
+        for pattern, label in _PATTERN_BUCKETS:
+            if pattern.match(value):
+                counts[label] = counts.get(label, 0) + 1
+                break
+        else:
+            counts["other"] = counts.get("other", 0) + 1
+    if not counts:
+        return "empty"
+    return max(counts, key=lambda k: counts[k])
+
+
+def _values_of(element: SchemaElement) -> Optional[List[str]]:
+    values = element.annotation("instance_values")
+    if not values:
+        return None
+    return [str(v).strip() for v in values if str(v).strip()]
+
+
+class InstanceVoter(MatchVoter):
+    name = "instance"
+
+    def applicable(self, source: SchemaElement, target: SchemaElement) -> bool:
+        return (
+            source.kind is ElementKind.ATTRIBUTE
+            and target.kind is ElementKind.ATTRIBUTE
+            and _values_of(source) is not None
+            and _values_of(target) is not None
+        )
+
+    def score(self, source: SchemaElement, target: SchemaElement, context: MatchContext) -> float:
+        values_a = _values_of(source)
+        values_b = _values_of(target)
+        if values_a is None or values_b is None:
+            return 0.0  # no instance data -> abstain (Section 2)
+        overlap = jaccard_similarity(
+            {v.lower() for v in values_a}, {v.lower() for v in values_b}
+        )
+        if overlap > 0.0:
+            return calibrate(overlap, zero_point=0.05, full_point=0.6, negative_floor=0.0)
+        # no shared values: fall back to syntactic-shape agreement
+        if _pattern_signature(values_a) == _pattern_signature(values_b):
+            return 0.15
+        return -0.3

@@ -1,0 +1,47 @@
+"""Instance integration: tasks 10 (record linkage) and 11 (data cleaning)."""
+
+from .cleaning import (
+    CleaningIssue,
+    CleaningReport,
+    clean_constraints,
+    clean_record_sets,
+    resolve_contradictions,
+)
+from .documents import (
+    Record,
+    RecordSet,
+    flatten_document,
+    normalize_record,
+    normalize_value,
+    sample_values,
+)
+from .linkage import (
+    LinkageConfig,
+    LinkageResult,
+    field_similarity,
+    link_record_sets,
+    link_records,
+    merge_records,
+    record_similarity,
+)
+
+__all__ = [
+    "CleaningIssue",
+    "CleaningReport",
+    "LinkageConfig",
+    "LinkageResult",
+    "Record",
+    "RecordSet",
+    "clean_constraints",
+    "clean_record_sets",
+    "field_similarity",
+    "flatten_document",
+    "link_record_sets",
+    "link_records",
+    "merge_records",
+    "normalize_record",
+    "normalize_value",
+    "record_similarity",
+    "resolve_contradictions",
+    "sample_values",
+]

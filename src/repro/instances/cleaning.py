@@ -1,0 +1,185 @@
+"""Data cleaning (task 11).
+
+*"This subtask removes erroneous values from instance elements.  A value
+may be erroneous because it violates a domain constraint or because it
+contradicts information from a more reliable source."*
+
+Two cleaners, matching the paper's two error causes:
+
+* :func:`clean_constraints` — checks records against the schema graph's
+  constraints (datatype, domain membership, nullability) and nulls out or
+  reports offending values;
+* :func:`resolve_contradictions` — when multiple sources describe the
+  same real-world object (post-linkage), values from less reliable
+  sources that contradict a more reliable one are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.elements import ElementKind, SchemaElement
+from ..core.graph import SchemaGraph
+from .documents import Record, RecordSet, normalize_value
+
+
+@dataclass
+class CleaningIssue:
+    record_index: int
+    attribute: str
+    value: Any
+    reason: str
+
+    def __str__(self) -> str:
+        return f"record {self.record_index}, {self.attribute}={self.value!r}: {self.reason}"
+
+
+@dataclass
+class CleaningReport:
+    cleaned: List[Record] = field(default_factory=list)
+    issues: List[CleaningIssue] = field(default_factory=list)
+
+    @property
+    def issue_count(self) -> int:
+        return len(self.issues)
+
+
+def _constraints_for(graph: SchemaGraph, entity_id: str) -> Dict[str, SchemaElement]:
+    return {
+        child.name: child
+        for child in graph.subtree(entity_id)
+        if child.kind is ElementKind.ATTRIBUTE
+    }
+
+
+def _value_violates(graph: SchemaGraph, element: SchemaElement, value: Any) -> Optional[str]:
+    if value is None:
+        if not element.annotation("nullable", False):
+            return "null in non-nullable attribute"
+        return None
+    datatype = element.datatype
+    if datatype == "integer":
+        if isinstance(value, bool) or not isinstance(value, int):
+            try:
+                int(str(value))
+            except (TypeError, ValueError):
+                return f"not an integer ({datatype})"
+    elif datatype in ("decimal", "float"):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            try:
+                float(str(value))
+            except (TypeError, ValueError):
+                return f"not numeric ({datatype})"
+    elif datatype == "boolean":
+        if not isinstance(value, bool) and str(value).lower() not in ("true", "false", "0", "1"):
+            return "not boolean"
+    domain = graph.domain_of(element.element_id)
+    if domain is not None:
+        codes = {
+            c.name for c in graph.children(domain.element_id)
+            if c.kind is ElementKind.DOMAIN_VALUE
+        }
+        if codes and str(value) not in codes:
+            return f"outside domain {domain.name!r}"
+    minimum = element.annotation("minimum")
+    maximum = element.annotation("maximum")
+    try:
+        numeric = float(value)
+    except (TypeError, ValueError):
+        numeric = None
+    if numeric is not None:
+        if minimum is not None and numeric < float(minimum):
+            return f"below minimum {minimum}"
+        if maximum is not None and numeric > float(maximum):
+            return f"above maximum {maximum}"
+    return None
+
+
+def clean_constraints(
+    graph: SchemaGraph,
+    entity_id: str,
+    records: Sequence[Record],
+    drop_bad_values: bool = True,
+) -> CleaningReport:
+    """Check records against the entity's schema constraints.
+
+    Offending values are nulled out when *drop_bad_values* (default) —
+    removal, per the paper — otherwise only reported.
+    """
+    constraints = _constraints_for(graph, entity_id)
+    report = CleaningReport()
+    for index, record in enumerate(records):
+        cleaned = dict(record)
+        for attribute, element in constraints.items():
+            value = record.get(attribute)
+            reason = _value_violates(graph, element, value)
+            if reason is not None:
+                report.issues.append(CleaningIssue(index, attribute, value, reason))
+                if drop_bad_values and value is not None:
+                    cleaned[attribute] = None
+        report.cleaned.append(cleaned)
+    return report
+
+
+def resolve_contradictions(
+    versions: Sequence[Tuple[Record, float]],
+) -> Tuple[Record, List[CleaningIssue]]:
+    """Fuse versions of one real-world object from differently reliable
+    sources.  For each attribute, the value from the most reliable source
+    wins; contradicting values from less reliable sources are reported.
+
+    *versions* is a list of (record, reliability) pairs.
+    """
+    issues: List[CleaningIssue] = []
+    fused: Record = {}
+    authority: Dict[str, float] = {}
+    ordered = sorted(enumerate(versions), key=lambda iv: -iv[1][1])
+    for original_index, (record, reliability) in ordered:
+        for attribute, value in record.items():
+            if value is None:
+                continue
+            if attribute not in fused:
+                fused[attribute] = value
+                authority[attribute] = reliability
+            elif normalize_value(fused[attribute]) != normalize_value(value):
+                issues.append(
+                    CleaningIssue(
+                        original_index, attribute, value,
+                        f"contradicts more reliable value {fused[attribute]!r} "
+                        f"(reliability {authority[attribute]:.2f} > {reliability:.2f})",
+                    )
+                )
+    return fused, issues
+
+
+def clean_record_sets(
+    graph: SchemaGraph,
+    entity_id: str,
+    sets: Sequence[RecordSet],
+    key: str,
+) -> CleaningReport:
+    """Full task-11 pass over multiple sources describing one entity:
+    constraint cleaning per source, then contradiction resolution across
+    sources keyed by *key*."""
+    report = CleaningReport()
+    by_key: Dict[Any, List[Tuple[Record, float]]] = {}
+    offset = 0
+    for record_set in sets:
+        constraint_report = clean_constraints(graph, entity_id, record_set.records)
+        for issue in constraint_report.issues:
+            report.issues.append(
+                CleaningIssue(
+                    issue.record_index + offset, issue.attribute, issue.value,
+                    f"[{record_set.source or record_set.entity}] {issue.reason}",
+                )
+            )
+        for record in constraint_report.cleaned:
+            key_value = record.get(key)
+            by_key.setdefault(key_value, []).append((record, record_set.reliability))
+        offset += len(record_set.records)
+    for key_value in sorted(by_key, key=lambda v: str(v)):
+        fused, issues = resolve_contradictions(by_key[key_value])
+        report.cleaned.append(fused)
+        report.issues.extend(issues)
+    return report

@@ -1,0 +1,131 @@
+"""The instance document model.
+
+Instances are plain data: a *record* is a dict, a *record set* a list of
+dicts.  This module adds the small amount of structure instance
+integration needs on top — typed record sets bound to a schema entity,
+value normalization, and flattening of nested documents (the shape the
+executable code generator emits).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Sequence
+
+from ..core.elements import ElementKind
+from ..core.graph import SchemaGraph
+
+Record = Dict[str, Any]
+
+
+@dataclass
+class RecordSet:
+    """Records belonging to one (source) entity, with provenance.
+
+    *reliability* ∈ [0,1] ranks the source for contradiction resolution
+    (task 11: a value is erroneous when *"it contradicts information from
+    a more reliable source"*).
+    """
+
+    entity: str
+    records: List[Record] = field(default_factory=list)
+    source: str = ""
+    reliability: float = 0.5
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def append(self, record: Record) -> None:
+        self.records.append(dict(record))
+
+    def attributes(self) -> List[str]:
+        """All attribute names appearing in any record."""
+        names: Dict[str, None] = {}
+        for record in self.records:
+            for key in record:
+                names.setdefault(key, None)
+        return list(names)
+
+    def project(self, attributes: Sequence[str]) -> "RecordSet":
+        return RecordSet(
+            entity=self.entity,
+            records=[{a: r.get(a) for a in attributes} for r in self.records],
+            source=self.source,
+            reliability=self.reliability,
+        )
+
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_value(value: Any) -> Any:
+    """Canonical comparison form: trimmed, case-folded, squashed whitespace
+    for strings; everything else unchanged."""
+    if isinstance(value, str):
+        return _WHITESPACE.sub(" ", value.strip()).lower()
+    return value
+
+
+def normalize_record(record: Mapping[str, Any]) -> Record:
+    return {key: normalize_value(value) for key, value in record.items()}
+
+
+def flatten_document(document: Mapping[str, Any], separator: str = ".") -> Record:
+    """Flatten a nested document into dotted-path keys.
+
+    >>> flatten_document({"name": {"first": "Ada"}})
+    {'name.first': 'Ada'}
+    """
+    flat: Record = {}
+
+    def visit(node: Mapping[str, Any], prefix: str) -> None:
+        for key, value in node.items():
+            path = f"{prefix}{separator}{key}" if prefix else key
+            if isinstance(value, Mapping):
+                visit(value, path)
+            else:
+                flat[path] = value
+
+    visit(document, "")
+    return flat
+
+
+def sample_values(
+    graph: SchemaGraph,
+    records: Mapping[str, Sequence[Mapping[str, Any]]],
+    limit: int = 25,
+) -> int:
+    """Attach instance samples to a schema graph's attributes.
+
+    *records* maps entity element ids to record lists; each attribute
+    element below an entity receives up to *limit* distinct values in its
+    ``instance_values`` annotation (feeding the instance match voter).
+    Returns how many attributes were annotated.
+    """
+    annotated = 0
+    for entity_id, rows in records.items():
+        if entity_id not in graph:
+            continue
+        for child in graph.subtree(entity_id):
+            if child.kind is not ElementKind.ATTRIBUTE:
+                continue
+            values: List[str] = []
+            seen = set()
+            for row in rows:
+                value = row.get(child.name)
+                if value is None:
+                    continue
+                text = str(value)
+                if text not in seen:
+                    seen.add(text)
+                    values.append(text)
+                if len(values) >= limit:
+                    break
+            if values:
+                child.annotate("instance_values", values)
+                annotated += 1
+    return annotated

@@ -1,0 +1,52 @@
+"""Schema loaders: import native formats into the canonical graph.
+
+Section 5.2.1: *"Loaders are used during schema preparation to parse a
+schema from a file, database or metadata repository (including ancillary
+information such as definitions from a data dictionary) into the internal
+representation used by the IB."*
+"""
+
+from .base import (
+    CANONICAL_TYPES,
+    TYPE_COMPATIBILITY,
+    SchemaLoader,
+    normalize_type,
+    types_compatible,
+)
+from .data_dictionary import (
+    EnrichmentReport,
+    apply_dictionary,
+    define_domain,
+    enrich_from_text,
+    parse_dictionary,
+)
+from .er_model import ErModelLoader, load_er
+from .json_schema import JsonSchemaLoader, load_json_schema
+from .registry_loader import MetadataRegistry, RegistryLoader, load_registry
+from .sql_ddl import SqlDdlLoader, load_sql, tokenize_sql
+from .xsd import XsdLoader, load_xsd
+
+__all__ = [
+    "CANONICAL_TYPES",
+    "EnrichmentReport",
+    "ErModelLoader",
+    "JsonSchemaLoader",
+    "MetadataRegistry",
+    "RegistryLoader",
+    "SchemaLoader",
+    "SqlDdlLoader",
+    "TYPE_COMPATIBILITY",
+    "XsdLoader",
+    "apply_dictionary",
+    "define_domain",
+    "enrich_from_text",
+    "load_er",
+    "load_json_schema",
+    "load_registry",
+    "load_sql",
+    "load_xsd",
+    "normalize_type",
+    "parse_dictionary",
+    "tokenize_sql",
+    "types_compatible",
+]

@@ -1,0 +1,147 @@
+"""Data-dictionary enrichment.
+
+Task 1 includes gathering *"ancillary information such as definitions from
+a data dictionary"* (Section 5.2.1), and the schema-preparation phase lets
+one *"enrich the schemata, e.g., by defining coding schemes as domains, or
+documenting constraints that are not documented in the actual system"*
+(Section 3.1).  This module applies such enrichments to an already-loaded
+schema graph.
+
+Dictionary format (CSV-like, ``#`` comments allowed)::
+
+    element_path,definition
+    Employee,A person employed by the organization.
+    Employee.salary,Annual gross salary in US dollars.
+
+Element paths are matched against element names and dotted name paths,
+case-insensitively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.elements import ElementKind, SchemaElement
+from ..core.errors import LoaderError
+from ..core.graph import HAS_DOMAIN, SchemaGraph
+
+
+@dataclass
+class EnrichmentReport:
+    """What an enrichment pass changed."""
+
+    documented: List[str] = field(default_factory=list)
+    unmatched: List[str] = field(default_factory=list)
+    domains_defined: List[str] = field(default_factory=list)
+
+    @property
+    def applied(self) -> int:
+        return len(self.documented) + len(self.domains_defined)
+
+
+def parse_dictionary(text: str) -> Dict[str, str]:
+    """Parse ``path,definition`` lines into a mapping."""
+    entries: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "," not in line:
+            raise LoaderError("dictionary line needs 'path,definition'", line=lineno)
+        path, _, definition = line.partition(",")
+        path = path.strip()
+        definition = definition.strip().strip('"')
+        if not path:
+            raise LoaderError("empty element path", line=lineno)
+        entries[path] = definition
+    return entries
+
+
+def _name_paths(graph: SchemaGraph, element: SchemaElement) -> List[str]:
+    """All dotted suffixes of the element's name path, most specific first."""
+    path = graph.path(element.element_id)
+    suffixes = []
+    for start in range(len(path)):
+        suffixes.append(".".join(path[start:]).lower())
+    return suffixes
+
+
+def apply_dictionary(
+    graph: SchemaGraph,
+    entries: Dict[str, str],
+    overwrite: bool = False,
+) -> EnrichmentReport:
+    """Attach dictionary definitions to matching elements.
+
+    Existing documentation is preserved unless *overwrite* is set — the
+    dictionary supplements, it does not silently replace.
+    """
+    report = EnrichmentReport()
+    index: Dict[str, List[SchemaElement]] = {}
+    for element in graph:
+        for suffix in _name_paths(graph, element):
+            index.setdefault(suffix, []).append(element)
+    for path, definition in entries.items():
+        matches = index.get(path.lower(), [])
+        if not matches:
+            report.unmatched.append(path)
+            continue
+        for element in matches:
+            if element.documentation and not overwrite:
+                continue
+            element.documentation = definition
+            report.documented.append(element.element_id)
+    return report
+
+
+def define_domain(
+    graph: SchemaGraph,
+    domain_name: str,
+    values: Iterable[Tuple[str, str]],
+    attach_to: Iterable[str] = (),
+    datatype: str = "string",
+    documentation: str = "",
+) -> str:
+    """Define a coding scheme as a semantic DOMAIN and attach it to attributes.
+
+    This is the enrichment Section 2 recommends: *"A better solution would
+    be to define semantic domains for each coding scheme so that
+    integration tools could more easily identify domain correspondences."*
+
+    Returns the new domain's element id.
+    """
+    root_id = graph.root.element_id
+    domain_id = f"{root_id}/domain:{domain_name}"
+    if domain_id in graph:
+        raise LoaderError(f"domain {domain_name!r} already defined")
+    graph.add_child(
+        root_id,
+        SchemaElement(
+            domain_id, domain_name, ElementKind.DOMAIN,
+            datatype=datatype, documentation=documentation,
+        ),
+        label="contains-element",
+    )
+    for code, doc in values:
+        graph.add_child(
+            domain_id,
+            SchemaElement(f"{domain_id}/{code}", code, ElementKind.DOMAIN_VALUE,
+                          documentation=doc),
+        )
+    for attribute_id in attach_to:
+        element = graph.element(attribute_id)
+        if element.kind is not ElementKind.ATTRIBUTE:
+            raise LoaderError(
+                f"can only attach domains to attributes, {attribute_id!r} is "
+                f"{element.kind.value}"
+            )
+        graph.add_edge(attribute_id, HAS_DOMAIN, domain_id)
+    return domain_id
+
+
+def enrich_from_text(
+    graph: SchemaGraph, dictionary_text: str, overwrite: bool = False
+) -> EnrichmentReport:
+    """Parse + apply in one step."""
+    return apply_dictionary(graph, parse_dictionary(dictionary_text), overwrite=overwrite)

@@ -1,0 +1,254 @@
+"""XML Schema (XSD) loader.
+
+Harmony *"currently supports XML schemata"* (Section 4); the paper's
+Figure 2 schemas are XML.  This loader handles the XSD core used by
+message formats: global and local element declarations, named and
+anonymous complex types, sequences/choices/all, attributes, simple types
+with enumeration restrictions (which become DOMAIN elements — Section 2's
+coding schemes), and ``xs:annotation/xs:documentation`` text.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional
+
+from ..core.elements import ElementKind, SchemaElement
+from ..core.errors import LoaderError
+from ..core.graph import HAS_DOMAIN, SchemaGraph
+from .base import SchemaLoader, normalize_type
+
+XS = "{http://www.w3.org/2001/XMLSchema}"
+
+
+def _local(tag: str) -> str:
+    return tag.split("}")[-1]
+
+
+def _documentation(node: ET.Element) -> str:
+    parts: List[str] = []
+    for annotation in node.findall(f"{XS}annotation"):
+        for doc in annotation.findall(f"{XS}documentation"):
+            if doc.text:
+                parts.append(" ".join(doc.text.split()))
+    return " ".join(parts)
+
+
+class XsdLoader(SchemaLoader):
+    """Loads XML Schema documents into canonical schema graphs.
+
+    Layout: the schema root contains each global element; complex content
+    nests via ``contains-element``; attributes and simple-typed leaves via
+    ``contains-attribute``; enumerated simple types become DOMAIN elements
+    with DOMAIN_VALUE children, linked from their uses via ``has-domain``.
+    """
+
+    format_name = "xsd"
+
+    def load(self, text: str, schema_name: Optional[str] = None) -> SchemaGraph:
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise LoaderError(f"malformed XML: {exc}") from exc
+        if _local(root.tag) != "schema":
+            raise LoaderError(f"expected xs:schema root, found {_local(root.tag)}")
+
+        name = schema_name or root.get("targetNamespace", "xml-schema").rsplit("/", 1)[-1] or "xml-schema"
+        graph = SchemaGraph.create(name, documentation=_documentation(root))
+        self._graph = graph
+        self._prefix = name
+        self._complex_types: Dict[str, ET.Element] = {}
+        self._simple_types: Dict[str, ET.Element] = {}
+        self._domain_ids: Dict[str, str] = {}
+        self._global_elements: Dict[str, ET.Element] = {}
+
+        for child in root:
+            tag = _local(child.tag)
+            if tag == "complexType" and child.get("name"):
+                self._complex_types[child.get("name")] = child
+            elif tag == "simpleType" and child.get("name"):
+                self._simple_types[child.get("name")] = child
+            elif tag == "element" and child.get("name"):
+                self._global_elements[child.get("name")] = child
+
+        # materialize named enumerated simple types as shared domains
+        for type_name, node in self._simple_types.items():
+            self._ensure_domain(type_name, node)
+
+        for element in self._global_elements.values():
+            self._load_element(element, parent_id=name, seen_types=())
+        if len(graph) == 1:
+            raise LoaderError("schema contains no global element declarations")
+        return graph
+
+    # -- elements -------------------------------------------------------------
+
+    def _load_element(self, node: ET.Element, parent_id: str, seen_types: tuple) -> None:
+        ref = node.get("ref")
+        if ref is not None:
+            target = self._global_elements.get(_strip_prefix(ref))
+            if target is None:
+                raise LoaderError(f"unresolved element reference {ref!r}")
+            node = target
+        elem_name = node.get("name")
+        if not elem_name:
+            raise LoaderError("element declaration without a name")
+        element_id = self._child_id(parent_id, elem_name)
+        type_attr = node.get("type")
+        doc = _documentation(node)
+
+        inline_complex = node.find(f"{XS}complexType")
+        inline_simple = node.find(f"{XS}simpleType")
+
+        if inline_complex is not None:
+            element = SchemaElement(element_id, elem_name, ElementKind.ELEMENT, documentation=doc)
+            self._graph.add_child(parent_id, element, label="contains-element")
+            self._load_complex(inline_complex, element_id, seen_types)
+        elif type_attr is not None and _strip_prefix(type_attr) in self._complex_types:
+            type_name = _strip_prefix(type_attr)
+            element = SchemaElement(element_id, elem_name, ElementKind.ELEMENT, documentation=doc)
+            self._graph.add_child(parent_id, element, label="contains-element")
+            if type_name not in seen_types:  # guard against recursive types
+                self._load_complex(
+                    self._complex_types[type_name], element_id, seen_types + (type_name,)
+                )
+        else:
+            # simple-typed leaf -> attribute-like node
+            datatype, domain_id = self._resolve_simple(type_attr, inline_simple, elem_name)
+            element = SchemaElement(
+                element_id, elem_name, ElementKind.ATTRIBUTE,
+                datatype=datatype, documentation=doc,
+            )
+            if node.get("minOccurs") == "0":
+                element.annotate("nullable", True)
+            self._graph.add_child(parent_id, element, label="contains-attribute")
+            if domain_id is not None:
+                self._graph.add_edge(element_id, HAS_DOMAIN, domain_id)
+
+    def _load_complex(self, node: ET.Element, parent_id: str, seen_types: tuple) -> None:
+        for child in node:
+            tag = _local(child.tag)
+            if tag in ("sequence", "choice", "all"):
+                self._load_particle(child, parent_id, seen_types)
+            elif tag == "attribute":
+                self._load_attribute(child, parent_id)
+            elif tag in ("simpleContent", "complexContent"):
+                for ext in child:
+                    if _local(ext.tag) in ("extension", "restriction"):
+                        base = ext.get("base")
+                        if base and _strip_prefix(base) in self._complex_types:
+                            base_name = _strip_prefix(base)
+                            if base_name not in seen_types:
+                                self._load_complex(
+                                    self._complex_types[base_name],
+                                    parent_id,
+                                    seen_types + (base_name,),
+                                )
+                        self._load_complex(ext, parent_id, seen_types)
+
+    def _load_particle(self, node: ET.Element, parent_id: str, seen_types: tuple) -> None:
+        for child in node:
+            tag = _local(child.tag)
+            if tag == "element":
+                self._load_element(child, parent_id, seen_types)
+            elif tag in ("sequence", "choice", "all"):
+                self._load_particle(child, parent_id, seen_types)
+
+    def _load_attribute(self, node: ET.Element, parent_id: str) -> None:
+        attr_name = node.get("name")
+        if not attr_name:
+            return
+        datatype, domain_id = self._resolve_simple(
+            node.get("type"), node.find(f"{XS}simpleType"), attr_name
+        )
+        element_id = self._child_id(parent_id, f"@{attr_name}")
+        element = SchemaElement(
+            element_id, attr_name, ElementKind.ATTRIBUTE,
+            datatype=datatype, documentation=_documentation(node),
+        )
+        if node.get("use") != "required":
+            element.annotate("nullable", True)
+        self._graph.add_child(parent_id, element, label="contains-attribute")
+        if domain_id is not None:
+            self._graph.add_edge(element_id, HAS_DOMAIN, domain_id)
+
+    # -- simple types & domains -------------------------------------------------
+
+    def _resolve_simple(
+        self,
+        type_attr: Optional[str],
+        inline: Optional[ET.Element],
+        context_name: str,
+    ):
+        """Returns (canonical datatype, optional domain element id)."""
+        if inline is not None:
+            domain_id = self._ensure_domain(f"{context_name}Type", inline, anonymous=True)
+            return self._simple_base_type(inline), domain_id
+        if type_attr is not None:
+            type_name = _strip_prefix(type_attr)
+            if type_name in self._simple_types:
+                node = self._simple_types[type_name]
+                return self._simple_base_type(node), self._domain_ids.get(type_name)
+            return normalize_type(type_attr), None
+        return "string", None
+
+    def _simple_base_type(self, node: ET.Element) -> str:
+        restriction = node.find(f"{XS}restriction")
+        if restriction is not None and restriction.get("base"):
+            return normalize_type(restriction.get("base")) or "string"
+        return "string"
+
+    def _ensure_domain(
+        self, type_name: str, node: ET.Element, anonymous: bool = False
+    ) -> Optional[str]:
+        """Create a DOMAIN element for an enumerated simple type."""
+        restriction = node.find(f"{XS}restriction")
+        if restriction is None:
+            return None
+        enums = restriction.findall(f"{XS}enumeration")
+        if not enums:
+            return None
+        if type_name in self._domain_ids:
+            return self._domain_ids[type_name]
+        domain_id = f"{self._prefix}/domain:{type_name}"
+        if domain_id in self._graph:
+            return domain_id
+        domain = SchemaElement(
+            domain_id, type_name, ElementKind.DOMAIN,
+            datatype=self._simple_base_type(node),
+            documentation=_documentation(node),
+        )
+        self._graph.add_child(self._prefix, domain, label="contains-element")
+        for enum in enums:
+            value = enum.get("value", "")
+            value_id = f"{domain_id}/{value}"
+            if value_id in self._graph:
+                continue
+            self._graph.add_child(
+                domain_id,
+                SchemaElement(
+                    value_id, value, ElementKind.DOMAIN_VALUE,
+                    documentation=_documentation(enum),
+                ),
+            )
+        if not anonymous:
+            self._domain_ids[type_name] = domain_id
+        return domain_id
+
+    def _child_id(self, parent_id: str, name: str) -> str:
+        base = f"{parent_id}/{name}"
+        candidate = base
+        suffix = 2
+        while candidate in self._graph:
+            candidate = f"{base}#{suffix}"
+            suffix += 1
+        return candidate
+
+
+def _strip_prefix(qname: str) -> str:
+    return qname.split(":")[-1]
+
+
+def load_xsd(text: str, schema_name: Optional[str] = None) -> SchemaGraph:
+    """Convenience wrapper: parse XSD text into a schema graph."""
+    return XsdLoader().load(text, schema_name=schema_name)

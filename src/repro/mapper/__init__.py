@@ -1,0 +1,107 @@
+"""The schema-mapping tool: tasks 4–7 of the task model.
+
+Domain transformations, attribute transformations, entity transformations
+and object identity, collected into a :class:`MappingSpec` that the code
+generators in :mod:`repro.codegen` assemble and execute.
+"""
+
+from .context_mediation import Context, ContextMediator, SemanticValue
+from .attribute_transforms import (
+    AggregateTransform,
+    AttributeTransform,
+    CommentPopulation,
+    MetadataPushdown,
+    ScalarTransform,
+)
+from .domain_transforms import (
+    ComposedTransform,
+    DomainTransform,
+    FormatTransform,
+    IdentityTransform,
+    LinearTransform,
+    LookupTransform,
+    UNIT_CONVERSIONS,
+    infer_domain_transform,
+    unit_conversion,
+)
+from .entity_transforms import (
+    DirectEntity,
+    EntityTransform,
+    JoinEntity,
+    SplitEntity,
+    UnionEntity,
+    group_rows,
+)
+from .expressions import (
+    BUILTINS,
+    Environment,
+    evaluate,
+    functions_used,
+    parse,
+    variables_used,
+)
+from .identity import (
+    IdentityRule,
+    InheritedIdentity,
+    KeyIdentity,
+    SkolemFunction,
+    assign_identifiers,
+)
+from .mapping_tool import AttributeMapping, EntityMapping, MappingSpec, MappingTool
+from .verify import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    VerificationReport,
+    Violation,
+    verify_instances,
+    verify_lookup_coverage,
+    verify_spec,
+)
+
+__all__ = [
+    "AggregateTransform",
+    "AttributeMapping",
+    "AttributeTransform",
+    "BUILTINS",
+    "CommentPopulation",
+    "Context",
+    "ContextMediator",
+    "ComposedTransform",
+    "DirectEntity",
+    "DomainTransform",
+    "EntityMapping",
+    "EntityTransform",
+    "Environment",
+    "FormatTransform",
+    "IdentityRule",
+    "IdentityTransform",
+    "InheritedIdentity",
+    "JoinEntity",
+    "KeyIdentity",
+    "LinearTransform",
+    "LookupTransform",
+    "MappingSpec",
+    "MappingTool",
+    "MetadataPushdown",
+    "ScalarTransform",
+    "SemanticValue",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "SkolemFunction",
+    "SplitEntity",
+    "UNIT_CONVERSIONS",
+    "UnionEntity",
+    "VerificationReport",
+    "Violation",
+    "assign_identifiers",
+    "evaluate",
+    "functions_used",
+    "group_rows",
+    "infer_domain_transform",
+    "parse",
+    "unit_conversion",
+    "variables_used",
+    "verify_instances",
+    "verify_lookup_coverage",
+    "verify_spec",
+]

@@ -1,0 +1,151 @@
+"""Attribute transformations (task 5).
+
+*"This step deals with properties that are different but derivable.
+Sometimes one provides a transformation from source to target values,
+either scalar (e.g., Age from Birthdate), or by aggregation (e.g.,
+AverageSalaryByDepartment from Salary).  Other transforms we have seen
+include pushing metadata down to data (e.g., to populate a type attribute
+or timestamp), and populating a comment (in the target) to store source
+attribute information that has no corresponding attribute."*
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from ..core.errors import TransformError
+from .expressions import Environment, evaluate, variables_used
+
+Record = Mapping[str, Any]
+
+
+class AttributeTransform(ABC):
+    """Computes one target attribute's value."""
+
+    @abstractmethod
+    def compute(self, env: Environment) -> Any:
+        """Evaluate against an environment of bound row variables."""
+
+    @abstractmethod
+    def to_code(self) -> str:
+        """The column ``code`` snippet for the mapping matrix."""
+
+
+@dataclass
+class ScalarTransform(AttributeTransform):
+    """A row-wise expression: ``Age`` from ``Birthdate``, name splicing..."""
+
+    code: str
+
+    def compute(self, env: Environment) -> Any:
+        return evaluate(self.code, env)
+
+    def to_code(self) -> str:
+        return self.code
+
+    def required_variables(self) -> List[str]:
+        return variables_used(self.code)
+
+
+_AGGREGATORS: Dict[str, Callable[[Sequence[float]], float]] = {
+    "sum": lambda xs: sum(xs),
+    "avg": lambda xs: sum(xs) / len(xs),
+    "min": lambda xs: min(xs),
+    "max": lambda xs: max(xs),
+    "count": lambda xs: len(xs),
+}
+
+
+@dataclass
+class AggregateTransform(AttributeTransform):
+    """Aggregation over a group of rows (AverageSalaryByDepartment).
+
+    The environment must bind *group_variable* to a list of records; the
+    aggregate applies *function* to ``value_expression`` evaluated per
+    record (nulls skipped, except for ``count`` which counts rows).
+    """
+
+    function: str
+    group_variable: str
+    value_expression: str = ""
+
+    def __post_init__(self) -> None:
+        if self.function not in _AGGREGATORS:
+            raise TransformError(
+                f"unknown aggregate {self.function!r}; "
+                f"supported: {sorted(_AGGREGATORS)}"
+            )
+        if self.function != "count" and not self.value_expression:
+            raise TransformError(f"{self.function} needs a value expression")
+
+    def compute(self, env: Environment) -> Any:
+        rows = env.variables.get(self.group_variable)
+        if rows is None:
+            raise TransformError(f"unbound group variable ${self.group_variable}")
+        if not isinstance(rows, (list, tuple)):
+            raise TransformError(
+                f"${self.group_variable} must bind a row list, got {type(rows).__name__}"
+            )
+        if self.function == "count" and not self.value_expression:
+            return len(rows)
+        values = []
+        for row in rows:
+            value = evaluate(self.value_expression, env.child({"row": row}))
+            if value is not None:
+                values.append(float(value))
+        if not values:
+            return None if self.function != "count" else 0
+        return _AGGREGATORS[self.function](values)
+
+    def to_code(self) -> str:
+        if self.function == "count" and not self.value_expression:
+            return f"count(${self.group_variable})"
+        return f"{self.function}(${self.group_variable}, {self.value_expression})"
+
+
+@dataclass
+class MetadataPushdown(AttributeTransform):
+    """Push metadata down to data: populate a target attribute with a
+    constant drawn from schema-level knowledge (a type discriminator, the
+    source system's name, a load timestamp supplied by the run)."""
+
+    value: Any
+    description: str = ""
+
+    def compute(self, env: Environment) -> Any:
+        return self.value
+
+    def to_code(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace('"', '\\"')
+            return f'"{escaped}"'
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+@dataclass
+class CommentPopulation(AttributeTransform):
+    """Populate a target comment with source attributes that have no
+    corresponding target attribute — nothing is silently dropped."""
+
+    parts: List[str] = field(default_factory=list)  # variable names to preserve
+    prefix: str = "unmapped:"
+
+    def compute(self, env: Environment) -> Any:
+        chunks = []
+        for name in self.parts:
+            if name not in env.variables:
+                raise TransformError(f"unbound variable ${name}")
+            value = env.variables[name]
+            if value is not None:
+                chunks.append(f"{name}={value}")
+        if not chunks:
+            return None
+        return f"{self.prefix} " + "; ".join(chunks)
+
+    def to_code(self) -> str:
+        pieces = ", ".join(f'"{name}=", ${name}' for name in self.parts)
+        return f'concat("{self.prefix} ", {pieces})'

@@ -1,0 +1,176 @@
+"""Context mediation (task 4's closing remark).
+
+*"Context mediation techniques can then be applied [16, 17]"* — Goh et
+al.'s Context Interchange and Sciore/Siegel/Rosenthal's *semantic values*:
+a value is only interpretable together with its context (units, scale
+factor, currency, coding scheme), and conversion between systems is the
+composition of per-dimension conversions derived from the two contexts.
+
+Here a :class:`Context` is a small dict-like bundle of conversion-relevant
+dimensions; the :class:`ContextMediator` derives the
+:class:`~repro.mapper.domain_transforms.DomainTransform` that carries a
+value from one context to another, and can read contexts straight off
+schema-element annotations (loaders populate ``units``, ``scale``,
+``currency``, ``coding_scheme``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..core.elements import SchemaElement
+from ..core.errors import TransformError
+from .domain_transforms import (
+    ComposedTransform,
+    DomainTransform,
+    IdentityTransform,
+    LinearTransform,
+    LookupTransform,
+    unit_conversion,
+)
+
+
+@dataclass(frozen=True)
+class Context:
+    """The interpretation context of a semantic value.
+
+    Dimensions (all optional):
+
+    * ``units`` — physical unit name (``"feet"``, ``"meters"``, ...);
+    * ``scale`` — the stored number is value × scale (salaries "in
+      thousands" store scale=1000);
+    * ``currency`` — ISO-ish currency code;
+    * ``coding_scheme`` — name of the coding scheme string values use.
+    """
+
+    units: Optional[str] = None
+    scale: float = 1.0
+    currency: Optional[str] = None
+    coding_scheme: Optional[str] = None
+
+    @classmethod
+    def of_element(cls, element: SchemaElement) -> "Context":
+        """Read a context from a schema element's annotations."""
+        return cls(
+            units=element.annotation("units"),
+            scale=float(element.annotation("scale", 1.0)),
+            currency=element.annotation("currency"),
+            coding_scheme=element.annotation("coding_scheme"),
+        )
+
+    @property
+    def is_plain(self) -> bool:
+        return (self.units is None and self.scale == 1.0
+                and self.currency is None and self.coding_scheme is None)
+
+
+@dataclass(frozen=True)
+class SemanticValue:
+    """A value paired with the context needed to interpret it."""
+
+    value: Any
+    context: Context = field(default_factory=Context)
+
+    def in_context(self, target: Context, mediator: "ContextMediator") -> "SemanticValue":
+        """Convert this value into *target*'s context."""
+        transform = mediator.conversion(self.context, target)
+        return SemanticValue(transform.apply(self.value), target)
+
+
+class ContextMediator:
+    """Derives conversions between contexts, dimension by dimension."""
+
+    def __init__(self) -> None:
+        #: (from currency, to currency) -> rate
+        self._exchange_rates: Dict[tuple, float] = {}
+        #: (from scheme, to scheme) -> code table
+        self._code_mappings: Dict[tuple, Dict[Any, Any]] = {}
+
+    # -- knowledge registration ------------------------------------------------
+
+    def register_exchange_rate(self, source: str, target: str, rate: float) -> None:
+        """1 unit of *source* currency = *rate* units of *target*."""
+        if rate <= 0:
+            raise TransformError("exchange rate must be positive")
+        self._exchange_rates[(source.upper(), target.upper())] = rate
+        self._exchange_rates[(target.upper(), source.upper())] = 1.0 / rate
+
+    def register_code_mapping(
+        self, source_scheme: str, target_scheme: str, table: Mapping[Any, Any]
+    ) -> None:
+        self._code_mappings[(source_scheme, target_scheme)] = dict(table)
+
+    # -- conversion derivation ---------------------------------------------------
+
+    def conversion(self, source: Context, target: Context) -> DomainTransform:
+        """The transform carrying a value from *source* into *target*.
+
+        Composition order: undo the source scale → convert units → convert
+        currency → apply the target scale → map coding schemes.  Missing
+        knowledge (an unknown unit pair or unregistered exchange rate)
+        raises — silent misinterpretation is the failure mode context
+        mediation exists to prevent.
+        """
+        transform: DomainTransform = IdentityTransform()
+
+        def compose(next_transform: DomainTransform) -> None:
+            nonlocal transform
+            if isinstance(transform, IdentityTransform):
+                transform = next_transform
+            elif not isinstance(next_transform, IdentityTransform):
+                transform = ComposedTransform(transform, next_transform)
+
+        if source.scale != target.scale:
+            compose(LinearTransform(scale=source.scale / target.scale))
+        if source.units != target.units:
+            if source.units is None or target.units is None:
+                raise TransformError(
+                    f"cannot mediate units {source.units!r} -> {target.units!r}: "
+                    "one side has no unit context"
+                )
+            compose(unit_conversion(source.units, target.units))
+        if source.currency != target.currency:
+            if source.currency is None or target.currency is None:
+                raise TransformError(
+                    f"cannot mediate currency {source.currency!r} -> "
+                    f"{target.currency!r}: one side has no currency context"
+                )
+            key = (source.currency.upper(), target.currency.upper())
+            if key not in self._exchange_rates:
+                raise TransformError(
+                    f"no exchange rate registered for {key[0]} -> {key[1]}"
+                )
+            compose(LinearTransform(scale=self._exchange_rates[key]))
+        if source.coding_scheme != target.coding_scheme:
+            if source.coding_scheme is None or target.coding_scheme is None:
+                raise TransformError(
+                    f"cannot mediate coding scheme {source.coding_scheme!r} -> "
+                    f"{target.coding_scheme!r}: one side has no scheme context"
+                )
+            key = (source.coding_scheme, target.coding_scheme)
+            if key not in self._code_mappings:
+                raise TransformError(
+                    f"no code mapping registered for {key[0]} -> {key[1]}"
+                )
+            compose(LookupTransform(
+                name=f"{key[0]}_to_{key[1]}",
+                table=self._code_mappings[key],
+                strict=True,
+            ))
+        return transform
+
+    def mediate(self, value: Any, source: Context, target: Context) -> Any:
+        """Convert one bare value between contexts."""
+        return self.conversion(source, target).apply(value)
+
+    def attribute_transform(
+        self,
+        source_element: SchemaElement,
+        target_element: SchemaElement,
+    ) -> DomainTransform:
+        """Derive the conversion between two schema attributes from their
+        annotations — the automatic part of task 4."""
+        return self.conversion(
+            Context.of_element(source_element), Context.of_element(target_element)
+        )

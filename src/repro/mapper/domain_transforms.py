@@ -1,0 +1,221 @@
+"""Domain transformations (task 4).
+
+*"For each pair of corresponding domains, a transformation must be
+developed that relates values from the source domain to values in the
+target domain.  In the simplest case, there is a direct correspondence
+(i.e., no transformation is needed).  However, it is often the case that
+an algorithmic transformation must be developed, for example, to convert
+from feet to meters...  In the most detailed case, the transformation can
+best be expressed using a lookup table (e.g., to convert from one coding
+scheme to a related coding scheme)."*
+
+Every transform can both *apply* itself to a value and *emit* the code
+snippet that performs it — the snippet is what lands in the mapping
+matrix's column ``code`` annotations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import TransformError
+
+
+class DomainTransform(ABC):
+    """A value-level transformation between two semantic domains."""
+
+    @abstractmethod
+    def apply(self, value: Any) -> Any:
+        """Transform one source-domain value into the target domain."""
+
+    @abstractmethod
+    def to_code(self, variable: str) -> str:
+        """The expression-language snippet computing this transform of
+        ``$variable``."""
+
+    def then(self, other: "DomainTransform") -> "DomainTransform":
+        """Compose: ``self`` then ``other``."""
+        return ComposedTransform(self, other)
+
+
+@dataclass
+class IdentityTransform(DomainTransform):
+    """The direct-correspondence case: no transformation needed."""
+
+    def apply(self, value: Any) -> Any:
+        return value
+
+    def to_code(self, variable: str) -> str:
+        return f"${variable}"
+
+
+@dataclass
+class LinearTransform(DomainTransform):
+    """Algorithmic conversion ``y = scale · x + offset`` (feet→meters,
+    Celsius→Fahrenheit, cents→dollars...)."""
+
+    scale: float = 1.0
+    offset: float = 0.0
+    digits: Optional[int] = None
+
+    def apply(self, value: Any) -> Any:
+        if value is None:
+            return None
+        try:
+            result = float(value) * self.scale + self.offset
+        except (TypeError, ValueError) as exc:
+            raise TransformError(f"non-numeric value {value!r}") from exc
+        if self.digits is not None:
+            result = round(result, self.digits)
+        return result
+
+    def to_code(self, variable: str) -> str:
+        code = f"${variable} * {self.scale}"
+        if self.offset:
+            code = f"{code} + {self.offset}"
+        if self.digits is not None:
+            code = f"round({code}, {self.digits})"
+        return code
+
+    def inverse(self) -> "LinearTransform":
+        if self.scale == 0:
+            raise TransformError("cannot invert a zero-scale transform")
+        return LinearTransform(scale=1.0 / self.scale, offset=-self.offset / self.scale,
+                               digits=self.digits)
+
+
+#: Conversion factors between common units (paper example: feet → meters).
+UNIT_CONVERSIONS: Dict[Tuple[str, str], LinearTransform] = {
+    ("feet", "meters"): LinearTransform(scale=0.3048),
+    ("meters", "feet"): LinearTransform(scale=1.0 / 0.3048),
+    ("miles", "kilometers"): LinearTransform(scale=1.609344),
+    ("kilometers", "miles"): LinearTransform(scale=1.0 / 1.609344),
+    ("nautical_miles", "kilometers"): LinearTransform(scale=1.852),
+    ("pounds", "kilograms"): LinearTransform(scale=0.45359237),
+    ("kilograms", "pounds"): LinearTransform(scale=1.0 / 0.45359237),
+    ("fahrenheit", "celsius"): LinearTransform(scale=5.0 / 9.0, offset=-160.0 / 9.0),
+    ("celsius", "fahrenheit"): LinearTransform(scale=9.0 / 5.0, offset=32.0),
+    ("knots", "kph"): LinearTransform(scale=1.852),
+    ("cents", "dollars"): LinearTransform(scale=0.01),
+    ("dollars", "cents"): LinearTransform(scale=100.0),
+    ("hours", "minutes"): LinearTransform(scale=60.0),
+    ("minutes", "seconds"): LinearTransform(scale=60.0),
+}
+
+
+def unit_conversion(source_unit: str, target_unit: str) -> LinearTransform:
+    """Look up the conversion between two named units.
+
+    >>> unit_conversion("feet", "meters").apply(10)
+    3.048
+    """
+    key = (source_unit.lower(), target_unit.lower())
+    if source_unit.lower() == target_unit.lower():
+        return LinearTransform()
+    if key not in UNIT_CONVERSIONS:
+        raise TransformError(f"no known conversion {source_unit} -> {target_unit}")
+    return UNIT_CONVERSIONS[key]
+
+
+@dataclass
+class LookupTransform(DomainTransform):
+    """Coding-scheme-to-coding-scheme conversion via an explicit table.
+
+    *strict* controls the exceptional-value policy: raise on unknown codes
+    (good for verification) or pass a default through (good in deployment,
+    where task 12's "policy that governs exceptional conditions" applies).
+    """
+
+    name: str
+    table: Mapping[Any, Any] = field(default_factory=dict)
+    default: Any = None
+    strict: bool = False
+
+    def apply(self, value: Any) -> Any:
+        if value in self.table:
+            return self.table[value]
+        if self.strict:
+            raise TransformError(
+                f"value {value!r} not in lookup table {self.name!r}"
+            )
+        return self.default
+
+    def to_code(self, variable: str) -> str:
+        return f"lookup_{self.name}(${variable})"
+
+    def coverage(self, values: Sequence[Any]) -> float:
+        """Fraction of *values* the table covers — a mapping-verification
+        aid for task 9."""
+        if not values:
+            return 1.0
+        covered = sum(1 for v in values if v in self.table)
+        return covered / len(values)
+
+
+@dataclass
+class FormatTransform(DomainTransform):
+    """String-shape conversion driven by an expression snippet.
+
+    The snippet must reference the single variable ``$value``; ``apply``
+    evaluates it.  Used for case folding, padding, prefix stripping...
+    """
+
+    code_template: str  # e.g. "upper($value)" or "substring($value, 1, 3)"
+
+    def apply(self, value: Any) -> Any:
+        from .expressions import Environment, evaluate
+
+        return evaluate(self.code_template, Environment({"value": value}))
+
+    def to_code(self, variable: str) -> str:
+        return self.code_template.replace("$value", f"${variable}")
+
+
+@dataclass
+class ComposedTransform(DomainTransform):
+    """``first`` then ``second``."""
+
+    first: DomainTransform
+    second: DomainTransform
+
+    def apply(self, value: Any) -> Any:
+        return self.second.apply(self.first.apply(value))
+
+    def to_code(self, variable: str) -> str:
+        inner = self.first.to_code(variable)
+        # Substitute the inner snippet for the variable reference in the
+        # outer snippet.  The marker variable keeps this purely textual.
+        marker = "__composed__"
+        outer = self.second.to_code(marker)
+        return outer.replace(f"${marker}", f"({inner})")
+
+
+def infer_domain_transform(
+    source_codes: Sequence[str], target_codes: Sequence[str], name: str = "inferred"
+) -> DomainTransform:
+    """Guess a transform between two coding schemes from their value sets.
+
+    Exact same codes → identity; same codes modulo case → format transform;
+    otherwise a lookup-table skeleton pairing codes by case-insensitive
+    equality (unmatched codes are left for the engineer — this mirrors how
+    mapping tools pre-fill lookup tables).
+    """
+    source_set = list(dict.fromkeys(source_codes))
+    target_set = set(target_codes)
+    if all(code in target_set for code in source_set):
+        return IdentityTransform()
+    lowered = {code.lower(): code for code in target_set}
+    if all(code.lower() in lowered for code in source_set):
+        sample = source_set[0]
+        if sample.upper() in target_set:
+            return FormatTransform("upper($value)")
+        if sample.lower() in target_set:
+            return FormatTransform("lower($value)")
+    table = {
+        code: lowered[code.lower()]
+        for code in source_set
+        if code.lower() in lowered
+    }
+    return LookupTransform(name=name, table=table)

@@ -1,0 +1,470 @@
+"""The transformation expression language.
+
+Mapping tools let the engineer annotate links *"with functions or code to
+perform any necessary transformations"* (Section 1).  This module gives
+the mapping tool a small, safe expression language — the ``code`` that
+lands in mapping-matrix columns (Figure 3 shows e.g.
+``concat($lName, concat(", ", $fName))`` and
+``data($shipto/subtotal) * 1.05``).
+
+Grammar (Pratt parser)::
+
+    expr     := or
+    or       := and ("or" and)*
+    and      := cmp ("and" cmp)*
+    cmp      := sum (("=="|"!="|"<"|"<="|">"|">=") sum)?
+    sum      := term (("+"|"-") term)*
+    term     := unary (("*"|"/"|"%") unary)*
+    unary    := "-" unary | postfix
+    postfix  := primary ("." IDENT)*
+    primary  := NUMBER | STRING | "true" | "false" | "null"
+              | "$" IDENT | IDENT "(" args ")" | IDENT | "(" expr ")"
+
+Variables (``$shipto``) resolve in the evaluation environment; dotted
+paths (``$shipto.subtotal``) navigate into record values; function calls
+hit a registry of pure built-ins plus any lookup tables registered with
+the environment.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..core.errors import ExpressionError
+
+# -- AST -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Field:
+    base: "Node"
+    name: str
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: Tuple["Node", ...]
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str
+    operand: "Node"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Node"
+    right: "Node"
+
+
+Node = Union[Literal, Var, Field, Call, Unary, Binary]
+
+
+# -- tokenizer ----------------------------------------------------------------------
+
+_TOKEN = re.compile(
+    r"""
+    (?P<num>\d+(?:\.\d+)?)
+  | (?P<str>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<var>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>==|!=|<=|>=|[-+*/%<>().,])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise ExpressionError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup
+        value = match.group(0)
+        if kind != "ws":
+            tokens.append((kind, value))
+        pos = match.end()
+    return tokens
+
+
+# -- parser ------------------------------------------------------------------------
+
+
+class _ExprParser:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError("unexpected end of expression")
+        self._index += 1
+        return token
+
+    def _accept_op(self, *ops: str) -> Optional[str]:
+        token = self._peek()
+        if token is not None and token[0] == "op" and token[1] in ops:
+            self._index += 1
+            return token[1]
+        return None
+
+    def _accept_ident(self, word: str) -> bool:
+        token = self._peek()
+        if token is not None and token[0] == "ident" and token[1] == word:
+            self._index += 1
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        token = self._next()
+        if token != ("op", op):
+            raise ExpressionError(f"expected {op!r}, found {token[1]!r}")
+
+    def parse(self) -> Node:
+        node = self._or()
+        if self._peek() is not None:
+            raise ExpressionError(f"trailing input from {self._peek()[1]!r}")
+        return node
+
+    def _or(self) -> Node:
+        node = self._and()
+        while self._accept_ident("or"):
+            node = Binary("or", node, self._and())
+        return node
+
+    def _and(self) -> Node:
+        node = self._cmp()
+        while self._accept_ident("and"):
+            node = Binary("and", node, self._cmp())
+        return node
+
+    def _cmp(self) -> Node:
+        node = self._sum()
+        op = self._accept_op("==", "!=", "<=", ">=", "<", ">")
+        if op:
+            node = Binary(op, node, self._sum())
+        return node
+
+    def _sum(self) -> Node:
+        node = self._term()
+        while True:
+            op = self._accept_op("+", "-")
+            if not op:
+                return node
+            node = Binary(op, node, self._term())
+
+    def _term(self) -> Node:
+        node = self._unary()
+        while True:
+            op = self._accept_op("*", "/", "%")
+            if not op:
+                return node
+            node = Binary(op, node, self._unary())
+
+    def _unary(self) -> Node:
+        if self._accept_op("-"):
+            return Unary("-", self._unary())
+        if self._accept_ident("not"):
+            return Unary("not", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Node:
+        node = self._primary()
+        while self._accept_op("."):
+            token = self._next()
+            if token[0] != "ident":
+                raise ExpressionError(f"expected field name after '.', found {token[1]!r}")
+            node = Field(node, token[1])
+        return node
+
+    def _primary(self) -> Node:
+        token = self._next()
+        kind, value = token
+        if kind == "num":
+            return Literal(float(value) if "." in value else int(value))
+        if kind == "str":
+            body = value[1:-1]
+            return Literal(re.sub(r"\\(.)", r"\1", body))
+        if kind == "var":
+            return Var(value[1:])
+        if kind == "ident":
+            if value == "true":
+                return Literal(True)
+            if value == "false":
+                return Literal(False)
+            if value == "null":
+                return Literal(None)
+            if self._accept_op("("):
+                args: List[Node] = []
+                if not self._accept_op(")"):
+                    args.append(self._or())
+                    while self._accept_op(","):
+                        args.append(self._or())
+                    self._expect_op(")")
+                return Call(value, tuple(args))
+            return Var(value)  # bare identifier = variable reference
+        if (kind, value) == ("op", "("):
+            node = self._or()
+            self._expect_op(")")
+            return node
+        raise ExpressionError(f"unexpected token {value!r}")
+
+
+def parse(text: str) -> Node:
+    """Parse an expression string into an AST."""
+    if not text or not text.strip():
+        raise ExpressionError("empty expression")
+    return _ExprParser(_tokenize(text)).parse()
+
+
+# -- evaluation ------------------------------------------------------------------------
+
+
+def _fn_concat(*parts: Any) -> str:
+    return "".join("" if p is None else str(p) for p in parts)
+
+
+def _fn_substring(value: Any, start: Any, length: Any = None) -> str:
+    text = "" if value is None else str(value)
+    start = int(start) - 1  # 1-based, XPath style
+    if start < 0:
+        start = 0
+    if length is None:
+        return text[start:]
+    return text[start : start + int(length)]
+
+
+def _fn_round(value: Any, digits: Any = 0) -> float:
+    return round(float(value), int(digits))
+
+
+def _fn_coalesce(*values: Any) -> Any:
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+def _fn_if(condition: Any, then: Any, otherwise: Any) -> Any:
+    return then if condition else otherwise
+
+
+BUILTINS: Dict[str, Callable[..., Any]] = {
+    "concat": _fn_concat,
+    "upper": lambda v: str(v).upper() if v is not None else None,
+    "lower": lambda v: str(v).lower() if v is not None else None,
+    "trim": lambda v: str(v).strip() if v is not None else None,
+    "length": lambda v: len(str(v)) if v is not None else 0,
+    "substring": _fn_substring,
+    "number": lambda v: float(v) if v is not None else None,
+    "int": lambda v: int(float(v)) if v is not None else None,
+    "string": lambda v: "" if v is None else str(v),
+    "round": _fn_round,
+    "floor": lambda v: math.floor(float(v)),
+    "ceil": lambda v: math.ceil(float(v)),
+    "abs": lambda v: abs(float(v)),
+    "min": lambda *vs: min(vs),
+    "max": lambda *vs: max(vs),
+    "coalesce": _fn_coalesce,
+    "if": _fn_if,
+    "data": lambda v: v,  # XQuery-style atomization; values are already atomic
+    "replace": lambda v, old, new: str(v).replace(str(old), str(new)),
+    "starts_with": lambda v, p: str(v).startswith(str(p)),
+    "contains": lambda v, p: str(p) in str(v),
+}
+
+
+class Environment:
+    """Evaluation scope: variables, functions and lookup tables."""
+
+    def __init__(
+        self,
+        variables: Optional[Mapping[str, Any]] = None,
+        functions: Optional[Mapping[str, Callable[..., Any]]] = None,
+    ) -> None:
+        self.variables: Dict[str, Any] = dict(variables or {})
+        self.functions: Dict[str, Callable[..., Any]] = dict(BUILTINS)
+        if functions:
+            self.functions.update(functions)
+        self._lookup_tables: Dict[str, Mapping[Any, Any]] = {}
+
+    def bind(self, name: str, value: Any) -> "Environment":
+        self.variables[name] = value
+        return self
+
+    def child(self, variables: Mapping[str, Any]) -> "Environment":
+        env = Environment(dict(self.variables), self.functions)
+        env._lookup_tables = self._lookup_tables
+        env.variables.update(variables)
+        return env
+
+    def register_lookup(self, name: str, table: Mapping[Any, Any], default: Any = None) -> None:
+        """Register a lookup table callable as ``lookup_<name>(key)``."""
+        self._lookup_tables[name] = table
+        self.functions[f"lookup_{name}"] = lambda key, _t=table, _d=default: _t.get(key, _d)
+
+    def lookup_table(self, name: str) -> Mapping[Any, Any]:
+        return self._lookup_tables[name]
+
+
+def evaluate(node: Union[Node, str], env: Optional[Environment] = None) -> Any:
+    """Evaluate an AST (or source string) in an environment."""
+    if isinstance(node, str):
+        node = parse(node)
+    env = env or Environment()
+    return _eval(node, env)
+
+
+def _eval(node: Node, env: Environment) -> Any:
+    if isinstance(node, Literal):
+        return node.value
+    if isinstance(node, Var):
+        if node.name not in env.variables:
+            raise ExpressionError(f"unbound variable ${node.name}")
+        return env.variables[node.name]
+    if isinstance(node, Field):
+        base = _eval(node.base, env)
+        if base is None:
+            return None
+        if isinstance(base, Mapping):
+            return base.get(node.name)
+        if hasattr(base, node.name):
+            return getattr(base, node.name)
+        raise ExpressionError(f"cannot access field {node.name!r} on {type(base).__name__}")
+    if isinstance(node, Call):
+        fn = env.functions.get(node.name)
+        if fn is None:
+            raise ExpressionError(f"unknown function {node.name!r}")
+        args = [_eval(arg, env) for arg in node.args]
+        try:
+            return fn(*args)
+        except ExpressionError:
+            raise
+        except Exception as exc:
+            raise ExpressionError(f"{node.name}(...) failed: {exc}") from exc
+    if isinstance(node, Unary):
+        value = _eval(node.operand, env)
+        if node.op == "-":
+            return -_number(value)
+        if node.op == "not":
+            return not value
+        raise ExpressionError(f"unknown unary operator {node.op!r}")
+    if isinstance(node, Binary):
+        if node.op == "and":
+            return bool(_eval(node.left, env)) and bool(_eval(node.right, env))
+        if node.op == "or":
+            return bool(_eval(node.left, env)) or bool(_eval(node.right, env))
+        left = _eval(node.left, env)
+        right = _eval(node.right, env)
+        if node.op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return _fn_concat(left, right)
+            return _number(left) + _number(right)
+        if node.op == "-":
+            return _number(left) - _number(right)
+        if node.op == "*":
+            return _number(left) * _number(right)
+        if node.op == "/":
+            denominator = _number(right)
+            if denominator == 0:
+                raise ExpressionError("division by zero")
+            return _number(left) / denominator
+        if node.op == "%":
+            return _number(left) % _number(right)
+        if node.op == "==":
+            return left == right
+        if node.op == "!=":
+            return left != right
+        if node.op == "<":
+            return left < right
+        if node.op == "<=":
+            return left <= right
+        if node.op == ">":
+            return left > right
+        if node.op == ">=":
+            return left >= right
+        raise ExpressionError(f"unknown operator {node.op!r}")
+    raise ExpressionError(f"cannot evaluate node {node!r}")
+
+
+def _number(value: Any) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return value
+    if value is None:
+        raise ExpressionError("arithmetic on null")
+    try:
+        return float(value)
+    except (TypeError, ValueError) as exc:
+        raise ExpressionError(f"not a number: {value!r}") from exc
+
+
+def variables_used(node: Union[Node, str]) -> List[str]:
+    """All variable names an expression references (sorted, unique)."""
+    if isinstance(node, str):
+        node = parse(node)
+    found: set = set()
+
+    def visit(n: Node) -> None:
+        if isinstance(n, Var):
+            found.add(n.name)
+        elif isinstance(n, Field):
+            visit(n.base)
+        elif isinstance(n, Call):
+            for arg in n.args:
+                visit(arg)
+        elif isinstance(n, Unary):
+            visit(n.operand)
+        elif isinstance(n, Binary):
+            visit(n.left)
+            visit(n.right)
+
+    visit(node)
+    return sorted(found)
+
+
+def functions_used(node: Union[Node, str]) -> List[str]:
+    """All function names an expression calls (sorted, unique)."""
+    if isinstance(node, str):
+        node = parse(node)
+    found: set = set()
+
+    def visit(n: Node) -> None:
+        if isinstance(n, Call):
+            found.add(n.name)
+            for arg in n.args:
+                visit(arg)
+        elif isinstance(n, Field):
+            visit(n.base)
+        elif isinstance(n, Unary):
+            visit(n.operand)
+        elif isinstance(n, Binary):
+            visit(n.left)
+            visit(n.right)
+
+    visit(node)
+    return sorted(found)

@@ -1,0 +1,223 @@
+"""Mapping verification against the target schema (task 9).
+
+*"the final step is to verify that the transformations are guaranteed to
+generate valid data instances (i.e., all constraints are satisfied).  In
+some cases, the only solution may be to modify the target schema to
+reflect how it will be populated."*
+
+Static checks (no instance data needed — Section 2 again):
+
+* every required (non-nullable) target attribute under a mapped entity has
+  a transform;
+* every mapped target entity has an identity rule;
+* transform expressions parse and reference only variables the entity's
+  row population can bind;
+* lookup-table transforms cover the source domain's value codes.
+
+Plus a dynamic check for when sample instances exist:
+:func:`verify_instances` validates produced rows against target datatypes
+and domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..core.elements import ElementKind, SchemaElement
+from ..core.errors import ExpressionError
+from ..core.graph import SchemaGraph
+from .attribute_transforms import ScalarTransform
+from .domain_transforms import LookupTransform
+from .expressions import parse, variables_used
+from .mapping_tool import EntityMapping, MappingSpec
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass
+class Violation:
+    """One verification finding."""
+
+    severity: str
+    target_id: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.target_id}: {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def errors(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity == SEVERITY_WARNING]
+
+    def add(self, severity: str, target_id: str, message: str) -> None:
+        self.violations.append(Violation(severity, target_id, message))
+
+    def to_text(self) -> str:
+        if not self.violations:
+            return "mapping verifies cleanly against the target schema"
+        return "\n".join(str(v) for v in self.violations)
+
+
+def verify_spec(
+    spec: MappingSpec,
+    source: SchemaGraph,
+    target: SchemaGraph,
+) -> VerificationReport:
+    """Statically verify a mapping spec against the target schema."""
+    report = VerificationReport()
+    mapped_entities = {e.target_entity for e in spec.entities}
+
+    for entity in spec.entities:
+        if entity.target_entity not in target:
+            report.add(SEVERITY_ERROR, entity.target_entity,
+                       "mapped entity does not exist in the target schema")
+            continue
+        target_el = target.element(entity.target_entity)
+        if not target_el.is_container:
+            report.add(SEVERITY_WARNING, entity.target_entity,
+                       f"entity mapping targets a {target_el.kind.value}, not a container")
+
+        mapped_attrs = {m.target_attribute for m in entity.attributes}
+        # required-attribute coverage
+        for child in target.subtree(entity.target_entity):
+            if child.kind is not ElementKind.ATTRIBUTE:
+                continue
+            required = not child.annotation("nullable", False)
+            if child.element_id not in mapped_attrs:
+                if required:
+                    report.add(
+                        SEVERITY_ERROR, child.element_id,
+                        "required target attribute has no transformation",
+                    )
+                else:
+                    report.add(
+                        SEVERITY_WARNING, child.element_id,
+                        "optional target attribute is unmapped",
+                    )
+        # identity
+        if entity.identity is None:
+            report.add(SEVERITY_ERROR, entity.target_entity,
+                       "no object-identity rule (task 7) for this entity")
+        # attribute expressions
+        for mapping in entity.attributes:
+            if mapping.target_attribute not in target:
+                report.add(SEVERITY_ERROR, mapping.target_attribute,
+                           "transform targets an attribute missing from the target schema")
+            if isinstance(mapping.transform, ScalarTransform):
+                _check_expression(report, mapping.target_attribute,
+                                  mapping.transform.code, spec)
+    # orphan check: attributes mapped under unmapped entities can't run
+    return report
+
+
+def _check_expression(
+    report: VerificationReport, target_id: str, code: str, spec: MappingSpec
+) -> None:
+    try:
+        node = parse(code)
+    except ExpressionError as exc:
+        report.add(SEVERITY_ERROR, target_id, f"code does not parse: {exc}")
+        return
+    from .expressions import functions_used
+
+    for fn in functions_used(node):
+        if fn.startswith("lookup_"):
+            table = fn[len("lookup_"):]
+            if table not in spec.lookup_tables:
+                report.add(
+                    SEVERITY_ERROR, target_id,
+                    f"code references unregistered lookup table {table!r}",
+                )
+
+
+def verify_lookup_coverage(
+    transform: LookupTransform,
+    source: SchemaGraph,
+    source_domain_id: str,
+) -> VerificationReport:
+    """Check a lookup transform covers every code of a source domain."""
+    report = VerificationReport()
+    domain = source.element(source_domain_id)
+    if domain.kind is not ElementKind.DOMAIN:
+        report.add(SEVERITY_ERROR, source_domain_id, "not a DOMAIN element")
+        return report
+    codes = [
+        child.name for child in source.children(source_domain_id)
+        if child.kind is ElementKind.DOMAIN_VALUE
+    ]
+    missing = [code for code in codes if code not in transform.table]
+    for code in missing:
+        report.add(
+            SEVERITY_WARNING, source_domain_id,
+            f"lookup table {transform.name!r} does not cover source code {code!r}",
+        )
+    return report
+
+
+def verify_instances(
+    rows: Sequence[Mapping[str, Any]],
+    target: SchemaGraph,
+    target_entity: str,
+) -> VerificationReport:
+    """Validate produced rows against target datatypes and domains."""
+    report = VerificationReport()
+    attributes: Dict[str, SchemaElement] = {}
+    for child in target.subtree(target_entity):
+        if child.kind is ElementKind.ATTRIBUTE:
+            attributes[child.name] = child
+    for index, row in enumerate(rows):
+        for name, element in attributes.items():
+            value = row.get(name)
+            if value is None:
+                if not element.annotation("nullable", False):
+                    report.add(
+                        SEVERITY_ERROR, element.element_id,
+                        f"row {index}: required attribute {name!r} is null",
+                    )
+                continue
+            if not _type_ok(value, element.datatype):
+                report.add(
+                    SEVERITY_ERROR, element.element_id,
+                    f"row {index}: value {value!r} is not a {element.datatype}",
+                )
+            domain = target.domain_of(element.element_id)
+            if domain is not None:
+                codes = {
+                    c.name for c in target.children(domain.element_id)
+                    if c.kind is ElementKind.DOMAIN_VALUE
+                }
+                if codes and str(value) not in codes:
+                    report.add(
+                        SEVERITY_ERROR, element.element_id,
+                        f"row {index}: value {value!r} outside domain {domain.name!r}",
+                    )
+    return report
+
+
+def _type_ok(value: Any, datatype: Optional[str]) -> bool:
+    if datatype is None:
+        return True
+    if datatype == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if datatype in ("decimal", "float"):
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if datatype == "boolean":
+        return isinstance(value, bool)
+    if datatype in ("string", "identifier", "date", "time", "datetime"):
+        return isinstance(value, str) or not isinstance(value, (dict, list))
+    return True

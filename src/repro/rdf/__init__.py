@@ -1,0 +1,96 @@
+"""RDF substrate: terms, triples, an indexed store, BGP queries and I/O.
+
+The paper's integration blackboard is an RDF repository (Section 5.1).
+This package is a from-scratch implementation of exactly the RDF machinery
+the blackboard needs: a term model, an indexed triple store with mutation
+listeners, a conjunctive query engine, N-Triples/Turtle serialization, and
+the canonical triple layout for schema graphs and mapping matrices.
+"""
+
+from .namespace import IW_NS, RDF_NS, RDFS_NS, XSD_NS, Namespace, PrefixMap
+from .query import Query, TriplePattern, Variable, ask, evaluate, select, values
+from .schema_rdf import (
+    cell_iri,
+    column_iri,
+    element_iri,
+    matrices_in_store,
+    matrix_iri,
+    matrix_to_rdf,
+    rdf_to_matrix,
+    rdf_to_schema,
+    row_iri,
+    schema_iri,
+    schema_to_rdf,
+    schemas_in_store,
+    write_cell,
+)
+from .serialize import from_ntriples, parse_term, term_to_ntriples, to_ntriples, to_turtle
+from .store import StoreListener, TripleStore
+from .term import (
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+    BlankNode,
+    IRI,
+    Literal,
+    Object,
+    Subject,
+    Term,
+    fresh_blank,
+    literal,
+    term_sort_key,
+)
+from .triple import Triple
+from . import vocabulary
+
+__all__ = [
+    "BlankNode",
+    "IRI",
+    "IW_NS",
+    "Literal",
+    "Namespace",
+    "Object",
+    "PrefixMap",
+    "Query",
+    "RDF_NS",
+    "RDFS_NS",
+    "StoreListener",
+    "Subject",
+    "Term",
+    "Triple",
+    "TriplePattern",
+    "TripleStore",
+    "Variable",
+    "XSD_BOOLEAN",
+    "XSD_DOUBLE",
+    "XSD_INTEGER",
+    "XSD_NS",
+    "XSD_STRING",
+    "ask",
+    "cell_iri",
+    "column_iri",
+    "element_iri",
+    "evaluate",
+    "fresh_blank",
+    "from_ntriples",
+    "literal",
+    "matrices_in_store",
+    "matrix_iri",
+    "matrix_to_rdf",
+    "parse_term",
+    "rdf_to_matrix",
+    "rdf_to_schema",
+    "row_iri",
+    "schema_iri",
+    "schema_to_rdf",
+    "schemas_in_store",
+    "select",
+    "term_sort_key",
+    "term_to_ntriples",
+    "to_ntriples",
+    "to_turtle",
+    "values",
+    "vocabulary",
+    "write_cell",
+]

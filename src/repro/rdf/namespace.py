@@ -1,0 +1,97 @@
+"""Namespaces and CURIE-style prefix handling."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .term import IRI
+
+
+class Namespace:
+    """An IRI prefix that mints terms via attribute or item access.
+
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.thing.value
+    'http://example.org/thing'
+    >>> EX["odd name"].value
+    'http://example.org/odd name'
+    """
+
+    def __init__(self, base: str) -> None:
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self.base = base
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return IRI(self.base + local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return IRI(self.base + local)
+
+    def term(self, local: str) -> IRI:
+        return IRI(self.base + local)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.base)
+
+    def local_name(self, iri: IRI) -> str:
+        """The part of *iri* after this namespace's base."""
+        if iri not in self:
+            raise ValueError(f"{iri} is not in namespace {self.base}")
+        return iri.value[len(self.base):]
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.base!r})"
+
+
+#: Standard namespaces.
+RDF_NS = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS_NS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD_NS = Namespace("http://www.w3.org/2001/XMLSchema#")
+#: The integration-workbench vocabulary namespace.
+IW_NS = Namespace("http://mitre.org/integration-workbench#")
+
+
+class PrefixMap:
+    """Bidirectional prefix ↔ namespace registry for serialization."""
+
+    def __init__(self) -> None:
+        self._by_prefix: Dict[str, Namespace] = {}
+
+    @classmethod
+    def default(cls) -> "PrefixMap":
+        pm = cls()
+        pm.bind("rdf", RDF_NS)
+        pm.bind("rdfs", RDFS_NS)
+        pm.bind("xsd", XSD_NS)
+        pm.bind("iw", IW_NS)
+        return pm
+
+    def bind(self, prefix: str, namespace: Namespace) -> None:
+        self._by_prefix[prefix] = namespace
+
+    def namespaces(self) -> Dict[str, Namespace]:
+        return dict(self._by_prefix)
+
+    def compact(self, iri: IRI) -> Optional[str]:
+        """Render an IRI as ``prefix:local`` if a binding covers it and the
+        local part is a simple name."""
+        best: Optional[Tuple[str, Namespace]] = None
+        for prefix, ns in self._by_prefix.items():
+            if iri in ns and (best is None or len(ns.base) > len(best[1].base)):
+                best = (prefix, ns)
+        if best is None:
+            return None
+        local = best[1].local_name(iri)
+        if not local or not all(c.isalnum() or c in "_-." for c in local):
+            return None
+        return f"{best[0]}:{local}"
+
+    def expand(self, curie: str) -> IRI:
+        """Expand ``prefix:local`` to an IRI."""
+        prefix, _, local = curie.partition(":")
+        if prefix not in self._by_prefix:
+            raise KeyError(f"unbound prefix {prefix!r}")
+        return self._by_prefix[prefix].term(local)

@@ -1,0 +1,206 @@
+"""Basic graph pattern (BGP) queries over the triple store.
+
+The workbench manager *"processes ad hoc queries posed to the IB"*
+(Section 5.2).  This module implements the conjunctive core of SPARQL:
+a query is a list of triple patterns whose positions are terms or
+:class:`Variable` placeholders, optionally post-filtered by Python
+predicates, with ordering/limit/projection.
+
+Patterns are solved left-to-right with a greedy reordering heuristic
+(most-bound pattern first), which keeps intermediate binding sets small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import QueryError
+from .store import TripleStore
+from .term import IRI, Literal, Object, Subject, Term, term_sort_key
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, conventionally written ``?name``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+PatternPart = Union[Term, Variable]
+Binding = Dict[Variable, Term]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One pattern in a BGP; any position may be a variable."""
+
+    subject: PatternPart
+    predicate: PatternPart
+    object: PatternPart
+
+    def variables(self) -> List[Variable]:
+        return [p for p in (self.subject, self.predicate, self.object)
+                if isinstance(p, Variable)]
+
+    def bound_count(self, binding: Binding) -> int:
+        """How many positions are concrete under *binding*."""
+        count = 0
+        for part in (self.subject, self.predicate, self.object):
+            if not isinstance(part, Variable) or part in binding:
+                count += 1
+        return count
+
+    def resolve(self, binding: Binding) -> Tuple[Optional[Term], ...]:
+        """The pattern as a store-level match pattern (None = wildcard)."""
+        out: List[Optional[Term]] = []
+        for part in (self.subject, self.predicate, self.object):
+            if isinstance(part, Variable):
+                out.append(binding.get(part))
+            else:
+                out.append(part)
+        return tuple(out)
+
+
+@dataclass
+class Query:
+    """A conjunctive query: patterns + filters + projection/order/limit."""
+
+    patterns: List[TriplePattern] = field(default_factory=list)
+    filters: List[Callable[[Binding], bool]] = field(default_factory=list)
+    select: Optional[List[Variable]] = None
+    order_by: Optional[Variable] = None
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def where(self, subject: PatternPart, predicate: PatternPart,
+              obj: PatternPart) -> "Query":
+        """Append a triple pattern (chainable)."""
+        self.patterns.append(TriplePattern(subject, predicate, obj))
+        return self
+
+    def filter(self, predicate: Callable[[Binding], bool]) -> "Query":
+        """Append a post-filter over complete bindings (chainable)."""
+        self.filters.append(predicate)
+        return self
+
+
+def _match_pattern(
+    store: TripleStore, pattern: TriplePattern, binding: Binding
+) -> Iterator[Binding]:
+    subject, predicate, obj = pattern.resolve(binding)
+    if predicate is not None and not isinstance(predicate, IRI):
+        return  # a literal/blank bound into predicate position can't match
+    if subject is not None and isinstance(subject, Literal):
+        return  # literals are never subjects
+    for triple in store.match(subject, predicate, obj):
+        extended = dict(binding)
+        ok = True
+        for part, value in (
+            (pattern.subject, triple.subject),
+            (pattern.predicate, triple.predicate),
+            (pattern.object, triple.object),
+        ):
+            if isinstance(part, Variable):
+                bound = extended.get(part)
+                if bound is None:
+                    extended[part] = value
+                elif bound != value:
+                    ok = False
+                    break
+        if ok:
+            yield extended
+
+
+def evaluate(store: TripleStore, query: Query) -> List[Binding]:
+    """Evaluate a query, returning the list of solution bindings."""
+    solutions: List[Binding] = [{}]
+    remaining = list(query.patterns)
+    while remaining:
+        # Greedy join order: prefer the pattern with most bound positions
+        # under the first current binding (all bindings share variables).
+        probe = solutions[0] if solutions else {}
+        remaining.sort(key=lambda p: -p.bound_count(probe))
+        pattern = remaining.pop(0)
+        next_solutions: List[Binding] = []
+        for binding in solutions:
+            next_solutions.extend(_match_pattern(store, pattern, binding))
+        solutions = next_solutions
+        if not solutions:
+            break
+    for flt in query.filters:
+        solutions = [b for b in solutions if flt(b)]
+    if query.select is not None:
+        projected = []
+        for binding in solutions:
+            missing = [v for v in query.select if v not in binding]
+            if missing:
+                raise QueryError(
+                    f"projection variable(s) {missing} not bound by the patterns"
+                )
+            projected.append({v: binding[v] for v in query.select})
+        solutions = projected
+    if query.distinct:
+        seen = set()
+        unique: List[Binding] = []
+        for binding in solutions:
+            key = tuple(sorted(((v.name, str(t)) for v, t in binding.items())))
+            if key not in seen:
+                seen.add(key)
+                unique.append(binding)
+        solutions = unique
+    if query.order_by is not None:
+        var = query.order_by
+        solutions.sort(key=lambda b: term_sort_key(b[var]) if var in b else ((), (), ()))
+    if query.limit is not None:
+        solutions = solutions[: query.limit]
+    return solutions
+
+
+def select(
+    store: TripleStore,
+    patterns: Sequence[Tuple[PatternPart, PatternPart, PatternPart]],
+    select_vars: Optional[Sequence[Variable]] = None,
+    **kwargs: Any,
+) -> List[Binding]:
+    """Convenience one-shot query.
+
+    >>> # select(store, [(Variable('s'), RDF_TYPE, SCHEMA_CLASS)])
+    """
+    query = Query(
+        patterns=[TriplePattern(*p) for p in patterns],
+        select=list(select_vars) if select_vars is not None else None,
+        **kwargs,
+    )
+    return evaluate(store, query)
+
+
+def ask(
+    store: TripleStore,
+    patterns: Sequence[Tuple[PatternPart, PatternPart, PatternPart]],
+) -> bool:
+    """Does at least one solution exist?"""
+    query = Query(patterns=[TriplePattern(*p) for p in patterns], limit=1)
+    return bool(evaluate(store, query))
+
+
+def values(
+    store: TripleStore,
+    patterns: Sequence[Tuple[PatternPart, PatternPart, PatternPart]],
+    var: Variable,
+) -> List[Term]:
+    """All distinct bindings of one variable."""
+    query = Query(
+        patterns=[TriplePattern(*p) for p in patterns],
+        select=[var],
+        distinct=True,
+        order_by=var,
+    )
+    return [b[var] for b in evaluate(store, query)]

@@ -1,0 +1,259 @@
+"""Conversions between the core model and its RDF representation.
+
+Section 5.1: the blackboard's *"basic contents ... are schema graphs and
+mapping matrices"*, stored as RDF so that any element can be annotated.
+These functions define the canonical triple layout:
+
+* a schema is an ``iw:Schema`` resource with ``iw:hasElement`` links;
+* each element is an ``iw:SchemaElement`` with ``iw:name``, ``iw:kind``,
+  ``iw:type`` and ``iw:documentation`` annotations;
+* structural edges reuse the controlled edge vocabulary
+  (``iw:contains-attribute`` etc.);
+* a matrix is an ``iw:MappingMatrix`` with row/column resources carrying
+  ``iw:variable-name`` / ``iw:code`` / ``iw:is-complete``, and cell
+  resources carrying ``iw:confidence-score`` / ``iw:is-user-defined``.
+
+The IRI scheme is deterministic so that graph → RDF → graph round-trips
+and deltas are stable across workbench instances.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from typing import Dict, List, Optional
+
+from ..core.correspondence import Correspondence
+from ..core.elements import ElementKind, SchemaElement
+from ..core.errors import StoreError
+from ..core.graph import SchemaGraph
+from ..core.matrix import MappingMatrix
+from .namespace import IW_NS, Namespace
+from .store import TripleStore
+from .term import IRI, Literal, literal
+from . import vocabulary as V
+
+SCHEMA_BASE = Namespace("http://mitre.org/iw/schema/")
+ELEMENT_BASE = Namespace("http://mitre.org/iw/element/")
+MATRIX_BASE = Namespace("http://mitre.org/iw/matrix/")
+
+
+def _quote(name: str) -> str:
+    return urllib.parse.quote(name, safe="")
+
+
+def schema_iri(schema_name: str) -> IRI:
+    return SCHEMA_BASE.term(_quote(schema_name))
+
+
+def element_iri(schema_name: str, element_id: str) -> IRI:
+    return ELEMENT_BASE.term(f"{_quote(schema_name)}/{_quote(element_id)}")
+
+
+def matrix_iri(matrix_name: str) -> IRI:
+    return MATRIX_BASE.term(_quote(matrix_name))
+
+
+def row_iri(matrix_name: str, element_id: str) -> IRI:
+    return MATRIX_BASE.term(f"{_quote(matrix_name)}/row/{_quote(element_id)}")
+
+
+def column_iri(matrix_name: str, element_id: str) -> IRI:
+    return MATRIX_BASE.term(f"{_quote(matrix_name)}/col/{_quote(element_id)}")
+
+
+def cell_iri(matrix_name: str, source_id: str, target_id: str) -> IRI:
+    return MATRIX_BASE.term(
+        f"{_quote(matrix_name)}/cell/{_quote(source_id)}/{_quote(target_id)}"
+    )
+
+
+# -- schema graph -> RDF ------------------------------------------------------
+
+def schema_to_rdf(graph: SchemaGraph, store: TripleStore) -> IRI:
+    """Write a schema graph into the store; returns the schema's IRI."""
+    s_iri = schema_iri(graph.name)
+    store.add(s_iri, V.RDF_TYPE, V.SCHEMA_CLASS)
+    store.add(s_iri, V.NAME, literal(graph.name))
+    element_iris: Dict[str, IRI] = {}
+    for element in graph:
+        e_iri = element_iri(graph.name, element.element_id)
+        element_iris[element.element_id] = e_iri
+        store.add(s_iri, V.HAS_ELEMENT, e_iri)
+        store.add(e_iri, V.RDF_TYPE, V.ELEMENT_CLASS)
+        store.add(e_iri, V.NAME, literal(element.name))
+        store.add(e_iri, V.KIND, literal(element.kind.value))
+        if element.datatype:
+            store.add(e_iri, V.TYPE, literal(element.datatype))
+        if element.documentation:
+            store.add(e_iri, V.DOCUMENTATION, literal(element.documentation))
+        for key, value in element.annotations.items():
+            if isinstance(value, (str, int, float, bool)):
+                store.add(e_iri, IW_NS.term(f"annotation-{_quote(key)}"), literal(value))
+    store.add(s_iri, V.HAS_ROOT, element_iris[graph.root.element_id])
+    for edge in graph.edges:
+        predicate = V.EDGE_LABEL_TO_IRI.get(edge.label, IW_NS.term(_quote(edge.label)))
+        store.add(element_iris[edge.subject], predicate, element_iris[edge.object])
+    return s_iri
+
+
+def rdf_to_schema(store: TripleStore, schema_name: str) -> SchemaGraph:
+    """Reconstruct a schema graph from its triples."""
+    s_iri = schema_iri(schema_name)
+    if V.SCHEMA_CLASS not in store.objects(s_iri, V.RDF_TYPE):
+        raise StoreError(f"no schema named {schema_name!r} in the store")
+    graph = SchemaGraph(schema_name)
+    iri_to_id: Dict[IRI, str] = {}
+    for obj in store.objects(s_iri, V.HAS_ELEMENT):
+        assert isinstance(obj, IRI)
+        name_lit = store.object(obj, V.NAME)
+        kind_lit = store.object(obj, V.KIND)
+        type_lit = store.object(obj, V.TYPE)
+        doc_lit = store.object(obj, V.DOCUMENTATION)
+        element_id = urllib.parse.unquote(obj.value.rsplit("/", 1)[-1])
+        annotations = {}
+        for predicate, values in store.describe(obj).items():
+            prefix = IW_NS.base + "annotation-"
+            if predicate.value.startswith(prefix):
+                key = urllib.parse.unquote(predicate.value[len(prefix):])
+                lit = values[0]
+                if isinstance(lit, Literal):
+                    annotations[key] = lit.to_python()
+        graph.add_element(
+            SchemaElement(
+                element_id=element_id,
+                name=name_lit.to_python() if isinstance(name_lit, Literal) else element_id,
+                kind=ElementKind(kind_lit.to_python()) if isinstance(kind_lit, Literal) else ElementKind.ELEMENT,
+                datatype=type_lit.to_python() if isinstance(type_lit, Literal) else None,
+                documentation=doc_lit.to_python() if isinstance(doc_lit, Literal) else "",
+                annotations=annotations,
+            )
+        )
+        iri_to_id[obj] = element_id
+    for e_iri, element_id in iri_to_id.items():
+        for predicate, values in store.describe(e_iri).items():
+            label = V.IRI_TO_EDGE_LABEL.get(predicate)
+            if label is None:
+                continue
+            for value in values:
+                if isinstance(value, IRI) and value in iri_to_id:
+                    graph.add_edge(element_id, label, iri_to_id[value])
+    return graph
+
+
+def schemas_in_store(store: TripleStore) -> List[str]:
+    """Names of all schemas present in the store."""
+    names = []
+    for subject in store.subjects(V.RDF_TYPE, V.SCHEMA_CLASS):
+        lit = store.object(subject, V.NAME)
+        if isinstance(lit, Literal):
+            names.append(lit.lexical)
+    return sorted(names)
+
+
+# -- mapping matrix -> RDF --------------------------------------------------------
+
+def matrix_to_rdf(matrix: MappingMatrix, store: TripleStore) -> IRI:
+    """Write a mapping matrix into the store; returns the matrix IRI."""
+    m_iri = matrix_iri(matrix.name)
+    store.add(m_iri, V.RDF_TYPE, V.MATRIX_CLASS)
+    store.add(m_iri, V.NAME, literal(matrix.name))
+    if matrix.code:
+        store.set_value(m_iri, V.CODE, literal(matrix.code))
+    for element_id in matrix.row_ids:
+        header = matrix.row(element_id)
+        r_iri = row_iri(matrix.name, element_id)
+        store.add(m_iri, V.HAS_ROW, r_iri)
+        store.add(r_iri, V.RDF_TYPE, V.ROW_CLASS)
+        store.add(r_iri, V.ROW_ELEMENT, element_iri(header.schema_name, element_id))
+        store.add(r_iri, V.NAME, literal(element_id))
+        store.set_value(r_iri, V.IS_COMPLETE, literal(header.is_complete))
+        if header.variable_name:
+            store.set_value(r_iri, V.VARIABLE_NAME, literal(header.variable_name))
+    for element_id in matrix.column_ids:
+        header = matrix.column(element_id)
+        c_iri = column_iri(matrix.name, element_id)
+        store.add(m_iri, V.HAS_COLUMN, c_iri)
+        store.add(c_iri, V.RDF_TYPE, V.COLUMN_CLASS)
+        store.add(c_iri, V.COLUMN_ELEMENT, element_iri(header.schema_name, element_id))
+        store.add(c_iri, V.NAME, literal(element_id))
+        store.set_value(c_iri, V.IS_COMPLETE, literal(header.is_complete))
+        if header.code:
+            store.set_value(c_iri, V.CODE, literal(header.code))
+    for cell in matrix.cells():
+        write_cell(store, matrix.name, cell)
+    return m_iri
+
+
+def write_cell(store: TripleStore, matrix_name: str, cell: Correspondence) -> IRI:
+    """Write (or refresh) one mapping cell's triples."""
+    c_iri = cell_iri(matrix_name, cell.source_id, cell.target_id)
+    m_iri = matrix_iri(matrix_name)
+    store.add(m_iri, V.HAS_CELL, c_iri)
+    store.add(c_iri, V.RDF_TYPE, V.CELL_CLASS)
+    store.add(c_iri, V.CELL_ROW, row_iri(matrix_name, cell.source_id))
+    store.add(c_iri, V.CELL_COLUMN, column_iri(matrix_name, cell.target_id))
+    store.set_value(c_iri, V.CONFIDENCE_SCORE, literal(float(cell.confidence)))
+    store.set_value(c_iri, V.IS_USER_DEFINED, literal(cell.is_user_defined))
+    return c_iri
+
+
+def rdf_to_matrix(store: TripleStore, matrix_name: str) -> MappingMatrix:
+    """Reconstruct a mapping matrix from its triples."""
+    m_iri = matrix_iri(matrix_name)
+    if V.MATRIX_CLASS not in store.objects(m_iri, V.RDF_TYPE):
+        raise StoreError(f"no mapping matrix named {matrix_name!r} in the store")
+    matrix = MappingMatrix(matrix_name)
+    code = store.object(m_iri, V.CODE)
+    if isinstance(code, Literal):
+        matrix.code = code.lexical
+
+    def _schema_of(element_ref: Optional[object]) -> str:
+        if isinstance(element_ref, IRI) and element_ref in ELEMENT_BASE:
+            path = ELEMENT_BASE.local_name(element_ref)
+            return urllib.parse.unquote(path.split("/", 1)[0])
+        return ""
+
+    for r in store.objects(m_iri, V.HAS_ROW):
+        assert isinstance(r, IRI)
+        name = store.object(r, V.NAME)
+        element_id = name.lexical if isinstance(name, Literal) else ""
+        header = matrix.add_row(element_id, schema_name=_schema_of(store.object(r, V.ROW_ELEMENT)))
+        complete = store.object(r, V.IS_COMPLETE)
+        header.is_complete = bool(complete.to_python()) if isinstance(complete, Literal) else False
+        variable = store.object(r, V.VARIABLE_NAME)
+        if isinstance(variable, Literal):
+            header.variable_name = variable.lexical
+    for c in store.objects(m_iri, V.HAS_COLUMN):
+        assert isinstance(c, IRI)
+        name = store.object(c, V.NAME)
+        element_id = name.lexical if isinstance(name, Literal) else ""
+        header = matrix.add_column(element_id, schema_name=_schema_of(store.object(c, V.COLUMN_ELEMENT)))
+        complete = store.object(c, V.IS_COMPLETE)
+        header.is_complete = bool(complete.to_python()) if isinstance(complete, Literal) else False
+        code_lit = store.object(c, V.CODE)
+        if isinstance(code_lit, Literal):
+            header.code = code_lit.lexical
+    for cl in store.objects(m_iri, V.HAS_CELL):
+        assert isinstance(cl, IRI)
+        path = MATRIX_BASE.local_name(cl)
+        parts = path.split("/")
+        # <matrix>/cell/<source>/<target>
+        if len(parts) != 4 or parts[1] != "cell":
+            raise StoreError(f"malformed cell IRI {cl}")
+        source_id = urllib.parse.unquote(parts[2])
+        target_id = urllib.parse.unquote(parts[3])
+        conf = store.object(cl, V.CONFIDENCE_SCORE)
+        user = store.object(cl, V.IS_USER_DEFINED)
+        confidence = float(conf.to_python()) if isinstance(conf, Literal) else 0.0
+        user_defined = bool(user.to_python()) if isinstance(user, Literal) else False
+        matrix.set_confidence(source_id, target_id, confidence, user_defined=user_defined)
+    return matrix
+
+
+def matrices_in_store(store: TripleStore) -> List[str]:
+    names = []
+    for subject in store.subjects(V.RDF_TYPE, V.MATRIX_CLASS):
+        lit = store.object(subject, V.NAME)
+        if isinstance(lit, Literal):
+            names.append(lit.lexical)
+    return sorted(names)

@@ -1,0 +1,166 @@
+"""N-Triples and Turtle-subset serialization for the triple store.
+
+The blackboard must be durable and shareable across workbench instances
+(Section 5.1.3); these round-trippable text formats are the interchange
+mechanism.  The N-Triples reader/writer handles the full term model; the
+Turtle writer is a compact pretty-printer (prefixes, predicate grouping)
+whose output the N-Triples-style reader does not need to re-read.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..core.errors import StoreError
+from .namespace import PrefixMap
+from .store import TripleStore
+from .term import XSD_STRING, BlankNode, IRI, Literal, Object, Subject, Term
+from .triple import Triple
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\r": "\\r", "\t": "\\t"}
+_UNESCAPES = {"\\\\": "\\", '\\"': '"', "\\n": "\n", "\\r": "\r", "\\t": "\t"}
+
+_NTRIPLE_LINE = re.compile(
+    r"""^
+    (?P<subject><[^>]*>|_:\S+)\s+
+    (?P<predicate><[^>]*>)\s+
+    (?P<object><[^>]*>|_:\S+|"(?:[^"\\]|\\.)*"(?:\^\^<[^>]*>)?)\s*
+    \.\s*$""",
+    re.VERBOSE,
+)
+
+
+#: Characters Python's splitlines() treats as line boundaries, beyond \n\r.
+_LINE_BREAKERS = "\x0b\x0c\x1c\x1d\x1e\x85\u2028\u2029"
+
+
+def _escape(text: str) -> str:
+    out: List[str] = []
+    for ch in text:
+        if ch in _ESCAPES:
+            out.append(_ESCAPES[ch])
+        elif ord(ch) < 0x20 or ch in _LINE_BREAKERS:
+            out.append(f"\\u{ord(ch):04X}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _unescape(text: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\" and i + 1 < len(text):
+            pair = text[i : i + 2]
+            if pair in _UNESCAPES:
+                out.append(_UNESCAPES[pair])
+                i += 2
+                continue
+            if text[i + 1] == "u" and i + 6 <= len(text):
+                out.append(chr(int(text[i + 2 : i + 6], 16)))
+                i += 6
+                continue
+            if text[i + 1] == "U" and i + 10 <= len(text):
+                out.append(chr(int(text[i + 2 : i + 10], 16)))
+                i += 10
+                continue
+        out.append(text[i])
+        i += 1
+    return "".join(out)
+
+
+def term_to_ntriples(term: Term) -> str:
+    if isinstance(term, IRI):
+        return f"<{term.value}>"
+    if isinstance(term, BlankNode):
+        return f"_:{term.label}"
+    if isinstance(term, Literal):
+        body = f'"{_escape(term.lexical)}"'
+        if term.datatype != XSD_STRING:
+            body += f"^^<{term.datatype}>"
+        return body
+    raise StoreError(f"cannot serialize term {term!r}")
+
+
+def parse_term(text: str) -> Term:
+    """Parse one N-Triples term."""
+    text = text.strip()
+    if text.startswith("<") and text.endswith(">"):
+        return IRI(text[1:-1])
+    if text.startswith("_:"):
+        return BlankNode(text[2:])
+    if text.startswith('"'):
+        match = re.match(r'^"((?:[^"\\]|\\.)*)"(?:\^\^<([^>]*)>)?$', text)
+        if not match:
+            raise StoreError(f"malformed literal: {text!r}")
+        lexical = _unescape(match.group(1))
+        datatype = match.group(2) or XSD_STRING
+        return Literal(lexical, datatype)
+    raise StoreError(f"cannot parse term: {text!r}")
+
+
+def to_ntriples(store: TripleStore) -> str:
+    """Serialize the whole store in canonical (sorted) N-Triples."""
+    lines = []
+    for triple in store:  # store iteration is sorted
+        lines.append(
+            f"{term_to_ntriples(triple.subject)} "
+            f"{term_to_ntriples(triple.predicate)} "
+            f"{term_to_ntriples(triple.object)} ."
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def from_ntriples(text: str, store: Optional[TripleStore] = None) -> TripleStore:
+    """Parse N-Triples text into a (new or given) store."""
+    store = store if store is not None else TripleStore()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _NTRIPLE_LINE.match(line)
+        if not match:
+            raise StoreError(f"malformed N-Triples at line {lineno}: {raw!r}")
+        subject = parse_term(match.group("subject"))
+        predicate = parse_term(match.group("predicate"))
+        obj = parse_term(match.group("object"))
+        if isinstance(subject, Literal):
+            raise StoreError(f"literal subject at line {lineno}")
+        if not isinstance(predicate, IRI):
+            raise StoreError(f"non-IRI predicate at line {lineno}")
+        store.add(subject, predicate, obj)
+    return store
+
+
+def to_turtle(store: TripleStore, prefixes: Optional[PrefixMap] = None) -> str:
+    """Pretty Turtle-subset output: prefix directives + grouped predicates."""
+    prefixes = prefixes or PrefixMap.default()
+
+    def render(term: Term) -> str:
+        if isinstance(term, IRI):
+            compact = prefixes.compact(term)
+            return compact if compact else f"<{term.value}>"
+        return term_to_ntriples(term)
+
+    lines: List[str] = []
+    for prefix, ns in sorted(prefixes.namespaces().items()):
+        lines.append(f"@prefix {prefix}: <{ns.base}> .")
+    if lines:
+        lines.append("")
+
+    by_subject: Dict[Subject, List[Triple]] = {}
+    for triple in store:
+        by_subject.setdefault(triple.subject, []).append(triple)
+    for subject in sorted(by_subject, key=lambda s: str(s)):
+        triples = by_subject[subject]
+        grouped: Dict[IRI, List[Object]] = {}
+        for t in triples:
+            grouped.setdefault(t.predicate, []).append(t.object)
+        parts = []
+        for predicate in sorted(grouped, key=lambda p: p.value):
+            objects = ", ".join(render(o) for o in grouped[predicate])
+            parts.append(f"    {render(predicate)} {objects}")
+        lines.append(f"{render(subject)}")
+        lines.append(" ;\n".join(parts) + " .")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,204 @@
+"""An indexed in-memory triple store.
+
+The store keeps three permutation indexes (SPO, POS, OSP) so any triple
+pattern with at least one bound position resolves without a full scan —
+the workbench manager's query service and the blackboard's delta logic
+both lean on this.
+
+Mutations can be observed: :meth:`subscribe` registers a callback invoked
+with every added/removed triple, which is how blackboard transactions build
+their undo logs and how the event service learns about changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+from ..core.errors import StoreError
+from .term import IRI, Object, Subject, Term
+from .triple import Triple
+
+#: (added?, triple) — True for insertion, False for removal.
+StoreListener = Callable[[bool, Triple], None]
+
+
+class TripleStore:
+    """Set semantics over triples with pattern matching."""
+
+    def __init__(self) -> None:
+        self._triples: Set[Triple] = set()
+        self._spo: Dict[Subject, Dict[IRI, Set[Object]]] = {}
+        self._pos: Dict[IRI, Dict[Object, Set[Subject]]] = {}
+        self._osp: Dict[Object, Dict[Subject, Set[IRI]]] = {}
+        self._listeners: List[StoreListener] = []
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, subject: Subject, predicate: IRI, obj: Object) -> bool:
+        """Insert one triple.  Returns True if the store changed."""
+        return self.add_triple(Triple(subject, predicate, obj))
+
+    def add_triple(self, triple: Triple) -> bool:
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._spo.setdefault(triple.subject, {}).setdefault(
+            triple.predicate, set()
+        ).add(triple.object)
+        self._pos.setdefault(triple.predicate, {}).setdefault(
+            triple.object, set()
+        ).add(triple.subject)
+        self._osp.setdefault(triple.object, {}).setdefault(
+            triple.subject, set()
+        ).add(triple.predicate)
+        self._notify(True, triple)
+        return True
+
+    def remove(self, subject: Subject, predicate: IRI, obj: Object) -> bool:
+        """Remove one triple.  Returns True if the store changed."""
+        return self.remove_triple(Triple(subject, predicate, obj))
+
+    def remove_triple(self, triple: Triple) -> bool:
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._spo[triple.subject][triple.predicate].discard(triple.object)
+        self._pos[triple.predicate][triple.object].discard(triple.subject)
+        self._osp[triple.object][triple.subject].discard(triple.predicate)
+        self._notify(False, triple)
+        return True
+
+    def remove_matching(
+        self,
+        subject: Optional[Subject] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Object] = None,
+    ) -> int:
+        """Remove every triple matching the pattern; returns the count."""
+        victims = list(self.match(subject, predicate, obj))
+        for triple in victims:
+            self.remove_triple(triple)
+        return len(victims)
+
+    def set_value(self, subject: Subject, predicate: IRI, obj: Object) -> None:
+        """Functional-property write: replace all existing objects for
+        (subject, predicate) with the single new object."""
+        for existing in list(self.objects(subject, predicate)):
+            if existing != obj:
+                self.remove(subject, predicate, existing)
+        self.add(subject, predicate, obj)
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Bulk insert; returns how many were new."""
+        return sum(1 for t in triples if self.add_triple(t))
+
+    def clear(self) -> None:
+        for triple in list(self._triples):
+            self.remove_triple(triple)
+
+    # -- observation -----------------------------------------------------------
+
+    def subscribe(self, listener: StoreListener) -> Callable[[], None]:
+        """Register a mutation listener; returns an unsubscribe callable."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def _notify(self, added: bool, triple: Triple) -> None:
+        for listener in list(self._listeners):
+            listener(added, triple)
+
+    # -- reads -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(sorted(self._triples, key=Triple.sort_key))
+
+    def match(
+        self,
+        subject: Optional[Subject] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Object] = None,
+    ) -> Iterator[Triple]:
+        """All triples matching a pattern; ``None`` is a wildcard."""
+        if subject is not None and predicate is not None and obj is not None:
+            triple = Triple(subject, predicate, obj)
+            if triple in self._triples:
+                yield triple
+            return
+        if subject is not None:
+            by_pred = self._spo.get(subject, {})
+            predicates = [predicate] if predicate is not None else list(by_pred)
+            for pred in predicates:
+                for o in list(by_pred.get(pred, ())):
+                    if obj is None or o == obj:
+                        yield Triple(subject, pred, o)
+            return
+        if predicate is not None:
+            by_obj = self._pos.get(predicate, {})
+            objects = [obj] if obj is not None else list(by_obj)
+            for o in objects:
+                for s in list(by_obj.get(o, ())):
+                    yield Triple(s, predicate, o)
+            return
+        if obj is not None:
+            by_subj = self._osp.get(obj, {})
+            for s, preds in list(by_subj.items()):
+                for p in list(preds):
+                    yield Triple(s, p, obj)
+            return
+        yield from list(self._triples)
+
+    def objects(self, subject: Subject, predicate: IRI) -> List[Object]:
+        """All objects of (subject, predicate, ?)."""
+        return list(self._spo.get(subject, {}).get(predicate, ()))
+
+    def object(self, subject: Subject, predicate: IRI) -> Optional[Object]:
+        """The single object of a functional property, or None.
+
+        Raises :class:`StoreError` if the property has multiple values.
+        """
+        values = self.objects(subject, predicate)
+        if not values:
+            return None
+        if len(values) > 1:
+            raise StoreError(
+                f"{subject} {predicate} has {len(values)} values, expected one"
+            )
+        return values[0]
+
+    def subjects(self, predicate: IRI, obj: Object) -> List[Subject]:
+        """All subjects of (?, predicate, object)."""
+        return list(self._pos.get(predicate, {}).get(obj, ()))
+
+    def subjects_of_type(self, type_iri: Object) -> List[Subject]:
+        from .vocabulary import RDF_TYPE
+
+        return self.subjects(RDF_TYPE, type_iri)
+
+    def predicates(self, subject: Subject, obj: Object) -> List[IRI]:
+        return list(self._osp.get(obj, {}).get(subject, ()))
+
+    def describe(self, subject: Subject) -> Dict[IRI, List[Object]]:
+        """All (predicate → objects) for one subject."""
+        return {
+            pred: sorted(objs, key=lambda o: str(o))
+            for pred, objs in self._spo.get(subject, {}).items()
+            if objs
+        }
+
+    def snapshot(self) -> Set[Triple]:
+        """An immutable copy of the current contents."""
+        return set(self._triples)
+
+    def __repr__(self) -> str:
+        return f"TripleStore(triples={len(self._triples)})"

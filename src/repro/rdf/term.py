@@ -1,0 +1,123 @@
+"""RDF terms: IRIs, literals and blank nodes.
+
+The integration blackboard stores everything as RDF (Section 5.1): *"we
+propose using RDF for the IB, because: 1) it is natural for representing
+labeled graphs, 2) one can use RDF Schema to define useful built-in link
+types while still offering easy extensibility, 3) it is vendor-independent,
+and 4) it has significant development support."*
+
+This is a small, self-contained term model — enough RDF to make the
+blackboard real (typed literals, blank nodes, lexicographic ordering for
+deterministic serialization) without pulling in an external toolkit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Union
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+XSD_STRING = _XSD + "string"
+XSD_BOOLEAN = _XSD + "boolean"
+XSD_INTEGER = _XSD + "integer"
+XSD_DOUBLE = _XSD + "double"
+
+
+@dataclass(frozen=True, order=True)
+class IRI:
+    """An absolute IRI naming a resource."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("IRI must be non-empty")
+
+    def __str__(self) -> str:
+        return f"<{self.value}>"
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A typed RDF literal with its lexical form."""
+
+    lexical: str
+    datatype: str = XSD_STRING
+
+    def __str__(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.datatype == XSD_STRING:
+            return f'"{escaped}"'
+        return f'"{escaped}"^^<{self.datatype}>'
+
+    def to_python(self) -> Any:
+        """The literal as the matching Python value."""
+        if self.datatype == XSD_BOOLEAN:
+            return self.lexical == "true"
+        if self.datatype == XSD_INTEGER:
+            return int(self.lexical)
+        if self.datatype == XSD_DOUBLE:
+            return float(self.lexical)
+        return self.lexical
+
+
+_blank_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, order=True)
+class BlankNode:
+    """An anonymous node.  Fresh labels come from :func:`fresh_blank`."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+
+def fresh_blank(prefix: str = "b") -> BlankNode:
+    """A blank node with a process-unique label."""
+    return BlankNode(f"{prefix}{next(_blank_counter)}")
+
+
+#: Anything that may appear in subject position.
+Subject = Union[IRI, BlankNode]
+#: Anything that may appear in object position.
+Object = Union[IRI, BlankNode, Literal]
+#: Any term at all.
+Term = Union[IRI, BlankNode, Literal]
+
+
+def literal(value: Any) -> Literal:
+    """Build a typed literal from a Python value.
+
+    >>> literal(True).datatype.endswith('boolean')
+    True
+    >>> literal(3).to_python()
+    3
+    """
+    if isinstance(value, Literal):
+        return value
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", XSD_BOOLEAN)
+    if isinstance(value, int):
+        return Literal(str(value), XSD_INTEGER)
+    if isinstance(value, float):
+        return Literal(repr(value), XSD_DOUBLE)
+    return Literal(str(value), XSD_STRING)
+
+
+def term_sort_key(term: Term) -> tuple:
+    """Total order across term kinds: IRIs < blanks < literals."""
+    if isinstance(term, IRI):
+        return (0, term.value, "")
+    if isinstance(term, BlankNode):
+        return (1, term.label, "")
+    return (2, term.lexical, term.datatype)

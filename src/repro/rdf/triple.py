@@ -1,0 +1,33 @@
+"""RDF triples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .term import IRI, Object, Subject, term_sort_key
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One (subject, predicate, object) statement."""
+
+    subject: Subject
+    predicate: IRI
+    object: Object
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.predicate, IRI):
+            raise TypeError(
+                f"predicate must be an IRI, got {type(self.predicate).__name__}"
+            )
+
+    def sort_key(self) -> Tuple[tuple, tuple, tuple]:
+        return (
+            term_sort_key(self.subject),
+            term_sort_key(self.predicate),
+            term_sort_key(self.object),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.predicate} {self.object} ."

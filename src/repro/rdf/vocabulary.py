@@ -1,0 +1,92 @@
+"""The integration-workbench RDF vocabulary (controlled terms, Section 5.1).
+
+The paper predefines *"certain annotations using a controlled vocabulary"*
+— ``name``, ``type``, ``documentation`` on schema elements; containment
+edge labels; ``confidence-score``, ``is-user-defined``, ``is-complete``,
+``variable-name`` and ``code`` on mapping-matrix components.  This module
+pins those terms down as IRIs in the ``iw:`` namespace plus the slice of
+RDF/RDFS we rely on.
+"""
+
+from __future__ import annotations
+
+from .namespace import IW_NS, RDF_NS, RDFS_NS
+from .term import IRI
+
+# -- RDF / RDFS core -----------------------------------------------------------
+
+RDF_TYPE: IRI = RDF_NS.type
+RDFS_LABEL: IRI = RDFS_NS.label
+RDFS_COMMENT: IRI = RDFS_NS.comment
+RDFS_SUBCLASS_OF: IRI = RDFS_NS.subClassOf
+
+# -- classes -------------------------------------------------------------------
+
+SCHEMA_CLASS: IRI = IW_NS.Schema
+ELEMENT_CLASS: IRI = IW_NS.SchemaElement
+MATRIX_CLASS: IRI = IW_NS.MappingMatrix
+ROW_CLASS: IRI = IW_NS.MatrixRow
+COLUMN_CLASS: IRI = IW_NS.MatrixColumn
+CELL_CLASS: IRI = IW_NS.MappingCell
+
+# -- element annotations (Section 5.1.1: name, type, documentation) ----------
+
+NAME: IRI = IW_NS.name
+TYPE: IRI = IW_NS.type
+DOCUMENTATION: IRI = IW_NS.documentation
+KIND: IRI = IW_NS.kind
+
+# -- structural edge labels ----------------------------------------------------
+
+CONTAINS_TABLE: IRI = IW_NS["contains-table"]
+CONTAINS_ATTRIBUTE: IRI = IW_NS["contains-attribute"]
+CONTAINS_ELEMENT: IRI = IW_NS["contains-element"]
+CONTAINS_VALUE: IRI = IW_NS["contains-value"]
+HAS_DOMAIN: IRI = IW_NS["has-domain"]
+HAS_KEY: IRI = IW_NS["has-key"]
+KEY_ATTRIBUTE: IRI = IW_NS["key-attribute"]
+REFERENCES: IRI = IW_NS.references
+
+#: Mapping between schema-graph edge labels (strings) and IW edge IRIs.
+EDGE_LABEL_TO_IRI = {
+    "contains-table": CONTAINS_TABLE,
+    "contains-attribute": CONTAINS_ATTRIBUTE,
+    "contains-element": CONTAINS_ELEMENT,
+    "contains-value": CONTAINS_VALUE,
+    "has-domain": HAS_DOMAIN,
+    "has-key": HAS_KEY,
+    "key-attribute": KEY_ATTRIBUTE,
+    "references": REFERENCES,
+}
+IRI_TO_EDGE_LABEL = {iri: label for label, iri in EDGE_LABEL_TO_IRI.items()}
+
+# -- schema / matrix structure --------------------------------------------------
+
+HAS_ELEMENT: IRI = IW_NS.hasElement
+HAS_ROOT: IRI = IW_NS.hasRoot
+HAS_ROW: IRI = IW_NS.hasRow
+HAS_COLUMN: IRI = IW_NS.hasColumn
+HAS_CELL: IRI = IW_NS.hasCell
+ROW_ELEMENT: IRI = IW_NS.rowElement
+COLUMN_ELEMENT: IRI = IW_NS.columnElement
+CELL_ROW: IRI = IW_NS.cellRow
+CELL_COLUMN: IRI = IW_NS.cellColumn
+SOURCE_SCHEMA: IRI = IW_NS.sourceSchema
+TARGET_SCHEMA: IRI = IW_NS.targetSchema
+
+# -- mapping annotations (Section 5.1.2) ----------------------------------------
+
+CONFIDENCE_SCORE: IRI = IW_NS["confidence-score"]
+IS_USER_DEFINED: IRI = IW_NS["is-user-defined"]
+IS_COMPLETE: IRI = IW_NS["is-complete"]
+VARIABLE_NAME: IRI = IW_NS["variable-name"]
+CODE: IRI = IW_NS.code
+
+# -- provenance / versioning (Section 5.1.3 enhancements) -----------------------
+
+VERSION: IRI = IW_NS.version
+PREDECESSOR: IRI = IW_NS.predecessor
+GENERATED_BY: IRI = IW_NS.generatedBy
+GENERATED_AT: IRI = IW_NS.generatedAt
+DERIVED_FROM: IRI = IW_NS.derivedFrom
+FOCUS: IRI = IW_NS.focus

@@ -1,0 +1,36 @@
+"""Synthetic DoD-like metadata registry (the Table 1 substrate).
+
+The real registry is not releasable; this package generates a registry
+whose documentation statistics match Table 1's published marginals in
+expectation, at any scale (see DESIGN.md's substitution table).
+"""
+
+from .generator import (
+    PAPER_ATTRIBUTE_COUNT,
+    PAPER_DOMAIN_COUNT,
+    PAPER_ELEMENT_COUNT,
+    PAPER_MODEL_COUNT,
+    RegistryProfile,
+    generate_registry,
+)
+from .statistics import (
+    PAPER_TABLE_1,
+    ClassStats,
+    RegistryStats,
+    comparison_table,
+    compute_stats,
+)
+
+__all__ = [
+    "ClassStats",
+    "PAPER_ATTRIBUTE_COUNT",
+    "PAPER_DOMAIN_COUNT",
+    "PAPER_ELEMENT_COUNT",
+    "PAPER_MODEL_COUNT",
+    "PAPER_TABLE_1",
+    "RegistryProfile",
+    "RegistryStats",
+    "comparison_table",
+    "compute_stats",
+    "generate_registry",
+]

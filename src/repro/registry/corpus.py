@@ -1,0 +1,141 @@
+"""Vocabulary and definition templates for the synthetic registry.
+
+Section 2's registry is DoD-flavored: air traffic control, logistics,
+personnel, facilities.  The generator composes one-sentence definitions
+from this vocabulary, in the register data dictionaries actually use
+("The code that denotes the type of runway surface.").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+#: Entity-ish nouns (concepts models are about).
+ENTITY_NOUNS = [
+    "aircraft", "airport", "runway", "facility", "route", "flight", "carrier",
+    "mission", "unit", "vehicle", "vessel", "installation", "organization",
+    "person", "position", "asset", "shipment", "supply", "requisition",
+    "contract", "agreement", "billet", "assignment", "sensor", "platform",
+    "munition", "depot", "warehouse", "region", "sector", "zone", "waypoint",
+    "schedule", "sortie", "crew", "squadron", "wing", "command", "agency",
+    "document", "message", "report", "record", "order", "plan", "exercise",
+    "event", "incident", "inspection", "maintenance", "repair", "part",
+    "component", "system", "network", "frequency", "channel", "satellite",
+]
+
+#: Attribute-ish nouns (properties of concepts).
+ATTRIBUTE_NOUNS = [
+    "identifier", "name", "code", "type", "category", "status", "date",
+    "time", "quantity", "amount", "weight", "length", "width", "height",
+    "elevation", "latitude", "longitude", "speed", "capacity", "priority",
+    "description", "remark", "designation", "classification", "grade",
+    "rank", "rating", "percentage", "ratio", "count", "number", "sequence",
+    "version", "revision", "effective date", "expiration date", "duration",
+    "frequency", "bearing", "heading", "altitude", "range", "azimuth",
+    "serial number", "model", "manufacturer", "owner", "custodian",
+]
+
+#: Verbs for definitions.
+VERBS = [
+    "identifies", "denotes", "specifies", "indicates", "describes",
+    "represents", "designates", "records", "quantifies", "categorizes",
+    "establishes", "documents", "defines", "enumerates", "tracks",
+]
+
+#: Qualifier phrases for padding definitions to realistic lengths.
+QUALIFIERS = [
+    "for operational purposes",
+    "as reported by the originating system",
+    "in accordance with the governing directive",
+    "at the time of the most recent update",
+    "within the area of responsibility",
+    "as assigned by the controlling authority",
+    "for planning and scheduling activities",
+    "expressed in standard units of measure",
+    "subject to periodic review and revision",
+    "as recorded in the authoritative source",
+    "during the reporting period",
+    "under normal operating conditions",
+    "as required for interoperability",
+    "for logistics and readiness reporting",
+    "based on the current configuration",
+]
+
+#: Adjectives used in names and definitions.
+ADJECTIVES = [
+    "primary", "secondary", "alternate", "current", "planned", "actual",
+    "estimated", "authorized", "assigned", "available", "operational",
+    "tactical", "strategic", "joint", "combined", "forward", "rear",
+    "scheduled", "projected", "reported", "validated",
+]
+
+#: Short phrases for domain-value (code) definitions (mean ≈ 3.7 words).
+CODE_PHRASES = [
+    "{noun} is {adj}",
+    "a {adj} {noun}",
+    "{adj} {noun} code",
+    "{noun} not specified",
+    "{adj} {noun}",
+    "unknown {noun}",
+    "other {noun} type",
+    "{noun} pending review",
+]
+
+
+def pick(rng: random.Random, items: Sequence[str]) -> str:
+    return items[rng.randrange(len(items))]
+
+
+def entity_name(rng: random.Random) -> str:
+    noun = pick(rng, ENTITY_NOUNS)
+    if rng.random() < 0.4:
+        return f"{pick(rng, ADJECTIVES).title()}{noun.title()}"
+    return noun.title()
+
+
+def attribute_name(rng: random.Random, entity: str) -> str:
+    noun = pick(rng, ATTRIBUTE_NOUNS).replace(" ", "-")
+    parts = noun.split("-")
+    camel = parts[0] + "".join(p.title() for p in parts[1:])
+    if rng.random() < 0.3:
+        return f"{entity[:1].lower()}{entity[1:]}{camel.title()}"
+    return camel
+
+
+def domain_name(rng: random.Random, attribute: str) -> str:
+    return f"{attribute.title().replace('-', '')}Code"
+
+
+def definition_sentence(rng: random.Random, subject: str, target_words: int) -> str:
+    """Compose a definition of approximately *target_words* words."""
+    words: List[str] = ["The", subject.lower(), "that", pick(rng, VERBS), "the"]
+    words.append(pick(rng, ADJECTIVES))
+    words.append(pick(rng, ENTITY_NOUNS))
+    while len(words) < target_words:
+        qualifier = pick(rng, QUALIFIERS).split()
+        words.extend(qualifier)
+    sentence = " ".join(words[:max(3, target_words)])
+    return sentence[0].upper() + sentence[1:] + "."
+
+
+def code_definition(rng: random.Random, target_words: int) -> str:
+    """A terse domain-value definition (the paper's ~3.7-word class)."""
+    template = pick(rng, CODE_PHRASES)
+    text = template.format(
+        noun=pick(rng, ENTITY_NOUNS), adj=pick(rng, ADJECTIVES)
+    )
+    words = text.split()
+    while len(words) < target_words:
+        words.append(pick(rng, ENTITY_NOUNS))
+    return " ".join(words[:max(1, target_words)]).capitalize()
+
+
+def code_value(rng: random.Random, index: int) -> str:
+    """A plausible code: 2-4 uppercase letters, sometimes with a digit."""
+    letters = "".join(
+        chr(ord("A") + rng.randrange(26)) for _ in range(rng.randrange(2, 5))
+    )
+    if rng.random() < 0.3:
+        return f"{letters}{index % 10}"
+    return letters

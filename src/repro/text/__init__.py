@@ -1,0 +1,54 @@
+"""Linguistic substrate: tokenization, stemming, thesaurus, similarity, TF-IDF.
+
+Harmony's match engine *"begins with linguistic preprocessing (e.g.,
+tokenization, stop-word removal, and stemming) of element names and any
+associated documentation"* (Section 4).  Everything here is implemented
+from scratch — no external NLP dependencies.
+"""
+
+from .similarity import (
+    dice_similarity,
+    edit_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    longest_common_substring,
+    monge_elkan,
+    ngram_similarity,
+    substring_similarity,
+)
+from .stemmer import stem, stem_all
+from .stopwords import STOP_WORDS, is_stop_word, remove_stop_words
+from .tfidf import TfIdfCorpus, cosine_of_counts, preprocess
+from .thesaurus import DEFAULT_ABBREVIATIONS, DEFAULT_SYNSETS, Thesaurus
+from .tokenize import name_tokens, ngrams, sentences, split_identifier, word_tokens
+
+__all__ = [
+    "DEFAULT_ABBREVIATIONS",
+    "DEFAULT_SYNSETS",
+    "STOP_WORDS",
+    "TfIdfCorpus",
+    "Thesaurus",
+    "cosine_of_counts",
+    "dice_similarity",
+    "edit_similarity",
+    "is_stop_word",
+    "jaccard_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "longest_common_substring",
+    "monge_elkan",
+    "name_tokens",
+    "ngram_similarity",
+    "ngrams",
+    "preprocess",
+    "remove_stop_words",
+    "sentences",
+    "split_identifier",
+    "stem",
+    "stem_all",
+    "substring_similarity",
+    "word_tokens",
+]

@@ -1,0 +1,173 @@
+"""String and set similarity measures used by the match voters.
+
+All functions return values in ``[0, 1]`` where 1 means identical.  They
+are written for clarity first; the inputs are schema names and token sets,
+which are short.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Sequence
+
+from .tokenize import ngrams
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic edit distance (insert / delete / substitute, unit costs)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,        # deletion
+                    current[j - 1] + 1,     # insertion
+                    previous[j - 1] + cost, # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def edit_similarity(a: str, b: str) -> float:
+    """1 - normalized edit distance, case-insensitive.
+
+    >>> edit_similarity("name", "name")
+    1.0
+    """
+    a, b = a.lower(), b.lower()
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity — robust to transpositions in short strings."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+    matches = 0
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if not b_flags[j] and b[j] == ch:
+                a_flags[i] = b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len(a)):
+        if a_flags[i]:
+            while not b_flags[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted for common prefixes (length ≤ 4)."""
+    a, b = a.lower(), b.lower()
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a, b):
+        if ch_a != ch_b or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def jaccard_similarity(a: Collection[str], b: Collection[str]) -> float:
+    """Jaccard coefficient of two token collections.
+
+    >>> jaccard_similarity({"first", "name"}, {"name"})
+    0.5
+    """
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def dice_similarity(a: Collection[str], b: Collection[str]) -> float:
+    """Sørensen–Dice coefficient of two token collections."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    denom = len(set_a) + len(set_b)
+    if denom == 0:
+        return 1.0
+    return 2.0 * len(set_a & set_b) / denom
+
+
+def ngram_similarity(a: str, b: str, n: int = 3) -> float:
+    """Dice coefficient over character n-grams — catches shared substrings
+    that token-level measures miss (``lastname`` vs ``lname``)."""
+    return dice_similarity(ngrams(a, n), ngrams(b, n))
+
+
+def monge_elkan(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    base=jaro_winkler_similarity,
+) -> float:
+    """Monge-Elkan: average best-match similarity of a's tokens against b's.
+
+    Symmetrized by averaging both directions so the result is order-free.
+    """
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+
+    def directed(xs: Sequence[str], ys: Sequence[str]) -> float:
+        return sum(max(base(x, y) for y in ys) for x in xs) / len(xs)
+
+    return (directed(tokens_a, tokens_b) + directed(tokens_b, tokens_a)) / 2.0
+
+
+def longest_common_substring(a: str, b: str) -> int:
+    """Length of the longest common substring (dynamic programming)."""
+    if not a or not b:
+        return 0
+    best = 0
+    previous = [0] * (len(b) + 1)
+    for ch_a in a:
+        current = [0] * (len(b) + 1)
+        for j, ch_b in enumerate(b, start=1):
+            if ch_a == ch_b:
+                current[j] = previous[j - 1] + 1
+                best = max(best, current[j])
+        previous = current
+    return best
+
+
+def substring_similarity(a: str, b: str) -> float:
+    """Longest common substring normalized by the shorter string length."""
+    a, b = a.lower(), b.lower()
+    if not a or not b:
+        return 1.0 if a == b else 0.0
+    return longest_common_substring(a, b) / min(len(a), len(b))

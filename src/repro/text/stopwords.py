@@ -1,0 +1,36 @@
+"""Stop-word list for linguistic preprocessing.
+
+A compact English list tuned for schema documentation: function words plus
+a handful of words that are ubiquitous in data-dictionary definitions
+("identifies", "code", "value" are *kept* — they are discriminative for
+domain elements — but pure glue like "the", "of", "which" is dropped).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+STOP_WORDS = frozenset(
+    """
+    a about above after again against all am an and any are as at be because
+    been before being below between both but by can did do does doing down
+    during each few for from further had has have having he her here hers him
+    his how i if in into is it its itself just me more most my no nor not of
+    off on once only or other our ours out over own same she should so some
+    such than that the their theirs them then there these they this those
+    through to too under until up very was we were what when where which while
+    who whom why will with you your yours
+    """.split()
+)
+
+
+def remove_stop_words(tokens: Iterable[str]) -> List[str]:
+    """Drop stop words (and bare single letters) from a token stream."""
+    return [
+        t for t in tokens
+        if t not in STOP_WORDS and not (len(t) == 1 and t.isalpha())
+    ]
+
+
+def is_stop_word(token: str) -> bool:
+    return token in STOP_WORDS

@@ -1,0 +1,130 @@
+"""A small TF-IDF vector space for documentation matching.
+
+Harmony's bag-of-words matcher *"weights each word based on inverted
+frequency"* (Section 4.3) and compares element definitions by cosine
+similarity.  The corpus is the set of all element documentation strings in
+the two schemata being matched, so IDF reflects which words actually
+discriminate within this matching problem.
+
+The word-weight dictionary is mutable on purpose: the feedback-learning
+loop (Section 4.3) *"increases or decreases word weight based on which
+words were most predictive"*.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Mapping, Optional
+
+from .stemmer import stem_all
+from .stopwords import remove_stop_words
+from .tokenize import word_tokens
+
+
+def preprocess(text: str) -> List[str]:
+    """The full linguistic pipeline: tokenize → stop-words → stem."""
+    return stem_all(remove_stop_words(word_tokens(text)))
+
+
+class TfIdfCorpus:
+    """A corpus of documents with TF-IDF weighting and cosine similarity."""
+
+    def __init__(self) -> None:
+        self._documents: Dict[str, Counter] = {}
+        self._document_frequency: Counter = Counter()
+        #: multiplicative per-word adjustment learned from user feedback;
+        #: 1.0 means "no adjustment".
+        self.word_weights: Dict[str, float] = {}
+        self._vectors: Optional[Dict[str, Dict[str, float]]] = None
+
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Add (or replace) a document; invalidates cached vectors."""
+        tokens = preprocess(text)
+        if doc_id in self._documents:
+            for term in self._documents[doc_id]:
+                self._document_frequency[term] -= 1
+                if self._document_frequency[term] <= 0:
+                    del self._document_frequency[term]
+        counts = Counter(tokens)
+        self._documents[doc_id] = counts
+        for term in counts:
+            self._document_frequency[term] += 1
+        self._vectors = None
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    @property
+    def vocabulary(self) -> List[str]:
+        return sorted(self._document_frequency)
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency."""
+        df = self._document_frequency.get(term, 0)
+        return math.log((1 + len(self._documents)) / (1 + df)) + 1.0
+
+    def weight(self, term: str) -> float:
+        """Learned multiplicative weight for a term (default 1.0)."""
+        return self.word_weights.get(term, 1.0)
+
+    def adjust_weight(self, term: str, factor: float) -> None:
+        """Multiply a term's learned weight by *factor*, clamped to
+        [0.1, 10] so no single feedback round can zero a word out."""
+        current = self.word_weights.get(term, 1.0) * factor
+        self.word_weights[term] = max(0.1, min(10.0, current))
+        self._vectors = None
+
+    def vector(self, doc_id: str) -> Dict[str, float]:
+        """The document's L2-normalized TF-IDF vector."""
+        if self._vectors is None:
+            self._vectors = {}
+        if doc_id not in self._vectors:
+            counts = self._documents.get(doc_id)
+            if counts is None:
+                return {}
+            raw = {
+                term: (1.0 + math.log(tf)) * self.idf(term) * self.weight(term)
+                for term, tf in counts.items()
+            }
+            norm = math.sqrt(sum(v * v for v in raw.values()))
+            if norm > 0:
+                raw = {t: v / norm for t, v in raw.items()}
+            self._vectors[doc_id] = raw
+        return self._vectors[doc_id]
+
+    def cosine(self, doc_a: str, doc_b: str) -> float:
+        """Cosine similarity between two documents in the corpus."""
+        vec_a = self.vector(doc_a)
+        vec_b = self.vector(doc_b)
+        if not vec_a or not vec_b:
+            return 0.0
+        if len(vec_b) < len(vec_a):
+            vec_a, vec_b = vec_b, vec_a
+        return sum(weight * vec_b.get(term, 0.0) for term, weight in vec_a.items())
+
+    def terms(self, doc_id: str) -> List[str]:
+        """The distinct (preprocessed) terms of a document."""
+        return sorted(self._documents.get(doc_id, ()))
+
+    def shared_terms(self, doc_a: str, doc_b: str) -> List[str]:
+        a = self._documents.get(doc_a)
+        b = self._documents.get(doc_b)
+        if not a or not b:
+            return []
+        return sorted(set(a) & set(b))
+
+
+def cosine_of_counts(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """Cosine similarity of two raw term-weight mappings (no IDF)."""
+    if not a or not b:
+        return 0.0
+    dot = sum(w * b.get(t, 0.0) for t, w in a.items())
+    norm_a = math.sqrt(sum(w * w for w in a.values()))
+    norm_b = math.sqrt(sum(w * w for w in b.values()))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)

@@ -1,0 +1,85 @@
+"""Tokenization of schema identifiers and documentation text.
+
+Harmony's engine *"begins with linguistic preprocessing (e.g., tokenization,
+stop-word removal, and stemming) of element names and any associated
+documentation"* (Section 4).  Schema names need identifier-aware splitting:
+``shippingInfo`` → ``shipping info``, ``FIRST_NAME`` → ``first name``,
+``POLine2`` → ``po line 2``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_CAMEL_BOUNDARY = re.compile(
+    r"""
+    (?<=[a-z0-9])(?=[A-Z])        # fooBar -> foo|Bar
+    | (?<=[A-Z])(?=[A-Z][a-z])    # HTTPServer -> HTTP|Server
+    | (?<=[A-Za-z])(?=[0-9])      # line2 -> line|2
+    | (?<=[0-9])(?=[A-Za-z])      # 2nd stays; 2line -> 2|line
+    """,
+    re.VERBOSE,
+)
+
+_NON_WORD = re.compile(r"[^A-Za-z0-9]+")
+_WORD = re.compile(r"[A-Za-z]+|[0-9]+")
+_SENTENCE_END = re.compile(r"(?<=[.!?])\s+")
+
+
+def split_identifier(identifier: str) -> List[str]:
+    """Split a schema identifier into lowercase word tokens.
+
+    Handles camelCase, PascalCase, snake_case, kebab-case, dotted.paths and
+    digit boundaries.
+
+    >>> split_identifier("shippingInfo")
+    ['shipping', 'info']
+    >>> split_identifier("FIRST_NAME")
+    ['first', 'name']
+    >>> split_identifier("POLine2")
+    ['po', 'line', '2']
+    """
+    pieces = [p for p in _NON_WORD.split(identifier) if p]
+    tokens: List[str] = []
+    for piece in pieces:
+        tokens.extend(t.lower() for t in _CAMEL_BOUNDARY.split(piece) if t)
+    return tokens
+
+
+def word_tokens(text: str) -> List[str]:
+    """Extract lowercase word/number tokens from free text.
+
+    >>> word_tokens("Converts feet to meters (approx.)")
+    ['converts', 'feet', 'to', 'meters', 'approx']
+    """
+    return [m.group(0).lower() for m in _WORD.finditer(text)]
+
+
+def sentences(text: str) -> List[str]:
+    """Split documentation into sentences (period/question/exclamation)."""
+    text = text.strip()
+    if not text:
+        return []
+    return [s.strip() for s in _SENTENCE_END.split(text) if s.strip()]
+
+
+def name_tokens(name: str, documentation: str = "") -> List[str]:
+    """All tokens a matcher should consider for an element: identifier
+    tokens followed by documentation word tokens."""
+    tokens = split_identifier(name)
+    if documentation:
+        tokens.extend(word_tokens(documentation))
+    return tokens
+
+
+def ngrams(text: str, n: int = 3) -> List[str]:
+    """Character n-grams of a lowercased, squashed string.
+
+    >>> ngrams("name", 3)
+    ['nam', 'ame']
+    """
+    squashed = _NON_WORD.sub("", text.lower())
+    if len(squashed) < n:
+        return [squashed] if squashed else []
+    return [squashed[i : i + n] for i in range(len(squashed) - n + 1)]

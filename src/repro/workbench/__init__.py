@@ -1,0 +1,60 @@
+"""The integration workbench: blackboard, manager, events, transactions,
+tools, and the Section 5.1.3 enhancements (provenance, versioning, mapping
+library, shared focus context).
+"""
+
+from .blackboard import IntegrationBlackboard
+from .evolution import RematchReport, apply_evolution, evolve_and_rematch
+from .events import (
+    Event,
+    EventBus,
+    MappingCellEvent,
+    MappingMatrixEvent,
+    MappingVectorEvent,
+    SchemaGraphEvent,
+)
+from .library import LibraryEntry, MappingLibrary
+from .manager import WorkbenchManager
+from .provenance import ProvenanceEntry, ProvenanceLog
+from .queries import (
+    elements_of_kind,
+    matrix_progress,
+    strong_cells,
+    undocumented_elements,
+    user_decided_cells,
+)
+from .tools import CodeGenTool, LoaderTool, MapperTool, MatcherTool, Tool
+from .transactions import Transaction
+from .versioning import SchemaDiff, SchemaVersionStore, diff_schemas
+
+__all__ = [
+    "CodeGenTool",
+    "Event",
+    "EventBus",
+    "IntegrationBlackboard",
+    "LibraryEntry",
+    "LoaderTool",
+    "MapperTool",
+    "MappingCellEvent",
+    "MappingLibrary",
+    "MappingMatrixEvent",
+    "MappingVectorEvent",
+    "MatcherTool",
+    "ProvenanceEntry",
+    "ProvenanceLog",
+    "RematchReport",
+    "SchemaDiff",
+    "SchemaGraphEvent",
+    "SchemaVersionStore",
+    "Tool",
+    "Transaction",
+    "WorkbenchManager",
+    "apply_evolution",
+    "evolve_and_rematch",
+    "diff_schemas",
+    "elements_of_kind",
+    "matrix_progress",
+    "strong_cells",
+    "undocumented_elements",
+    "user_decided_cells",
+]

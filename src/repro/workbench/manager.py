@@ -1,0 +1,75 @@
+"""The workbench manager (Section 5.2).
+
+*"All interaction with the IB occurs via the workbench manager, which
+coordinates matchers, mappers, importers, and other tools.  The manager
+provides several services: First, it provides transactional updates to the
+IB.  Second, following each update, it notifies the other tools using an
+event.  Third, the manager processes ad hoc queries posed to the IB."*
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import ToolError
+from ..rdf.query import Binding, Query, evaluate
+from .blackboard import IntegrationBlackboard
+from .events import EventBus
+from .tools import Tool
+from .transactions import Transaction
+
+
+class WorkbenchManager:
+    """One engineer's workbench instance: one IB, one manager, many tools.
+
+    (*"Each integration engineer would have her own instance of the
+    integration workbench containing a single manager and multiple
+    tools"* — Figure 4.)
+    """
+
+    def __init__(self, blackboard: Optional[IntegrationBlackboard] = None) -> None:
+        self.blackboard = blackboard if blackboard is not None else IntegrationBlackboard()
+        self.events = EventBus()
+        self._tools: Dict[str, Tool] = {}
+
+    # -- tool registry ---------------------------------------------------------------
+
+    def register(self, tool: Tool) -> Tool:
+        """Register a tool and run its initialize hook."""
+        if tool.name in self._tools:
+            raise ToolError(f"a tool named {tool.name!r} is already registered")
+        self._tools[tool.name] = tool
+        tool.initialize(self)
+        return tool
+
+    def tool(self, name: str) -> Tool:
+        if name not in self._tools:
+            raise ToolError(f"no tool named {name!r} is registered")
+        return self._tools[name]
+
+    @property
+    def tool_names(self) -> List[str]:
+        return sorted(self._tools)
+
+    def invoke(self, name: str, **kwargs: Any) -> Any:
+        """Invoke a registered tool by name."""
+        return self.tool(name).invoke(self, **kwargs)
+
+    # -- transactions --------------------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        """Open a transaction: IB changes are atomic and events are
+        deferred until commit."""
+        return Transaction(self.blackboard.store, bus=self.events)
+
+    # -- ad hoc queries --------------------------------------------------------------------
+
+    def query(self, query: Query) -> List[Binding]:
+        """Evaluate an ad hoc BGP query against the IB."""
+        return evaluate(self.blackboard.store, query)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkbenchManager(tools={self.tool_names}, "
+            f"blackboard={self.blackboard!r})"
+        )

@@ -1,0 +1,95 @@
+"""Mapping provenance (Section 5.1.3).
+
+*"Mappings are also refined over time, especially once they are tested on
+real data.  The blackboard should maintain mapping provenance."*
+
+Provenance entries are plain triples on matrix/cell IRIs: which tool
+generated a value, at which logical time, and derived from what.  Logical
+time is a per-blackboard monotonic counter — wall clocks are irrelevant to
+ordering and would make tests flaky.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..rdf.schema_rdf import cell_iri, matrix_iri
+from ..rdf.store import TripleStore
+from ..rdf.term import IRI, Literal, literal
+from ..rdf import vocabulary as V
+from ..rdf.namespace import IW_NS
+
+_CLOCK = IW_NS["provenance-clock"]
+
+
+@dataclass(frozen=True)
+class ProvenanceEntry:
+    subject: str
+    tool: str
+    tick: int
+    derived_from: Optional[str] = None
+
+
+class ProvenanceLog:
+    """Record and read who-did-what over blackboard artifacts."""
+
+    def __init__(self, store: TripleStore) -> None:
+        self.store = store
+
+    def _next_tick(self) -> int:
+        current = self.store.object(_CLOCK, V.GENERATED_AT)
+        tick = int(current.to_python()) + 1 if isinstance(current, Literal) else 1
+        self.store.set_value(_CLOCK, V.GENERATED_AT, literal(tick))
+        return tick
+
+    def record_matrix(
+        self, matrix_name: str, tool: str, derived_from: Optional[str] = None
+    ) -> ProvenanceEntry:
+        return self._record(matrix_iri(matrix_name), tool, derived_from)
+
+    def record_cell(
+        self,
+        matrix_name: str,
+        source_id: str,
+        target_id: str,
+        tool: str,
+    ) -> ProvenanceEntry:
+        return self._record(cell_iri(matrix_name, source_id, target_id), tool, None)
+
+    def _record(self, subject: IRI, tool: str, derived_from: Optional[str]) -> ProvenanceEntry:
+        tick = self._next_tick()
+        # history, not state: each generation event is a fresh pair of triples
+        self.store.add(subject, V.GENERATED_BY, literal(f"{tool}@{tick}"))
+        if derived_from:
+            self.store.add(subject, V.DERIVED_FROM, literal(derived_from))
+        return ProvenanceEntry(
+            subject=str(subject), tool=tool, tick=tick, derived_from=derived_from
+        )
+
+    def history(self, matrix_name: str) -> List[Tuple[str, int]]:
+        """(tool, tick) pairs for a matrix, oldest first."""
+        entries = []
+        for value in self.store.objects(matrix_iri(matrix_name), V.GENERATED_BY):
+            if isinstance(value, Literal) and "@" in value.lexical:
+                tool, _, tick = value.lexical.rpartition("@")
+                entries.append((tool, int(tick)))
+        return sorted(entries, key=lambda e: e[1])
+
+    def cell_history(
+        self, matrix_name: str, source_id: str, target_id: str
+    ) -> List[Tuple[str, int]]:
+        entries = []
+        subject = cell_iri(matrix_name, source_id, target_id)
+        for value in self.store.objects(subject, V.GENERATED_BY):
+            if isinstance(value, Literal) and "@" in value.lexical:
+                tool, _, tick = value.lexical.rpartition("@")
+                entries.append((tool, int(tick)))
+        return sorted(entries, key=lambda e: e[1])
+
+    def derived_from(self, matrix_name: str) -> List[str]:
+        return sorted(
+            value.lexical
+            for value in self.store.objects(matrix_iri(matrix_name), V.DERIVED_FROM)
+            if isinstance(value, Literal)
+        )

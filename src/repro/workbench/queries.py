@@ -1,0 +1,108 @@
+"""Canned ad hoc queries over the integration blackboard.
+
+The manager's third service is query evaluation (Section 5.2); these are
+the queries integration tools actually pose — strong cells, undecided
+cells, documented elements, schema membership — expressed over the IB's
+triple layout via the BGP engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..rdf.query import Query, TriplePattern, Variable
+from ..rdf.schema_rdf import matrix_iri, schema_iri
+from ..rdf.store import TripleStore
+from ..rdf.term import IRI, Literal
+from ..rdf import vocabulary as V
+
+CELL = Variable("cell")
+CONFIDENCE = Variable("confidence")
+ELEMENT = Variable("element")
+NAME = Variable("name")
+USER = Variable("user")
+
+
+def strong_cells(
+    store: TripleStore, matrix_name: str, threshold: float = 0.5
+) -> List[Tuple[str, float]]:
+    """Cells of a matrix whose confidence exceeds *threshold*.
+
+    Returns (cell IRI string, confidence), strongest first.
+    """
+    query = Query()
+    query.where(matrix_iri(matrix_name), V.HAS_CELL, CELL)
+    query.where(CELL, V.CONFIDENCE_SCORE, CONFIDENCE)
+    query.filter(
+        lambda binding: isinstance(binding[CONFIDENCE], Literal)
+        and float(binding[CONFIDENCE].to_python()) > threshold
+    )
+    from ..rdf.query import evaluate
+
+    rows = [
+        (str(binding[CELL]), float(binding[CONFIDENCE].to_python()))
+        for binding in evaluate(store, query)
+    ]
+    return sorted(rows, key=lambda r: -r[1])
+
+
+def user_decided_cells(store: TripleStore, matrix_name: str) -> List[str]:
+    """Cells the engineer has pinned (accepted or rejected)."""
+    from ..rdf.query import evaluate
+    from ..rdf.term import literal
+
+    query = Query()
+    query.where(matrix_iri(matrix_name), V.HAS_CELL, CELL)
+    query.where(CELL, V.IS_USER_DEFINED, literal(True))
+    return sorted(str(binding[CELL]) for binding in evaluate(store, query))
+
+
+def undocumented_elements(store: TripleStore, schema_name: str) -> List[str]:
+    """Element names in a schema lacking a documentation annotation —
+    the enrichment worklist for task 1/2."""
+    from ..rdf.query import evaluate
+
+    query = Query()
+    query.where(schema_iri(schema_name), V.HAS_ELEMENT, ELEMENT)
+    query.where(ELEMENT, V.NAME, NAME)
+    names = []
+    for binding in evaluate(store, query):
+        element = binding[ELEMENT]
+        has_doc = bool(store.objects(element, V.DOCUMENTATION))
+        if not has_doc and isinstance(binding[NAME], Literal):
+            names.append(binding[NAME].lexical)
+    return sorted(set(names))
+
+
+def elements_of_kind(store: TripleStore, schema_name: str, kind: str) -> List[str]:
+    """Names of a schema's elements with the given kind annotation."""
+    from ..rdf.query import evaluate
+    from ..rdf.term import literal
+
+    query = Query()
+    query.where(schema_iri(schema_name), V.HAS_ELEMENT, ELEMENT)
+    query.where(ELEMENT, V.KIND, literal(kind))
+    query.where(ELEMENT, V.NAME, NAME)
+    return sorted(
+        binding[NAME].lexical
+        for binding in evaluate(store, query)
+        if isinstance(binding[NAME], Literal)
+    )
+
+
+def matrix_progress(store: TripleStore, matrix_name: str) -> float:
+    """Fraction of rows+columns flagged is-complete, straight off the IB."""
+    from ..rdf.term import literal
+
+    m_iri = matrix_iri(matrix_name)
+    total = 0
+    done = 0
+    for predicate in (V.HAS_ROW, V.HAS_COLUMN):
+        for axis in store.objects(m_iri, predicate):
+            total += 1
+            value = store.object(axis, V.IS_COMPLETE)
+            if isinstance(value, Literal) and value.to_python():
+                done += 1
+    if total == 0:
+        return 1.0
+    return done / total

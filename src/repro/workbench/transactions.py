@@ -1,0 +1,97 @@
+"""Transactional updates to the integration blackboard (Section 5.2).
+
+*"First, it provides transactional updates to the IB."*  And from the
+case study: *"The workbench launches the Harmony GUI and begins an IB
+transaction...  she exits Harmony to complete the IB transaction."*
+
+Implementation: an undo log captured from the triple store's mutation
+listener.  Commit discards the log and releases deferred events; rollback
+replays the log in reverse and discards the deferred events.  Transactions
+nest (savepoint semantics): an inner rollback undoes only the inner
+window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core.errors import TransactionError
+from ..rdf.store import TripleStore
+from ..rdf.triple import Triple
+from .events import EventBus
+
+
+@dataclass
+class _LogEntry:
+    added: bool
+    triple: Triple
+
+
+class Transaction:
+    """One open transaction window over a store (+ optional event bus)."""
+
+    def __init__(self, store: TripleStore, bus: Optional[EventBus] = None) -> None:
+        self._store = store
+        self._bus = bus
+        self._log: List[_LogEntry] = []
+        self._unsubscribe: Optional[Callable[[], None]] = None
+        self._state = "open"
+        self._unsubscribe = store.subscribe(self._record)
+        if bus is not None:
+            bus.defer()
+
+    def _record(self, added: bool, triple: Triple) -> None:
+        self._log.append(_LogEntry(added, triple))
+
+    @property
+    def is_open(self) -> bool:
+        return self._state == "open"
+
+    @property
+    def change_count(self) -> int:
+        return len(self._log)
+
+    def commit(self) -> int:
+        """Make the changes permanent and deliver deferred events.
+        Returns the number of triple-level changes committed."""
+        self._finish("committed")
+        if self._bus is not None:
+            self._bus.release(discard=False)
+        return len(self._log)
+
+    def rollback(self) -> int:
+        """Undo every change made inside this window and discard its
+        deferred events.  Returns the number of changes undone."""
+        self._finish("rolled-back")
+        # replay in reverse without re-recording
+        for entry in reversed(self._log):
+            if entry.added:
+                self._store.remove_triple(entry.triple)
+            else:
+                self._store.add_triple(entry.triple)
+        if self._bus is not None:
+            self._bus.release(discard=True)
+        return len(self._log)
+
+    def _finish(self, state: str) -> None:
+        if self._state != "open":
+            raise TransactionError(f"transaction already {self._state}")
+        self._state = state
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    # -- context-manager sugar: commit on success, rollback on exception -----
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self.is_open:
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False

@@ -1,0 +1,122 @@
+"""Schema versioning (Section 5.1.3).
+
+*"Schemata inevitably change; the blackboard should track schemata across
+versions."*  And Section 3.1: *"One also needs a means to keep the
+metadata in synch, as the actual systems change."*
+
+Versions are stored as independent schema graphs named
+``<name>@v<number>`` with ``iw:version`` / ``iw:predecessor`` triples
+linking the chain.  :func:`diff_schemas` computes what changed between two
+versions — the input a matcher needs to re-examine only affected
+correspondences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.graph import SchemaGraph
+from ..rdf.schema_rdf import schema_iri
+from ..rdf.term import Literal, literal
+from ..rdf import vocabulary as V
+from .blackboard import IntegrationBlackboard
+
+
+@dataclass
+class SchemaDiff:
+    """Element-level difference between two schema versions."""
+
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    renamed: List[Tuple[str, str, str]] = field(default_factory=list)   # (id, old, new)
+    retyped: List[Tuple[str, Optional[str], Optional[str]]] = field(default_factory=list)
+    redocumented: List[str] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.added or self.removed or self.renamed or self.retyped or self.redocumented
+        )
+
+    def affected_ids(self) -> List[str]:
+        ids = set(self.added) | set(self.removed) | set(self.redocumented)
+        ids.update(r[0] for r in self.renamed)
+        ids.update(r[0] for r in self.retyped)
+        return sorted(ids)
+
+
+def diff_schemas(old: SchemaGraph, new: SchemaGraph) -> SchemaDiff:
+    """What changed from *old* to *new* (matched by element id)."""
+    diff = SchemaDiff()
+    old_ids = set(old.element_ids)
+    new_ids = set(new.element_ids)
+    diff.added = sorted(new_ids - old_ids)
+    diff.removed = sorted(old_ids - new_ids)
+    for element_id in sorted(old_ids & new_ids):
+        old_el = old.element(element_id)
+        new_el = new.element(element_id)
+        if old_el.name != new_el.name:
+            diff.renamed.append((element_id, old_el.name, new_el.name))
+        if old_el.datatype != new_el.datatype:
+            diff.retyped.append((element_id, old_el.datatype, new_el.datatype))
+        if old_el.documentation != new_el.documentation:
+            diff.redocumented.append(element_id)
+    return diff
+
+
+class SchemaVersionStore:
+    """Versioned schema storage over one blackboard."""
+
+    def __init__(self, blackboard: IntegrationBlackboard) -> None:
+        self.blackboard = blackboard
+
+    @staticmethod
+    def _versioned_name(name: str, version: int) -> str:
+        return f"{name}@v{version}"
+
+    def latest_version(self, name: str) -> int:
+        """The highest stored version number (0 if none)."""
+        version = 0
+        for candidate in self.blackboard.schema_names():
+            base, _, suffix = candidate.rpartition("@v")
+            if base == name and suffix.isdigit():
+                version = max(version, int(suffix))
+        return version
+
+    def put_version(self, graph: SchemaGraph) -> int:
+        """Store a new version of *graph* (named by its ``name``).
+        Returns the assigned version number."""
+        version = self.latest_version(graph.name) + 1
+        stored = graph.copy(name=self._versioned_name(graph.name, version))
+        # element ids keep their original prefix; only the graph name changes
+        self.blackboard.put_schema(stored)
+        s_iri = schema_iri(stored.name)
+        self.blackboard.store.set_value(s_iri, V.VERSION, literal(version))
+        if version > 1:
+            predecessor = schema_iri(self._versioned_name(graph.name, version - 1))
+            self.blackboard.store.add(s_iri, V.PREDECESSOR, predecessor)
+        return version
+
+    def get_version(self, name: str, version: Optional[int] = None) -> SchemaGraph:
+        """Fetch a specific (default: latest) version; the returned graph
+        gets its base name back."""
+        if version is None:
+            version = self.latest_version(name)
+        if version == 0:
+            raise KeyError(f"no versions of schema {name!r} stored")
+        graph = self.blackboard.get_schema(self._versioned_name(name, version))
+        return graph.copy(name=name)
+
+    def versions(self, name: str) -> List[int]:
+        found = []
+        for candidate in self.blackboard.schema_names():
+            base, _, suffix = candidate.rpartition("@v")
+            if base == name and suffix.isdigit():
+                found.append(int(suffix))
+        return sorted(found)
+
+    def diff(self, name: str, old_version: int, new_version: int) -> SchemaDiff:
+        return diff_schemas(
+            self.get_version(name, old_version), self.get_version(name, new_version)
+        )

@@ -1,0 +1,112 @@
+"""Tests for the baseline matchers and the common matcher interface."""
+
+import pytest
+
+from repro.baselines import (
+    AGGREGATE_AVERAGE,
+    AGGREGATE_MAX,
+    ComaStyleMatcher,
+    CupidStyleMatcher,
+    FloodingOnlyMatcher,
+    HarmonyMatcher,
+    NameEqualityMatcher,
+)
+from repro.eval import evaluate_matrix, generate_scenario, commerce_model, ScenarioConfig
+
+
+ALL_MATCHERS = [
+    NameEqualityMatcher(),
+    FloodingOnlyMatcher(),
+    ComaStyleMatcher(),
+    CupidStyleMatcher(),
+]
+
+
+class TestInterface:
+    @pytest.mark.parametrize("matcher", ALL_MATCHERS, ids=lambda m: m.name)
+    def test_produces_legal_matrix(self, matcher, orders_graph, notice_graph):
+        matrix = matcher.match(orders_graph, notice_graph)
+        for cell in matrix.cells():
+            assert -0.99 <= cell.confidence <= 0.99
+            assert not cell.is_user_defined
+
+    @pytest.mark.parametrize("matcher", ALL_MATCHERS, ids=lambda m: m.name)
+    def test_roots_never_matched(self, matcher, orders_graph, notice_graph):
+        matrix = matcher.match(orders_graph, notice_graph)
+        for cell in matrix.cells():
+            assert cell.source_id != "orders"
+            assert cell.target_id != "notice"
+
+
+class TestNameEquality:
+    def test_exact_and_token_matches(self, orders_graph, notice_graph):
+        matrix = NameEqualityMatcher().match(orders_graph, notice_graph)
+        # first_name (snake) vs firstName (camel): token-set equality
+        cell = matrix.peek("orders/customer/first_name",
+                           "notice/shippingNotice/recipientName/firstName")
+        assert cell is not None and cell.confidence == pytest.approx(0.85)
+
+    def test_kind_compatibility_respected(self, orders_graph, notice_graph):
+        matrix = NameEqualityMatcher().match(orders_graph, notice_graph)
+        for cell in matrix.cells():
+            source_el = orders_graph.element(cell.source_id)
+            target_el = notice_graph.element(cell.target_id)
+            assert source_el.is_container == target_el.is_container
+
+
+class TestComaStyle:
+    def test_aggregation_strategies_differ(self, orders_graph, notice_graph):
+        max_matrix = ComaStyleMatcher(AGGREGATE_MAX).match(orders_graph, notice_graph)
+        avg_matrix = ComaStyleMatcher(AGGREGATE_AVERAGE).match(orders_graph, notice_graph)
+        pair = ("orders/customer/first_name",
+                "notice/shippingNotice/recipientName/firstName")
+        assert max_matrix.cell(*pair).confidence >= avg_matrix.cell(*pair).confidence
+
+    def test_invalid_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            ComaStyleMatcher("mode")
+
+
+class TestCupidStyle:
+    def test_structure_weight_validated(self):
+        with pytest.raises(ValueError):
+            CupidStyleMatcher(structure_weight=1.5)
+
+    def test_synonyms_matched(self):
+        """Cupid's linguistic layer uses the thesaurus."""
+        from repro.loaders import load_er
+
+        source = load_er({"name": "s", "entities": [
+            {"name": "Vendor", "attributes": [{"name": "name"}]}]})
+        target = load_er({"name": "t", "entities": [
+            {"name": "Supplier", "attributes": [{"name": "title"}]}]})
+        matrix = CupidStyleMatcher().match(source, target)
+        assert matrix.cell("s/Vendor", "t/Supplier").confidence > 0.4
+
+
+class TestRelativeQuality:
+    """The A6 shape: Harmony's ensemble beats each single-strategy baseline."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return generate_scenario(commerce_model(), ScenarioConfig(seed=11))
+
+    def test_harmony_beats_name_equality(self, scenario):
+        harmony = evaluate_matrix(
+            HarmonyMatcher().match(scenario.source, scenario.target), scenario.alignment)
+        trivial = evaluate_matrix(
+            NameEqualityMatcher().match(scenario.source, scenario.target), scenario.alignment)
+        assert harmony.f1 > trivial.f1
+
+    def test_harmony_beats_sf_only(self, scenario):
+        harmony = evaluate_matrix(
+            HarmonyMatcher().match(scenario.source, scenario.target), scenario.alignment)
+        flooding = evaluate_matrix(
+            FloodingOnlyMatcher().match(scenario.source, scenario.target), scenario.alignment)
+        assert harmony.f1 > flooding.f1
+
+    def test_every_matcher_beats_nothing(self, scenario):
+        for matcher in ALL_MATCHERS:
+            quality = evaluate_matrix(
+                matcher.match(scenario.source, scenario.target), scenario.alignment)
+            assert quality.recall > 0.0

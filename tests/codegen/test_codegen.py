@@ -1,0 +1,205 @@
+"""Tests for code generation: executable, XQuery, SQL, assembler."""
+
+import pytest
+
+from repro.core import TransformError
+from repro.codegen import (
+    assemble,
+    execute,
+    expression_to_sql,
+    expression_to_xquery,
+    generate_sql,
+    generate_xquery,
+    matrix_code_listing,
+)
+from repro.mapper import (
+    AttributeMapping,
+    DirectEntity,
+    EntityMapping,
+    JoinEntity,
+    KeyIdentity,
+    MappingSpec,
+    MappingTool,
+    ScalarTransform,
+    SkolemFunction,
+    UnionEntity,
+)
+
+
+def _simple_spec() -> MappingSpec:
+    spec = MappingSpec("m", "orders", "notice")
+    entity = EntityMapping(
+        target_entity="notice/shippingNotice",
+        entity_transform=DirectEntity("orders/purchase_order"),
+        identity=KeyIdentity(["po_id"]),
+    )
+    entity.attributes.append(AttributeMapping(
+        "notice/shippingNotice/orderNumber", ScalarTransform("$po_id")))
+    entity.attributes.append(AttributeMapping(
+        "notice/shippingNotice/total", ScalarTransform("$subtotal * 1.05")))
+    spec.entities.append(entity)
+    return spec
+
+
+ROWS = [
+    {"po_id": 1, "subtotal": 100.0},
+    {"po_id": 2, "subtotal": 40.0},
+]
+
+
+class TestExecutable:
+    def test_flat_execution(self):
+        result = execute(_simple_spec(), {"orders/purchase_order": ROWS})
+        rows = result.rows("notice/shippingNotice")
+        assert rows[0] == {"orderNumber": 1, "total": 105.0, "_id": 1}
+        assert result.total_rows == 2
+
+    def test_nested_execution_follows_target_shape(self, notice_graph):
+        spec = _simple_spec()
+        spec.entities[0].attributes.append(AttributeMapping(
+            "notice/shippingNotice/recipientName/firstName", ScalarTransform('"Peter"')))
+        result = execute(spec, {"orders/purchase_order": ROWS}, target=notice_graph)
+        document = result.rows("notice/shippingNotice")[0]
+        assert document["recipientName"]["firstName"] == "Peter"
+        assert document["orderNumber"] == 1
+
+    def test_variable_bindings_resolve(self):
+        spec = _simple_spec()
+        spec.variable_bindings["num"] = "po_id"
+        spec.entities[0].attributes[0] = AttributeMapping(
+            "notice/shippingNotice/orderNumber", ScalarTransform("$num"))
+        result = execute(spec, {"orders/purchase_order": ROWS})
+        assert result.rows("notice/shippingNotice")[0]["orderNumber"] == 1
+
+    def test_duplicate_identity_strict_raises(self):
+        spec = _simple_spec()
+        rows = [{"po_id": 1, "subtotal": 1.0}, {"po_id": 1, "subtotal": 2.0}]
+        with pytest.raises(TransformError):
+            execute(spec, {"orders/purchase_order": rows})
+
+    def test_skip_bad_rows_policy(self):
+        """Task 12's exceptional-condition policy: log and continue."""
+        spec = _simple_spec()
+        rows = [
+            {"po_id": 1, "subtotal": 100.0},
+            {"po_id": 2, "subtotal": None},     # arithmetic on null fails
+            {"po_id": 3, "subtotal": 10.0},
+        ]
+        result = execute(spec, {"orders/purchase_order": rows}, skip_bad_rows=True)
+        assert len(result.rows("notice/shippingNotice")) == 2
+        assert len(result.errors) == 1
+
+    def test_skip_bad_rows_deduplicates_ids(self):
+        spec = _simple_spec()
+        rows = [{"po_id": 1, "subtotal": 1.0}, {"po_id": 1, "subtotal": 2.0}]
+        result = execute(spec, {"orders/purchase_order": rows}, skip_bad_rows=True)
+        assert len(result.rows("notice/shippingNotice")) == 1
+        assert any("duplicate" in e for e in result.errors)
+
+    def test_lookup_tables_available(self):
+        spec = _simple_spec()
+        spec.lookup_tables["status"] = {"OPEN": "O"}
+        spec.entities[0].attributes.append(AttributeMapping(
+            "notice/shippingNotice/status", ScalarTransform('lookup_status("OPEN")')))
+        result = execute(spec, {"orders/purchase_order": ROWS})
+        assert result.rows("notice/shippingNotice")[0]["status"] == "O"
+
+
+class TestXQuery:
+    def test_expression_translation(self):
+        assert expression_to_xquery('concat($a, ", ", $b)') == 'concat($a, ", ", $b)'
+        assert expression_to_xquery("if($x > 1, 1, 2)") == "if ($x > 1) then 1 else 2"
+        assert expression_to_xquery("$row.total") == "$row/total"
+        assert "map:get" in expression_to_xquery("lookup_status($s)")
+        assert expression_to_xquery("$x == 1") == "$x = 1"
+
+    def test_generate_flwor(self, notice_graph):
+        spec = _simple_spec()
+        text = generate_xquery(spec, notice_graph)
+        assert "for $row in $source/purchase_order" in text
+        assert "<shippingNotice>" in text
+        assert "<orderNumber>{ $po_id }</orderNumber>" in text
+        assert "let $po_id := $row/po_id" in text
+
+    def test_variable_bindings_in_lets(self, notice_graph):
+        spec = _simple_spec()
+        spec.variable_bindings["po_id"] = "purchase_order_number"
+        text = generate_xquery(spec, notice_graph)
+        assert "let $po_id := $row/purchase_order_number" in text
+
+    def test_lookup_tables_declared(self, notice_graph):
+        spec = _simple_spec()
+        spec.lookup_tables["status"] = {"OPEN": "O"}
+        text = generate_xquery(spec, notice_graph)
+        assert 'let $status-table := map { "OPEN" : "O" }' in text
+
+    def test_nested_target_elements(self, notice_graph):
+        spec = _simple_spec()
+        spec.entities[0].attributes.append(AttributeMapping(
+            "notice/shippingNotice/recipientName/firstName", ScalarTransform("$first")))
+        text = generate_xquery(spec, notice_graph)
+        assert "<recipientName>" in text
+        assert "<firstName>{ $first }</firstName>" in text
+
+
+class TestSql:
+    def test_expression_translation(self):
+        assert expression_to_sql('concat($a, "-", $b)') == "(a || '-' || b)"
+        assert expression_to_sql("if($x > 1, 1, 0)") == "CASE WHEN (x > 1) THEN 1 ELSE 0 END"
+        assert expression_to_sql("$x != 2") == "(x <> 2)"
+        assert expression_to_sql('upper($n)') == "UPPER(n)"
+        assert "SELECT target_code FROM status_xref" in expression_to_sql("lookup_status($s)")
+
+    def test_renames_applied(self):
+        sql = expression_to_sql("$num + 1", renames={"num": "po_id"})
+        assert sql == "(po_id + 1)"
+
+    def test_insert_select(self):
+        sql = generate_sql(_simple_spec())
+        assert "INSERT INTO shippingNotice (id, orderNumber, total)" in sql
+        assert "FROM purchase_order" in sql
+
+    def test_join_from_clause(self):
+        spec = _simple_spec()
+        spec.entities[0].entity_transform = JoinEntity(
+            "orders/purchase_order", "orders/customer", on=[("cust_id", "cust_id")])
+        sql = generate_sql(spec)
+        assert "JOIN customer ON purchase_order.cust_id = customer.cust_id" in sql
+
+    def test_union_emits_one_insert_per_branch(self):
+        spec = _simple_spec()
+        spec.entities[0].entity_transform = UnionEntity(
+            sources=["orders/a", "orders/b"], discriminator="origin")
+        spec.entities[0].identity = None
+        sql = generate_sql(spec)
+        assert sql.count("INSERT INTO") == 2
+        assert "'a'" in sql and "'b'" in sql
+
+    def test_skolem_identity_rendered(self):
+        spec = _simple_spec()
+        spec.entities[0].identity = SkolemFunction("sk", ["po_id"])
+        sql = generate_sql(spec)
+        assert "'sk:'" in sql
+
+
+class TestAssembler:
+    def test_assemble_produces_all_forms(self, orders_graph, notice_graph):
+        tool = MappingTool(orders_graph, notice_graph)
+        tool.matrix.set_confidence(
+            "orders/purchase_order", "notice/shippingNotice", 1.0, user_defined=True)
+        tool.matrix.set_confidence(
+            "orders/purchase_order/po_id", "notice/shippingNotice/orderNumber",
+            1.0, user_defined=True)
+        spec = tool.draft_from_matrix()
+        assembled = assemble(spec, orders_graph, notice_graph, matrix=tool.matrix)
+        assert "for $row" in assembled.xquery
+        assert "INSERT INTO" in assembled.sql
+        assert tool.matrix.code == assembled.xquery  # written to the blackboard layout
+        result = assembled.run({"orders/purchase_order": [{"po_id": 9}]})
+        assert result.rows("notice/shippingNotice")[0]["orderNumber"] == 9
+
+    def test_matrix_code_listing(self, figure3_matrix):
+        listing = matrix_code_listing(figure3_matrix)
+        assert "variable $shipto" in listing
+        assert "code = concat($lName" in listing
+        assert "matrix code:" in listing

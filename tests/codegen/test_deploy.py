@@ -1,0 +1,162 @@
+"""Tests for deployment artifact generation (tasks 12-13)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import TransformError
+from repro.codegen import execute, generate_python_module, load_artifact
+from repro.mapper import (
+    AttributeMapping,
+    DirectEntity,
+    EntityMapping,
+    InheritedIdentity,
+    JoinEntity,
+    KeyIdentity,
+    MappingSpec,
+    MetadataPushdown,
+    ScalarTransform,
+    SkolemFunction,
+    SplitEntity,
+    UnionEntity,
+)
+
+ROWS = [
+    {"po_id": 1, "subtotal": 100.0, "status": "OPEN"},
+    {"po_id": 2, "subtotal": 40.0, "status": "SHIP"},
+]
+
+
+def _spec() -> MappingSpec:
+    spec = MappingSpec("m", "orders", "notice")
+    spec.lookup_tables["status"] = {"OPEN": "O", "SHIP": "S"}
+    entity = EntityMapping(
+        "notice/shippingNotice",
+        DirectEntity("orders/purchase_order"),
+        identity=KeyIdentity(["po_id"]),
+    )
+    entity.attributes.append(AttributeMapping(
+        "notice/shippingNotice/total", ScalarTransform("$subtotal * 1.05")))
+    entity.attributes.append(AttributeMapping(
+        "notice/shippingNotice/status", ScalarTransform("lookup_status($st)")))
+    entity.attributes.append(AttributeMapping(
+        "notice/shippingNotice/origin", MetadataPushdown("orders-db")))
+    spec.variable_bindings["st"] = "status"
+    spec.entities.append(entity)
+    return spec
+
+
+class TestArtifactGeneration:
+    def test_artifact_is_standalone(self):
+        code = generate_python_module(_spec())
+        # the artifact must not import from this library
+        assert "repro" not in code
+        compile(code, "<artifact>", "exec")  # syntactically valid
+
+    def test_artifact_matches_in_process_execution(self):
+        spec = _spec()
+        artifact = load_artifact(generate_python_module(spec))
+        deployed = artifact["run"]({"orders/purchase_order": ROWS})
+        native = execute(spec, {"orders/purchase_order": ROWS})
+        assert deployed["notice/shippingNotice"] == native.rows("notice/shippingNotice")
+
+    def test_lookup_tables_embedded(self):
+        code = generate_python_module(_spec())
+        assert "LOOKUP_STATUS" in code
+        assert "'OPEN': 'O'" in code
+
+    def test_abort_policy(self):
+        artifact = load_artifact(generate_python_module(_spec(), on_error="abort"))
+        bad = [{"po_id": 3, "subtotal": None, "status": "OPEN"}]
+        with pytest.raises(TypeError):
+            artifact["run"]({"orders/purchase_order": bad})
+
+    def test_skip_policy(self, capsys):
+        artifact = load_artifact(generate_python_module(_spec(), on_error="skip"))
+        mixed = ROWS + [{"po_id": 3, "subtotal": None, "status": "OPEN"}]
+        result = artifact["run"]({"orders/purchase_order": mixed})
+        assert len(result["notice/shippingNotice"]) == 2
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(TransformError):
+            generate_python_module(_spec(), on_error="explode")
+
+    def test_runs_as_subprocess(self, tmp_path):
+        """Task 13 for real: the artifact works as `python mapping.py`."""
+        path = tmp_path / "mapping.py"
+        path.write_text(generate_python_module(_spec()))
+        process = subprocess.run(
+            [sys.executable, str(path)],
+            input=json.dumps({"orders/purchase_order": ROWS}),
+            capture_output=True, text=True, timeout=30,
+        )
+        assert process.returncode == 0, process.stderr
+        output = json.loads(process.stdout)
+        assert output["notice/shippingNotice"][0]["total"] == 105.0
+
+
+class TestEntityShapes:
+    def test_split_entity(self):
+        spec = MappingSpec("m", "s", "t")
+        entity = EntityMapping(
+            "t/big", SplitEntity("s/orders", "$row.subtotal > 50"),
+            identity=KeyIdentity(["po_id"]))
+        entity.attributes.append(AttributeMapping(
+            "t/big/total", ScalarTransform("$subtotal")))
+        spec.entities.append(entity)
+        artifact = load_artifact(generate_python_module(spec))
+        result = artifact["run"]({"s/orders": ROWS})
+        assert [r["_id"] for r in result["t/big"]] == [1]
+
+    def test_union_entity(self):
+        spec = MappingSpec("m", "s", "t")
+        entity = EntityMapping(
+            "t/all", UnionEntity(sources=["s/a", "s/b"]), identity=None)
+        entity.attributes.append(AttributeMapping(
+            "t/all/v", ScalarTransform("$v")))
+        spec.entities.append(entity)
+        artifact = load_artifact(generate_python_module(spec))
+        result = artifact["run"]({"s/a": [{"v": 1}], "s/b": [{"v": 2}]})
+        assert [r["v"] for r in result["t/all"]] == [1, 2]
+
+    def test_join_entity(self):
+        spec = MappingSpec("m", "s", "t")
+        entity = EntityMapping(
+            "t/joined",
+            JoinEntity("s/orders", "s/customers", on=[("cust", "cust")]),
+            identity=None)
+        entity.attributes.append(AttributeMapping(
+            "t/joined/who", ScalarTransform("$name")))
+        spec.entities.append(entity)
+        artifact = load_artifact(generate_python_module(spec))
+        result = artifact["run"]({
+            "s/orders": [{"cust": 1}],
+            "s/customers": [{"cust": 1, "name": "Mork"}],
+        })
+        assert result["t/joined"] == [{"who": "Mork"}]
+
+    def test_skolem_identity_deterministic(self):
+        spec = MappingSpec("m", "s", "t")
+        entity = EntityMapping(
+            "t/x", DirectEntity("s/rows"),
+            identity=SkolemFunction("sk", ["a"]))
+        entity.attributes.append(AttributeMapping("t/x/a", ScalarTransform("$a")))
+        spec.entities.append(entity)
+        artifact = load_artifact(generate_python_module(spec))
+        first = artifact["run"]({"s/rows": [{"a": 1}]})
+        second = artifact["run"]({"s/rows": [{"a": 1}]})
+        assert first == second
+        assert first["t/x"][0]["_id"].startswith("sk_")
+
+    def test_inherited_identity(self):
+        spec = MappingSpec("m", "s", "t")
+        entity = EntityMapping(
+            "t/line", DirectEntity("s/lines"),
+            identity=InheritedIdentity(KeyIdentity(["po"]), "line"))
+        entity.attributes.append(AttributeMapping("t/line/q", ScalarTransform("$q")))
+        spec.entities.append(entity)
+        artifact = load_artifact(generate_python_module(spec))
+        result = artifact["run"]({"s/lines": [{"po": 7, "line": 2, "q": 5}]})
+        assert result["t/line"][0]["_id"] == "7/2"

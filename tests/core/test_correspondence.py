@@ -1,0 +1,117 @@
+"""Tests for repro.core.correspondence."""
+
+import pytest
+
+from repro.core import (
+    Correspondence,
+    MappingError,
+    VoterScore,
+    best_match_for,
+    clamp_confidence,
+    top_correspondences,
+    validate_confidence,
+)
+
+
+class TestConfidenceHelpers:
+    def test_clamp(self):
+        assert clamp_confidence(2.0) == 1.0
+        assert clamp_confidence(-2.0) == -1.0
+        assert clamp_confidence(0.5) == 0.5
+
+    def test_validate_accepts_range(self):
+        assert validate_confidence(1.0) == 1.0
+        assert validate_confidence(-1) == -1.0
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(MappingError):
+            validate_confidence(1.01)
+        with pytest.raises(MappingError):
+            validate_confidence(-1.5)
+
+
+class TestCorrespondence:
+    def test_defaults(self):
+        link = Correspondence("a", "b")
+        assert link.confidence == 0.0
+        assert not link.is_user_defined
+        assert not link.is_decided
+
+    def test_user_defined_must_be_certain(self):
+        with pytest.raises(MappingError):
+            Correspondence("a", "b", confidence=0.5, is_user_defined=True)
+
+    def test_accept_pins_link(self):
+        link = Correspondence("a", "b").accept()
+        assert link.is_accepted and link.is_decided
+        assert link.confidence == 1.0
+
+    def test_reject_pins_link(self):
+        link = Correspondence("a", "b").reject()
+        assert link.is_rejected
+        assert link.confidence == -1.0
+
+    def test_suggest_respects_user_decision(self):
+        """Section 4.3: the engine never modifies decided links."""
+        link = Correspondence("a", "b").accept()
+        link.suggest(0.2)
+        assert link.confidence == 1.0
+        assert link.is_user_defined
+
+    def test_suggest_updates_undecided(self):
+        link = Correspondence("a", "b")
+        link.suggest(0.7)
+        assert link.confidence == 0.7
+        assert not link.is_user_defined
+
+    def test_pair(self):
+        assert Correspondence("a", "b").pair == ("a", "b")
+
+    def test_copy_independent(self):
+        link = Correspondence("a", "b", confidence=0.4, annotations={"k": 1})
+        clone = link.copy()
+        clone.accept()
+        clone.annotations["k"] = 2
+        assert link.confidence == 0.4
+        assert link.annotations["k"] == 1
+
+
+class TestVoterScore:
+    def test_magnitude(self):
+        assert VoterScore("v", "a", "b", -0.6).magnitude == 0.6
+
+    def test_score_validated(self):
+        with pytest.raises(MappingError):
+            VoterScore("v", "a", "b", 1.2)
+
+    def test_frozen(self):
+        vote = VoterScore("v", "a", "b", 0.5)
+        with pytest.raises(AttributeError):
+            vote.score = 0.9
+
+
+class TestSelectionHelpers:
+    def _links(self):
+        return [
+            Correspondence("a", "x", confidence=0.9),
+            Correspondence("a", "y", confidence=0.5),
+            Correspondence("b", "x", confidence=0.4),
+            Correspondence("b", "y", confidence=0.4),
+        ]
+
+    def test_top_correspondences_per_source(self):
+        top = top_correspondences(self._links(), per_source=True)
+        pairs = {c.pair for c in top}
+        assert ("a", "x") in pairs and ("a", "y") not in pairs
+        # ties are all retained (paper: "ties are possible")
+        assert ("b", "x") in pairs and ("b", "y") in pairs
+
+    def test_top_correspondences_per_target(self):
+        top = top_correspondences(self._links(), per_source=False)
+        pairs = {c.pair for c in top}
+        assert ("a", "x") in pairs and ("b", "x") not in pairs
+
+    def test_best_match_for(self):
+        best = best_match_for(self._links(), "a")
+        assert best.pair == ("a", "x")
+        assert best_match_for(self._links(), "zzz") is None

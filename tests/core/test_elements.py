@@ -1,0 +1,68 @@
+"""Tests for repro.core.elements."""
+
+import pytest
+
+from repro.core import CONTAINER_KINDS, ElementKind, SchemaElement
+
+
+class TestSchemaElement:
+    def test_minimal_construction(self):
+        element = SchemaElement("s/a", "a")
+        assert element.element_id == "s/a"
+        assert element.name == "a"
+        assert element.kind is ElementKind.ELEMENT
+        assert element.datatype is None
+        assert element.documentation == ""
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            SchemaElement("", "a")
+
+    def test_kind_coerced_from_string(self):
+        element = SchemaElement("s/t", "t", "table")
+        assert element.kind is ElementKind.TABLE
+
+    def test_invalid_kind_string_rejected(self):
+        with pytest.raises(ValueError):
+            SchemaElement("s/t", "t", "nonsense")
+
+    def test_container_predicate(self):
+        assert SchemaElement("s/t", "t", ElementKind.TABLE).is_container
+        assert SchemaElement("s/e", "e", ElementKind.ENTITY).is_container
+        assert not SchemaElement("s/a", "a", ElementKind.ATTRIBUTE).is_container
+        assert not SchemaElement("s/d", "d", ElementKind.DOMAIN).is_container
+
+    def test_container_kinds_match_predicate(self):
+        for kind in ElementKind:
+            element = SchemaElement("x", "x", kind)
+            assert element.is_container == (kind in CONTAINER_KINDS)
+
+    def test_attribute_and_domain_predicates(self):
+        assert SchemaElement("s/a", "a", ElementKind.ATTRIBUTE).is_attribute
+        assert SchemaElement("s/d", "d", ElementKind.DOMAIN).is_domain
+
+    def test_has_documentation_ignores_whitespace(self):
+        assert not SchemaElement("s/a", "a", documentation="   ").has_documentation
+        assert SchemaElement("s/a", "a", documentation="Real text.").has_documentation
+
+    def test_annotations(self):
+        element = SchemaElement("s/a", "a")
+        assert element.annotation("nullable") is None
+        assert element.annotation("nullable", True) is True
+        element.annotate("nullable", False)
+        assert element.annotation("nullable") is False
+
+    def test_annotate_is_chainable(self):
+        element = SchemaElement("s/a", "a").annotate("x", 1).annotate("y", 2)
+        assert element.annotations == {"x": 1, "y": 2}
+
+    def test_copy_is_independent(self):
+        element = SchemaElement("s/a", "a", annotations={"k": "v"})
+        clone = element.copy()
+        clone.annotate("k", "changed")
+        clone.name = "b"
+        assert element.annotation("k") == "v"
+        assert element.name == "a"
+
+    def test_str_shows_kind_and_id(self):
+        assert str(SchemaElement("s/t", "t", ElementKind.TABLE)) == "table:s/t"

@@ -1,0 +1,121 @@
+"""Tests for the task model (Section 3)."""
+
+import pytest
+
+from repro.core import (
+    Phase,
+    ProblemProfile,
+    Support,
+    TASKS,
+    ToolProfile,
+    combined_profile,
+    coverage_table,
+    harmony_profile,
+    instance_tools_profile,
+    mapper_profile,
+    task,
+    tasks_in_phase,
+    workbench_suite_profile,
+)
+
+
+class TestTaskModel:
+    def test_thirteen_tasks(self):
+        assert len(TASKS) == 13
+        assert [t.number for t in TASKS] == list(range(1, 14))
+
+    def test_five_phases(self):
+        assert len(Phase) == 5
+        assert {t.phase for t in TASKS} == set(Phase)
+
+    def test_phase_grouping_matches_paper(self):
+        assert [t.number for t in tasks_in_phase(Phase.SCHEMA_PREPARATION)] == [1, 2]
+        assert [t.number for t in tasks_in_phase(Phase.SCHEMA_MATCHING)] == [3]
+        assert [t.number for t in tasks_in_phase(Phase.SCHEMA_MAPPING)] == [4, 5, 6, 7, 8, 9]
+        assert [t.number for t in tasks_in_phase(Phase.INSTANCE_INTEGRATION)] == [10, 11]
+        assert [t.number for t in tasks_in_phase(Phase.SYSTEM_IMPLEMENTATION)] == [12, 13]
+
+    def test_lookup_by_number(self):
+        assert task(3).name == "Generate semantic correspondences"
+        with pytest.raises(KeyError):
+            task(14)
+
+    def test_optional_tasks_flagged(self):
+        assert task(2).optional_when
+        assert task(9).optional_when
+        assert not task(3).optional_when
+
+
+class TestToolProfiles:
+    def test_set_and_get_support(self):
+        profile = ToolProfile("t")
+        profile.set_support(3, Support.AUTOMATED, "engine")
+        assert profile.support_for(3) is Support.AUTOMATED
+        assert profile.support_for(4) is Support.NONE
+
+    def test_invalid_task_number_rejected(self):
+        with pytest.raises(KeyError):
+            ToolProfile("t").set_support(99, Support.MANUAL)
+
+    def test_coverage(self):
+        profile = ToolProfile("t")
+        profile.set_support(1, Support.MANUAL)
+        assert profile.coverage([1, 2]) == 0.5
+        assert profile.coverage() == pytest.approx(1 / 13)
+
+    def test_harmony_profile_matches_paper(self):
+        """Harmony loads and matches but 'provides neither a mechanism for
+        authoring code snippets, nor a code generation feature'."""
+        profile = harmony_profile()
+        assert profile.support_for(3) is Support.AUTOMATED
+        assert profile.support_for(8) is Support.NONE
+        assert profile.support_for(4) is Support.NONE
+
+    def test_mapper_profile_complements_harmony(self):
+        profile = mapper_profile()
+        assert profile.support_for(8) is Support.AUTOMATED
+        assert profile.support_for(3) is Support.MANUAL  # manual matching only
+
+    def test_combined_profile_takes_best(self):
+        combined = combined_profile("suite", [harmony_profile(), mapper_profile()])
+        assert combined.support_for(3) is Support.AUTOMATED  # from Harmony
+        assert combined.support_for(8) is Support.AUTOMATED  # from mapper
+
+    def test_suite_covers_more_than_parts(self):
+        harmony = harmony_profile()
+        suite = workbench_suite_profile()
+        assert suite.coverage() > harmony.coverage()
+        assert suite.coverage() > mapper_profile().coverage()
+
+    def test_suite_covers_all_thirteen(self):
+        suite = workbench_suite_profile()
+        assert suite.coverage() == 1.0
+
+
+class TestProblemProfiles:
+    def test_default_requires_everything(self):
+        assert len(ProblemProfile("p").required_tasks()) == 13
+
+    def test_no_instances_prunes_instance_integration(self):
+        profile = ProblemProfile("p", instances_available=False)
+        numbers = {t.number for t in profile.required_tasks()}
+        assert 10 not in numbers and 11 not in numbers
+
+    def test_one_shot_prunes_deployment(self):
+        profile = ProblemProfile("p", one_shot=True)
+        numbers = {t.number for t in profile.required_tasks()}
+        assert 12 not in numbers and 13 not in numbers
+
+    def test_manual_prune_with_reason(self):
+        profile = ProblemProfile("p")
+        profile.prune(9, "no target schema specified")
+        assert 9 not in {t.number for t in profile.required_tasks()}
+
+    def test_coverage_table_renders(self):
+        table = coverage_table(
+            [harmony_profile(), mapper_profile(), instance_tools_profile()],
+            ProblemProfile("demo", one_shot=True),
+        )
+        assert "Harmony" in table
+        assert "coverage" in table
+        assert "pruned" in table

@@ -1,0 +1,184 @@
+"""Tests for the Harmony engine, session workflow and learning loop."""
+
+import pytest
+
+from repro.core import VoterScore
+from repro.harmony import (
+    ConfidenceFilter,
+    EngineConfig,
+    FLOODING_CLASSIC,
+    FLOODING_DIRECTIONAL,
+    FLOODING_OFF,
+    HarmonyEngine,
+    MatchSession,
+    VoteMerger,
+    decisions_from_matrix,
+    update_merger_weights,
+    update_word_weights,
+)
+from repro.harmony.voters.base import MatchContext
+
+
+class TestEngine:
+    def test_match_populates_matrix(self, orders_graph, notice_graph):
+        run = HarmonyEngine().match(orders_graph, notice_graph)
+        assert len(list(run.matrix.cells())) > 0
+        assert all(-0.99 <= c.confidence <= 0.99 for c in run.matrix.cells())
+
+    def test_finds_obvious_correspondences(self, orders_graph, notice_graph):
+        run = HarmonyEngine().match(orders_graph, notice_graph)
+        cell = run.matrix.cell(
+            "orders/customer/first_name", "notice/shippingNotice/recipientName/firstName"
+        )
+        assert cell.confidence > 0.5
+
+    def test_user_decisions_never_overwritten(self, orders_graph, notice_graph):
+        from repro.core import MappingMatrix
+
+        matrix = MappingMatrix.from_schemas(orders_graph, notice_graph)
+        matrix.set_confidence(
+            "orders/purchase_order/po_id", "notice/shippingNotice/total",
+            -1.0, user_defined=True,
+        )
+        run = HarmonyEngine().match(orders_graph, notice_graph, matrix=matrix)
+        cell = run.matrix.cell("orders/purchase_order/po_id", "notice/shippingNotice/total")
+        assert cell.confidence == -1.0
+        assert cell.is_user_defined
+
+    def test_flooding_modes_all_run(self, orders_graph, notice_graph):
+        for mode in (FLOODING_OFF, FLOODING_CLASSIC, FLOODING_DIRECTIONAL):
+            engine = HarmonyEngine(config=EngineConfig(flooding=mode))
+            run = engine.match(orders_graph, notice_graph)
+            assert run.matrix is not None
+
+    def test_flooding_off_preserves_merged_scores(self, orders_graph, notice_graph):
+        engine = HarmonyEngine(config=EngineConfig(flooding=FLOODING_OFF))
+        run = engine.match(orders_graph, notice_graph)
+        assert run.pre_flooding == run.post_flooding
+
+    def test_unknown_flooding_mode_rejected(self, orders_graph, notice_graph):
+        engine = HarmonyEngine(config=EngineConfig(flooding="bogus"))
+        with pytest.raises(ValueError):
+            engine.match(orders_graph, notice_graph)
+
+    def test_stage_summary_mentions_every_stage(self, orders_graph, notice_graph):
+        run = HarmonyEngine().match(orders_graph, notice_graph)
+        summary = "\n".join(run.stage_summary())
+        for stage in ("linguistic", "voters", "merger", "flooding", "matrix"):
+            assert stage in summary
+
+
+class TestLearning:
+    def test_merger_reweights_by_agreement(self):
+        merger = VoteMerger()
+        votes = [
+            VoterScore("good", "a", "x", 0.8),
+            VoterScore("bad", "a", "x", -0.8),
+        ]
+        update_merger_weights(merger, votes, {("a", "x"): True})
+        assert merger.weight_of("good") > 1.0
+        assert merger.weight_of("bad") < 1.0
+
+    def test_rejection_flips_the_sign(self):
+        merger = VoteMerger()
+        votes = [VoterScore("eager", "a", "x", 0.9)]
+        update_merger_weights(merger, votes, {("a", "x"): False})
+        assert merger.weight_of("eager") < 1.0
+
+    def test_undedecided_pairs_ignored(self):
+        merger = VoteMerger()
+        votes = [VoterScore("v", "a", "x", 0.9)]
+        stats = update_merger_weights(merger, votes, {})
+        assert merger.weight_of("v") == 1.0
+        assert stats.opportunities == {}
+
+    def test_word_weights_move_with_feedback(self, orders_graph, notice_graph):
+        context = MatchContext(orders_graph, notice_graph)
+        decisions = {
+            ("orders/customer/first_name",
+             "notice/shippingNotice/recipientName/firstName"): True,
+        }
+        factors = update_word_weights(context.corpus, context, decisions)
+        # the shared stems of 'Given name of the customer/recipient' got boosted
+        assert any(factor > 1.0 for factor in factors.values())
+
+    def test_decisions_from_matrix(self, figure3_matrix):
+        decisions = decisions_from_matrix(figure3_matrix.cells())
+        assert decisions[("po/purchaseOrder/shipTo/firstName", "sn/shippingInfo/name")] is True
+        assert decisions[("po/purchaseOrder/shipTo/subtotal", "sn/shippingInfo/name")] is False
+        assert ("po/purchaseOrder/shipTo", "sn/shippingInfo") not in decisions
+
+    def test_feedback_improves_next_run(self, orders_graph, notice_graph):
+        """Section 4.3's loop: re-running after feedback must not lose the
+        accepted links and should keep scores legal."""
+        engine = HarmonyEngine()
+        session = MatchSession(orders_graph, notice_graph, engine=engine)
+        session.run_engine()
+        session.accept("orders/customer/first_name",
+                       "notice/shippingNotice/recipientName/firstName")
+        session.reject("orders/customer/first_name", "notice/shippingNotice/total")
+        run2 = session.run_engine()
+        cell = run2.matrix.cell(
+            "orders/customer/first_name", "notice/shippingNotice/recipientName/firstName"
+        )
+        assert cell.confidence == 1.0 and cell.is_user_defined
+
+
+class TestSession:
+    def test_draw_accept_reject(self, orders_graph, notice_graph):
+        session = MatchSession(orders_graph, notice_graph)
+        link = session.draw_link("orders/customer", "notice/shippingNotice/recipientName")
+        assert link.is_accepted
+        session.reject("orders/customer", "notice/shippingNotice")
+        assert session.matrix.cell("orders/customer", "notice/shippingNotice").is_rejected
+
+    def test_change_callback_fires(self, orders_graph, notice_graph):
+        seen = []
+        session = MatchSession(orders_graph, notice_graph, on_change=seen.append)
+        session.draw_link("orders/customer", "notice/shippingNotice/recipientName")
+        assert len(seen) == 1
+
+    def test_mark_subtree_complete(self, orders_graph, notice_graph):
+        """Visible links accepted, others rejected, progress advances."""
+        session = MatchSession(orders_graph, notice_graph)
+        session.run_engine()
+        before_progress = session.progress()
+        accepted, rejected = session.mark_subtree_complete(
+            "orders/customer", side="source", visible=ConfidenceFilter(threshold=0.5)
+        )
+        assert accepted + rejected > 0
+        members = {e.element_id for e in orders_graph.subtree("orders/customer")}
+        for cell in session.matrix.cells():
+            if cell.source_id in members:
+                assert cell.is_decided
+        assert session.progress() > before_progress
+
+    def test_marked_links_survive_rerun(self, orders_graph, notice_graph):
+        """'links do not mysteriously disappear or appear should the user
+        subsequently invoke the Harmony engine'."""
+        session = MatchSession(orders_graph, notice_graph)
+        session.run_engine()
+        session.mark_subtree_complete("orders/customer", side="source")
+        snapshot = {
+            c.pair: c.confidence
+            for c in session.matrix.cells()
+            if c.source_id.startswith("orders/customer")
+        }
+        session.run_engine()
+        for pair, confidence in snapshot.items():
+            assert session.matrix.cell(*pair).confidence == confidence
+
+    def test_final_correspondences_are_accepted_links(self, orders_graph, notice_graph):
+        session = MatchSession(orders_graph, notice_graph)
+        session.accept("orders/customer", "notice/shippingNotice/recipientName")
+        finals = session.final_correspondences()
+        assert [c.pair for c in finals] == [
+            ("orders/customer", "notice/shippingNotice/recipientName")
+        ]
+
+    def test_invalid_side_rejected(self, orders_graph, notice_graph):
+        session = MatchSession(orders_graph, notice_graph)
+        from repro.core import MappingError
+
+        with pytest.raises(MappingError):
+            session.mark_subtree_complete("orders/customer", side="sideways")

@@ -1,0 +1,141 @@
+"""Tests for the Section 4.2 filters and the headless GUI model."""
+
+import pytest
+
+from repro.core import Correspondence
+from repro.harmony import (
+    ConfidenceFilter,
+    DepthFilter,
+    FilterSet,
+    MatchSession,
+    MaxConfidenceFilter,
+    OriginFilter,
+    SubtreeFilter,
+    line_color,
+    render,
+)
+
+
+def _links():
+    return [
+        Correspondence("a", "x", confidence=0.9),
+        Correspondence("a", "y", confidence=0.3),
+        Correspondence("b", "x", confidence=-0.2),
+        Correspondence("b", "y").accept(),
+        Correspondence("c", "x").reject(),
+    ]
+
+
+class TestLinkFilters:
+    def test_confidence_slider(self):
+        visible = ConfidenceFilter(threshold=0.5).apply(_links())
+        pairs = {c.pair for c in visible}
+        assert pairs == {("a", "x"), ("b", "y")}
+
+    def test_accepted_links_pass_any_slider(self):
+        visible = ConfidenceFilter(threshold=0.99).apply(_links())
+        assert {c.pair for c in visible} == {("b", "y")}
+
+    def test_rejected_links_never_shown(self):
+        visible = ConfidenceFilter(threshold=-1.0).apply(_links())
+        assert ("c", "x") not in {c.pair for c in visible}
+
+    def test_origin_filter_human_only(self):
+        visible = OriginFilter(show_machine=False).apply(_links())
+        assert all(c.is_user_defined for c in visible)
+
+    def test_origin_filter_machine_only(self):
+        visible = OriginFilter(show_human=False).apply(_links())
+        assert all(not c.is_user_defined for c in visible)
+
+    def test_max_confidence_keeps_best_per_source(self):
+        visible = MaxConfidenceFilter(per="source").apply(_links())
+        pairs = {c.pair for c in visible}
+        assert ("a", "x") in pairs and ("a", "y") not in pairs
+
+    def test_max_confidence_keeps_ties(self):
+        links = [
+            Correspondence("a", "x", confidence=0.5),
+            Correspondence("a", "y", confidence=0.5),
+        ]
+        visible = MaxConfidenceFilter(per="source").apply(links)
+        assert len(visible) == 2  # "ties are possible"
+
+    def test_max_confidence_invalid_axis(self):
+        with pytest.raises(ValueError):
+            MaxConfidenceFilter(per="diagonal")
+
+
+class TestNodeFilters:
+    def test_depth_filter(self, orders_graph):
+        """'the engineer can focus exclusively on matching entities'."""
+        enabled = DepthFilter(max_depth=2).enabled_ids(orders_graph)
+        assert "orders/purchase_order" in enabled       # tables at depth 2 here
+        assert "orders/purchase_order/po_id" not in enabled
+
+    def test_subtree_filter(self, orders_graph):
+        flt = SubtreeFilter(orders_graph, "orders/customer")
+        enabled = flt.enabled_ids(orders_graph)
+        assert "orders/customer/first_name" in enabled
+        assert "orders/purchase_order" not in enabled
+
+    def test_combined_filters(self, orders_graph, notice_graph):
+        """'By combining these filters, the engineer can restrict her
+        attention to the entities in a given sub-schema.'"""
+        session = MatchSession(orders_graph, notice_graph)
+        session.run_engine()
+        filters = FilterSet(
+            link_filters=[ConfidenceFilter(threshold=0.0)],
+            source_filters=[
+                SubtreeFilter(orders_graph, "orders/customer"),
+                DepthFilter(max_depth=3),
+            ],
+        )
+        visible = session.links(filters)
+        for link in visible:
+            assert link.source_id.startswith("orders/customer")
+            assert orders_graph.depth(link.source_id) <= 3
+
+
+class TestGuiModel:
+    def test_line_colors(self):
+        assert line_color(Correspondence("a", "b").accept()) == "green"
+        assert line_color(Correspondence("a", "b").reject()) == "red"
+        assert line_color(Correspondence("a", "b", confidence=0.8)) == "dark-blue"
+        assert line_color(Correspondence("a", "b", confidence=0.5)) == "blue"
+        assert line_color(Correspondence("a", "b", confidence=0.1)) == "light-blue"
+
+    def test_render_full_frame(self, orders_graph, notice_graph):
+        session = MatchSession(orders_graph, notice_graph)
+        session.run_engine()
+        session.accept("orders/customer/first_name",
+                       "notice/shippingNotice/recipientName/firstName")
+        state = render(session, FilterSet(link_filters=[ConfidenceFilter(0.0)]))
+        assert state.progress == session.progress()
+        assert any(n.name == "customer" for n in state.source_tree)
+        assert any(line.color == "green" for line in state.lines)
+        text = state.to_text()
+        assert "progress:" in text and "lines:" in text
+
+    def test_disabled_nodes_marked(self, orders_graph, notice_graph):
+        session = MatchSession(orders_graph, notice_graph)
+        filters = FilterSet(source_filters=[SubtreeFilter(orders_graph, "orders/customer")])
+        state = render(session, filters)
+        by_id = {n.element_id: n for n in state.source_tree}
+        assert by_id["orders/customer/first_name"].enabled
+        assert not by_id["orders/purchase_order"].enabled
+
+    def test_lines_sorted_by_confidence(self, orders_graph, notice_graph):
+        session = MatchSession(orders_graph, notice_graph)
+        session.run_engine()
+        state = render(session, FilterSet(link_filters=[ConfidenceFilter(0.0)]))
+        confidences = [line.confidence for line in state.lines]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_complete_flags_shown(self, orders_graph, notice_graph):
+        session = MatchSession(orders_graph, notice_graph)
+        session.run_engine()
+        session.mark_subtree_complete("orders/customer", side="source")
+        state = render(session)
+        by_id = {n.element_id: n for n in state.source_tree}
+        assert by_id["orders/customer"].complete

@@ -1,0 +1,163 @@
+"""Tests for multi-source matching and target-schema derivation (§3.2)."""
+
+import pytest
+
+from repro.baselines import NameEqualityMatcher
+from repro.core import ElementKind
+from repro.harmony import (
+    cluster_elements,
+    derive_target_schema,
+    integrate_sources,
+    match_all_pairs,
+)
+from repro.loaders import load_er
+
+
+@pytest.fixture
+def hr_sources():
+    a = load_er({"name": "hr1", "entities": [
+        {"name": "Employee",
+         "documentation": "A person employed by the organization.",
+         "attributes": [
+             {"name": "empId", "type": "integer", "key": True,
+              "documentation": "Unique employee number."},
+             {"name": "salary", "type": "decimal",
+              "documentation": "Annual gross salary in dollars."},
+             {"name": "grade", "type": "string", "domain": "Grade",
+              "documentation": "Pay grade code of the employee."}]}],
+        "domains": [{"name": "Grade", "values": [
+            {"code": "GS7"}, {"code": "GS9"}]}]})
+    b = load_er({"name": "hr2", "entities": [
+        {"name": "Worker",
+         "documentation": "A person employed by the firm.",
+         "attributes": [
+             {"name": "workerNumber", "type": "integer", "key": True,
+              "documentation": "Unique worker number for the person."},
+             {"name": "pay", "type": "decimal",
+              "documentation": "Annual gross pay in dollars."},
+             {"name": "payGrade", "type": "string", "domain": "PayGrade",
+              "documentation": "Code for the pay grade of the worker."}]}],
+        "domains": [{"name": "PayGrade", "values": [
+            {"code": "GS7"}, {"code": "GS9"}, {"code": "GS11"}]}]})
+    c = load_er({"name": "hr3", "entities": [
+        {"name": "Staff",
+         "documentation": "Employed staff member of the enterprise.",
+         "attributes": [
+             {"name": "staffId", "type": "integer", "key": True,
+              "documentation": "Unique staff number."},
+             {"name": "compensation", "type": "decimal",
+              "documentation": "Annual compensation amount in dollars."}]}]})
+    return [a, b, c]
+
+
+class TestMatchAllPairs:
+    def test_every_pair_matched(self, hr_sources):
+        matrices = match_all_pairs(hr_sources)
+        assert set(matrices) == {("hr1", "hr2"), ("hr1", "hr3"), ("hr2", "hr3")}
+
+    def test_custom_matcher_accepted(self, hr_sources):
+        matrices = match_all_pairs(hr_sources[:2], matcher=NameEqualityMatcher())
+        assert ("hr1", "hr2") in matrices
+
+
+class TestClustering:
+    def test_clusters_partition_all_elements(self, hr_sources):
+        matrices = match_all_pairs(hr_sources)
+        clusters = cluster_elements(hr_sources, matrices, threshold=0.45)
+        seen = [ref for cluster in clusters for ref in cluster]
+        assert len(seen) == len(set(seen))  # disjoint
+        for graph in hr_sources:
+            for element in graph:
+                if element.element_id == graph.root.element_id:
+                    continue
+                # keys and domain values are not clustered directly
+                if element.kind in (ElementKind.KEY, ElementKind.DOMAIN_VALUE):
+                    continue
+                assert (graph.name, element.element_id) in set(seen)
+
+    def test_entities_cluster_across_three_sources(self, hr_sources):
+        matrices = match_all_pairs(hr_sources)
+        clusters = cluster_elements(hr_sources, matrices, threshold=0.45)
+        entity_cluster = next(
+            c for c in clusters if ("hr1", "hr1/Employee") in c)
+        assert ("hr2", "hr2/Worker") in entity_cluster
+        assert ("hr3", "hr3/Staff") in entity_cluster
+
+    def test_kind_families_respected(self, hr_sources):
+        matrices = match_all_pairs(hr_sources)
+        clusters = cluster_elements(hr_sources, matrices, threshold=0.45)
+        by_name = {g.name: g for g in hr_sources}
+        for cluster in clusters:
+            kinds = {
+                "container" if by_name[s].element(e).is_container
+                else by_name[s].element(e).kind.value
+                for s, e in cluster
+            }
+            assert len(kinds) == 1
+
+    def test_high_threshold_yields_singletons(self, hr_sources):
+        matrices = match_all_pairs(hr_sources)
+        clusters = cluster_elements(hr_sources, matrices, threshold=0.9999)
+        assert all(len(c) == 1 for c in clusters)
+
+
+class TestDerivedTarget:
+    def test_unified_schema_structure(self, hr_sources):
+        result = integrate_sources(hr_sources, threshold=0.45, name="unified")
+        target = result.target
+        assert target.validate() == []
+        entities = target.elements_of_kind(ElementKind.ENTITY)
+        assert len(entities) == 1  # the three employee entities merged
+        attributes = target.children(entities[0].element_id)
+        attribute_names = {a.name for a in attributes if a.is_attribute}
+        assert len(attribute_names) == 3  # id, salary, grade concepts
+
+    def test_domain_codes_merged(self, hr_sources):
+        result = integrate_sources(hr_sources, threshold=0.45)
+        domains = result.target.elements_of_kind(ElementKind.DOMAIN)
+        assert len(domains) == 1
+        codes = {v.name for v in result.target.children(domains[0].element_id)}
+        assert codes == {"GS7", "GS9", "GS11"}  # union of both schemes
+
+    def test_documentation_merged(self, hr_sources):
+        result = integrate_sources(hr_sources, threshold=0.45)
+        entity = result.target.elements_of_kind(ElementKind.ENTITY)[0]
+        assert entity.has_documentation
+
+    def test_source_matrices_preaccepted(self, hr_sources):
+        result = integrate_sources(hr_sources, threshold=0.45)
+        for graph in hr_sources:
+            matrix = result.source_to_target[graph.name]
+            accepted = matrix.accepted()
+            assert accepted, f"{graph.name} should have derived links"
+            assert all(c.is_user_defined and c.confidence == 1.0 for c in accepted)
+            # the entity link is among them
+            entity_links = [
+                c for c in accepted
+                if graph.element(c.source_id).is_container
+            ]
+            assert entity_links
+
+    def test_cluster_lookup(self, hr_sources):
+        result = integrate_sources(hr_sources, threshold=0.45)
+        cluster = result.cluster_of("hr1", "hr1/Employee")
+        assert cluster is not None and len(cluster) == 3
+        assert result.cluster_of("hr1", "nonexistent") is None
+
+    def test_unclustered_attribute_parked_under_root(self):
+        """An attribute whose parent never clustered still lands somewhere."""
+        a = load_er({"name": "s1", "entities": [
+            {"name": "Alpha", "attributes": [{"name": "x", "type": "string"}]}]})
+        b = load_er({"name": "s2", "entities": [
+            {"name": "Zulu", "attributes": [{"name": "y", "type": "integer"}]}]})
+        result = integrate_sources([a, b], threshold=0.999)
+        # nothing clusters; every element still appears in the target
+        assert result.target is not None
+        names = {e.name for e in result.target}
+        assert {"Alpha", "Zulu", "x", "y"} <= names
+
+    def test_derivation_deterministic(self, hr_sources):
+        first = integrate_sources(hr_sources, threshold=0.45)
+        second = integrate_sources(hr_sources, threshold=0.45)
+        assert sorted(e.element_id for e in first.target) == sorted(
+            e.element_id for e in second.target)

@@ -1,0 +1,350 @@
+"""Tests for the match voters."""
+
+import pytest
+
+from repro.core import ElementKind, SchemaElement, SchemaGraph
+from repro.harmony import (
+    AcronymVoter,
+    DatatypeVoter,
+    DocumentationVoter,
+    DomainValueVoter,
+    InstanceVoter,
+    MatchContext,
+    NameVoter,
+    StructureVoter,
+    ThesaurusVoter,
+    calibrate,
+    default_voters,
+    kinds_comparable,
+)
+from repro.harmony.voters.acronym import is_acronym_of
+
+
+def _two_graphs(source_specs, target_specs):
+    """Build tiny graphs: specs are (name, kind, datatype, doc, annotations)."""
+    def build(name, specs):
+        graph = SchemaGraph.create(name)
+        graph.add_child(name, SchemaElement(f"{name}/E", "E", ElementKind.ENTITY),
+                        label="contains-element")
+        for spec in specs:
+            element = SchemaElement(
+                f"{name}/E/{spec[0]}", spec[0], spec[1],
+                datatype=spec[2] if len(spec) > 2 else None,
+                documentation=spec[3] if len(spec) > 3 else "",
+            )
+            if len(spec) > 4:
+                element.annotations.update(spec[4])
+            graph.add_child(f"{name}/E", element)
+        return graph
+
+    return build("src", source_specs), build("tgt", target_specs)
+
+
+class TestCalibrate:
+    def test_full_confidence(self):
+        assert calibrate(0.99) == 1.0
+
+    def test_zero_point(self):
+        assert calibrate(0.35, zero_point=0.35) == pytest.approx(0.0)
+
+    def test_negative_floor(self):
+        assert calibrate(0.0, negative_floor=-0.5) == pytest.approx(-0.5)
+
+    def test_monotone(self):
+        values = [calibrate(x / 20) for x in range(21)]
+        assert values == sorted(values)
+
+    def test_range(self):
+        for x in [0.0, 0.2, 0.5, 0.8, 1.0]:
+            assert -1.0 <= calibrate(x) <= 1.0
+
+
+class TestKindsComparable:
+    def test_same_kind(self):
+        assert kinds_comparable(ElementKind.ATTRIBUTE, ElementKind.ATTRIBUTE)
+
+    def test_cross_container(self):
+        assert kinds_comparable(ElementKind.TABLE, ElementKind.ELEMENT)
+        assert kinds_comparable(ElementKind.ENTITY, ElementKind.TABLE)
+
+    def test_attribute_vs_container(self):
+        assert not kinds_comparable(ElementKind.ATTRIBUTE, ElementKind.TABLE)
+
+    def test_domain_vs_attribute(self):
+        assert not kinds_comparable(ElementKind.DOMAIN, ElementKind.ATTRIBUTE)
+
+
+class TestNameVoter:
+    def test_identical_names_certain(self):
+        source, target = _two_graphs(
+            [("total", ElementKind.ATTRIBUTE)], [("total", ElementKind.ATTRIBUTE)]
+        )
+        context = MatchContext(source, target)
+        score = NameVoter().score(
+            source.element("src/E/total"), target.element("tgt/E/total"), context
+        )
+        assert score == 1.0
+
+    def test_case_insensitive(self):
+        source, target = _two_graphs(
+            [("Total", ElementKind.ATTRIBUTE)], [("TOTAL", ElementKind.ATTRIBUTE)]
+        )
+        context = MatchContext(source, target)
+        assert NameVoter().score(
+            source.element("src/E/Total"), target.element("tgt/E/TOTAL"), context
+        ) == 1.0
+
+    def test_token_reordering(self):
+        source, target = _two_graphs(
+            [("firstName", ElementKind.ATTRIBUTE)], [("name_first", ElementKind.ATTRIBUTE)]
+        )
+        context = MatchContext(source, target)
+        score = NameVoter().score(
+            source.element("src/E/firstName"), target.element("tgt/E/name_first"), context
+        )
+        assert score == 1.0  # same token multiset
+
+    def test_dissimilar_names_negative(self):
+        source, target = _two_graphs(
+            [("elevation", ElementKind.ATTRIBUTE)], [("zzqq", ElementKind.ATTRIBUTE)]
+        )
+        context = MatchContext(source, target)
+        score = NameVoter().score(
+            source.element("src/E/elevation"), target.element("tgt/E/zzqq"), context
+        )
+        assert score < 0.0
+
+    def test_abbreviation_bridged(self):
+        source, target = _two_graphs(
+            [("qty", ElementKind.ATTRIBUTE)], [("quantity", ElementKind.ATTRIBUTE)]
+        )
+        context = MatchContext(source, target)
+        score = NameVoter().score(
+            source.element("src/E/qty"), target.element("tgt/E/quantity"), context
+        )
+        assert score > 0.8
+
+
+class TestDocumentationVoter:
+    def test_abstains_without_docs(self):
+        source, target = _two_graphs(
+            [("a", ElementKind.ATTRIBUTE, None, "Documented here.")],
+            [("b", ElementKind.ATTRIBUTE)],
+        )
+        context = MatchContext(source, target)
+        voter = DocumentationVoter()
+        assert not voter.applicable(source.element("src/E/a"), target.element("tgt/E/b"))
+        assert voter.score(source.element("src/E/a"), target.element("tgt/E/b"), context) == 0.0
+
+    def test_similar_docs_positive(self):
+        source, target = _two_graphs(
+            [("a", ElementKind.ATTRIBUTE, None, "The given name of the customer.")],
+            [("b", ElementKind.ATTRIBUTE, None, "Given name of the purchasing customer.")],
+        )
+        context = MatchContext(source, target)
+        score = DocumentationVoter().score(
+            source.element("src/E/a"), target.element("tgt/E/b"), context
+        )
+        assert score > 0.3
+
+    def test_unrelated_docs_weak_negative(self):
+        source, target = _two_graphs(
+            [("a", ElementKind.ATTRIBUTE, None, "Elevation above sea level in feet.")],
+            [("b", ElementKind.ATTRIBUTE, None, "Given name of the customer.")],
+        )
+        context = MatchContext(source, target)
+        score = DocumentationVoter().score(
+            source.element("src/E/a"), target.element("tgt/E/b"), context
+        )
+        assert -0.35 <= score < 0.0  # shallow negative floor (recall-oriented)
+
+
+class TestThesaurusVoter:
+    def test_synonym_names(self):
+        source, target = _two_graphs(
+            [("vendor", ElementKind.ATTRIBUTE)], [("supplier", ElementKind.ATTRIBUTE)]
+        )
+        context = MatchContext(source, target)
+        score = ThesaurusVoter().score(
+            source.element("src/E/vendor"), target.element("tgt/E/supplier"), context
+        )
+        assert score > 0.7
+
+    def test_abstains_without_synonym_evidence(self):
+        source, target = _two_graphs(
+            [("elevation", ElementKind.ATTRIBUTE)], [("customer", ElementKind.ATTRIBUTE)]
+        )
+        context = MatchContext(source, target)
+        score = ThesaurusVoter().score(
+            source.element("src/E/elevation"), target.element("tgt/E/customer"), context
+        )
+        assert score == 0.0
+
+
+class TestDatatypeVoter:
+    def test_same_type_weak_positive(self):
+        source, target = _two_graphs(
+            [("a", ElementKind.ATTRIBUTE, "decimal")], [("b", ElementKind.ATTRIBUTE, "decimal")]
+        )
+        context = MatchContext(source, target)
+        score = DatatypeVoter().score(
+            source.element("src/E/a"), target.element("tgt/E/b"), context
+        )
+        assert score == DatatypeVoter.SAME
+
+    def test_incompatible_negative(self):
+        source, target = _two_graphs(
+            [("a", ElementKind.ATTRIBUTE, "date")], [("b", ElementKind.ATTRIBUTE, "binary")]
+        )
+        context = MatchContext(source, target)
+        score = DatatypeVoter().score(
+            source.element("src/E/a"), target.element("tgt/E/b"), context
+        )
+        assert score == DatatypeVoter.INCOMPATIBLE
+
+    def test_abstains_without_types(self):
+        source, target = _two_graphs(
+            [("a", ElementKind.ATTRIBUTE)], [("b", ElementKind.ATTRIBUTE, "string")]
+        )
+        context = MatchContext(source, target)
+        assert DatatypeVoter().score(
+            source.element("src/E/a"), target.element("tgt/E/b"), context
+        ) == 0.0
+
+
+class TestAcronymVoter:
+    def test_is_acronym_of(self):
+        assert is_acronym_of("pon", ["purchase", "order", "number"])
+        assert is_acronym_of("ssn", ["social", "security", "number"])
+        assert not is_acronym_of("x", ["single"])
+        assert not is_acronym_of("abc", ["alpha", "beta"])
+
+    def test_acronym_scores(self):
+        source, target = _two_graphs(
+            [("poNum", ElementKind.ATTRIBUTE)],
+            [("purchaseOrderNumber", ElementKind.ATTRIBUTE)],
+        )
+        context = MatchContext(source, target)
+        score = AcronymVoter().score(
+            source.element("src/E/poNum"), target.element("tgt/E/purchaseOrderNumber"), context
+        )
+        assert score > 0.0
+
+
+class TestInstanceVoter:
+    def test_abstains_without_samples(self):
+        """Section 2: matching must not assume instance data exists."""
+        source, target = _two_graphs(
+            [("a", ElementKind.ATTRIBUTE, "string")], [("b", ElementKind.ATTRIBUTE, "string")]
+        )
+        context = MatchContext(source, target)
+        assert InstanceVoter().score(
+            source.element("src/E/a"), target.element("tgt/E/b"), context
+        ) == 0.0
+
+    def test_overlapping_values_positive(self):
+        source, target = _two_graphs(
+            [("a", ElementKind.ATTRIBUTE, "string", "", {"instance_values": ["x", "y", "z"]})],
+            [("b", ElementKind.ATTRIBUTE, "string", "", {"instance_values": ["x", "y", "w"]})],
+        )
+        context = MatchContext(source, target)
+        score = InstanceVoter().score(
+            source.element("src/E/a"), target.element("tgt/E/b"), context
+        )
+        assert score > 0.3
+
+    def test_same_shape_weak_positive(self):
+        source, target = _two_graphs(
+            [("a", ElementKind.ATTRIBUTE, "integer", "", {"instance_values": ["1", "2"]})],
+            [("b", ElementKind.ATTRIBUTE, "integer", "", {"instance_values": ["7", "9"]})],
+        )
+        context = MatchContext(source, target)
+        score = InstanceVoter().score(
+            source.element("src/E/a"), target.element("tgt/E/b"), context
+        )
+        assert score == pytest.approx(0.15)
+
+
+class TestDomainValueVoter:
+    def _coded_graphs(self, source_codes, target_codes):
+        def build(name, codes):
+            graph = SchemaGraph.create(name)
+            graph.add_child(name, SchemaElement(f"{name}/E", "E", ElementKind.ENTITY),
+                            label="contains-element")
+            graph.add_child(f"{name}/E", SchemaElement(
+                f"{name}/E/status", "status", ElementKind.ATTRIBUTE, datatype="string"))
+            graph.add_child(name, SchemaElement(f"{name}/D", "D", ElementKind.DOMAIN),
+                            label="contains-element")
+            for code in codes:
+                graph.add_child(f"{name}/D", SchemaElement(
+                    f"{name}/D/{code}", code, ElementKind.DOMAIN_VALUE))
+            graph.add_edge(f"{name}/E/status", "has-domain", f"{name}/D")
+            return graph
+
+        return build("src", source_codes), build("tgt", target_codes)
+
+    def test_matching_schemes_strong_positive(self):
+        source, target = self._coded_graphs(["A", "B", "C"], ["A", "B", "C"])
+        context = MatchContext(source, target)
+        score = DomainValueVoter().score(
+            source.element("src/E/status"), target.element("tgt/E/status"), context
+        )
+        assert score > 0.8
+
+    def test_disjoint_schemes_strong_negative(self):
+        source, target = self._coded_graphs(["A", "B"], ["X", "Y"])
+        context = MatchContext(source, target)
+        score = DomainValueVoter().score(
+            source.element("src/E/status"), target.element("tgt/E/status"), context
+        )
+        assert score < -0.5
+
+    def test_domain_elements_compared_directly(self):
+        source, target = self._coded_graphs(["A", "B"], ["A", "B"])
+        context = MatchContext(source, target)
+        score = DomainValueVoter().score(
+            source.element("src/D"), target.element("tgt/D"), context
+        )
+        assert score > 0.8
+
+    def test_abstains_without_domains(self):
+        source, target = _two_graphs(
+            [("a", ElementKind.ATTRIBUTE, "string")], [("b", ElementKind.ATTRIBUTE, "string")]
+        )
+        context = MatchContext(source, target)
+        assert DomainValueVoter().score(
+            source.element("src/E/a"), target.element("tgt/E/b"), context
+        ) == 0.0
+
+
+class TestStructureVoter:
+    def test_same_path_positive(self, purchase_order_graph, shipping_notice_graph):
+        context = MatchContext(purchase_order_graph, shipping_notice_graph)
+        voter = StructureVoter()
+        same_region = voter.score(
+            purchase_order_graph.element("po/purchaseOrder/shipTo/firstName"),
+            shipping_notice_graph.element("sn/shippingInfo/name"),
+            context,
+        )
+        assert isinstance(same_region, float)
+        assert -1.0 <= same_region <= 1.0
+
+
+class TestDefaultVoters:
+    def test_suite_composition(self):
+        names = {v.name for v in default_voters()}
+        assert names == {
+            "name", "documentation", "thesaurus", "datatype",
+            "domain-values", "structure", "acronym", "instance",
+        }
+
+    def test_instance_excludable(self):
+        names = {v.name for v in default_voters(include_instance=False)}
+        assert "instance" not in names
+
+    def test_candidate_pairs_prune_kinds(self, purchase_order_graph, shipping_notice_graph):
+        context = MatchContext(purchase_order_graph, shipping_notice_graph)
+        for source_el, target_el in context.candidate_pairs():
+            assert kinds_comparable(source_el.kind, target_el.kind)
+            assert source_el.element_id != "po"
+            assert target_el.element_id != "sn"

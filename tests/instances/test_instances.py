@@ -1,0 +1,205 @@
+"""Tests for instance integration: documents, linkage (task 10), cleaning (task 11)."""
+
+import pytest
+
+from repro.instances import (
+    LinkageConfig,
+    RecordSet,
+    clean_constraints,
+    clean_record_sets,
+    field_similarity,
+    flatten_document,
+    link_record_sets,
+    link_records,
+    merge_records,
+    normalize_record,
+    normalize_value,
+    record_similarity,
+    resolve_contradictions,
+    sample_values,
+)
+
+
+class TestDocuments:
+    def test_normalize_value(self):
+        assert normalize_value("  Hello   World ") == "hello world"
+        assert normalize_value(42) == 42
+        assert normalize_value(None) is None
+
+    def test_normalize_record(self):
+        assert normalize_record({"a": " X ", "b": 1}) == {"a": "x", "b": 1}
+
+    def test_flatten_document(self):
+        flat = flatten_document({"name": {"first": "Ada", "last": "L"}, "id": 3})
+        assert flat == {"name.first": "Ada", "name.last": "L", "id": 3}
+
+    def test_record_set_attributes(self):
+        rs = RecordSet("E", records=[{"a": 1}, {"b": 2}])
+        assert rs.attributes() == ["a", "b"]
+        assert len(rs) == 2
+
+    def test_record_set_project(self):
+        rs = RecordSet("E", records=[{"a": 1, "b": 2}])
+        projected = rs.project(["a"])
+        assert projected.records == [{"a": 1}]
+
+    def test_sample_values_annotates_graph(self, orders_graph):
+        count = sample_values(
+            orders_graph,
+            {"orders/customer": [
+                {"cust_id": 1, "first_name": "Peter", "last_name": "Mork"},
+                {"cust_id": 2, "first_name": "Len", "last_name": "Seligman"},
+            ]},
+        )
+        assert count == 3
+        values = orders_graph.element("orders/customer/first_name").annotation("instance_values")
+        assert values == ["Peter", "Len"]
+
+    def test_sample_values_limit_and_dedup(self, orders_graph):
+        rows = [{"cust_id": i % 3, "first_name": "x", "last_name": "y"} for i in range(50)]
+        sample_values(orders_graph, {"orders/customer": rows}, limit=2)
+        values = orders_graph.element("orders/customer/cust_id").annotation("instance_values")
+        assert len(values) == 2
+
+
+class TestFieldSimilarity:
+    def test_exact(self):
+        assert field_similarity("Mork", "mork") == 1.0
+
+    def test_near_strings(self):
+        assert field_similarity("Jonathan", "Jonathon") > 0.8
+
+    def test_numbers(self):
+        assert field_similarity(100, 100.0) == 1.0
+        assert field_similarity(100, 90) > 0.8
+        assert field_similarity(100, 1) < 0.1
+
+    def test_nulls(self):
+        assert field_similarity(None, "x") == 0.0
+
+
+class TestLinkage:
+    PEOPLE = [
+        {"name": "Peter Mork", "org": "MITRE", "phone": "703-555-0100"},
+        {"name": "P. Mork", "org": "MITRE", "phone": "703-555-0100"},
+        {"name": "Len Seligman", "org": "Georgetown", "phone": "202-888-4242"},
+        {"name": "Arnon Rosenthal", "org": "Stanford", "phone": "650-123-9876"},
+    ]
+
+    def test_duplicates_linked(self):
+        result = link_records(self.PEOPLE, LinkageConfig(threshold=0.75))
+        assert result.duplicates_removed == 1
+        sizes = sorted(len(c) for c in result.clusters)
+        assert sizes == [1, 1, 2]
+
+    def test_clusters_partition_indexes(self):
+        result = link_records(self.PEOPLE, LinkageConfig(threshold=0.75))
+        flat = sorted(i for cluster in result.clusters for i in cluster)
+        assert flat == list(range(len(self.PEOPLE)))
+
+    def test_high_threshold_links_nothing(self):
+        result = link_records(self.PEOPLE, LinkageConfig(threshold=0.999))
+        assert result.links_found == 0
+        assert len(result.merged) == len(self.PEOPLE)
+
+    def test_blocking_reduces_comparisons(self):
+        no_blocking = link_records(self.PEOPLE, LinkageConfig(threshold=0.75))
+        blocked = link_records(
+            self.PEOPLE, LinkageConfig(threshold=0.75, blocking_key="phone",
+                                       blocking_prefix=12)
+        )
+        assert blocked.pairs_compared < no_blocking.pairs_compared
+        assert blocked.duplicates_removed == 1  # same quality here
+
+    def test_weights_and_exclusions(self):
+        config = LinkageConfig(threshold=0.9, exclude={"phone"},
+                               weights={"name": 3.0, "org": 0.5})
+        result = link_records(self.PEOPLE, config)
+        flat = sorted(i for cluster in result.clusters for i in cluster)
+        assert flat == list(range(len(self.PEOPLE)))
+
+    def test_merge_records_prefers_reliable(self):
+        merged = merge_records(
+            [{"a": 1, "b": None}, {"a": 2, "b": 5}],
+            reliabilities=[0.9, 0.4],
+        )
+        assert merged == {"a": 1, "b": 5}
+
+    def test_link_record_sets_uses_reliability(self):
+        good = RecordSet("E", [{"name": "Peter Mork", "org": "MITRE Corp"}],
+                         source="good", reliability=0.9)
+        bad = RecordSet("E", [{"name": "Peter Mork", "org": "Mitre"}],
+                        source="bad", reliability=0.2)
+        result = link_record_sets([good, bad], LinkageConfig(threshold=0.7))
+        assert len(result.merged) == 1
+        assert result.merged[0]["org"] == "MITRE Corp"
+
+    def test_record_similarity_empty_overlap(self):
+        assert record_similarity({"a": 1}, {"b": 2}) == 0.0
+
+
+class TestCleaning:
+    def test_constraint_violations_nulled_and_reported(self, orders_graph):
+        rows = [
+            {"cust_id": 1, "first_name": "Peter", "last_name": "Mork"},
+            {"cust_id": "zzz", "first_name": "Len", "last_name": "Seligman"},
+        ]
+        report = clean_constraints(orders_graph, "orders/customer", rows)
+        assert report.issue_count == 1
+        assert report.cleaned[1]["cust_id"] is None
+        assert report.cleaned[0]["cust_id"] == 1
+
+    def test_report_only_mode(self, orders_graph):
+        rows = [{"cust_id": "bad", "first_name": "x", "last_name": "y"}]
+        report = clean_constraints(orders_graph, "orders/customer", rows,
+                                   drop_bad_values=False)
+        assert report.issue_count == 1
+        assert report.cleaned[0]["cust_id"] == "bad"
+
+    def test_domain_constraint(self, orders_graph):
+        from repro.loaders import define_domain
+
+        define_domain(orders_graph, "Status", [("OPEN", ""), ("SHIP", "")],
+                      attach_to=["orders/purchase_order/status"])
+        rows = [{"po_id": 1, "cust_id": 1, "order_date": "2006-01-01",
+                 "subtotal": 2.0, "status": "BOGUS"}]
+        report = clean_constraints(orders_graph, "orders/purchase_order", rows)
+        assert any("outside domain" in issue.reason for issue in report.issues)
+
+    def test_range_annotations(self, orders_graph):
+        orders_graph.element("orders/purchase_order/subtotal").annotate("minimum", 0)
+        rows = [{"po_id": 1, "cust_id": 1, "order_date": "d",
+                 "subtotal": -5.0, "status": "X"}]
+        report = clean_constraints(orders_graph, "orders/purchase_order", rows)
+        assert any("below minimum" in issue.reason for issue in report.issues)
+
+    def test_resolve_contradictions(self):
+        """'contradicts information from a more reliable source'."""
+        fused, issues = resolve_contradictions([
+            ({"salary": 50_000, "name": "Mork"}, 0.9),
+            ({"salary": 55_000, "grade": "GS9"}, 0.3),
+        ])
+        assert fused["salary"] == 50_000    # reliable source wins
+        assert fused["grade"] == "GS9"      # non-conflicting data kept
+        assert len(issues) == 1
+        assert "contradicts" in issues[0].reason
+
+    def test_clean_record_sets_end_to_end(self, orders_graph):
+        authoritative = RecordSet(
+            "orders/customer",
+            [{"cust_id": 1, "first_name": "Peter", "last_name": "Mork"}],
+            source="hr", reliability=0.9,
+        )
+        stale = RecordSet(
+            "orders/customer",
+            [{"cust_id": 1, "first_name": "Pete", "last_name": "Mork"},
+             {"cust_id": "broken", "first_name": "Len", "last_name": "S"}],
+            source="legacy", reliability=0.3,
+        )
+        report = clean_record_sets(
+            orders_graph, "orders/customer", [authoritative, stale], key="cust_id")
+        fused = [r for r in report.cleaned if r.get("cust_id") == 1][0]
+        assert fused["first_name"] == "Peter"
+        reasons = [issue.reason for issue in report.issues]
+        assert any("legacy" in r for r in reasons)          # constraint issue tagged by source
+        assert any("contradicts" in r for r in reasons)     # cross-source conflict

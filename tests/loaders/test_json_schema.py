@@ -1,0 +1,119 @@
+"""Tests for the JSON Schema loader."""
+
+import pytest
+
+from repro.core import ElementKind, LoaderError
+from repro.loaders import load_json_schema
+
+
+SCHEMA = {
+    "title": "order",
+    "type": "object",
+    "description": "A purchase order document.",
+    "required": ["orderNumber"],
+    "properties": {
+        "orderNumber": {"type": "integer", "description": "Unique order number."},
+        "shipTo": {
+            "type": "object",
+            "properties": {
+                "city": {"type": "string"},
+                "state": {"type": "string", "enum": ["VA", "MD"]},
+            },
+        },
+        "lines": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "properties": {"qty": {"type": "integer"}},
+            },
+        },
+        "total": {"type": "number"},
+    },
+}
+
+
+class TestStructure:
+    def test_nested_objects(self):
+        graph = load_json_schema(SCHEMA, "js")
+        assert "js/order/shipTo/city" in graph
+        assert graph.element("js/order/shipTo").kind is ElementKind.ELEMENT
+
+    def test_scalars_are_attributes(self):
+        graph = load_json_schema(SCHEMA, "js")
+        element = graph.element("js/order/orderNumber")
+        assert element.kind is ElementKind.ATTRIBUTE
+        assert element.datatype == "integer"
+
+    def test_number_maps_to_float(self):
+        graph = load_json_schema(SCHEMA, "js")
+        assert graph.element("js/order/total").datatype == "float"
+
+    def test_required_controls_nullability(self):
+        graph = load_json_schema(SCHEMA, "js")
+        assert graph.element("js/order/orderNumber").annotation("nullable") is None
+        assert graph.element("js/order/total").annotation("nullable") is True
+
+    def test_arrays_marked_repeating(self):
+        graph = load_json_schema(SCHEMA, "js")
+        lines = graph.element("js/order/lines")
+        assert lines.annotation("repeating") is True
+        assert "js/order/lines/item/qty" in graph
+
+    def test_enum_becomes_domain(self):
+        graph = load_json_schema(SCHEMA, "js")
+        domain = graph.domain_of("js/order/shipTo/state")
+        assert domain is not None
+        assert {v.name for v in graph.children(domain.element_id)} == {"VA", "MD"}
+
+    def test_validates(self):
+        assert load_json_schema(SCHEMA, "js").validate() == []
+
+
+class TestRefs:
+    def test_local_ref_resolved(self):
+        schema = {
+            "title": "doc",
+            "type": "object",
+            "properties": {"addr": {"$ref": "#/definitions/Address"}},
+            "definitions": {
+                "Address": {
+                    "type": "object",
+                    "properties": {"city": {"type": "string"}},
+                }
+            },
+        }
+        graph = load_json_schema(schema, "js")
+        assert "js/doc/addr/city" in graph
+
+    def test_unresolved_ref_rejected(self):
+        schema = {
+            "title": "doc",
+            "type": "object",
+            "properties": {"x": {"$ref": "#/definitions/Ghost"}},
+        }
+        with pytest.raises(LoaderError):
+            load_json_schema(schema, "js")
+
+    def test_remote_ref_rejected(self):
+        schema = {
+            "title": "doc",
+            "type": "object",
+            "properties": {"x": {"$ref": "http://elsewhere/schema.json"}},
+        }
+        with pytest.raises(LoaderError):
+            load_json_schema(schema, "js")
+
+
+class TestErrors:
+    def test_malformed_json(self):
+        with pytest.raises(LoaderError):
+            load_json_schema("{oops")
+
+    def test_nullable_union_type(self):
+        schema = {
+            "title": "doc",
+            "type": "object",
+            "properties": {"x": {"type": ["string", "null"]}},
+        }
+        graph = load_json_schema(schema, "js")
+        assert graph.element("js/doc/x").datatype == "string"

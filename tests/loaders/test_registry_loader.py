@@ -1,0 +1,49 @@
+"""Tests for the metadata-registry loader."""
+
+import pytest
+
+from repro.core import LoaderError
+from repro.loaders import load_registry
+from repro.registry import generate_registry
+
+
+class TestRegistryLoader:
+    def test_loads_generated_registry(self):
+        registry = load_registry(generate_registry(seed=1, scale=0.005))
+        assert len(registry) >= 1
+        for graph in registry:
+            assert graph.validate() == []
+
+    def test_schema_lookup(self):
+        registry = load_registry(generate_registry(seed=1, scale=0.005))
+        name = registry.schema_names[0]
+        assert registry.schema(name).name == name
+        with pytest.raises(LoaderError):
+            registry.schema("ghost")
+
+    def test_duplicate_model_names_disambiguated(self):
+        data = {
+            "name": "r",
+            "models": [
+                {"name": "m", "entities": [{"name": "A", "attributes": []}]},
+                {"name": "m", "entities": [{"name": "B", "attributes": []}]},
+            ],
+        }
+        registry = load_registry(data)
+        assert registry.schema_names == ["m", "m#2"]
+
+    def test_missing_models_rejected(self):
+        with pytest.raises(LoaderError):
+            load_registry({"name": "r"})
+
+    def test_non_object_model_rejected(self):
+        with pytest.raises(LoaderError):
+            load_registry({"name": "r", "models": ["oops"]})
+
+    def test_json_text_accepted(self):
+        import json
+
+        data = json.dumps(
+            {"name": "r", "models": [{"name": "m", "entities": [{"name": "A", "attributes": []}]}]}
+        )
+        assert load_registry(data).schema_names == ["m"]

@@ -1,0 +1,176 @@
+"""Tests for the XSD loader."""
+
+import pytest
+
+from repro.core import ElementKind, LoaderError
+from repro.loaders import load_xsd
+
+
+def _schema(body: str) -> str:
+    return (
+        '<?xml version="1.0"?>\n'
+        '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">\n'
+        f"{body}\n</xs:schema>"
+    )
+
+
+class TestBasics:
+    def test_nested_structure(self, notice_graph):
+        assert "notice/shippingNotice" in notice_graph
+        assert "notice/shippingNotice/recipientName/firstName" in notice_graph
+        assert notice_graph.depth("notice/shippingNotice/recipientName/firstName") == 3
+
+    def test_simple_leaves_are_attributes(self, notice_graph):
+        element = notice_graph.element("notice/shippingNotice/total")
+        assert element.kind is ElementKind.ATTRIBUTE
+        assert element.datatype == "decimal"
+
+    def test_documentation_extracted(self, notice_graph):
+        assert "order ships" in notice_graph.element("notice/shippingNotice").documentation
+        assert "Given name" in notice_graph.element(
+            "notice/shippingNotice/recipientName/firstName"
+        ).documentation
+
+    def test_graph_validates(self, notice_graph):
+        assert notice_graph.validate() == []
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(LoaderError):
+            load_xsd("<not-closed", "x")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(LoaderError):
+            load_xsd("<html/>", "x")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(LoaderError):
+            load_xsd(_schema(""), "x")
+
+
+class TestTypes:
+    def test_named_complex_type(self):
+        text = _schema("""
+        <xs:complexType name="AddressType">
+          <xs:sequence>
+            <xs:element name="city" type="xs:string"/>
+          </xs:sequence>
+        </xs:complexType>
+        <xs:element name="shipTo" type="AddressType"/>
+        """)
+        graph = load_xsd(text, "s")
+        assert "s/shipTo/city" in graph
+
+    def test_recursive_type_guarded(self):
+        text = _schema("""
+        <xs:complexType name="Node">
+          <xs:sequence>
+            <xs:element name="child" type="Node" minOccurs="0"/>
+            <xs:element name="label" type="xs:string"/>
+          </xs:sequence>
+        </xs:complexType>
+        <xs:element name="root" type="Node"/>
+        """)
+        graph = load_xsd(text, "s")
+        assert "s/root/label" in graph  # expands once, then stops
+
+    def test_element_ref(self):
+        text = _schema("""
+        <xs:element name="item" type="xs:string"/>
+        <xs:element name="order">
+          <xs:complexType><xs:sequence>
+            <xs:element ref="item"/>
+          </xs:sequence></xs:complexType>
+        </xs:element>
+        """)
+        graph = load_xsd(text, "s")
+        assert "s/order/item" in graph
+
+    def test_unresolved_ref_rejected(self):
+        text = _schema("""
+        <xs:element name="order">
+          <xs:complexType><xs:sequence>
+            <xs:element ref="ghost"/>
+          </xs:sequence></xs:complexType>
+        </xs:element>
+        """)
+        with pytest.raises(LoaderError):
+            load_xsd(text, "s")
+
+    def test_xml_attributes_loaded(self):
+        text = _schema("""
+        <xs:element name="order">
+          <xs:complexType>
+            <xs:sequence><xs:element name="total" type="xs:decimal"/></xs:sequence>
+            <xs:attribute name="orderDate" type="xs:date" use="required"/>
+          </xs:complexType>
+        </xs:element>
+        """)
+        graph = load_xsd(text, "s")
+        attr = graph.element("s/order/@orderDate")
+        assert attr.kind is ElementKind.ATTRIBUTE
+        assert attr.datatype == "date"
+        assert attr.annotation("nullable") is None  # required
+
+    def test_optional_element_nullable(self):
+        text = _schema("""
+        <xs:element name="order">
+          <xs:complexType><xs:sequence>
+            <xs:element name="note" type="xs:string" minOccurs="0"/>
+          </xs:sequence></xs:complexType>
+        </xs:element>
+        """)
+        graph = load_xsd(text, "s")
+        assert graph.element("s/order/note").annotation("nullable") is True
+
+
+class TestDomains:
+    ENUM_SCHEMA = _schema("""
+    <xs:simpleType name="StatusCode">
+      <xs:annotation><xs:documentation>Order status codes.</xs:documentation></xs:annotation>
+      <xs:restriction base="xs:string">
+        <xs:enumeration value="OPEN"><xs:annotation><xs:documentation>Still open</xs:documentation></xs:annotation></xs:enumeration>
+        <xs:enumeration value="SHIP"/>
+      </xs:restriction>
+    </xs:simpleType>
+    <xs:element name="order">
+      <xs:complexType><xs:sequence>
+        <xs:element name="status" type="StatusCode"/>
+        <xs:element name="backup" type="StatusCode"/>
+      </xs:sequence></xs:complexType>
+    </xs:element>
+    """)
+
+    def test_enumerated_type_becomes_domain(self):
+        graph = load_xsd(self.ENUM_SCHEMA, "s")
+        domain = graph.element("s/domain:StatusCode")
+        assert domain.kind is ElementKind.DOMAIN
+        values = {v.name for v in graph.children("s/domain:StatusCode")}
+        assert values == {"OPEN", "SHIP"}
+
+    def test_domain_shared_between_uses(self):
+        graph = load_xsd(self.ENUM_SCHEMA, "s")
+        assert graph.domain_of("s/order/status").element_id == "s/domain:StatusCode"
+        assert graph.domain_of("s/order/backup").element_id == "s/domain:StatusCode"
+
+    def test_value_documentation(self):
+        graph = load_xsd(self.ENUM_SCHEMA, "s")
+        assert graph.element("s/domain:StatusCode/OPEN").documentation == "Still open"
+
+    def test_inline_enumeration(self):
+        text = _schema("""
+        <xs:element name="order">
+          <xs:complexType><xs:sequence>
+            <xs:element name="priority">
+              <xs:simpleType>
+                <xs:restriction base="xs:string">
+                  <xs:enumeration value="HIGH"/><xs:enumeration value="LOW"/>
+                </xs:restriction>
+              </xs:simpleType>
+            </xs:element>
+          </xs:sequence></xs:complexType>
+        </xs:element>
+        """)
+        graph = load_xsd(text, "s")
+        domain = graph.domain_of("s/order/priority")
+        assert domain is not None
+        assert {v.name for v in graph.children(domain.element_id)} == {"HIGH", "LOW"}

@@ -1,0 +1,134 @@
+"""Tests for context mediation (task 4's semantic values)."""
+
+import pytest
+
+from repro.core import ElementKind, SchemaElement, TransformError
+from repro.mapper.context_mediation import Context, ContextMediator, SemanticValue
+
+
+class TestContext:
+    def test_plain_context(self):
+        assert Context().is_plain
+        assert not Context(units="feet").is_plain
+        assert not Context(scale=1000).is_plain
+
+    def test_of_element(self):
+        element = SchemaElement("s/a", "a", ElementKind.ATTRIBUTE)
+        element.annotate("units", "feet")
+        element.annotate("scale", 1000)
+        context = Context.of_element(element)
+        assert context.units == "feet"
+        assert context.scale == 1000.0
+
+    def test_of_plain_element(self):
+        element = SchemaElement("s/a", "a", ElementKind.ATTRIBUTE)
+        assert Context.of_element(element).is_plain
+
+
+class TestMediation:
+    def test_identity_when_contexts_equal(self):
+        mediator = ContextMediator()
+        context = Context(units="feet")
+        assert mediator.mediate(10, context, context) == 10
+
+    def test_unit_conversion(self):
+        mediator = ContextMediator()
+        result = mediator.mediate(10, Context(units="feet"), Context(units="meters"))
+        assert result == pytest.approx(3.048)
+
+    def test_scale_conversion(self):
+        """Salary 'in thousands' → plain dollars."""
+        mediator = ContextMediator()
+        result = mediator.mediate(98, Context(scale=1000), Context(scale=1))
+        assert result == pytest.approx(98_000)
+
+    def test_currency_conversion(self):
+        mediator = ContextMediator()
+        mediator.register_exchange_rate("USD", "EUR", 0.8)
+        result = mediator.mediate(
+            100, Context(currency="USD"), Context(currency="EUR"))
+        assert result == pytest.approx(80.0)
+        # the inverse rate was registered automatically
+        back = mediator.mediate(
+            80.0, Context(currency="EUR"), Context(currency="USD"))
+        assert back == pytest.approx(100.0)
+
+    def test_coding_scheme_conversion(self):
+        mediator = ContextMediator()
+        mediator.register_code_mapping("us_surface", "eu_surface",
+                                       {"ASPH": "ASPHALT", "TURF": "GRASS"})
+        result = mediator.mediate(
+            "ASPH",
+            Context(coding_scheme="us_surface"),
+            Context(coding_scheme="eu_surface"))
+        assert result == "ASPHALT"
+
+    def test_composed_dimensions(self):
+        """Thousands of USD in feet... well: scale + currency together."""
+        mediator = ContextMediator()
+        mediator.register_exchange_rate("USD", "EUR", 0.5)
+        result = mediator.mediate(
+            2,  # 2 thousand USD
+            Context(scale=1000, currency="USD"),
+            Context(scale=1, currency="EUR"))
+        assert result == pytest.approx(1000.0)
+
+    def test_missing_unit_context_raises(self):
+        mediator = ContextMediator()
+        with pytest.raises(TransformError):
+            mediator.mediate(1, Context(units="feet"), Context())
+
+    def test_missing_exchange_rate_raises(self):
+        mediator = ContextMediator()
+        with pytest.raises(TransformError):
+            mediator.mediate(1, Context(currency="USD"), Context(currency="JPY"))
+
+    def test_missing_code_mapping_raises(self):
+        mediator = ContextMediator()
+        with pytest.raises(TransformError):
+            mediator.mediate("X", Context(coding_scheme="a"),
+                             Context(coding_scheme="b"))
+
+    def test_unknown_code_raises_strict(self):
+        mediator = ContextMediator()
+        mediator.register_code_mapping("a", "b", {"X": "Y"})
+        with pytest.raises(TransformError):
+            mediator.mediate("Z", Context(coding_scheme="a"),
+                             Context(coding_scheme="b"))
+
+    def test_invalid_exchange_rate(self):
+        with pytest.raises(TransformError):
+            ContextMediator().register_exchange_rate("USD", "EUR", 0)
+
+    def test_conversion_emits_code(self):
+        """The derived transform carries task 4's code snippet."""
+        mediator = ContextMediator()
+        transform = mediator.conversion(
+            Context(units="feet"), Context(units="meters"))
+        code = transform.to_code("elev")
+        from repro.mapper import Environment, evaluate
+
+        assert evaluate(code, Environment({"elev": 10})) == pytest.approx(3.048)
+
+
+class TestSemanticValue:
+    def test_in_context(self):
+        mediator = ContextMediator()
+        value = SemanticValue(10, Context(units="feet"))
+        converted = value.in_context(Context(units="meters"), mediator)
+        assert converted.value == pytest.approx(3.048)
+        assert converted.context.units == "meters"
+
+
+class TestAttributeDerivation:
+    def test_transform_from_annotations(self):
+        """The automatic part of task 4: read contexts off the elements."""
+        source = SchemaElement("s/elev", "elevation", ElementKind.ATTRIBUTE,
+                               datatype="integer")
+        source.annotate("units", "feet")
+        target = SchemaElement("t/elev", "elevationMeters", ElementKind.ATTRIBUTE,
+                               datatype="decimal")
+        target.annotate("units", "meters")
+        mediator = ContextMediator()
+        transform = mediator.attribute_transform(source, target)
+        assert transform.apply(313) == pytest.approx(95.4, abs=0.1)

@@ -1,0 +1,169 @@
+"""Tests for the transformation expression language."""
+
+import pytest
+
+from repro.core import ExpressionError
+from repro.mapper import Environment, evaluate, functions_used, parse, variables_used
+
+
+class TestParsing:
+    def test_literals(self):
+        assert evaluate("42") == 42
+        assert evaluate("4.5") == 4.5
+        assert evaluate('"text"') == "text"
+        assert evaluate("'single'") == "single"
+        assert evaluate("true") is True
+        assert evaluate("false") is False
+        assert evaluate("null") is None
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse("")
+        with pytest.raises(ExpressionError):
+            parse("   ")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse("1 + 2 extra juice")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse("(1 + 2")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ExpressionError):
+            parse("1 @ 2")
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert evaluate("2 + 3 * 4") == 14
+        assert evaluate("(2 + 3) * 4") == 20
+
+    def test_unary_minus(self):
+        assert evaluate("-5 + 3") == -2
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExpressionError):
+            evaluate("1 / 0")
+
+    def test_modulo(self):
+        assert evaluate("7 % 3") == 1
+
+    def test_figure3_total(self):
+        """Figure 3's total column: data($shipto/subtotal) * 1.05."""
+        env = Environment({"subtotal": 100})
+        assert evaluate("data($subtotal) * 1.05", env) == pytest.approx(105.0)
+
+    def test_string_plus_concatenates(self):
+        assert evaluate('"a" + "b"') == "ab"
+
+    def test_arithmetic_on_null_rejected(self):
+        with pytest.raises(ExpressionError):
+            evaluate("null + 1")
+
+
+class TestVariablesAndFields:
+    def test_dollar_variables(self):
+        assert evaluate("$x * 2", Environment({"x": 21})) == 42
+
+    def test_bare_identifiers_are_variables(self):
+        assert evaluate("x + y", Environment({"x": 1, "y": 2})) == 3
+
+    def test_unbound_variable(self):
+        with pytest.raises(ExpressionError):
+            evaluate("$ghost")
+
+    def test_field_access_on_dict(self):
+        env = Environment({"row": {"name": "Mork", "total": 7}})
+        assert evaluate("$row.name", env) == "Mork"
+        assert evaluate("$row.total + 1", env) == 8
+
+    def test_nested_field_access(self):
+        env = Environment({"r": {"address": {"city": "McLean"}}})
+        assert evaluate("$r.address.city", env) == "McLean"
+
+    def test_field_on_null_is_null(self):
+        env = Environment({"r": None})
+        assert evaluate("$r.city", env) is None
+
+
+class TestFunctions:
+    def test_figure3_name_column(self):
+        """concat($lName, concat(", ", $fName)) from Figure 3."""
+        env = Environment({"lName": "Mork", "fName": "Peter"})
+        assert evaluate('concat($lName, concat(", ", $fName))', env) == "Mork, Peter"
+
+    def test_string_functions(self):
+        assert evaluate('upper("abc")') == "ABC"
+        assert evaluate('lower("ABC")') == "abc"
+        assert evaluate('trim("  x  ")') == "x"
+        assert evaluate('length("hello")') == 5
+        assert evaluate('substring("abcdef", 2, 3)') == "bcd"
+        assert evaluate('replace("a-b", "-", "_")') == "a_b"
+        assert evaluate('starts_with("abc", "ab")') is True
+        assert evaluate('contains("abc", "zz")') is False
+
+    def test_numeric_functions(self):
+        assert evaluate("round(2.567, 1)") == 2.6
+        assert evaluate("floor(2.9)") == 2
+        assert evaluate("ceil(2.1)") == 3
+        assert evaluate("abs(-4)") == 4
+        assert evaluate("min(3, 1, 2)") == 1
+        assert evaluate("max(3, 1, 2)") == 3
+        assert evaluate('number("2.5")') == 2.5
+        assert evaluate('int("7")') == 7
+
+    def test_conditionals(self):
+        assert evaluate('if(1 > 0, "yes", "no")') == "yes"
+        assert evaluate("coalesce(null, null, 5)") == 5
+
+    def test_logic(self):
+        assert evaluate("true and false") is False
+        assert evaluate("true or false") is True
+        assert evaluate("not false") is True
+
+    def test_comparisons(self):
+        assert evaluate("1 < 2") is True
+        assert evaluate("2 <= 2") is True
+        assert evaluate('"a" == "a"') is True
+        assert evaluate("3 != 3") is False
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            evaluate("frobnicate(1)")
+
+    def test_function_error_wrapped(self):
+        with pytest.raises(ExpressionError):
+            evaluate('number("not a number")')
+
+
+class TestEnvironment:
+    def test_child_scope_isolated(self):
+        env = Environment({"x": 1})
+        child = env.child({"x": 2, "y": 3})
+        assert evaluate("$x", child) == 2
+        assert evaluate("$x", env) == 1
+        with pytest.raises(ExpressionError):
+            evaluate("$y", env)
+
+    def test_lookup_tables(self):
+        env = Environment()
+        env.register_lookup("status", {"OPEN": "O", "SHIP": "S"}, default="?")
+        assert evaluate('lookup_status("OPEN")', env) == "O"
+        assert evaluate('lookup_status("GHOST")', env) == "?"
+
+    def test_custom_functions(self):
+        env = Environment(functions={"double": lambda v: v * 2})
+        assert evaluate("double(21)", env) == 42
+
+
+class TestIntrospection:
+    def test_variables_used(self):
+        assert variables_used('concat($lName, ", ", $fName)') == ["fName", "lName"]
+        assert variables_used("$a.field + b") == ["a", "b"]
+
+    def test_functions_used(self):
+        assert functions_used('concat(upper($x), lookup_t($y))') == [
+            "concat", "lookup_t", "upper",
+        ]

@@ -1,0 +1,236 @@
+"""Tests for object identity (task 7), the mapping tool, and verification (task 9)."""
+
+import pytest
+
+from repro.core import MappingError, TransformError
+from repro.mapper import (
+    InheritedIdentity,
+    KeyIdentity,
+    LookupTransform,
+    MappingTool,
+    ScalarTransform,
+    SkolemFunction,
+    assign_identifiers,
+    verify_instances,
+    verify_lookup_coverage,
+    verify_spec,
+)
+
+
+class TestKeyIdentity:
+    def test_single_key(self):
+        rule = KeyIdentity(["po_id"])
+        assert rule.identify({"po_id": 7}) == 7
+        assert rule.to_code() == "$po_id"
+
+    def test_composite_key(self):
+        rule = KeyIdentity(["a", "b"])
+        assert rule.identify({"a": 1, "b": 2}) == "1:2"
+        assert "concat" in rule.to_code()
+
+    def test_missing_key_attribute(self):
+        with pytest.raises(TransformError):
+            KeyIdentity(["missing"]).identify({"other": 1})
+
+    def test_null_key_rejected(self):
+        with pytest.raises(TransformError):
+            KeyIdentity(["k"]).identify({"k": None})
+
+    def test_needs_attributes(self):
+        with pytest.raises(TransformError):
+            KeyIdentity([])
+
+
+class TestSkolemFunction:
+    def test_deterministic(self):
+        rule = SkolemFunction("person", ["first", "last"])
+        row = {"first": "Peter", "last": "Mork"}
+        assert rule.identify(row) == rule.identify(dict(row))
+
+    def test_distinct_inputs_distinct_ids(self):
+        rule = SkolemFunction("person", ["first"])
+        assert rule.identify({"first": "Peter"}) != rule.identify({"first": "Len"})
+
+    def test_function_name_matters(self):
+        a = SkolemFunction("f", ["x"]).identify({"x": 1})
+        b = SkolemFunction("g", ["x"]).identify({"x": 1})
+        assert a != b
+
+    def test_code_form(self):
+        assert SkolemFunction("f", ["x", "y"]).to_code() == "skolem:f($x, $y)"
+
+
+class TestInheritedIdentity:
+    def test_parent_plus_local(self):
+        """Implicit keys inherited from a parent entity (nested metamodels)."""
+        rule = InheritedIdentity(KeyIdentity(["po_id"]), "line_no")
+        assert rule.identify({"po_id": 7, "line_no": 2}) == "7/2"
+
+    def test_missing_local_rejected(self):
+        rule = InheritedIdentity(KeyIdentity(["po_id"]), "line_no")
+        with pytest.raises(TransformError):
+            rule.identify({"po_id": 7})
+
+
+class TestAssignIdentifiers:
+    def test_assignment(self):
+        rows = assign_identifiers([{"k": 1}, {"k": 2}], KeyIdentity(["k"]))
+        assert [r["_id"] for r in rows] == [1, 2]
+
+    def test_duplicates_rejected(self):
+        """Colliding target keys are a mapping bug — surfaced immediately."""
+        with pytest.raises(TransformError):
+            assign_identifiers([{"k": 1}, {"k": 1}], KeyIdentity(["k"]))
+
+
+class TestMappingTool:
+    def _tool(self, orders_graph, notice_graph) -> MappingTool:
+        tool = MappingTool(orders_graph, notice_graph)
+        tool.matrix.set_confidence(
+            "orders/purchase_order", "notice/shippingNotice", 1.0, user_defined=True)
+        tool.matrix.set_confidence(
+            "orders/purchase_order/po_id", "notice/shippingNotice/orderNumber",
+            1.0, user_defined=True)
+        return tool
+
+    def test_draft_builds_entity_and_attribute_mappings(self, orders_graph, notice_graph):
+        tool = self._tool(orders_graph, notice_graph)
+        spec = tool.draft_from_matrix()
+        assert len(spec.entities) == 1
+        entity = spec.entities[0]
+        assert entity.target_entity == "notice/shippingNotice"
+        assert entity.attribute_for("notice/shippingNotice/orderNumber") is not None
+
+    def test_draft_uses_source_keys_for_identity(self, orders_graph, notice_graph):
+        tool = self._tool(orders_graph, notice_graph)
+        spec = tool.draft_from_matrix()
+        assert isinstance(spec.entities[0].identity, KeyIdentity)
+
+    def test_skolem_proposed_without_keys(self, purchase_order_graph, shipping_notice_graph):
+        tool = MappingTool(purchase_order_graph, shipping_notice_graph)
+        tool.matrix.set_confidence(
+            "po/purchaseOrder/shipTo", "sn/shippingInfo", 1.0, user_defined=True)
+        tool.matrix.set_confidence(
+            "po/purchaseOrder/shipTo/firstName", "sn/shippingInfo/name",
+            1.0, user_defined=True)
+        spec = tool.draft_from_matrix()
+        assert isinstance(spec.entities[0].identity, SkolemFunction)
+
+    def test_variable_binding_recorded(self, orders_graph, notice_graph):
+        tool = self._tool(orders_graph, notice_graph)
+        tool.bind_variable("orders/purchase_order/po_id", "$poNum")
+        assert tool.variable_of("orders/purchase_order/po_id") == "poNum"
+        assert tool.spec.variable_bindings["poNum"] == "po_id"
+
+    def test_set_attribute_transform_syncs_matrix(self, orders_graph, notice_graph):
+        tool = self._tool(orders_graph, notice_graph)
+        tool.draft_from_matrix()
+        tool.set_attribute_transform(
+            "notice/shippingNotice", "notice/shippingNotice/total",
+            ScalarTransform("$subtotal * 1.05"),
+        )
+        assert tool.matrix.column("notice/shippingNotice/total").code == "$subtotal * 1.05"
+
+    def test_attribute_transform_requires_entity(self, orders_graph, notice_graph):
+        tool = MappingTool(orders_graph, notice_graph)
+        with pytest.raises(MappingError):
+            tool.set_attribute_transform(
+                "notice/ghost", "notice/ghost/x", ScalarTransform("1"))
+
+    def test_register_lookup(self, orders_graph, notice_graph):
+        tool = self._tool(orders_graph, notice_graph)
+        tool.register_lookup("status", {"OPEN": "O"})
+        env = tool.spec.environment()
+        from repro.mapper import evaluate
+
+        assert evaluate('lookup_status("OPEN")', env) == "O"
+
+
+class TestVerification:
+    def _spec(self, orders_graph, notice_graph, complete=True):
+        tool = MappingTool(orders_graph, notice_graph)
+        tool.matrix.set_confidence(
+            "orders/purchase_order", "notice/shippingNotice", 1.0, user_defined=True)
+        for source, target in [
+            ("orders/purchase_order/po_id", "notice/shippingNotice/orderNumber"),
+            ("orders/purchase_order/subtotal", "notice/shippingNotice/total"),
+        ]:
+            tool.matrix.set_confidence(source, target, 1.0, user_defined=True)
+        spec = tool.draft_from_matrix()
+        if complete:
+            entity = spec.entities[0]
+            tool.set_attribute_transform(
+                "notice/shippingNotice", "notice/shippingNotice/recipientName/firstName",
+                ScalarTransform('"n/a"'))
+            tool.set_attribute_transform(
+                "notice/shippingNotice", "notice/shippingNotice/recipientName/lastName",
+                ScalarTransform('"n/a"'))
+        return tool, spec
+
+    def test_complete_spec_verifies(self, orders_graph, notice_graph):
+        tool, spec = self._spec(orders_graph, notice_graph, complete=True)
+        report = verify_spec(spec, orders_graph, notice_graph)
+        assert report.ok, report.to_text()
+
+    def test_missing_required_attribute_reported(self, orders_graph, notice_graph):
+        tool, spec = self._spec(orders_graph, notice_graph, complete=False)
+        report = verify_spec(spec, orders_graph, notice_graph)
+        assert not report.ok
+        assert any("firstName" in str(v) for v in report.errors)
+
+    def test_missing_identity_reported(self, orders_graph, notice_graph):
+        tool, spec = self._spec(orders_graph, notice_graph, complete=True)
+        spec.entities[0].identity = None
+        report = verify_spec(spec, orders_graph, notice_graph)
+        assert any("identity" in str(v) for v in report.errors)
+
+    def test_unparseable_code_reported(self, orders_graph, notice_graph):
+        tool, spec = self._spec(orders_graph, notice_graph, complete=True)
+        spec.entities[0].attributes[0].transform = ScalarTransform("((broken")
+        report = verify_spec(spec, orders_graph, notice_graph)
+        assert any("parse" in str(v) for v in report.errors)
+
+    def test_unregistered_lookup_reported(self, orders_graph, notice_graph):
+        tool, spec = self._spec(orders_graph, notice_graph, complete=True)
+        spec.entities[0].attributes[0].transform = ScalarTransform("lookup_ghost($x)")
+        report = verify_spec(spec, orders_graph, notice_graph)
+        assert any("ghost" in str(v) for v in report.errors)
+
+    def test_unknown_target_entity_reported(self, orders_graph, notice_graph):
+        tool, spec = self._spec(orders_graph, notice_graph, complete=True)
+        spec.entities[0].target_entity = "notice/nonexistent"
+        report = verify_spec(spec, orders_graph, notice_graph)
+        assert not report.ok
+
+    def test_lookup_coverage(self, orders_graph):
+        from repro.loaders import define_domain
+
+        domain_id = define_domain(
+            orders_graph, "Status", [("OPEN", ""), ("SHIP", ""), ("HOLD", "")],
+            attach_to=["orders/purchase_order/status"],
+        )
+        transform = LookupTransform("status", {"OPEN": "O", "SHIP": "S"})
+        report = verify_lookup_coverage(transform, orders_graph, domain_id)
+        assert len(report.warnings) == 1
+        assert "HOLD" in str(report.warnings[0])
+
+    def test_verify_instances_types_and_domains(self, orders_graph):
+        from repro.loaders import define_domain
+
+        define_domain(
+            orders_graph, "Status", [("OPEN", ""), ("SHIP", "")],
+            attach_to=["orders/purchase_order/status"],
+        )
+        rows = [
+            {"po_id": 1, "cust_id": 2, "order_date": "2006-01-01",
+             "subtotal": 5.0, "status": "OPEN"},
+            {"po_id": "oops", "cust_id": 2, "order_date": "2006-01-01",
+             "subtotal": 5.0, "status": "BAD"},
+            {"po_id": 3, "cust_id": None, "order_date": None,
+             "subtotal": 1.0, "status": "SHIP"},
+        ]
+        report = verify_instances(rows, orders_graph, "orders/purchase_order")
+        messages = [str(v) for v in report.violations]
+        assert any("not a integer" in m for m in messages)          # row 1 po_id
+        assert any("outside domain" in m for m in messages)         # row 1 status
+        assert any("cust_id" in m and "null" in m for m in messages)  # row 2

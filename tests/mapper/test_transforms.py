@@ -1,0 +1,251 @@
+"""Tests for domain, attribute and entity transformations (tasks 4-6)."""
+
+import pytest
+
+from repro.core import TransformError
+from repro.mapper import (
+    AggregateTransform,
+    CommentPopulation,
+    ComposedTransform,
+    DirectEntity,
+    Environment,
+    FormatTransform,
+    IdentityTransform,
+    JoinEntity,
+    LinearTransform,
+    LookupTransform,
+    MetadataPushdown,
+    ScalarTransform,
+    SplitEntity,
+    UnionEntity,
+    evaluate,
+    group_rows,
+    infer_domain_transform,
+    unit_conversion,
+)
+
+
+class TestDomainTransforms:
+    def test_identity(self):
+        transform = IdentityTransform()
+        assert transform.apply("X") == "X"
+        assert transform.to_code("v") == "$v"
+
+    def test_feet_to_meters(self):
+        """The paper's example: convert from feet to meters."""
+        transform = unit_conversion("feet", "meters")
+        assert transform.apply(10) == pytest.approx(3.048)
+
+    def test_same_unit_is_identity_scale(self):
+        transform = unit_conversion("feet", "FEET")
+        assert transform.apply(7) == 7
+
+    def test_unknown_conversion_rejected(self):
+        with pytest.raises(TransformError):
+            unit_conversion("furlongs", "parsecs")
+
+    def test_fahrenheit_celsius(self):
+        f_to_c = unit_conversion("fahrenheit", "celsius")
+        assert f_to_c.apply(212) == pytest.approx(100.0)
+        assert f_to_c.apply(32) == pytest.approx(0.0)
+
+    def test_linear_inverse(self):
+        transform = LinearTransform(scale=2.0, offset=3.0)
+        inverse = transform.inverse()
+        assert inverse.apply(transform.apply(11.0)) == pytest.approx(11.0)
+
+    def test_linear_code_emission_roundtrips(self):
+        transform = LinearTransform(scale=0.3048, digits=2)
+        code = transform.to_code("feet")
+        assert evaluate(code, Environment({"feet": 100})) == transform.apply(100)
+
+    def test_linear_rejects_non_numeric(self):
+        with pytest.raises(TransformError):
+            LinearTransform(scale=2.0).apply("abc")
+
+    def test_null_passes_through(self):
+        assert LinearTransform(scale=2.0).apply(None) is None
+
+    def test_lookup_transform(self):
+        transform = LookupTransform("status", {"OPEN": "O"}, default="?")
+        assert transform.apply("OPEN") == "O"
+        assert transform.apply("GHOST") == "?"
+        assert transform.to_code("s") == "lookup_status($s)"
+
+    def test_lookup_strict_mode(self):
+        transform = LookupTransform("status", {"OPEN": "O"}, strict=True)
+        with pytest.raises(TransformError):
+            transform.apply("GHOST")
+
+    def test_lookup_coverage(self):
+        transform = LookupTransform("t", {"A": 1, "B": 2})
+        assert transform.coverage(["A", "B", "C", "D"]) == 0.5
+        assert transform.coverage([]) == 1.0
+
+    def test_format_transform(self):
+        transform = FormatTransform("upper($value)")
+        assert transform.apply("abc") == "ABC"
+        assert transform.to_code("x") == "upper($x)"
+
+    def test_composition(self):
+        feet_to_meters = unit_conversion("feet", "meters")
+        rounded = feet_to_meters.then(FormatTransform("round($value, 1)"))
+        assert rounded.apply(10) == pytest.approx(3.0)
+        # emitted code computes the same thing
+        code = rounded.to_code("ft")
+        assert evaluate(code, Environment({"ft": 10})) == rounded.apply(10)
+
+
+class TestInferDomainTransform:
+    def test_identical_codes_identity(self):
+        transform = infer_domain_transform(["A", "B"], ["A", "B", "C"])
+        assert isinstance(transform, IdentityTransform)
+
+    def test_case_difference_format(self):
+        transform = infer_domain_transform(["open", "ship"], ["OPEN", "SHIP"])
+        assert isinstance(transform, FormatTransform)
+        assert transform.apply("open") == "OPEN"
+
+    def test_partial_overlap_lookup(self):
+        transform = infer_domain_transform(["Open", "Gone"], ["OPEN", "SHIP"])
+        assert isinstance(transform, LookupTransform)
+        assert transform.apply("Open") == "OPEN"
+        assert transform.apply("Gone") is None  # left for the engineer
+
+
+class TestAttributeTransforms:
+    def test_scalar(self):
+        transform = ScalarTransform("$age + 1")
+        assert transform.compute(Environment({"age": 41})) == 42
+        assert transform.required_variables() == ["age"]
+
+    def test_aggregate_avg(self):
+        """AverageSalaryByDepartment from Salary (the paper's example)."""
+        rows = [{"salary": 100.0}, {"salary": 200.0}, {"salary": None}]
+        transform = AggregateTransform("avg", "employees", "$row.salary")
+        env = Environment({"employees": rows})
+        assert transform.compute(env) == pytest.approx(150.0)
+
+    def test_aggregate_count(self):
+        transform = AggregateTransform("count", "employees")
+        assert transform.compute(Environment({"employees": [{}, {}, {}]})) == 3
+
+    def test_aggregate_empty_group(self):
+        transform = AggregateTransform("sum", "rows", "$row.x")
+        assert transform.compute(Environment({"rows": []})) is None
+
+    def test_aggregate_unknown_function(self):
+        with pytest.raises(TransformError):
+            AggregateTransform("median", "rows", "$row.x")
+
+    def test_aggregate_requires_expression(self):
+        with pytest.raises(TransformError):
+            AggregateTransform("sum", "rows")
+
+    def test_aggregate_unbound_group(self):
+        transform = AggregateTransform("sum", "rows", "$row.x")
+        with pytest.raises(TransformError):
+            transform.compute(Environment())
+
+    def test_metadata_pushdown(self):
+        """'pushing metadata down to data (e.g., to populate a type
+        attribute or timestamp)'."""
+        transform = MetadataPushdown("ERWin", description="source system name")
+        assert transform.compute(Environment()) == "ERWin"
+        assert transform.to_code() == '"ERWin"'
+
+    def test_metadata_pushdown_code_types(self):
+        assert MetadataPushdown(5).to_code() == "5"
+        assert MetadataPushdown(True).to_code() == "true"
+
+    def test_comment_population(self):
+        """'populating a comment (in the target) to store source attribute
+        information that has no corresponding attribute'."""
+        transform = CommentPopulation(parts=["middleName", "suffix"])
+        env = Environment({"middleName": "Q", "suffix": None})
+        assert transform.compute(env) == "unmapped: middleName=Q"
+
+    def test_comment_population_code_evaluates(self):
+        transform = CommentPopulation(parts=["a"])
+        code = transform.to_code()
+        assert "a=" in evaluate(code, Environment({"a": "v"}))
+
+
+class TestEntityTransforms:
+    CUSTOMERS = [
+        {"cust_id": 1, "name": "Mork"},
+        {"cust_id": 2, "name": "Seligman"},
+    ]
+    ORDERS = [
+        {"po_id": 10, "cust_id": 1, "total": 5.0},
+        {"po_id": 11, "cust_id": 1, "total": 7.0},
+        {"po_id": 12, "cust_id": 9, "total": 9.0},
+    ]
+
+    def test_direct(self):
+        rows = DirectEntity("orders").rows({"orders": self.ORDERS})
+        assert len(rows) == 3
+        rows[0]["po_id"] = 999  # copies, not aliases
+        assert self.ORDERS[0]["po_id"] == 10
+
+    def test_direct_unknown_source(self):
+        with pytest.raises(TransformError):
+            DirectEntity("ghost").rows({})
+
+    def test_inner_join(self):
+        join = JoinEntity("orders", "customers", on=[("cust_id", "cust_id")])
+        rows = join.rows({"orders": self.ORDERS, "customers": self.CUSTOMERS})
+        assert len(rows) == 2  # order 12 has no customer
+        assert rows[0]["name"] == "Mork"
+
+    def test_left_join_keeps_unmatched(self):
+        join = JoinEntity("orders", "customers", on=[("cust_id", "cust_id")], kind="left")
+        rows = join.rows({"orders": self.ORDERS, "customers": self.CUSTOMERS})
+        assert len(rows) == 3
+        unmatched = [r for r in rows if r["po_id"] == 12][0]
+        assert "name" not in unmatched
+
+    def test_join_collision_prefixed(self):
+        left = [{"id": 1, "name": "left-name"}]
+        right = [{"id": 1, "name": "right-name"}]
+        join = JoinEntity("l", "r", on=[("id", "id")])
+        rows = join.rows({"l": left, "r": right})
+        assert rows[0]["name"] == "left-name"
+        assert rows[0]["r.name"] == "right-name"
+
+    def test_join_requires_keys(self):
+        with pytest.raises(TransformError):
+            JoinEntity("a", "b", on=[])
+
+    def test_join_invalid_kind(self):
+        with pytest.raises(TransformError):
+            JoinEntity("a", "b", on=[("x", "x")], kind="full")
+
+    def test_union_with_discriminator(self):
+        """Union 'effectively elevates' source names into data."""
+        union = UnionEntity(sources=["orders", "customers"], discriminator="origin")
+        rows = union.rows({"orders": self.ORDERS, "customers": self.CUSTOMERS})
+        assert len(rows) == 5
+        assert {r["origin"] for r in rows} == {"orders", "customers"}
+
+    def test_union_needs_two_sources(self):
+        with pytest.raises(TransformError):
+            UnionEntity(sources=["only"])
+
+    def test_split_by_predicate(self):
+        """Value-based split elevates data to metadata."""
+        split = SplitEntity("orders", "$row.total > 6", drop_attribute="total")
+        rows = split.rows({"orders": self.ORDERS})
+        assert [r["po_id"] for r in rows] == [11, 12]
+        assert all("total" not in r for r in rows)
+
+    def test_group_rows(self):
+        groups = group_rows(self.ORDERS, by=["cust_id"])
+        assert len(groups[(1,)]) == 2
+        assert len(groups[(9,)]) == 1
+
+    def test_to_code_mentions_structure(self):
+        assert "union" in UnionEntity(sources=["a", "b"]).to_code()
+        assert "where" in SplitEntity("a", "$row.x == 1").to_code()
+        join_code = JoinEntity("a", "b", on=[("x", "y")]).to_code()
+        assert "$l.x == $r.y" in join_code

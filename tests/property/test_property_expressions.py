@@ -1,0 +1,91 @@
+"""Property-based tests for the expression language and transforms."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.mapper import (
+    Environment,
+    LinearTransform,
+    LookupTransform,
+    evaluate,
+    parse,
+    variables_used,
+)
+
+var_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6).filter(
+    lambda s: s not in ("or", "and", "not", "true", "false", "null", "if")
+)
+numbers = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False).map(
+    lambda f: round(f, 3)
+)
+
+
+class TestExpressionProperties:
+    @given(numbers)
+    def test_numeric_literal_roundtrip(self, value):
+        assume(value == value)  # no NaN
+        rendered = repr(value)
+        assert evaluate(rendered) == value or abs(evaluate(rendered) - value) < 1e-9
+
+    @given(st.text(max_size=20))
+    def test_string_literal_roundtrip(self, text):
+        assume('"' not in text and "\\" not in text and "\n" not in text)
+        assert evaluate(f'"{text}"') == text
+
+    @given(var_names, numbers)
+    def test_variable_resolution(self, name, value):
+        assert evaluate(f"${name}", Environment({name: value})) == value
+
+    @given(var_names, var_names, numbers, numbers)
+    def test_addition_commutative(self, x, y, a, b):
+        assume(x != y)
+        env = Environment({x: a, y: b})
+        assert evaluate(f"${x} + ${y}", env) == evaluate(f"${y} + ${x}", env)
+
+    @given(st.lists(var_names, min_size=1, max_size=5, unique=True))
+    def test_variables_used_finds_all(self, variables):
+        expression = " + ".join(f"${v}" for v in variables)
+        assert variables_used(expression) == sorted(set(variables))
+
+    @given(numbers, numbers)
+    def test_comparison_consistency(self, a, b):
+        env = Environment({"a": a, "b": b})
+        less = evaluate("$a < $b", env)
+        greater_equal = evaluate("$a >= $b", env)
+        assert less != greater_equal
+
+    @given(var_names)
+    def test_parse_evaluate_stable(self, name):
+        node = parse(f"upper(${name})")
+        env = Environment({name: "x"})
+        from repro.mapper import evaluate as ev
+
+        assert ev(node, env) == ev(node, env) == "X"
+
+
+class TestTransformProperties:
+    @given(numbers, st.floats(min_value=0.001, max_value=1000), numbers)
+    @settings(max_examples=60)
+    def test_linear_inverse_roundtrip(self, value, scale, offset):
+        transform = LinearTransform(scale=scale, offset=offset)
+        restored = transform.inverse().apply(transform.apply(value))
+        assert abs(restored - value) < max(1e-6, abs(value) * 1e-6) + 1e-4
+
+    @given(numbers, st.floats(min_value=0.001, max_value=100), numbers)
+    @settings(max_examples=60)
+    def test_linear_code_matches_apply(self, value, scale, offset):
+        transform = LinearTransform(scale=scale, offset=offset)
+        code = transform.to_code("v")
+        computed = evaluate(code, Environment({"v": value}))
+        assert abs(computed - transform.apply(value)) < 1e-6
+
+    @given(st.dictionaries(st.text(max_size=6), st.text(max_size=6), max_size=8),
+           st.text(max_size=6))
+    def test_lookup_total_on_table_keys(self, table, probe):
+        transform = LookupTransform("t", table, default="?")
+        for key, expected in table.items():
+            assert transform.apply(key) == expected
+        if probe not in table:
+            assert transform.apply(probe) == "?"

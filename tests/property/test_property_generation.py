@@ -1,0 +1,142 @@
+"""Property-based tests for the generators: scenarios, registry, codegen."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ElementKind
+from repro.eval import (
+    BASE_MODELS,
+    DOC_BOTH,
+    DOC_NONE,
+    DOC_SOURCE_ONLY,
+    ScenarioConfig,
+    generate_scenario,
+)
+from repro.registry import compute_stats, generate_registry
+
+scenario_configs = st.builds(
+    ScenarioConfig,
+    seed=st.integers(0, 10_000),
+    synonym_rate=st.floats(0.0, 0.8),
+    abbreviation_rate=st.floats(0.0, 0.5),
+    drop_rate=st.floats(0.0, 0.4),
+    noise_attributes=st.floats(0.0, 1.5),
+    documentation=st.sampled_from([DOC_BOTH, DOC_SOURCE_ONLY, DOC_NONE]),
+    keep_domains=st.booleans(),
+    attach_instances=st.booleans(),
+)
+
+base_models = st.sampled_from(sorted(BASE_MODELS)).map(lambda k: BASE_MODELS[k]())
+
+
+class TestScenarioProperties:
+    @given(base_models, scenario_configs)
+    @settings(max_examples=30, deadline=None)
+    def test_graphs_always_valid(self, base, config):
+        scenario = generate_scenario(base, config)
+        assert scenario.source.validate() == []
+        assert scenario.target.validate() == []
+
+    @given(base_models, scenario_configs)
+    @settings(max_examples=30, deadline=None)
+    def test_alignment_endpoints_exist(self, base, config):
+        scenario = generate_scenario(base, config)
+        for source_id, target_id in scenario.alignment:
+            assert source_id in scenario.source
+            assert target_id in scenario.target
+
+    @given(base_models, scenario_configs)
+    @settings(max_examples=30, deadline=None)
+    def test_alignment_is_kind_consistent(self, base, config):
+        scenario = generate_scenario(base, config)
+        for source_id, target_id in scenario.alignment:
+            source_kind = scenario.source.element(source_id).kind
+            target_kind = scenario.target.element(target_id).kind
+            assert source_kind is target_kind
+
+    @given(base_models, scenario_configs)
+    @settings(max_examples=20, deadline=None)
+    def test_doc_none_means_no_docs_anywhere(self, base, config):
+        if config.documentation != DOC_NONE:
+            return
+        scenario = generate_scenario(base, config)
+        assert all(not e.documentation for e in scenario.source)
+        assert all(not e.documentation for e in scenario.target)
+
+    @given(base_models, st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_base_model_not_mutated(self, base, seed):
+        import copy
+
+        pristine = copy.deepcopy(base)
+        generate_scenario(base, ScenarioConfig(seed=seed, attach_instances=True))
+        assert base == pristine
+
+
+class TestRegistryProperties:
+    @given(st.integers(0, 1_000), st.floats(0.002, 0.02))
+    @settings(max_examples=10, deadline=None)
+    def test_registry_always_loadable(self, seed, scale):
+        from repro.loaders import load_registry
+
+        registry = generate_registry(seed=seed, scale=scale)
+        loaded = load_registry(registry)
+        for graph in loaded:
+            assert graph.validate() == []
+
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=10, deadline=None)
+    def test_stats_never_exceed_counts(self, seed):
+        registry = generate_registry(seed=seed, scale=0.005)
+        stats = compute_stats(registry)
+        for row in stats.rows:
+            assert 0 <= row.with_definition <= row.item_count
+            assert row.percent_with_definition <= 100.0
+
+
+class TestDeploymentEquivalence:
+    """The deployed artifact computes the same documents as in-process
+    execution, for arbitrary scalar expressions over random rows."""
+
+    rows_strategy = st.lists(
+        st.fixed_dictionaries({
+            "k": st.integers(0, 10_000),
+            "a": st.integers(-1000, 1000),
+            "b": st.text(
+                alphabet="abcdefghij", min_size=0, max_size=8),
+        }),
+        min_size=0, max_size=8, unique_by=lambda r: r["k"],
+    )
+    expressions = st.sampled_from([
+        "$a * 2 + 1",
+        "upper($b)",
+        'concat($b, "-", $a)',
+        "if($a > 0, $a, -$a)",
+        "coalesce($b, \"x\")",
+        "min($a, 0)",
+    ])
+
+    @given(rows_strategy, expressions)
+    @settings(max_examples=30, deadline=None)
+    def test_artifact_matches_interpreter(self, rows, expression):
+        from repro.codegen import execute, generate_python_module, load_artifact
+        from repro.mapper import (
+            AttributeMapping,
+            DirectEntity,
+            EntityMapping,
+            KeyIdentity,
+            MappingSpec,
+            ScalarTransform,
+        )
+
+        spec = MappingSpec("m", "s", "t")
+        entity = EntityMapping(
+            "t/out", DirectEntity("s/rows"), identity=KeyIdentity(["k"]))
+        entity.attributes.append(
+            AttributeMapping("t/out/v", ScalarTransform(expression)))
+        spec.entities.append(entity)
+
+        native = execute(spec, {"s/rows": rows}).rows("t/out")
+        artifact = load_artifact(generate_python_module(spec))
+        deployed = artifact["run"]({"s/rows": rows})["t/out"]
+        assert deployed == native

@@ -1,0 +1,92 @@
+"""Property-based tests for the RDF substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import (
+    BlankNode,
+    IRI,
+    Literal,
+    Triple,
+    TripleStore,
+    XSD_BOOLEAN,
+    XSD_INTEGER,
+    XSD_STRING,
+    from_ntriples,
+    to_ntriples,
+)
+
+iri_strategy = st.builds(
+    IRI,
+    st.text(alphabet=string.ascii_letters + string.digits + ":/._-#", min_size=1,
+            max_size=30).map(lambda s: "http://x/" + s.replace(">", "")),
+)
+blank_strategy = st.builds(
+    BlankNode, st.text(alphabet=string.ascii_letters + string.digits, min_size=1, max_size=10)
+)
+literal_strategy = st.one_of(
+    st.builds(Literal, st.text(max_size=30)),
+    st.integers(-10**6, 10**6).map(lambda i: Literal(str(i), XSD_INTEGER)),
+    st.booleans().map(lambda b: Literal("true" if b else "false", XSD_BOOLEAN)),
+)
+subject_strategy = st.one_of(iri_strategy, blank_strategy)
+object_strategy = st.one_of(iri_strategy, blank_strategy, literal_strategy)
+triple_strategy = st.builds(Triple, subject_strategy, iri_strategy, object_strategy)
+triples_strategy = st.lists(triple_strategy, max_size=25)
+
+
+class TestStoreProperties:
+    @given(triples_strategy)
+    @settings(max_examples=50)
+    def test_add_then_remove_restores_empty(self, triples):
+        store = TripleStore()
+        for triple in triples:
+            store.add_triple(triple)
+        for triple in triples:
+            store.remove_triple(triple)
+        assert len(store) == 0
+        assert list(store.match()) == []
+
+    @given(triples_strategy)
+    @settings(max_examples=50)
+    def test_set_semantics(self, triples):
+        store = TripleStore()
+        for triple in triples:
+            store.add_triple(triple)
+            store.add_triple(triple)  # duplicate insert
+        assert len(store) == len(set(triples))
+
+    @given(triples_strategy)
+    @settings(max_examples=50)
+    def test_indexes_agree_with_scan(self, triples):
+        store = TripleStore()
+        for triple in triples:
+            store.add_triple(triple)
+        for triple in set(triples):
+            assert triple.object in store.objects(triple.subject, triple.predicate)
+            assert triple.subject in store.subjects(triple.predicate, triple.object)
+            assert triple.predicate in store.predicates(triple.subject, triple.object)
+
+    @given(triples_strategy)
+    @settings(max_examples=30)
+    def test_ntriples_roundtrip(self, triples):
+        store = TripleStore()
+        for triple in triples:
+            store.add_triple(triple)
+        restored = from_ntriples(to_ntriples(store))
+        assert restored.snapshot() == store.snapshot()
+
+    @given(triples_strategy)
+    @settings(max_examples=30)
+    def test_serialization_canonical(self, triples):
+        """Same contents → byte-identical serialization, insertion order
+        notwithstanding."""
+        store_a = TripleStore()
+        for triple in triples:
+            store_a.add_triple(triple)
+        store_b = TripleStore()
+        for triple in reversed(triples):
+            store_b.add_triple(triple)
+        assert to_ntriples(store_a) == to_ntriples(store_b)

@@ -1,0 +1,115 @@
+"""Property-based tests for the linguistic substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    edit_similarity,
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    monge_elkan,
+    ngram_similarity,
+    remove_stop_words,
+    split_identifier,
+    stem,
+    word_tokens,
+)
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+identifiers = st.text(
+    alphabet=string.ascii_letters + string.digits + "_-.", min_size=0, max_size=24
+)
+free_text = st.text(min_size=0, max_size=80)
+
+
+class TestTokenizeProperties:
+    @given(identifiers)
+    def test_split_identifier_tokens_lowercase_alnum(self, identifier):
+        for token in split_identifier(identifier):
+            assert token
+            assert token == token.lower()
+            assert token.isalnum()
+
+    @given(identifiers)
+    def test_split_identifier_preserves_characters(self, identifier):
+        joined = "".join(split_identifier(identifier))
+        original = "".join(c for c in identifier.lower() if c.isalnum())
+        assert joined == original
+
+    @given(free_text)
+    def test_word_tokens_never_crash_and_lowercase(self, text):
+        for token in word_tokens(text):
+            assert token == token.lower()
+
+    @given(st.lists(words, max_size=10))
+    def test_remove_stop_words_subset(self, tokens):
+        kept = remove_stop_words(tokens)
+        assert all(t in tokens for t in kept)
+
+
+class TestStemmerProperties:
+    @given(words)
+    def test_stem_never_longer(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(words)
+    def test_stem_nonempty_for_nonempty(self, word):
+        assert stem(word)
+
+    @given(words)
+    def test_stem_deterministic(self, word):
+        assert stem(word) == stem(word)
+
+    @given(words)
+    def test_stem_case_insensitive(self, word):
+        assert stem(word.upper()) == stem(word)
+
+
+class TestSimilarityProperties:
+    @given(words, words)
+    def test_levenshtein_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(words)
+    def test_levenshtein_identity(self, a):
+        assert levenshtein_distance(a, a) == 0
+
+    @given(words, words, words)
+    def test_levenshtein_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(words, words)
+    def test_edit_similarity_range(self, a, b):
+        assert 0.0 <= edit_similarity(a, b) <= 1.0
+
+    @given(words, words)
+    def test_jaro_winkler_range_and_symmetry(self, a, b):
+        score = jaro_winkler_similarity(a, b)
+        assert 0.0 <= score <= 1.0 + 1e-9
+        assert score == jaro_winkler_similarity(b, a)
+
+    @given(words)
+    def test_jaro_winkler_identity(self, a):
+        assert jaro_winkler_similarity(a, a) == 1.0
+
+    @given(st.sets(words, max_size=8), st.sets(words, max_size=8))
+    def test_jaccard_range_and_symmetry(self, a, b):
+        score = jaccard_similarity(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == jaccard_similarity(b, a)
+
+    @given(words, words)
+    def test_ngram_similarity_range(self, a, b):
+        assert 0.0 <= ngram_similarity(a, b) <= 1.0
+
+    @given(st.lists(words, max_size=5), st.lists(words, max_size=5))
+    @settings(max_examples=40)
+    def test_monge_elkan_range_and_symmetry(self, a, b):
+        score = monge_elkan(a, b)
+        assert 0.0 <= score <= 1.0 + 1e-9
+        assert abs(score - monge_elkan(b, a)) < 1e-9

@@ -1,0 +1,110 @@
+"""Tests for the BGP query engine."""
+
+import pytest
+
+from repro.core import QueryError
+from repro.rdf import IRI, Literal, Query, TripleStore, Variable, ask, literal, select, values
+
+TYPE = IRI("http://x/type")
+NAME = IRI("http://x/name")
+IN = IRI("http://x/in")
+PERSON = IRI("http://x/Person")
+CITY = IRI("http://x/City")
+
+ALICE = IRI("http://x/alice")
+BOB = IRI("http://x/bob")
+NYC = IRI("http://x/nyc")
+
+
+@pytest.fixture
+def store() -> TripleStore:
+    s = TripleStore()
+    s.add(ALICE, TYPE, PERSON)
+    s.add(BOB, TYPE, PERSON)
+    s.add(NYC, TYPE, CITY)
+    s.add(ALICE, NAME, literal("Alice"))
+    s.add(BOB, NAME, literal("Bob"))
+    s.add(NYC, NAME, literal("New York"))
+    s.add(ALICE, IN, NYC)
+    return s
+
+
+class TestBasicPatterns:
+    def test_single_pattern(self, store):
+        who = Variable("who")
+        rows = select(store, [(who, TYPE, PERSON)], [who])
+        assert {r[who] for r in rows} == {ALICE, BOB}
+
+    def test_join_across_patterns(self, store):
+        who, where, city_name = Variable("who"), Variable("where"), Variable("n")
+        rows = select(
+            store,
+            [(who, TYPE, PERSON), (who, IN, where), (where, NAME, city_name)],
+            [who, city_name],
+        )
+        assert len(rows) == 1
+        assert rows[0][who] == ALICE
+        assert rows[0][city_name] == literal("New York")
+
+    def test_shared_variable_consistency(self, store):
+        x = Variable("x")
+        # x must be both a person and a city -> empty
+        rows = select(store, [(x, TYPE, PERSON), (x, TYPE, CITY)], [x])
+        assert rows == []
+
+    def test_variable_in_predicate_position(self, store):
+        p = Variable("p")
+        rows = select(store, [(ALICE, p, NYC)], [p])
+        assert rows == [{p: IN}]
+
+    def test_no_match(self, store):
+        rows = select(store, [(BOB, IN, Variable("w"))])
+        assert rows == []
+
+
+class TestModifiers:
+    def test_filter(self, store):
+        who, name = Variable("who"), Variable("name")
+        query = Query()
+        query.where(who, TYPE, PERSON).where(who, NAME, name)
+        query.filter(lambda b: b[name].lexical.startswith("A"))
+        from repro.rdf import evaluate
+
+        rows = evaluate(store, query)
+        assert [r[who] for r in rows] == [ALICE]
+
+    def test_projection_unbound_variable_raises(self, store):
+        who = Variable("who")
+        ghost = Variable("ghost")
+        with pytest.raises(QueryError):
+            select(store, [(who, TYPE, PERSON)], [ghost])
+
+    def test_limit(self, store):
+        who = Variable("who")
+        rows = select(store, [(who, TYPE, PERSON)], [who], limit=1)
+        assert len(rows) == 1
+
+    def test_order_by(self, store):
+        who = Variable("who")
+        rows = select(store, [(who, TYPE, PERSON)], [who], order_by=who)
+        assert rows[0][who] == ALICE  # alice < bob lexicographically
+
+    def test_distinct(self, store):
+        x = Variable("x")
+        t = Variable("t")
+        rows = select(store, [(x, TYPE, t)], [t], distinct=True)
+        assert len(rows) == 2
+
+
+class TestHelpers:
+    def test_ask(self, store):
+        assert ask(store, [(ALICE, IN, NYC)])
+        assert not ask(store, [(BOB, IN, NYC)])
+
+    def test_values(self, store):
+        who = Variable("who")
+        assert values(store, [(who, TYPE, PERSON)], who) == [ALICE, BOB]
+
+    def test_empty_variable_name_rejected(self):
+        with pytest.raises(QueryError):
+            Variable("")

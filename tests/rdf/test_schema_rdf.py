@@ -1,0 +1,118 @@
+"""Tests for schema/matrix ↔ RDF conversions (the IB's triple layout)."""
+
+import pytest
+
+from repro.core import ElementKind, SchemaElement, SchemaGraph, StoreError
+from repro.rdf import (
+    TripleStore,
+    matrices_in_store,
+    matrix_to_rdf,
+    rdf_to_matrix,
+    rdf_to_schema,
+    schema_to_rdf,
+    schemas_in_store,
+)
+from repro.core import MappingMatrix
+
+
+class TestSchemaRoundtrip:
+    def test_structure_preserved(self, purchase_order_graph):
+        store = TripleStore()
+        schema_to_rdf(purchase_order_graph, store)
+        restored = rdf_to_schema(store, "po")
+        assert sorted(restored.element_ids) == sorted(purchase_order_graph.element_ids)
+        assert restored.edges == purchase_order_graph.edges
+
+    def test_element_metadata_preserved(self, purchase_order_graph):
+        store = TripleStore()
+        schema_to_rdf(purchase_order_graph, store)
+        restored = rdf_to_schema(store, "po")
+        original = purchase_order_graph.element("po/purchaseOrder/shipTo/subtotal")
+        element = restored.element("po/purchaseOrder/shipTo/subtotal")
+        assert element.name == original.name
+        assert element.kind is ElementKind.ATTRIBUTE
+        assert element.datatype == "decimal"
+        assert element.documentation == original.documentation
+
+    def test_annotations_roundtrip(self):
+        graph = SchemaGraph.create("s")
+        element = SchemaElement("s/a", "a", ElementKind.ATTRIBUTE)
+        element.annotate("nullable", True)
+        element.annotate("units", "feet")
+        graph.add_child("s", element)
+        store = TripleStore()
+        schema_to_rdf(graph, store)
+        restored = rdf_to_schema(store, "s")
+        assert restored.element("s/a").annotation("nullable") is True
+        assert restored.element("s/a").annotation("units") == "feet"
+
+    def test_special_characters_in_ids(self):
+        graph = SchemaGraph.create("my schema")
+        graph.add_child(
+            "my schema",
+            SchemaElement("my schema/T#1", "T#1", ElementKind.TABLE),
+            label="contains-element",
+        )
+        store = TripleStore()
+        schema_to_rdf(graph, store)
+        restored = rdf_to_schema(store, "my schema")
+        assert "my schema/T#1" in restored
+
+    def test_schemas_in_store(self, purchase_order_graph, shipping_notice_graph):
+        store = TripleStore()
+        schema_to_rdf(purchase_order_graph, store)
+        schema_to_rdf(shipping_notice_graph, store)
+        assert schemas_in_store(store) == ["po", "sn"]
+
+    def test_missing_schema_raises(self):
+        with pytest.raises(StoreError):
+            rdf_to_schema(TripleStore(), "ghost")
+
+
+class TestMatrixRoundtrip:
+    def test_figure3_roundtrip(self, figure3_matrix):
+        store = TripleStore()
+        matrix_to_rdf(figure3_matrix, store)
+        restored = rdf_to_matrix(store, figure3_matrix.name)
+        assert sorted(restored.row_ids) == sorted(figure3_matrix.row_ids)
+        assert sorted(restored.column_ids) == sorted(figure3_matrix.column_ids)
+        for cell in figure3_matrix.cells():
+            restored_cell = restored.cell(cell.source_id, cell.target_id)
+            assert restored_cell.confidence == pytest.approx(cell.confidence)
+            assert restored_cell.is_user_defined == cell.is_user_defined
+
+    def test_annotations_roundtrip(self, figure3_matrix):
+        store = TripleStore()
+        matrix_to_rdf(figure3_matrix, store)
+        restored = rdf_to_matrix(store, figure3_matrix.name)
+        assert restored.row("po/purchaseOrder/shipTo").variable_name == "$shipto"
+        assert "concat" in restored.column("sn/shippingInfo/name").code
+        assert restored.code == figure3_matrix.code
+
+    def test_completion_flags_roundtrip(self, figure3_matrix):
+        figure3_matrix.mark_row_complete("po/purchaseOrder/shipTo/firstName")
+        store = TripleStore()
+        matrix_to_rdf(figure3_matrix, store)
+        restored = rdf_to_matrix(store, figure3_matrix.name)
+        assert restored.row("po/purchaseOrder/shipTo/firstName").is_complete
+        assert not restored.row("po/purchaseOrder/shipTo").is_complete
+
+    def test_matrices_in_store(self, figure3_matrix):
+        store = TripleStore()
+        matrix_to_rdf(figure3_matrix, store)
+        assert matrices_in_store(store) == [figure3_matrix.name]
+
+    def test_missing_matrix_raises(self):
+        with pytest.raises(StoreError):
+            rdf_to_matrix(TripleStore(), "ghost")
+
+    def test_full_serialization_roundtrip(self, figure3_matrix, purchase_order_graph):
+        """Schema + matrix survive a trip through N-Triples text."""
+        from repro.rdf import from_ntriples, to_ntriples
+
+        store = TripleStore()
+        schema_to_rdf(purchase_order_graph, store)
+        matrix_to_rdf(figure3_matrix, store)
+        restored_store = from_ntriples(to_ntriples(store))
+        restored = rdf_to_matrix(restored_store, figure3_matrix.name)
+        assert len(list(restored.cells())) == len(list(figure3_matrix.cells()))

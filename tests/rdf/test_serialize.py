@@ -1,0 +1,104 @@
+"""Tests for N-Triples / Turtle serialization."""
+
+import pytest
+
+from repro.core import StoreError
+from repro.rdf import (
+    BlankNode,
+    IRI,
+    Literal,
+    TripleStore,
+    XSD_INTEGER,
+    from_ntriples,
+    literal,
+    parse_term,
+    term_to_ntriples,
+    to_ntriples,
+    to_turtle,
+)
+
+A = IRI("http://x/a")
+P = IRI("http://x/p")
+
+
+class TestTermSerialization:
+    def test_iri_roundtrip(self):
+        assert parse_term(term_to_ntriples(A)) == A
+
+    def test_blank_roundtrip(self):
+        blank = BlankNode("b42")
+        assert parse_term(term_to_ntriples(blank)) == blank
+
+    def test_plain_literal_roundtrip(self):
+        lit = Literal("hello world")
+        assert parse_term(term_to_ntriples(lit)) == lit
+
+    def test_typed_literal_roundtrip(self):
+        lit = Literal("42", XSD_INTEGER)
+        assert parse_term(term_to_ntriples(lit)) == lit
+
+    def test_escaped_literal_roundtrip(self):
+        lit = Literal('line1\nline2\t"quoted" \\ backslash')
+        assert parse_term(term_to_ntriples(lit)) == lit
+
+    def test_malformed_term_rejected(self):
+        with pytest.raises(StoreError):
+            parse_term("not a term")
+
+
+class TestStoreRoundtrip:
+    def _store(self) -> TripleStore:
+        s = TripleStore()
+        s.add(A, P, literal("plain"))
+        s.add(A, P, literal(42))
+        s.add(A, P, literal(True))
+        s.add(BlankNode("x"), P, A)
+        s.add(A, P, literal('tricky "quotes" and\nnewlines'))
+        return s
+
+    def test_ntriples_roundtrip_exact(self):
+        original = self._store()
+        text = to_ntriples(original)
+        restored = from_ntriples(text)
+        assert original.snapshot() == restored.snapshot()
+
+    def test_ntriples_output_sorted(self):
+        text = to_ntriples(self._store())
+        assert text == to_ntriples(from_ntriples(text))
+
+    def test_empty_store(self):
+        assert to_ntriples(TripleStore()) == ""
+        assert len(from_ntriples("")) == 0
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment\n\n<http://x/a> <http://x/p> \"v\" .\n"
+        store = from_ntriples(text)
+        assert len(store) == 1
+
+    def test_malformed_line_reports_lineno(self):
+        with pytest.raises(StoreError) as excinfo:
+            from_ntriples("<a> is broken\n")
+        assert "line 1" in str(excinfo.value)
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(StoreError):
+            from_ntriples('"lit" <http://x/p> <http://x/a> .')
+
+
+class TestTurtle:
+    def test_turtle_groups_subjects(self):
+        store = TripleStore()
+        store.add(A, P, literal("one"))
+        store.add(A, IRI("http://x/q"), literal("two"))
+        text = to_turtle(store)
+        assert text.count("<http://x/a>") == 1
+        assert "@prefix rdf:" in text
+
+    def test_turtle_compacts_known_namespaces(self):
+        from repro.rdf import vocabulary as V
+
+        store = TripleStore()
+        store.add(A, V.RDF_TYPE, V.SCHEMA_CLASS)
+        text = to_turtle(store)
+        assert "rdf:type" in text
+        assert "iw:Schema" in text

@@ -1,0 +1,125 @@
+"""Tests for the indexed triple store."""
+
+import pytest
+
+from repro.core import StoreError
+from repro.rdf import IRI, Literal, Triple, TripleStore, literal
+
+A = IRI("http://x/a")
+B = IRI("http://x/b")
+C = IRI("http://x/c")
+P = IRI("http://x/p")
+Q = IRI("http://x/q")
+
+
+@pytest.fixture
+def store() -> TripleStore:
+    s = TripleStore()
+    s.add(A, P, B)
+    s.add(A, P, C)
+    s.add(B, P, C)
+    s.add(A, Q, literal("hello"))
+    return s
+
+
+class TestMutation:
+    def test_add_returns_change_flag(self):
+        s = TripleStore()
+        assert s.add(A, P, B) is True
+        assert s.add(A, P, B) is False
+        assert len(s) == 1
+
+    def test_remove(self, store):
+        assert store.remove(A, P, B) is True
+        assert store.remove(A, P, B) is False
+        assert Triple(A, P, B) not in store
+
+    def test_remove_matching_wildcard(self, store):
+        removed = store.remove_matching(subject=A)
+        assert removed == 3
+        assert len(store) == 1
+
+    def test_set_value_replaces(self, store):
+        store.set_value(A, Q, literal("world"))
+        assert store.objects(A, Q) == [literal("world")]
+
+    def test_clear(self, store):
+        store.clear()
+        assert len(store) == 0
+
+    def test_predicate_must_be_iri(self):
+        with pytest.raises(TypeError):
+            Triple(A, literal("x"), B)
+
+
+class TestPatternMatching:
+    def test_fully_bound(self, store):
+        assert list(store.match(A, P, B)) == [Triple(A, P, B)]
+        assert list(store.match(A, P, literal("nope"))) == []
+
+    def test_subject_bound(self, store):
+        assert len(list(store.match(subject=A))) == 3
+
+    def test_subject_predicate_bound(self, store):
+        assert len(list(store.match(subject=A, predicate=P))) == 2
+
+    def test_predicate_bound(self, store):
+        assert len(list(store.match(predicate=P))) == 3
+
+    def test_object_bound(self, store):
+        assert len(list(store.match(obj=C))) == 2
+
+    def test_predicate_object_bound(self, store):
+        assert {t.subject for t in store.match(predicate=P, obj=C)} == {A, B}
+
+    def test_all_wildcards(self, store):
+        assert len(list(store.match())) == 4
+
+
+class TestAccessors:
+    def test_objects(self, store):
+        assert set(store.objects(A, P)) == {B, C}
+
+    def test_object_functional(self, store):
+        assert store.object(A, Q) == literal("hello")
+        assert store.object(C, Q) is None
+        with pytest.raises(StoreError):
+            store.object(A, P)  # two values
+
+    def test_subjects(self, store):
+        assert set(store.subjects(P, C)) == {A, B}
+
+    def test_predicates(self, store):
+        assert store.predicates(A, B) == [P]
+
+    def test_describe(self, store):
+        described = store.describe(A)
+        assert set(described[P]) == {B, C}
+        assert described[Q] == [literal("hello")]
+
+    def test_iteration_sorted_deterministic(self, store):
+        assert list(store) == list(store)
+
+    def test_snapshot_is_copy(self, store):
+        snap = store.snapshot()
+        store.remove(A, P, B)
+        assert Triple(A, P, B) in snap
+
+
+class TestListeners:
+    def test_listener_sees_adds_and_removes(self, store):
+        log = []
+        unsubscribe = store.subscribe(lambda added, t: log.append((added, t)))
+        store.add(C, P, A)
+        store.remove(C, P, A)
+        assert log == [(True, Triple(C, P, A)), (False, Triple(C, P, A))]
+        unsubscribe()
+        store.add(C, Q, A)
+        assert len(log) == 2
+
+    def test_noop_mutations_do_not_notify(self, store):
+        log = []
+        store.subscribe(lambda added, t: log.append(added))
+        store.add(A, P, B)       # already present
+        store.remove(C, Q, B)    # never present
+        assert log == []

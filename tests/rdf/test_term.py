@@ -1,0 +1,103 @@
+"""Tests for RDF terms and namespaces."""
+
+import pytest
+
+from repro.rdf import (
+    BlankNode,
+    IRI,
+    Literal,
+    Namespace,
+    PrefixMap,
+    XSD_BOOLEAN,
+    XSD_INTEGER,
+    fresh_blank,
+    literal,
+    term_sort_key,
+)
+
+
+class TestIRI:
+    def test_rendering(self):
+        assert str(IRI("http://x/y")) == "<http://x/y>"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_equality_and_hash(self):
+        assert IRI("http://x") == IRI("http://x")
+        assert len({IRI("http://x"), IRI("http://x")}) == 1
+
+
+class TestLiteral:
+    def test_string_rendering(self):
+        assert str(Literal("hi")) == '"hi"'
+
+    def test_escapes(self):
+        assert str(Literal('say "hi"\n')) == '"say \\"hi\\"\\n"'
+
+    def test_typed_rendering(self):
+        assert str(Literal("3", XSD_INTEGER)) == f'"3"^^<{XSD_INTEGER}>'
+
+    def test_to_python(self):
+        assert Literal("3", XSD_INTEGER).to_python() == 3
+        assert Literal("true", XSD_BOOLEAN).to_python() is True
+        assert Literal("false", XSD_BOOLEAN).to_python() is False
+        assert Literal("abc").to_python() == "abc"
+
+    def test_literal_factory(self):
+        assert literal(True).to_python() is True
+        assert literal(3).to_python() == 3
+        assert literal(2.5).to_python() == 2.5
+        assert literal("x").to_python() == "x"
+
+    def test_bool_checked_before_int(self):
+        # bool is a subclass of int; factory must pick xsd:boolean
+        assert literal(True).datatype == XSD_BOOLEAN
+
+
+class TestBlankNode:
+    def test_rendering(self):
+        assert str(BlankNode("b1")) == "_:b1"
+
+    def test_fresh_blanks_unique(self):
+        assert fresh_blank() != fresh_blank()
+
+
+class TestSortKey:
+    def test_kind_ordering(self):
+        iri = IRI("http://a")
+        blank = BlankNode("b")
+        lit = Literal("c")
+        ordered = sorted([lit, blank, iri], key=term_sort_key)
+        assert ordered == [iri, blank, lit]
+
+
+class TestNamespace:
+    def test_attribute_and_item_access(self):
+        ns = Namespace("http://example.org/")
+        assert ns.thing == IRI("http://example.org/thing")
+        assert ns["odd name"] == IRI("http://example.org/odd name")
+
+    def test_membership_and_local_name(self):
+        ns = Namespace("http://example.org/")
+        assert ns.thing in ns
+        assert ns.local_name(ns.thing) == "thing"
+        with pytest.raises(ValueError):
+            ns.local_name(IRI("http://other/thing"))
+
+
+class TestPrefixMap:
+    def test_compact_and_expand(self):
+        pm = PrefixMap.default()
+        iri = pm.expand("rdf:type")
+        assert iri.value.endswith("#type")
+        assert pm.compact(iri) == "rdf:type"
+
+    def test_compact_unknown_returns_none(self):
+        pm = PrefixMap.default()
+        assert pm.compact(IRI("http://unknown/x")) is None
+
+    def test_expand_unknown_prefix_raises(self):
+        with pytest.raises(KeyError):
+            PrefixMap.default().expand("zzz:x")

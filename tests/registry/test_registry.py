@@ -1,0 +1,95 @@
+"""Tests for the synthetic registry generator and Table 1 statistics."""
+
+import pytest
+
+from repro.registry import (
+    PAPER_TABLE_1,
+    RegistryProfile,
+    comparison_table,
+    compute_stats,
+    generate_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return generate_registry(seed=2006, scale=0.02)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_registry(seed=5, scale=0.005)
+        b = generate_registry(seed=5, scale=0.005)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_registry(seed=5, scale=0.005)
+        b = generate_registry(seed=6, scale=0.005)
+        assert a != b
+
+    def test_scale_controls_model_count(self):
+        small = generate_registry(seed=1, scale=0.01)
+        large = generate_registry(seed=1, scale=0.04)
+        assert len(large["models"]) > len(small["models"])
+        assert len(small["models"]) == max(1, round(265 * 0.01))
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            RegistryProfile().scaled(0)
+
+    def test_models_are_loadable_er(self, registry):
+        from repro.loaders import load_registry
+
+        loaded = load_registry(registry)
+        assert len(loaded) == len(registry["models"])
+
+    def test_names_unique_within_scope(self, registry):
+        for model in registry["models"]:
+            entity_names = [e["name"] for e in model["entities"]]
+            assert len(entity_names) == len(set(entity_names))
+            domain_names = [d["name"] for d in model["domains"]]
+            assert len(domain_names) == len(set(domain_names))
+            for domain in model["domains"]:
+                codes = [v["code"] for v in domain["values"]]
+                assert len(codes) == len(set(codes))
+
+
+class TestTable1Calibration:
+    """The generated registry matches Table 1's marginals (the T1 bench)."""
+
+    def test_definition_rates(self, registry):
+        stats = compute_stats(registry)
+        assert stats.element.percent_with_definition > 97.0
+        assert 78.0 < stats.attribute.percent_with_definition < 88.0
+        assert stats.domain.percent_with_definition > 99.0
+
+    def test_words_per_definition(self, registry):
+        stats = compute_stats(registry)
+        assert stats.element.words_per_definition == pytest.approx(11.1, abs=1.2)
+        assert stats.attribute.words_per_definition == pytest.approx(16.4, abs=1.2)
+        assert stats.domain.words_per_definition == pytest.approx(3.68, abs=0.4)
+
+    def test_item_ratios(self, registry):
+        stats = compute_stats(registry)
+        models = len(registry["models"])
+        assert stats.element.item_count / models == pytest.approx(
+            PAPER_TABLE_1["Element"]["count"] / 265, rel=0.25)
+        assert stats.attribute.item_count / stats.element.item_count == pytest.approx(
+            163_736 / 13_049, rel=0.2)
+        assert stats.domain.item_count / stats.attribute.item_count == pytest.approx(
+            282_331 / 163_736, rel=0.25)
+
+    def test_table_rendering(self, registry):
+        stats = compute_stats(registry)
+        table = stats.to_table("Title")
+        assert "Title" in table
+        assert "Element" in table and "Attribute" in table and "Domain" in table
+        comparison = comparison_table(stats, scale=len(registry["models"]) / 265)
+        assert "words/definition" in comparison
+
+    def test_empty_registry_stats(self):
+        stats = compute_stats({"models": []})
+        assert stats.element.item_count == 0
+        assert stats.element.percent_with_definition == 0.0
+        assert stats.element.words_per_item == 0.0
+        assert stats.element.words_per_definition == 0.0

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def schema_files(tmp_path, orders_ddl_text, notice_xsd_text):
+    sql_path = tmp_path / "orders.sql"
+    sql_path.write_text(orders_ddl_text)
+    xsd_path = tmp_path / "notice.xsd"
+    xsd_path.write_text(notice_xsd_text)
+    return str(sql_path), str(xsd_path)
+
+
+class TestLoadCommand:
+    def test_load_sql(self, schema_files, capsys):
+        sql_path, _ = schema_files
+        assert main(["load", sql_path]) == 0
+        out = capsys.readouterr().out
+        assert "purchase_order [table]" in out
+        assert "documented" in out
+
+    def test_load_with_name(self, schema_files, capsys):
+        sql_path, _ = schema_files
+        main(["load", sql_path, "--name", "orders"])
+        assert "orders [schema]" in capsys.readouterr().out
+
+    def test_format_inference_failure(self, tmp_path, capsys):
+        path = tmp_path / "mystery.dat"
+        path.write_text("CREATE TABLE t (a INT);")
+        assert main(["load", str(path)]) == 2
+        assert "cannot infer" in capsys.readouterr().err
+
+    def test_explicit_format(self, tmp_path, capsys):
+        path = tmp_path / "mystery.dat"
+        path.write_text("CREATE TABLE t (a INT);")
+        assert main(["load", str(path), "--format", "sql"]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["load", "/nonexistent/file.sql"]) == 2
+
+    def test_malformed_schema(self, tmp_path, capsys):
+        path = tmp_path / "broken.sql"
+        path.write_text("this is not sql at all")
+        assert main(["load", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMatchCommand:
+    def test_match_prints_links(self, schema_files, capsys):
+        sql_path, xsd_path = schema_files
+        assert main(["match", sql_path, xsd_path, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if "->" in l]
+        assert 0 < len(lines) <= 5
+        assert all(l.startswith("+") for l in lines)
+
+    def test_verbose_shows_pipeline(self, schema_files, capsys):
+        sql_path, xsd_path = schema_files
+        main(["match", sql_path, xsd_path, "-v"])
+        out = capsys.readouterr().out
+        assert "# match voters" in out
+
+    def test_impossible_threshold(self, schema_files, capsys):
+        sql_path, xsd_path = schema_files
+        assert main(["match", sql_path, xsd_path, "--threshold", "0.9999"]) == 1
+
+
+class TestMapCommand:
+    def test_map_emits_xquery(self, schema_files, capsys):
+        sql_path, xsd_path = schema_files
+        code = main(["map", sql_path, xsd_path, "--threshold", "0.4"])
+        out = capsys.readouterr().out
+        assert "for $row in" in out
+        assert code in (0, 2)  # verification may flag unmapped attributes
+
+    def test_map_threshold_too_high_fails_cleanly(self, schema_files, capsys):
+        sql_path, xsd_path = schema_files
+        assert main(["map", sql_path, xsd_path, "--threshold", "0.99"]) == 1
+        assert "no entity-level correspondences" in capsys.readouterr().err
+
+    def test_map_emits_sql(self, schema_files, capsys):
+        sql_path, xsd_path = schema_files
+        main(["map", sql_path, xsd_path, "--threshold", "0.4",
+              "--language", "sql"])
+        out = capsys.readouterr().out
+        assert "INSERT INTO" in out or "-- no SQL" in out
+
+
+class TestTable1Command:
+    def test_table1_prints_stats(self, capsys):
+        assert main(["table1", "--scale", "0.005", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Element" in out and "words/definition" in out
+
+    def test_table1_writes_registry(self, tmp_path, capsys):
+        out_path = tmp_path / "registry.json"
+        main(["table1", "--scale", "0.005", "--seed", "5", "--out", str(out_path)])
+        registry = json.loads(out_path.read_text())
+        assert registry["models"]
+
+
+class TestCoverageCommand:
+    def test_coverage_table(self, capsys):
+        assert main(["coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "Harmony" in out
+        assert "Workbench suite" in out
+        assert "100%" in out

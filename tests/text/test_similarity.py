@@ -1,0 +1,104 @@
+"""Tests for repro.text.similarity."""
+
+import pytest
+
+from repro.text import (
+    dice_similarity,
+    edit_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    longest_common_substring,
+    monge_elkan,
+    ngram_similarity,
+    substring_similarity,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("name", "name") == 0
+
+    def test_empty(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_known_distances(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("flaw", "lawn") == 2
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abc", "acd") == levenshtein_distance("acd", "abc")
+
+    def test_edit_similarity_normalized(self):
+        assert edit_similarity("name", "name") == 1.0
+        assert edit_similarity("a", "b") == 0.0
+        assert 0.0 < edit_similarity("firstName", "first_name".replace("_", "")) <= 1.0
+
+    def test_edit_similarity_case_insensitive(self):
+        assert edit_similarity("NAME", "name") == 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_winkler_prefix_boost(self):
+        plain = jaro_similarity("prefix", "prefab")
+        boosted = jaro_winkler_similarity("prefix", "prefab")
+        assert boosted > plain
+
+    def test_winkler_known_value(self):
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+
+class TestSetMeasures:
+    def test_jaccard(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+        assert jaccard_similarity(set(), set()) == 1.0
+        assert jaccard_similarity({"a"}, set()) == 0.0
+
+    def test_dice(self):
+        assert dice_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+        assert dice_similarity(set(), set()) == 1.0
+
+    def test_ngram_shared_roots(self):
+        assert ngram_similarity("lastname", "lname") > 0.2
+        assert ngram_similarity("total", "total") == 1.0
+
+
+class TestMongeElkan:
+    def test_reordered_tokens(self):
+        a = ["first", "name"]
+        b = ["name", "first"]
+        assert monge_elkan(a, b) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        score = monge_elkan(["ship", "to"], ["ship", "from"])
+        assert 0.4 < score < 1.0
+
+    def test_empty_sides(self):
+        assert monge_elkan([], []) == 1.0
+        assert monge_elkan(["a"], []) == 0.0
+
+    def test_symmetric(self):
+        a, b = ["order", "date"], ["date", "placed"]
+        assert monge_elkan(a, b) == pytest.approx(monge_elkan(b, a))
+
+
+class TestSubstring:
+    def test_lcs_length(self):
+        assert longest_common_substring("purchase", "chase") == 5
+        assert longest_common_substring("abc", "xyz") == 0
+
+    def test_substring_similarity(self):
+        assert substring_similarity("subtotal", "total") == 1.0
+        assert substring_similarity("", "") == 1.0
+        assert substring_similarity("a", "") == 0.0

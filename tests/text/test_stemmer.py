@@ -1,0 +1,106 @@
+"""Tests for the Porter stemmer against known reference outputs."""
+
+import pytest
+
+from repro.text import stem, stem_all
+
+
+class TestKnownStems:
+    """Reference pairs from Porter's published vocabulary."""
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("formaliti", "formal"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_reference_stem(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestSchemaVocabulary:
+    """Stemming unifies the word forms schema matching actually meets."""
+
+    def test_shipping_family(self):
+        assert stem("shipping") == stem("shipped") == stem("ships") == "ship"
+
+    def test_order_family(self):
+        assert stem("orders") == stem("ordering") == stem("ordered")
+
+    def test_identify_family(self):
+        assert stem("identifies") == stem("identified")
+
+
+class TestEdgeCases:
+    def test_short_words_unchanged(self):
+        assert stem("a") == "a"
+        assert stem("is") == "is"
+        assert stem("id") == "id"
+
+    def test_case_folded(self):
+        assert stem("Shipping") == "ship"
+
+    def test_stem_all(self):
+        assert stem_all(["orders", "shipped"]) == ["order", "ship"]

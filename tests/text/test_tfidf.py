@@ -1,0 +1,96 @@
+"""Tests for repro.text.tfidf."""
+
+import pytest
+
+from repro.text import TfIdfCorpus, cosine_of_counts, preprocess, remove_stop_words, is_stop_word
+
+
+class TestPreprocess:
+    def test_pipeline(self):
+        tokens = preprocess("The codes that identify the shipping facilities.")
+        assert "the" not in tokens          # stop words removed
+        assert "ship" in tokens             # stemmed
+        assert "code" in tokens             # plural stemmed
+
+    def test_empty(self):
+        assert preprocess("") == []
+
+
+class TestStopWords:
+    def test_common_words(self):
+        assert is_stop_word("the")
+        assert is_stop_word("of")
+        assert not is_stop_word("aircraft")
+
+    def test_remove_stop_words_drops_single_letters(self):
+        assert remove_stop_words(["a", "x", "runway"]) == ["runway"]
+
+
+class TestCorpus:
+    def _corpus(self) -> TfIdfCorpus:
+        corpus = TfIdfCorpus()
+        corpus.add_document("d1", "The given name of the customer.")
+        corpus.add_document("d2", "The family name of the customer.")
+        corpus.add_document("d3", "The elevation of the runway in feet.")
+        return corpus
+
+    def test_len_and_contains(self):
+        corpus = self._corpus()
+        assert len(corpus) == 3
+        assert "d1" in corpus
+        assert "missing" not in corpus
+
+    def test_similar_documents_score_higher(self):
+        corpus = self._corpus()
+        assert corpus.cosine("d1", "d2") > corpus.cosine("d1", "d3")
+
+    def test_cosine_self_is_one(self):
+        corpus = self._corpus()
+        assert corpus.cosine("d1", "d1") == pytest.approx(1.0)
+
+    def test_cosine_missing_document_is_zero(self):
+        corpus = self._corpus()
+        assert corpus.cosine("d1", "nope") == 0.0
+
+    def test_idf_rare_terms_weigh_more(self):
+        corpus = self._corpus()
+        # 'customer' appears in 2 docs, 'runway' in 1
+        assert corpus.idf("runwai") >= corpus.idf("custom")
+
+    def test_replace_document_updates_frequencies(self):
+        corpus = self._corpus()
+        corpus.add_document("d1", "Completely different content now.")
+        assert corpus.cosine("d1", "d2") < 0.2
+
+    def test_shared_terms(self):
+        corpus = self._corpus()
+        shared = corpus.shared_terms("d1", "d2")
+        assert "name" in shared and "custom" in shared
+
+    def test_word_weight_adjustment_changes_similarity(self):
+        corpus = self._corpus()
+        base = corpus.cosine("d1", "d2")
+        corpus.adjust_weight("name", 5.0)
+        corpus.adjust_weight("custom", 5.0)
+        boosted = corpus.cosine("d1", "d2")
+        assert boosted > base
+
+    def test_weight_clamped(self):
+        corpus = self._corpus()
+        for _ in range(20):
+            corpus.adjust_weight("name", 10.0)
+        assert corpus.weight("name") == 10.0
+        for _ in range(40):
+            corpus.adjust_weight("name", 0.1)
+        assert corpus.weight("name") == pytest.approx(0.1)
+
+
+class TestCosineOfCounts:
+    def test_identical(self):
+        assert cosine_of_counts({"a": 1.0}, {"a": 2.0}) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_of_counts({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty(self):
+        assert cosine_of_counts({}, {"a": 1.0}) == 0.0

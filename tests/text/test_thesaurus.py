@@ -1,0 +1,76 @@
+"""Tests for repro.text.thesaurus."""
+
+from repro.text import Thesaurus
+
+
+class TestDefaults:
+    def test_known_synonyms(self):
+        thesaurus = Thesaurus.default()
+        assert thesaurus.are_synonyms("vendor", "supplier")
+        assert thesaurus.are_synonyms("employee", "worker")
+        assert thesaurus.are_synonyms("airport", "aerodrome")
+
+    def test_symmetry(self):
+        thesaurus = Thesaurus.default()
+        assert thesaurus.are_synonyms("customer", "client")
+        assert thesaurus.are_synonyms("client", "customer")
+
+    def test_word_is_own_synonym(self):
+        thesaurus = Thesaurus.default()
+        assert thesaurus.are_synonyms("widget", "widget")
+
+    def test_non_synonyms(self):
+        thesaurus = Thesaurus.default()
+        assert not thesaurus.are_synonyms("airport", "salary")
+
+    def test_abbreviation_expansion(self):
+        thesaurus = Thesaurus.default()
+        assert thesaurus.expand_abbreviation("qty") == "quantity"
+        assert thesaurus.expand_abbreviation("dept") == "department"
+        assert thesaurus.expand_abbreviation("unknownword") == "unknownword"
+
+    def test_abbreviations_bridge_to_synonyms(self):
+        thesaurus = Thesaurus.default()
+        # qty → quantity, which is a synonym of count
+        assert thesaurus.are_synonyms("qty", "count")
+
+
+class TestCustomization:
+    def test_empty_thesaurus(self):
+        thesaurus = Thesaurus.empty()
+        assert not thesaurus.are_synonyms("vendor", "supplier")
+        assert thesaurus.synonyms("vendor") == {"vendor"}
+
+    def test_add_synset(self):
+        thesaurus = Thesaurus.empty()
+        thesaurus.add_synset(["sortie", "mission"])
+        assert thesaurus.are_synonyms("sortie", "mission")
+
+    def test_overlapping_synsets_merge(self):
+        thesaurus = Thesaurus.empty()
+        thesaurus.add_synset(["a", "b"])
+        thesaurus.add_synset(["b", "c"])
+        assert thesaurus.are_synonyms("a", "c")
+
+    def test_add_abbreviation(self):
+        thesaurus = Thesaurus.empty()
+        thesaurus.add_abbreviation("acft", "aircraft")
+        assert thesaurus.expand_abbreviation("ACFT") == "aircraft"
+
+    def test_case_insensitive(self):
+        thesaurus = Thesaurus.default()
+        assert thesaurus.are_synonyms("Vendor", "SUPPLIER")
+
+
+class TestExpansion:
+    def test_expand_tokens_includes_synonyms(self):
+        thesaurus = Thesaurus.default()
+        expanded = thesaurus.expand_tokens(["vendor"])
+        assert "supplier" in expanded
+        assert "vendor" in expanded
+
+    def test_expand_tokens_order_preserving_dedup(self):
+        thesaurus = Thesaurus.empty()
+        thesaurus.add_synset(["x", "y"])
+        expanded = thesaurus.expand_tokens(["x", "y", "x"])
+        assert expanded == ["x", "y"]

@@ -1,0 +1,85 @@
+"""Tests for repro.text.tokenize."""
+
+from repro.text import name_tokens, ngrams, sentences, split_identifier, word_tokens
+
+
+class TestSplitIdentifier:
+    def test_camel_case(self):
+        assert split_identifier("shippingInfo") == ["shipping", "info"]
+
+    def test_pascal_case(self):
+        assert split_identifier("PurchaseOrder") == ["purchase", "order"]
+
+    def test_snake_case(self):
+        assert split_identifier("FIRST_NAME") == ["first", "name"]
+
+    def test_kebab_and_dots(self):
+        assert split_identifier("ship-to.address") == ["ship", "to", "address"]
+
+    def test_digit_boundaries(self):
+        assert split_identifier("POLine2") == ["po", "line", "2"]
+        assert split_identifier("line2item") == ["line", "2", "item"]
+
+    def test_consecutive_capitals(self):
+        assert split_identifier("HTTPServer") == ["http", "server"]
+        assert split_identifier("FAACode") == ["faa", "code"]
+
+    def test_empty_and_punctuation_only(self):
+        assert split_identifier("") == []
+        assert split_identifier("__--__") == []
+
+    def test_single_word(self):
+        assert split_identifier("total") == ["total"]
+
+
+class TestWordTokens:
+    def test_basic(self):
+        assert word_tokens("The quick brown fox") == ["the", "quick", "brown", "fox"]
+
+    def test_punctuation_stripped(self):
+        assert word_tokens("feet-to-meters (approx.)") == [
+            "feet", "to", "meters", "approx",
+        ]
+
+    def test_numbers_kept(self):
+        assert word_tokens("runway 27L") == ["runway", "27", "l"]
+
+    def test_empty(self):
+        assert word_tokens("") == []
+        assert word_tokens("!!!") == []
+
+
+class TestSentences:
+    def test_split_on_terminators(self):
+        text = "First sentence. Second one! Third?"
+        assert sentences(text) == ["First sentence.", "Second one!", "Third?"]
+
+    def test_single_sentence(self):
+        assert sentences("Only one here") == ["Only one here"]
+
+    def test_empty(self):
+        assert sentences("   ") == []
+
+
+class TestNameTokens:
+    def test_combines_name_and_documentation(self):
+        tokens = name_tokens("shipTo", "The delivery address.")
+        assert tokens[:2] == ["ship", "to"]
+        assert "delivery" in tokens
+
+    def test_name_only(self):
+        assert name_tokens("subtotal") == ["subtotal"]
+
+
+class TestNgrams:
+    def test_trigrams(self):
+        assert ngrams("name", 3) == ["nam", "ame"]
+
+    def test_short_string(self):
+        assert ngrams("ab", 3) == ["ab"]
+
+    def test_case_and_punctuation_squashed(self):
+        assert ngrams("A-B-C-D", 3) == ["abc", "bcd"]
+
+    def test_empty(self):
+        assert ngrams("", 3) == []

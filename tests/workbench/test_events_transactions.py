@@ -1,0 +1,176 @@
+"""Tests for the event service (5.2.2) and transactions (5.2)."""
+
+import pytest
+
+from repro.core import TransactionError
+from repro.rdf import IRI, TripleStore, literal
+from repro.workbench import (
+    EventBus,
+    MappingCellEvent,
+    MappingMatrixEvent,
+    MappingVectorEvent,
+    SchemaGraphEvent,
+    Transaction,
+)
+
+A = IRI("http://x/a")
+P = IRI("http://x/p")
+
+
+class TestEventBus:
+    def test_typed_subscription(self):
+        bus = EventBus()
+        schema_events, cell_events = [], []
+        bus.subscribe(SchemaGraphEvent, schema_events.append)
+        bus.subscribe(MappingCellEvent, cell_events.append)
+        bus.publish(SchemaGraphEvent(source_tool="loader", schema_name="s"))
+        bus.publish(MappingCellEvent(source_tool="harmony"))
+        assert len(schema_events) == 1
+        assert len(cell_events) == 1
+
+    def test_subscribe_all(self):
+        bus = EventBus()
+        everything = []
+        bus.subscribe_all(everything.append)
+        bus.publish(SchemaGraphEvent(source_tool="t"))
+        bus.publish(MappingVectorEvent(source_tool="t"))
+        bus.publish(MappingMatrixEvent(source_tool="t"))
+        assert len(everything) == 3
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(SchemaGraphEvent, seen.append)
+        unsubscribe()
+        bus.publish(SchemaGraphEvent(source_tool="t"))
+        assert seen == []
+
+    def test_deferral_queues_until_release(self):
+        """'no events are generated until the mapping matrix has been
+        updated' — events inside a transaction arrive only at commit."""
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(seen.append)
+        bus.defer()
+        bus.publish(SchemaGraphEvent(source_tool="t"))
+        assert seen == [] and bus.pending == 1
+        bus.release()
+        assert len(seen) == 1 and bus.pending == 0
+
+    def test_discard_on_abort(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(seen.append)
+        bus.defer()
+        bus.publish(SchemaGraphEvent(source_tool="t"))
+        bus.release(discard=True)
+        assert seen == []
+
+    def test_nested_deferral(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(seen.append)
+        bus.defer()
+        bus.defer()
+        bus.publish(SchemaGraphEvent(source_tool="t"))
+        bus.release()
+        assert seen == []  # still inside the outer window
+        bus.release()
+        assert len(seen) == 1
+
+    def test_release_without_defer_is_noop(self):
+        assert EventBus().release() == 0
+
+    def test_delivered_count(self):
+        bus = EventBus()
+        bus.publish(SchemaGraphEvent(source_tool="t"))
+        bus.publish(SchemaGraphEvent(source_tool="t"))
+        assert bus.delivered_count == 2
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self):
+        store = TripleStore()
+        txn = Transaction(store)
+        store.add(A, P, literal("v"))
+        changed = txn.commit()
+        assert changed == 1
+        assert len(store) == 1
+
+    def test_rollback_undoes_adds_and_removes(self):
+        store = TripleStore()
+        store.add(A, P, literal("keep"))
+        txn = Transaction(store)
+        store.add(A, P, literal("new"))
+        store.remove(A, P, literal("keep"))
+        txn.rollback()
+        assert store.objects(A, P) == [literal("keep")]
+
+    def test_rollback_restores_exact_state(self):
+        store = TripleStore()
+        for i in range(5):
+            store.add(A, P, literal(i))
+        before = store.snapshot()
+        txn = Transaction(store)
+        store.remove_matching(subject=A)
+        store.add(A, P, literal("replacement"))
+        txn.rollback()
+        assert store.snapshot() == before
+
+    def test_double_finish_rejected(self):
+        store = TripleStore()
+        txn = Transaction(store)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+        with pytest.raises(TransactionError):
+            txn.rollback()
+
+    def test_context_manager_commits_on_success(self):
+        store = TripleStore()
+        with Transaction(store):
+            store.add(A, P, literal("v"))
+        assert len(store) == 1
+
+    def test_context_manager_rolls_back_on_error(self):
+        store = TripleStore()
+        with pytest.raises(RuntimeError):
+            with Transaction(store):
+                store.add(A, P, literal("v"))
+                raise RuntimeError("boom")
+        assert len(store) == 0
+
+    def test_events_deferred_until_commit(self):
+        store = TripleStore()
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(seen.append)
+        txn = Transaction(store, bus=bus)
+        bus.publish(SchemaGraphEvent(source_tool="t"))
+        assert seen == []
+        txn.commit()
+        assert len(seen) == 1
+
+    def test_events_discarded_on_rollback(self):
+        store = TripleStore()
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(seen.append)
+        txn = Transaction(store, bus=bus)
+        bus.publish(SchemaGraphEvent(source_tool="t"))
+        txn.rollback()
+        assert seen == []
+
+    def test_changes_outside_window_not_undone(self):
+        store = TripleStore()
+        txn = Transaction(store)
+        store.add(A, P, literal("inside"))
+        txn.commit()
+        store.add(A, P, literal("after"))
+        # a second transaction rolls back only its own changes
+        txn2 = Transaction(store)
+        store.add(A, P, literal("second"))
+        txn2.rollback()
+        assert literal("inside") in store.objects(A, P)
+        assert literal("after") in store.objects(A, P)
+        assert literal("second") not in store.objects(A, P)

@@ -1,0 +1,159 @@
+"""Tests for schema-evolution re-matching (§3.1, §5.1.3)."""
+
+import pytest
+
+from repro.core import ElementKind, MappingError, SchemaElement, SchemaGraph
+from repro.core.matrix import MappingMatrix
+from repro.workbench import (
+    LoaderTool,
+    MatcherTool,
+    RematchReport,
+    WorkbenchManager,
+    apply_evolution,
+    diff_schemas,
+    evolve_and_rematch,
+)
+from repro.workbench.versioning import SchemaDiff
+
+
+def _graph_v1() -> SchemaGraph:
+    graph = SchemaGraph.create("s")
+    graph.add_child("s", SchemaElement("s/T", "T", ElementKind.TABLE),
+                    label="contains-element")
+    for name in ("a", "b", "c"):
+        graph.add_child("s/T", SchemaElement(
+            f"s/T/{name}", name, ElementKind.ATTRIBUTE, datatype="string",
+            documentation=f"Attribute {name}."))
+    return graph
+
+
+def _graph_v2() -> SchemaGraph:
+    graph = _graph_v1()
+    graph.remove_element("s/T/c")                       # removed
+    graph.element("s/T/a").documentation = "Changed."   # redocumented
+    graph.add_child("s/T", SchemaElement(
+        "s/T/d", "d", ElementKind.ATTRIBUTE, datatype="string"))  # added
+    return graph
+
+
+def _matrix() -> MappingMatrix:
+    matrix = MappingMatrix("m")
+    for element_id in ("s/T", "s/T/a", "s/T/b", "s/T/c"):
+        matrix.add_row(element_id, schema_name="s")
+    for element_id in ("t/X", "t/X/p", "t/X/q"):
+        matrix.add_column(element_id, schema_name="t")
+    matrix.set_confidence("s/T/a", "t/X/p", 0.7)                       # machine
+    matrix.set_confidence("s/T/b", "t/X/q", 1.0, user_defined=True)    # decided
+    matrix.set_confidence("s/T/c", "t/X/p", 1.0, user_defined=True)    # decided, element dies
+    matrix.mark_row_complete("s/T/a")
+    return matrix
+
+
+class TestApplyEvolution:
+    def test_removed_elements_drop_axes_and_report_lost_decisions(self):
+        matrix = _matrix()
+        diff = diff_schemas(_graph_v1(), _graph_v2())
+        report = apply_evolution(matrix, diff, side="source", schema_name="s")
+        assert "s/T/c" in report.axes_removed
+        assert ("s/T/c", "t/X/p") in report.decisions_lost
+        assert "s/T/c" not in matrix.row_ids
+
+    def test_added_elements_gain_axes(self):
+        matrix = _matrix()
+        diff = diff_schemas(_graph_v1(), _graph_v2())
+        report = apply_evolution(matrix, diff, side="source", schema_name="s")
+        assert "s/T/d" in report.axes_added
+        assert "s/T/d" in matrix.row_ids
+
+    def test_changed_elements_reset_machine_scores_only(self):
+        matrix = _matrix()
+        diff = diff_schemas(_graph_v1(), _graph_v2())
+        report = apply_evolution(matrix, diff, side="source", schema_name="s")
+        # a's machine suggestion reset; b's user decision kept
+        assert matrix.cell("s/T/a", "t/X/p").confidence == 0.0
+        assert ("s/T/a", "t/X/p") in report.suggestions_reset
+        assert matrix.cell("s/T/b", "t/X/q").confidence == 1.0
+
+    def test_completion_reopened_for_changed_elements(self):
+        matrix = _matrix()
+        diff = diff_schemas(_graph_v1(), _graph_v2())
+        apply_evolution(matrix, diff, side="source", schema_name="s")
+        assert not matrix.row("s/T/a").is_complete
+
+    def test_target_side_evolution(self):
+        matrix = _matrix()
+        diff = SchemaDiff(removed=["t/X/q"], added=["t/X/r"])
+        report = apply_evolution(matrix, diff, side="target", schema_name="t")
+        assert "t/X/q" not in matrix.column_ids
+        assert "t/X/r" in matrix.column_ids
+        assert ("s/T/b", "t/X/q") in report.decisions_lost
+
+    def test_empty_diff_is_noop(self):
+        matrix = _matrix()
+        before = matrix.to_text()
+        report = apply_evolution(matrix, SchemaDiff(), side="source")
+        assert not report.needs_rematch
+        assert matrix.to_text() == before
+
+    def test_invalid_side(self):
+        with pytest.raises(MappingError):
+            apply_evolution(_matrix(), SchemaDiff(), side="up")
+
+    def test_report_text(self):
+        matrix = _matrix()
+        diff = diff_schemas(_graph_v1(), _graph_v2())
+        report = apply_evolution(matrix, diff, side="source")
+        text = report.to_text()
+        assert "axes removed: 1" in text
+        # "kept" counts decisions on *changed* elements; s/T/b's decision
+        # survives but b itself did not change, so it is not listed
+        assert "user decisions kept: 0" in text
+        assert "decisions lost with removed elements: 1" in text
+
+
+class TestEvolveAndRematch:
+    def test_workbench_roundtrip(self, orders_ddl_text, notice_xsd_text):
+        from repro.loaders import SqlDdlLoader, XsdLoader, load_sql
+
+        manager = WorkbenchManager()
+        manager.register(LoaderTool(SqlDdlLoader()))
+        manager.register(LoaderTool(XsdLoader()))
+        manager.register(MatcherTool())
+        manager.invoke("load-sql", text=orders_ddl_text, schema_name="orders")
+        manager.invoke("load-xsd", text=notice_xsd_text, schema_name="notice")
+        matrix = manager.invoke("harmony", source_schema="orders",
+                                target_schema="notice")
+        # pin a decision that must survive evolution
+        pinned = manager.blackboard.get_matrix(matrix.name)
+        pinned.set_confidence("orders/customer/first_name",
+                              "notice/shippingNotice/recipientName/firstName",
+                              1.0, user_defined=True)
+        manager.blackboard.put_matrix(pinned)
+
+        old_graph = manager.blackboard.get_schema("orders")
+        new_ddl = orders_ddl_text.replace(
+            "status VARCHAR(10)",
+            "status VARCHAR(10),\n    priority INTEGER  -- Order priority level.")
+        new_graph = load_sql(new_ddl, "orders")
+        report = evolve_and_rematch(
+            manager, matrix.name, old_graph, new_graph,
+            side="source", other_schema="notice")
+
+        assert "orders/purchase_order/priority" in report.axes_added
+        refreshed = manager.blackboard.get_matrix(matrix.name)
+        assert "orders/purchase_order/priority" in refreshed.row_ids
+        # the re-match scored the new attribute against the target
+        new_cells = [
+            c for c in refreshed.cells()
+            if c.source_id == "orders/purchase_order/priority"
+            and c.confidence != 0.0
+        ]
+        assert new_cells
+        # the pinned decision survived
+        kept = refreshed.cell("orders/customer/first_name",
+                              "notice/shippingNotice/recipientName/firstName")
+        assert kept.confidence == 1.0 and kept.is_user_defined
+        # the new schema version is on the blackboard
+        assert "priority" in [
+            e.name for e in manager.blackboard.get_schema("orders")
+        ]

@@ -1,0 +1,207 @@
+"""Tests for the workbench manager and the four tool kinds (5.2)."""
+
+import pytest
+
+from repro.core import ToolError
+from repro.mapper import ScalarTransform
+from repro.loaders import SqlDdlLoader, XsdLoader
+from repro.workbench import (
+    CodeGenTool,
+    LoaderTool,
+    MapperTool,
+    MappingCellEvent,
+    MappingMatrixEvent,
+    MappingVectorEvent,
+    MatcherTool,
+    SchemaGraphEvent,
+    Tool,
+    WorkbenchManager,
+)
+
+@pytest.fixture
+def manager(orders_ddl_text, notice_xsd_text) -> WorkbenchManager:
+    mgr = WorkbenchManager()
+    mgr.register(LoaderTool(SqlDdlLoader()))
+    mgr.register(LoaderTool(XsdLoader()))
+    mgr.register(MatcherTool())
+    mgr.register(MapperTool())
+    mgr.register(CodeGenTool())
+    mgr.orders_ddl = orders_ddl_text
+    mgr.notice_xsd = notice_xsd_text
+    return mgr
+
+
+class TestRegistry:
+    def test_tool_names(self, manager):
+        assert manager.tool_names == ["codegen", "harmony", "load-sql", "load-xsd", "mapper"]
+
+    def test_duplicate_name_rejected(self, manager):
+        with pytest.raises(ToolError):
+            manager.register(MatcherTool())
+
+    def test_unknown_tool_rejected(self, manager):
+        with pytest.raises(ToolError):
+            manager.invoke("ghost")
+
+    def test_initialize_called_on_register(self):
+        class Probe(Tool):
+            name = "probe"
+            initialized_with = None
+
+            def initialize(self, mgr):
+                Probe.initialized_with = mgr
+
+            def invoke(self, mgr, **kwargs):
+                return "ok"
+
+        mgr = WorkbenchManager()
+        mgr.register(Probe())
+        assert Probe.initialized_with is mgr
+        assert mgr.invoke("probe") == "ok"
+
+
+class TestLoaderTool:
+    def test_loads_and_publishes(self, manager):
+        events = []
+        manager.events.subscribe(SchemaGraphEvent, events.append)
+        graph = manager.invoke("load-sql", text=manager.orders_ddl, schema_name="orders")
+        assert graph.name == "orders"
+        assert manager.blackboard.has_schema("orders")
+        assert len(events) == 1
+        assert events[0].schema_name == "orders"
+
+    def test_empty_text_rejected(self, manager):
+        with pytest.raises(ToolError):
+            manager.invoke("load-sql", text="")
+
+    def test_failed_load_leaves_blackboard_clean(self, manager):
+        from repro.core import LoaderError
+
+        with pytest.raises(LoaderError):
+            manager.invoke("load-sql", text="NOT SQL AT ALL;")
+        assert manager.blackboard.schema_names() == []
+
+
+class TestMatcherTool:
+    def test_match_publishes_cell_events_after_commit(self, manager):
+        manager.invoke("load-sql", text=manager.orders_ddl, schema_name="orders")
+        manager.invoke("load-xsd", text=manager.notice_xsd, schema_name="notice")
+        cell_events = []
+        manager.events.subscribe(MappingCellEvent, cell_events.append)
+        matrix = manager.invoke("harmony", source_schema="orders", target_schema="notice")
+        assert manager.blackboard.has_matrix(matrix.name)
+        assert len(cell_events) == len(list(matrix.cells()))
+
+    def test_rerun_only_publishes_changes(self, manager):
+        manager.invoke("load-sql", text=manager.orders_ddl, schema_name="orders")
+        manager.invoke("load-xsd", text=manager.notice_xsd, schema_name="notice")
+        manager.invoke("harmony", source_schema="orders", target_schema="notice")
+        cell_events = []
+        manager.events.subscribe(MappingCellEvent, cell_events.append)
+        manager.invoke("harmony", source_schema="orders", target_schema="notice")
+        # second run produces (nearly) identical scores -> few or no events
+        assert len(cell_events) <= 3
+
+    def test_user_decisions_survive_tool_rerun(self, manager):
+        manager.invoke("load-sql", text=manager.orders_ddl, schema_name="orders")
+        manager.invoke("load-xsd", text=manager.notice_xsd, schema_name="notice")
+        matrix = manager.invoke("harmony", source_schema="orders", target_schema="notice")
+        manager.blackboard.update_cell(
+            matrix.name, "orders/customer", "notice/shippingNotice",
+            1.0, user_defined=True)
+        rerun = manager.invoke(
+            "harmony", source_schema="orders", target_schema="notice",
+            matrix_name=matrix.name)
+        cell = rerun.cell("orders/customer", "notice/shippingNotice")
+        assert cell.confidence == 1.0 and cell.is_user_defined
+
+
+class TestCaseStudyPipeline:
+    """Section 5.3: loader → Harmony → mapper → code generator."""
+
+    def _run_pipeline(self, manager):
+        manager.invoke("load-sql", text=manager.orders_ddl, schema_name="orders")
+        manager.invoke("load-xsd", text=manager.notice_xsd, schema_name="notice")
+        matrix = manager.invoke("harmony", source_schema="orders", target_schema="notice")
+        for source, target in [
+            ("orders/purchase_order", "notice/shippingNotice"),
+            ("orders/purchase_order/po_id", "notice/shippingNotice/orderNumber"),
+        ]:
+            loaded = manager.blackboard.get_matrix(matrix.name)
+            loaded.set_confidence(source, target, 1.0, user_defined=True)
+            manager.blackboard.put_matrix(loaded)
+        core = manager.invoke(
+            "mapper", source_schema="orders", target_schema="notice",
+            matrix_name=matrix.name,
+            variables={"orders/purchase_order/po_id": "poId",
+                       "orders/purchase_order/subtotal": "subtotal"},
+            transforms={"notice/shippingNotice": {
+                "notice/shippingNotice/total": ScalarTransform("$subtotal * 1.05"),
+                "notice/shippingNotice/recipientName/firstName": ScalarTransform('"n/a"'),
+                "notice/shippingNotice/recipientName/lastName": ScalarTransform('"n/a"'),
+            }})
+        assembled = manager.invoke("codegen", mapper=manager.tool("mapper"))
+        return matrix, core, assembled
+
+    def test_full_pipeline(self, manager):
+        matrix, core, assembled = self._run_pipeline(manager)
+        assert assembled.ok, assembled.verification.to_text()
+        result = assembled.run({"orders/purchase_order": [
+            {"po_id": 1, "subtotal": 100.0},
+        ]})
+        document = result.rows("notice/shippingNotice")[0]
+        assert document["total"] == pytest.approx(105.0)
+
+    def test_mapper_publishes_vector_events(self, manager):
+        vector_events = []
+        manager.events.subscribe(MappingVectorEvent, vector_events.append)
+        self._run_pipeline(manager)
+        assert len(vector_events) >= 3
+        assert all(e.axis == "column" for e in vector_events)
+
+    def test_codegen_publishes_matrix_event(self, manager):
+        matrix_events = []
+        manager.events.subscribe(MappingMatrixEvent, matrix_events.append)
+        self._run_pipeline(manager)
+        assert len(matrix_events) == 1
+        assert "for $row" in matrix_events[0].code
+
+    def test_matcher_hears_downstream_vector_events(self, manager):
+        """Tools listen both directions (Section 5.2.2)."""
+        self._run_pipeline(manager)
+        harmony = manager.tool("harmony")
+        assert len(harmony.received) >= 3
+
+    def test_mapper_proposes_on_user_cells(self, manager):
+        """A mapping tool listens for mapping-cell events 'to propose a
+        candidate transformation'."""
+        manager.invoke("load-sql", text=manager.orders_ddl, schema_name="orders")
+        manager.invoke("load-xsd", text=manager.notice_xsd, schema_name="notice")
+        matrix = manager.invoke("harmony", source_schema="orders", target_schema="notice")
+        manager.events.publish(MappingCellEvent(
+            source_tool="gui", matrix_name=matrix.name,
+            source_id="orders/purchase_order/po_id",
+            target_id="notice/shippingNotice/orderNumber",
+            confidence=1.0, user_defined=True))
+        mapper = manager.tool("mapper")
+        assert any("po_id" in p for p in mapper.proposals)
+
+    def test_codegen_requires_mapper_run(self, manager):
+        with pytest.raises(ToolError):
+            manager.invoke("codegen", mapper=manager.tool("mapper"))
+
+    def test_final_mapping_lands_on_blackboard(self, manager):
+        matrix, core, assembled = self._run_pipeline(manager)
+        stored = manager.blackboard.get_matrix(core.matrix.name)
+        assert stored.code == assembled.xquery
+
+
+class TestQueries:
+    def test_manager_query_service(self, manager, purchase_order_graph):
+        from repro.rdf import Query, Variable
+        from repro.rdf import vocabulary as V
+
+        manager.blackboard.put_schema(purchase_order_graph)
+        schema_var = Variable("s")
+        rows = manager.query(Query().where(schema_var, V.RDF_TYPE, V.SCHEMA_CLASS))
+        assert len(rows) == 1
