@@ -2,15 +2,19 @@
 
 Not a paper artifact, but the number an adopter asks first: how does one
 Harmony engine run scale with schema size?  Candidate-pair scoring is
-O(|S|·|T|) within kind families, so expect roughly quadratic growth in the
-element count; this bench pins that down with pytest-benchmark across
-three sizes and records the pairs-scored counts.
+O(|S|·|T|) within kind families, so the default path grows roughly
+quadratically in the element count.  The fast path (candidate blocking +
+context caching + sparse flooding, see docs/performance.md) prunes the
+pair space to O(S·budget); this bench pins both paths down across three
+sizes and records the wall times, pair counts and pruning ratio into
+``results/BENCH_perf.json`` so the perf trajectory is tracked per commit.
 """
+
+import time
 
 import pytest
 
-from repro.harmony import HarmonyEngine
-from repro.loaders import load_er
+from repro.harmony import EngineConfig, HarmonyEngine
 from repro.registry import RegistryProfile, generate_registry
 
 #: (label, entities per model, attributes per entity)
@@ -40,27 +44,62 @@ def test_a12_engine_scalability(benchmark, label, entities, attributes):
     run = benchmark(engine.match, source, target)
     # sanity: the run scored a quadratic-ish candidate space and produced cells
     assert len(run.matrix.row_ids) >= entities
-    assert list(run.matrix.cells())
+    assert run.matrix.cell_count() > 0
 
 
-def test_a12_report(benchmark, report):
+@pytest.mark.parametrize("label,entities,attributes", SIZES,
+                         ids=[s[0] for s in SIZES])
+def test_a12_engine_scalability_fast(benchmark, label, entities, attributes):
+    source, target = _schema_pair(entities, attributes, seed=99)
+    engine = HarmonyEngine(config=EngineConfig.fast())
+    run = benchmark(engine.match, source, target)
+    assert run.blocking is not None
+    assert run.matrix.cell_count() > 0
+
+
+def test_a12_report(benchmark, report, perf_record):
     lines = [
         "A12 — engine wall time vs schema size (see pytest-benchmark table)",
         "",
-        f"{'size':<8} {'elements (src x tgt)':>22} {'candidate pairs':>16}",
-        "-" * 50,
+        f"{'size':<8} {'elements (src x tgt)':>22} {'pairs (dflt)':>13} "
+        f"{'pairs (fast)':>13} {'pruned':>7} {'dflt s':>8} {'fast s':>8} {'x':>5}",
+        "-" * 92,
     ]
+    perf = {}
     for label, entities, attributes in SIZES:
         source, target = _schema_pair(entities, attributes, seed=99)
-        run = HarmonyEngine().match(source, target)
-        pairs = len({(v.source_id, v.target_id) for v in run.votes})
+        t0 = time.perf_counter()
+        run_default = HarmonyEngine().match(source, target)
+        default_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        run_fast = HarmonyEngine(config=EngineConfig.fast()).match(source, target)
+        fast_wall = time.perf_counter() - t0
+        default_pairs = len({(v.source_id, v.target_id) for v in run_default.votes})
+        blocking = run_fast.blocking
         lines.append(
-            f"{label:<8} {f'{len(source)} x {len(target)}':>22} {pairs:>16}")
+            f"{label:<8} {f'{len(source)} x {len(target)}':>22} "
+            f"{default_pairs:>13} {blocking.kept_pairs:>13} "
+            f"{blocking.pruning_ratio:>7.0%} {default_wall:>8.3f} "
+            f"{fast_wall:>8.3f} {default_wall / fast_wall:>5.1f}"
+        )
+        perf[label] = {
+            "elements_source": len(source),
+            "elements_target": len(target),
+            "default_wall_s": round(default_wall, 4),
+            "fast_wall_s": round(fast_wall, 4),
+            "speedup": round(default_wall / fast_wall, 2),
+            "default_pairs": default_pairs,
+            "fast_pairs": blocking.kept_pairs,
+            "pruning_ratio": round(blocking.pruning_ratio, 4),
+        }
     lines.append("")
     lines.append(
-        "shape: pair counts (and therefore wall time) grow quadratically "
-        "with schema size within kind families — use sub-tree focus "
-        "(Section 4.2) to keep interactive latency flat on large schemata"
+        "shape: default pair counts (and therefore wall time) grow "
+        "quadratically with schema size within kind families; the fast "
+        "path caps pairs at O(S*budget) via candidate blocking "
+        "(docs/performance.md) — use sub-tree focus (Section 4.2) on top "
+        "to keep interactive latency flat on very large schemata"
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     report("A12_scalability", "\n".join(lines))
+    perf_record("A12_scalability", perf)

@@ -8,6 +8,8 @@ a populated store.  The point is that the coordination layer is cheap
 relative to the matching work it coordinates (compare F1's pipeline time).
 """
 
+import time
+
 import pytest
 
 from repro.core import MappingMatrix
@@ -109,6 +111,45 @@ def test_a7_matrix_write(benchmark):
 def test_a7_matrix_read(benchmark, populated_blackboard):
     matrix = benchmark(populated_blackboard.get_matrix, "bench-matrix")
     assert len(matrix.row_ids) == MATRIX_SIDE
+
+
+def test_a7_bulk_store_mutation(benchmark, perf_record):
+    """Bulk ``add_many`` vs one ``add`` per triple (same listener set)."""
+    from repro.rdf.triple import Triple
+
+    subject = IRI("http://x/s")
+    predicate = IRI("http://x/p")
+    triples = [Triple(subject, predicate, literal(i)) for i in range(N_TRIPLES)]
+
+    t0 = time.perf_counter()
+    single = TripleStore()
+    seen_single = []
+    single.subscribe(lambda added, triple: seen_single.append(triple))
+    for triple in triples:
+        single.add(triple.subject, triple.predicate, triple.object)
+    single_wall = time.perf_counter() - t0
+
+    def bulk_load():
+        store = TripleStore()
+        batches = []
+        store.subscribe_batch(batches.append)
+        store.add_many(triples)
+        return store, batches
+
+    t0 = time.perf_counter()
+    store, batches = bulk_load()
+    bulk_wall = time.perf_counter() - t0
+    benchmark(bulk_load)
+    assert len(store) == N_TRIPLES
+    assert len(seen_single) == N_TRIPLES
+    # one notification for the whole change set, not N_TRIPLES of them
+    assert len(batches) == 1 and len(batches[0]) == N_TRIPLES
+    perf_record("A7_bulk_store", {
+        "triples": N_TRIPLES,
+        "per_triple_wall_s": round(single_wall, 4),
+        "bulk_wall_s": round(bulk_wall, 4),
+        "batch_notifications": len(batches),
+    })
 
 
 def test_a7_query_latency(benchmark, populated_blackboard, report):

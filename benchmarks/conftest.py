@@ -8,12 +8,14 @@ paper-vs-measured record in EXPERIMENTS.md is regenerable.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Callable
+from typing import Any, Callable, Dict, Iterator
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+PERF_PATH = os.path.join(RESULTS_DIR, "BENCH_perf.json")
 
 
 @pytest.fixture(scope="session")
@@ -29,3 +31,34 @@ def report() -> Callable[[str, str], None]:
         print(f"\n{header}\n{text.rstrip()}\n")
 
     return write
+
+
+@pytest.fixture(scope="session")
+def perf_record() -> Iterator[Callable[[str, Dict[str, Any]], None]]:
+    """Collect machine-readable perf numbers into results/BENCH_perf.json.
+
+    Each bench records one named entry (wall times, pair counts, pruning
+    ratios, ...); at session end the entries are merged into the existing
+    file so partial bench runs never erase other benches' numbers.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    entries: Dict[str, Dict[str, Any]] = {}
+
+    def record(name: str, payload: Dict[str, Any]) -> None:
+        entries[name] = payload
+
+    yield record
+
+    if not entries:
+        return
+    merged: Dict[str, Dict[str, Any]] = {}
+    if os.path.exists(PERF_PATH):
+        try:
+            with open(PERF_PATH, "r", encoding="utf-8") as handle:
+                merged = json.load(handle)
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(entries)
+    with open(PERF_PATH, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")

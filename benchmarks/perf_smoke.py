@@ -1,0 +1,128 @@
+"""Perf smoke check: fail CI when the fast match path regresses.
+
+Runs the A12-large schema pair (the largest registry-generated pair the
+benches use) through the default engine and through ``EngineConfig.fast()``
+and enforces two guards:
+
+* **relative** — the fast path must stay at least ``MIN_SPEEDUP`` times
+  faster than the default path *measured on the same machine in the same
+  process*, so the check is immune to host speed;
+* **absolute** — the fast-path wall time must not exceed the committed
+  baseline (``results/BENCH_perf_baseline.json``) by more than
+  ``PERF_SMOKE_TOLERANCE`` (default 2.0×), catching regressions that slow
+  both paths equally.  Regenerate the baseline on a representative
+  machine with ``--write-baseline`` after intentional changes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--write-baseline]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.harmony import EngineConfig, HarmonyEngine
+from repro.loaders import load_registry
+from repro.registry import RegistryProfile, generate_registry
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(HERE, "results", "BENCH_perf_baseline.json")
+PERF_PATH = os.path.join(HERE, "results", "BENCH_perf.json")
+
+#: the fast path must beat the default path by at least this factor
+MIN_SPEEDUP = 2.0
+#: fast-path F1-relevant invariant — blocking must prune at least this much
+MIN_PRUNING = 0.5
+
+
+def _schema_pair():
+    profile = RegistryProfile(
+        model_count=2,
+        elements_per_model=10,
+        attributes_per_element=8,
+        domain_values_per_attribute=0.5,
+    )
+    registry = generate_registry(seed=99, scale=1.0, profile=profile,
+                                 name="perf-smoke")
+    loaded = load_registry(registry)
+    return loaded.schemas[0], loaded.schemas[1]
+
+
+def main(argv) -> int:
+    write_baseline = "--write-baseline" in argv
+    raw_tolerance = os.environ.get("PERF_SMOKE_TOLERANCE", "2.0")
+    try:
+        tolerance = float(raw_tolerance)
+    except ValueError:
+        print(f"error: PERF_SMOKE_TOLERANCE must be a number, "
+              f"got {raw_tolerance!r}", file=sys.stderr)
+        return 2
+    source, target = _schema_pair()
+
+    t0 = time.perf_counter()
+    run_default = HarmonyEngine().match(source, target)
+    default_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    run_fast = HarmonyEngine(config=EngineConfig.fast()).match(source, target)
+    fast_wall = time.perf_counter() - t0
+
+    speedup = default_wall / fast_wall
+    blocking = run_fast.blocking
+    result = {
+        "default_wall_s": round(default_wall, 4),
+        "fast_wall_s": round(fast_wall, 4),
+        "speedup": round(speedup, 2),
+        "fast_pairs": blocking.kept_pairs,
+        "total_pairs": blocking.total_pairs,
+        "pruning_ratio": round(blocking.pruning_ratio, 4),
+        "default_cells": run_default.matrix.cell_count(),
+        "fast_cells": run_fast.matrix.cell_count(),
+    }
+    print("perf smoke (A12-large pair):")
+    for key, value in result.items():
+        print(f"  {key:>16}: {value}")
+
+    os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+    if write_baseline:
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump({"perf_smoke": result}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    failures = []
+    if speedup < MIN_SPEEDUP:
+        failures.append(
+            f"fast path only {speedup:.2f}x faster than default "
+            f"(required >= {MIN_SPEEDUP}x)")
+    if blocking.pruning_ratio < MIN_PRUNING:
+        failures.append(
+            f"blocking pruned only {blocking.pruning_ratio:.0%} of pairs "
+            f"(required >= {MIN_PRUNING:.0%})")
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)["perf_smoke"]
+        limit = baseline["fast_wall_s"] * tolerance
+        if fast_wall > limit:
+            failures.append(
+                f"fast wall {fast_wall:.3f}s exceeds baseline "
+                f"{baseline['fast_wall_s']:.3f}s x {tolerance} tolerance "
+                f"(set PERF_SMOKE_TOLERANCE or rerun --write-baseline)")
+    else:
+        print(f"note: no baseline at {BASELINE_PATH}; absolute check skipped")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -70,6 +70,10 @@ class SchemaGraph:
         self._edges: Set[SchemaEdge] = set()
         self._out: Dict[str, List[SchemaEdge]] = {}
         self._in: Dict[str, List[SchemaEdge]] = {}
+        #: bumped on every structural mutation; caches keyed on (graph,
+        #: revision) — e.g. a reused MatchContext — use it to detect
+        #: staleness without hashing the whole graph.
+        self.revision: int = 0
 
     # -- construction -----------------------------------------------------
 
@@ -94,6 +98,7 @@ class SchemaGraph:
         self._elements[element.element_id] = element
         self._out.setdefault(element.element_id, [])
         self._in.setdefault(element.element_id, [])
+        self.revision += 1
         return element
 
     def add_child(
@@ -126,6 +131,7 @@ class SchemaGraph:
             self._edges.add(edge)
             self._out[subject].append(edge)
             self._in[obj].append(edge)
+            self.revision += 1
         return edge
 
     def remove_element(self, element_id: str) -> None:
@@ -136,12 +142,14 @@ class SchemaGraph:
         del self._elements[element_id]
         del self._out[element_id]
         del self._in[element_id]
+        self.revision += 1
 
     def remove_edge(self, edge: SchemaEdge) -> None:
         if edge in self._edges:
             self._edges.discard(edge)
             self._out[edge.subject].remove(edge)
             self._in[edge.object].remove(edge)
+            self.revision += 1
 
     # -- lookup -----------------------------------------------------------
 

@@ -170,6 +170,13 @@ class MappingMatrix:
         """All materialized cells."""
         return iter(list(self._cells.values()))
 
+    def cell_count(self) -> int:
+        """How many cells are materialized — O(1), unlike listing cells()."""
+        return len(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
     def links(self, threshold: float = 0.0) -> List[Correspondence]:
         """Cells whose confidence strictly exceeds *threshold* (the
         confidence-slider link filter uses this)."""

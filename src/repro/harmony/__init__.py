@@ -7,6 +7,7 @@ supports the iterative accept/reject/mark-complete workflow with learning
 from feedback.
 """
 
+from .blocking import BlockingConfig, BlockingResult, CandidateBlocker
 from .engine import (
     FLOODING_CLASSIC,
     FLOODING_DIRECTIONAL,
@@ -66,6 +67,9 @@ from .voters import (
 
 __all__ = [
     "AcronymVoter",
+    "BlockingConfig",
+    "BlockingResult",
+    "CandidateBlocker",
     "ConfidenceFilter",
     "DatatypeVoter",
     "DepthFilter",

@@ -1,0 +1,208 @@
+"""Candidate blocking: cheap retrieval before expensive voter scoring.
+
+The exhaustive pipeline scores every kind-compatible (source, target)
+pair with every voter — O(S·T) string comparisons that dominate engine
+wall time well before the paper's DoD scale (13,049 elements, Table 1).
+Practical matchers insert a *blocking* stage first: an inverted index
+over cheap lexical keys retrieves a small candidate set per source
+element, and only those pairs reach the voters.
+
+Keys are namespaced so that evidence only matches evidence of the same
+type:
+
+* ``n:`` stemmed, abbreviation-expanded name tokens (plus thesaurus
+  synonyms, so a synonym rename still shares a key);
+* ``g:`` character n-grams of the lowercased name (shared roots:
+  ``lname`` / ``lastname``);
+* ``d:`` preprocessed documentation terms;
+* ``p:`` the containment parent's name tokens (two generically-named
+  attributes under similarly-named entities stay candidates);
+* ``l:`` stemmed leaf-attribute tokens below containers (an entity
+  renamed beyond recognition is still retrieved by its attribute set).
+
+Each source element keeps its ``budget`` best targets per kind family,
+ranked by rarity-weighted key overlap (rare keys are worth more, exactly
+like IDF).  Ties at the cut keep *all* tied targets, and elements with
+no key overlap at all are padded back up to the budget in deterministic
+order — the recall budget is a floor, never a filter on its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.elements import CONTAINER_KINDS, ElementKind, SchemaElement
+from ..core.graph import SchemaGraph
+from .voters.base import MatchContext
+
+Pair = Tuple[str, str]
+
+
+@dataclass
+class BlockingConfig:
+    """Knobs of the candidate blocking stage."""
+
+    #: minimum candidates retained per source element and kind family
+    #: (the recall budget) — families at or below this size are never
+    #: pruned at all
+    budget: int = 12
+    #: character n-gram size for the ``g:`` lexical fallback keys
+    ngram: int = 3
+    #: index preprocessed documentation terms (``d:`` keys)
+    index_documentation: bool = True
+    #: index thesaurus synonyms of name tokens (extra ``n:`` keys)
+    index_synonyms: bool = True
+    #: index leaf-attribute tokens of containers (``l:`` keys)
+    index_leaves: bool = True
+    #: index the containment parent's name tokens (``p:`` keys)
+    index_parents: bool = True
+
+
+@dataclass
+class BlockingResult:
+    """The pruned candidate set plus the numbers the benches report."""
+
+    pairs: List[Tuple[SchemaElement, SchemaElement]]
+    #: kind-compatible cross-product size (what exhaustive scoring pays)
+    total_pairs: int
+
+    @property
+    def kept_pairs(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of the exhaustive pair space that was pruned away."""
+        if self.total_pairs == 0:
+            return 0.0
+        return 1.0 - self.kept_pairs / self.total_pairs
+
+
+def _family(kind: ElementKind) -> str:
+    """Kind-compatibility family (mirrors :func:`kinds_comparable`)."""
+    if kind in CONTAINER_KINDS:
+        return "container"
+    return kind.value
+
+
+def _ngrams(text: str, n: int) -> Set[str]:
+    text = text.lower()
+    if len(text) <= n:
+        return {text} if text else set()
+    return {text[i : i + n] for i in range(len(text) - n + 1)}
+
+
+class CandidateBlocker:
+    """Builds the target-side inverted index and retrieves candidates."""
+
+    def __init__(self, config: Optional[BlockingConfig] = None) -> None:
+        self.config = config or BlockingConfig()
+
+    # -- key extraction ------------------------------------------------------
+
+    def keys_for(
+        self, context: MatchContext, graph: SchemaGraph, element: SchemaElement
+    ) -> Set[str]:
+        """The blocking keys of one element (namespaced, see module doc)."""
+        config = self.config
+        keys: Set[str] = set()
+        name_tokens = context.name_tokens(graph, element)
+        for token in name_tokens:
+            keys.add(f"n:{token}")
+            if config.index_synonyms:
+                for synonym in context.thesaurus.synonyms(token):
+                    keys.add(f"n:{synonym.lower()}")
+        for gram in _ngrams(element.name, config.ngram):
+            keys.add(f"g:{gram}")
+        if config.index_documentation and element.documentation:
+            doc_id = context.doc_id(graph, element)
+            for term in context.corpus.terms(doc_id):
+                keys.add(f"d:{term}")
+        if config.index_parents:
+            parent = graph.parent(element.element_id)
+            if parent is not None and parent.element_id != graph.root.element_id:
+                for token in context.name_tokens(graph, parent):
+                    keys.add(f"p:{token}")
+        if config.index_leaves and element.kind in CONTAINER_KINDS:
+            for token in context.leaf_tokens(graph, element):
+                keys.add(f"l:{token}")
+        return keys
+
+    # -- retrieval ----------------------------------------------------------
+
+    def candidates(self, context: MatchContext) -> BlockingResult:
+        """The pruned (source, target) pair set, in deterministic order."""
+        config = self.config
+        target_root = context.target.root.element_id
+        source_root = context.source.root.element_id
+
+        # index: family → key → target ids (postings in insertion order)
+        index: Dict[str, Dict[str, List[str]]] = {}
+        families: Dict[str, List[SchemaElement]] = {}
+        for element in context.target:
+            if element.element_id == target_root or element.kind is ElementKind.KEY:
+                continue
+            family = _family(element.kind)
+            families.setdefault(family, []).append(element)
+            postings = index.setdefault(family, {})
+            for key in self.keys_for(context, context.target, element):
+                postings.setdefault(key, []).append(element.element_id)
+
+        by_id = {
+            e.element_id: e
+            for members in families.values()
+            for e in members
+        }
+        pairs: List[Tuple[SchemaElement, SchemaElement]] = []
+        total = 0
+        for source_el in context.source:
+            if source_el.element_id == source_root or source_el.kind is ElementKind.KEY:
+                continue
+            family = _family(source_el.kind)
+            members = families.get(family, [])
+            total += len(members)
+            if not members:
+                continue
+            if len(members) <= config.budget:
+                pairs.extend((source_el, t) for t in members)
+                continue
+            postings = index[family]
+            # keys matching more than half the family discriminate
+            # nothing — skip them like stop words
+            stop_df = max(config.budget, len(members) // 2)
+            scores: Dict[str, float] = {}
+            # sorted so float accumulation order (and thus tie ranking)
+            # does not depend on the process hash seed
+            for key in sorted(self.keys_for(context, context.source, source_el)):
+                matched = postings.get(key)
+                if matched and len(matched) <= stop_df:
+                    # rarity weighting: a key shared by few targets is
+                    # strong evidence, one shared by most is nearly none
+                    weight = 1.0 / len(matched)
+                    for target_id in matched:
+                        scores[target_id] = scores.get(target_id, 0.0) + weight
+            ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+            kept = [target_id for target_id, _ in ranked[: config.budget]]
+            if len(ranked) > config.budget:
+                # keep score ties with the last admitted target, but never
+                # more than twice the budget — huge tie groups carry no
+                # ranking signal worth paying voters for
+                cutoff = ranked[config.budget - 1][1]
+                for target_id, score in ranked[config.budget : 2 * config.budget]:
+                    if score < cutoff:
+                        break
+                    kept.append(target_id)
+            if len(kept) < config.budget:
+                # pad zero-overlap targets back in, deterministically —
+                # the budget is a floor so truly opaque renames still get
+                # a chance with the voters
+                seen = set(kept)
+                for element in members:
+                    if element.element_id not in seen:
+                        kept.append(element.element_id)
+                        seen.add(element.element_id)
+                    if len(kept) >= config.budget:
+                        break
+            pairs.extend((source_el, by_id[t]) for t in kept)
+        return BlockingResult(pairs=pairs, total_pairs=total)

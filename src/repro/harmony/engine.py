@@ -17,13 +17,16 @@ reweighting and bag-of-words word reweighting.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.correspondence import VoterScore
+from ..core.elements import SchemaElement
 from ..core.graph import SchemaGraph
 from ..core.matrix import MappingMatrix
 from ..text.thesaurus import Thesaurus
+from .blocking import BlockingConfig, BlockingResult, CandidateBlocker
 from .flooding import (
     DirectionalConfig,
     FloodingConfig,
@@ -35,6 +38,7 @@ from .merger import MergeResult, VoteMerger
 from .voters import MatchContext, MatchVoter, default_voters
 
 Pair = Tuple[str, str]
+CandidatePair = Tuple[SchemaElement, SchemaElement]
 
 #: Flooding modes the engine supports (bench A2 sweeps these).
 FLOODING_OFF = "off"
@@ -44,7 +48,13 @@ FLOODING_DIRECTIONAL = "directional"
 
 @dataclass
 class EngineConfig:
-    """Tunable knobs of the Harmony engine."""
+    """Tunable knobs of the Harmony engine.
+
+    The performance knobs (`blocking`, `parallelism`, `reuse_context`,
+    `sparse_flooding`) all default to the exhaustive, serial,
+    rebuild-everything behavior so results stay bit-identical unless a
+    caller opts in; :meth:`fast` is the everything-on preset.
+    """
 
     flooding: str = FLOODING_DIRECTIONAL
     directional: DirectionalConfig = field(default_factory=DirectionalConfig)
@@ -53,6 +63,33 @@ class EngineConfig:
     classic_blend: float = 0.5
     learning_rate: float = 0.25
     learn_word_weights: bool = True
+    #: candidate blocking stage — ``None`` scores the full kind-compatible
+    #: cross-product, a :class:`BlockingConfig` prunes it first
+    blocking: Optional[BlockingConfig] = None
+    #: voter-scoring threads; 1 (or 0) = serial.  Parallel runs chunk the
+    #: candidate pairs and merge results in chunk order, so the vote list
+    #: is bit-identical to the serial one.
+    parallelism: int = 1
+    #: reuse the MatchContext (tokens, TF-IDF corpus, voter scores) across
+    #: re-runs on the same unmutated schema graphs — the Section 4.3
+    #: refinement loop stops rebuilding everything each round.  Learned
+    #: word weights then accumulate across rounds instead of resetting.
+    reuse_context: bool = False
+    #: restrict classic flooding's propagation graph to the scored pairs
+    #: and their one-hop neighborhood (directional flooding is already
+    #: sparse by construction)
+    sparse_flooding: bool = False
+
+    @classmethod
+    def fast(cls, **overrides) -> "EngineConfig":
+        """The all-optimizations-on preset (see docs/performance.md)."""
+        defaults = dict(
+            blocking=BlockingConfig(),
+            reuse_context=True,
+            sparse_flooding=True,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
 
 
 @dataclass
@@ -65,6 +102,10 @@ class MatchRun:
     pre_flooding: Dict[Pair, float]
     post_flooding: Dict[Pair, float]
     matrix: MappingMatrix
+    #: blocking-stage output when the engine ran with blocking enabled
+    blocking: Optional[BlockingResult] = None
+    #: whether this run reused the previous run's MatchContext
+    reused_context: bool = False
 
     def stage_summary(self) -> List[str]:
         """Human-readable per-stage trace (the Figure-1 bench prints this)."""
@@ -73,14 +114,25 @@ class MatchRun:
             for pair, value in self.post_flooding.items()
             if abs(value - self.pre_flooding.get(pair, 0.0)) > 1e-9
         )
-        return [
+        lines = [
             f"linguistic preprocessing: {len(self.context.corpus)} documented elements indexed",
-            f"match voters: {len(self.votes)} votes over "
-            f"{len({(v.source_id, v.target_id) for v in self.votes})} candidate pairs",
-            f"vote merger: {len(self.merged)} merged confidence scores",
-            f"similarity flooding: {changed} scores structurally adjusted",
-            f"mapping matrix: {len(list(self.matrix.cells()))} cells populated",
         ]
+        if self.blocking is not None:
+            lines.append(
+                f"candidate blocking: {self.blocking.kept_pairs} of "
+                f"{self.blocking.total_pairs} pairs retained "
+                f"({self.blocking.pruning_ratio:.0%} pruned)"
+            )
+        lines.extend(
+            [
+                f"match voters: {len(self.votes)} votes over "
+                f"{len({(v.source_id, v.target_id) for v in self.votes})} candidate pairs",
+                f"vote merger: {len(self.merged)} merged confidence scores",
+                f"similarity flooding: {changed} scores structurally adjusted",
+                f"mapping matrix: {self.matrix.cell_count()} cells populated",
+            ]
+        )
+        return lines
 
 
 class HarmonyEngine:
@@ -100,6 +152,9 @@ class HarmonyEngine:
         #: votes from the most recent run, kept for feedback learning
         self._last_votes: List[VoterScore] = []
         self._last_context: Optional[MatchContext] = None
+        #: how many MatchContexts this engine has built (a cache-hit
+        #: counter for the refinement-loop reuse path; tests assert on it)
+        self.context_builds: int = 0
         #: decisions already learned from — each accept/reject teaches the
         #: engine exactly once (re-learning from the same decision every
         #: re-run would compound weights, the over-crediting the paper's
@@ -123,7 +178,16 @@ class HarmonyEngine:
         """
         if matrix is None:
             matrix = MappingMatrix.from_schemas(source, target)
-        context = MatchContext(source, target, thesaurus=self.thesaurus)
+        reused = (
+            self.config.reuse_context
+            and self._last_context is not None
+            and self._last_context.is_current(source, target)
+        )
+        if reused:
+            context = self._last_context
+        else:
+            context = MatchContext(source, target, thesaurus=self.thesaurus)
+            self.context_builds += 1
 
         decisions = decisions_from_matrix(matrix.cells())
         fresh_decisions = {
@@ -142,19 +206,14 @@ class HarmonyEngine:
         for voter in self.voters:
             voter.prepare(context)
 
-        votes: List[VoterScore] = []
-        for source_el, target_el in context.candidate_pairs():
-            for voter in self.voters:
-                score = voter.score(source_el, target_el, context)
-                if score != 0.0:
-                    votes.append(
-                        VoterScore(
-                            voter=voter.name,
-                            source_id=source_el.element_id,
-                            target_id=target_el.element_id,
-                            score=score,
-                        )
-                    )
+        blocking_result: Optional[BlockingResult] = None
+        if self.config.blocking is not None:
+            blocking_result = CandidateBlocker(self.config.blocking).candidates(context)
+            candidate_pairs = blocking_result.pairs
+        else:
+            candidate_pairs = context.candidate_pairs()
+
+        votes = self._score_pairs(candidate_pairs, context, use_cache=reused)
 
         merged = self.merger.merge(votes)
         pre_flooding: Dict[Pair, float] = {
@@ -178,7 +237,96 @@ class HarmonyEngine:
             pre_flooding=pre_flooding,
             post_flooding=post_flooding,
             matrix=matrix,
+            blocking=blocking_result,
+            reused_context=reused,
         )
+
+    # -- voter scoring ------------------------------------------------------
+
+    def _score_pairs(
+        self,
+        pairs: Sequence[CandidatePair],
+        context: MatchContext,
+        use_cache: bool = False,
+    ) -> List[VoterScore]:
+        """Score candidate pairs with every voter, optionally in parallel.
+
+        Parallel execution chunks the pair list and concatenates chunk
+        results in order, so the vote list is identical to a serial run.
+        When *use_cache* is set (context reused across refinement rounds)
+        previously computed scores are reused; entries from voters whose
+        inputs changed (word-weight learning) are invalidated first.
+        """
+        if use_cache:
+            self._invalidate_stale_scores(context)
+        else:
+            context.score_cache.clear()
+        # stamp the word-weight revision the cache contents are valid for
+        context._score_cache_weights_rev = context.corpus.weights_revision
+        cache = context.score_cache if self.config.reuse_context else None
+
+        workers = self.config.parallelism
+        if workers and workers > 1 and len(pairs) > 1:
+            chunk_size = (len(pairs) + workers - 1) // workers
+            chunks = [
+                pairs[i : i + chunk_size] for i in range(0, len(pairs), chunk_size)
+            ]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                parts = list(
+                    pool.map(lambda c: self._score_chunk(c, context, cache), chunks)
+                )
+            votes: List[VoterScore] = []
+            for part in parts:
+                votes.extend(part)
+            return votes
+        return self._score_chunk(pairs, context, cache)
+
+    def _score_chunk(
+        self,
+        pairs: Sequence[CandidatePair],
+        context: MatchContext,
+        cache: Optional[Dict[Tuple[str, str, str], float]],
+    ) -> List[VoterScore]:
+        votes: List[VoterScore] = []
+        for source_el, target_el in pairs:
+            for voter in self.voters:
+                if cache is not None:
+                    key = (voter.name, source_el.element_id, target_el.element_id)
+                    score = cache.get(key)
+                    if score is None:
+                        score = voter.score(source_el, target_el, context)
+                        cache[key] = score
+                else:
+                    score = voter.score(source_el, target_el, context)
+                if score != 0.0:
+                    votes.append(
+                        VoterScore(
+                            voter=voter.name,
+                            source_id=source_el.element_id,
+                            target_id=target_el.element_id,
+                            score=score,
+                        )
+                    )
+        return votes
+
+    def _invalidate_stale_scores(self, context: MatchContext) -> None:
+        """Drop cached scores whose inputs changed since the last run.
+
+        Today the only mutable voter input is the TF-IDF word-weight
+        table (Section 4.3 bag-of-words learning), tracked by the
+        corpus's ``weights_revision``; only voters that declare
+        ``uses_word_weights`` pay the re-score.
+        """
+        cached_rev = getattr(context, "_score_cache_weights_rev", None)
+        current_rev = context.corpus.weights_revision
+        if cached_rev != current_rev:
+            stale = {v.name for v in self.voters if v.uses_word_weights}
+            if stale:
+                context.score_cache = {
+                    key: value
+                    for key, value in context.score_cache.items()
+                    if key[0] not in stale
+                }
 
     # -- flooding dispatch ---------------------------------------------------------
 
@@ -199,7 +347,11 @@ class HarmonyEngine:
             )
         if mode == FLOODING_CLASSIC:
             positive = {pair: max(0.0, value) for pair, value in scores.items()}
-            flooded = classic_flooding(source, target, positive, config=self.config.classic)
+            restrict_to = set(positive) if self.config.sparse_flooding else None
+            flooded = classic_flooding(
+                source, target, positive, config=self.config.classic,
+                restrict_to=restrict_to,
+            )
             blend = self.config.classic_blend
             out: Dict[Pair, float] = {}
             for pair, original in scores.items():

@@ -21,7 +21,7 @@ Two algorithms live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..core.correspondence import clamp_confidence
 from ..core.elements import ElementKind
@@ -40,7 +40,43 @@ class FloodingConfig:
     epsilon: float = 1e-4
 
 
-def _pcg_edges(source: SchemaGraph, target: SchemaGraph) -> Dict[Pair, List[Pair]]:
+def _sparse_frontier(
+    src_by_label: Mapping[str, List[Tuple[str, str]]],
+    tgt_by_label: Mapping[str, List[Tuple[str, str]]],
+    active: Set[Pair],
+) -> Set[Pair]:
+    """The active pairs plus their one-hop PCG neighborhood."""
+    src_out: Dict[str, Dict[str, List[str]]] = {}
+    src_in: Dict[str, Dict[str, List[str]]] = {}
+    tgt_out: Dict[str, Dict[str, List[str]]] = {}
+    tgt_in: Dict[str, Dict[str, List[str]]] = {}
+    for label, edges in src_by_label.items():
+        for subject, obj in edges:
+            src_out.setdefault(label, {}).setdefault(subject, []).append(obj)
+            src_in.setdefault(label, {}).setdefault(obj, []).append(subject)
+    for label, edges in tgt_by_label.items():
+        for subject, obj in edges:
+            tgt_out.setdefault(label, {}).setdefault(subject, []).append(obj)
+            tgt_in.setdefault(label, {}).setdefault(obj, []).append(subject)
+
+    allowed = set(active)
+    for a, b in active:
+        for label in src_out:
+            for a2 in src_out[label].get(a, ()):
+                for b2 in tgt_out.get(label, {}).get(b, ()):
+                    allowed.add((a2, b2))
+        for label in src_in:
+            for a2 in src_in[label].get(a, ()):
+                for b2 in tgt_in.get(label, {}).get(b, ()):
+                    allowed.add((a2, b2))
+    return allowed
+
+
+def _pcg_edges(
+    source: SchemaGraph,
+    target: SchemaGraph,
+    restrict_to: Optional[Set[Pair]] = None,
+) -> Dict[Pair, List[Pair]]:
     """The pairwise connectivity graph.
 
     PCG node (a, b) has an l-labeled edge to (a', b') whenever
@@ -49,15 +85,39 @@ def _pcg_edges(source: SchemaGraph, target: SchemaGraph) -> Dict[Pair, List[Pair
     coefficients folded in* — i.e. each out-edge already carries weight
     1/fanout(label) per Melnik's inverse-average scheme, and edges are
     symmetrized (flooding runs on the induced undirected graph).
+
+    Edges are bucketed by label so the construction is
+    Σ_l |E_s(l)|·|E_t(l)| rather than |E_s|·|E_t|.  When *restrict_to*
+    is given, the PCG is additionally restricted to those pairs plus
+    their one-hop neighborhood — the sparse-flooding mode: scores only
+    ever flow between a scored pair and its structural neighbors, so the
+    vast dark region of the full cross-product is never materialized.
     """
-    out_by_label: Dict[Pair, Dict[str, List[Pair]]] = {}
+    src_by_label: Dict[str, List[Tuple[str, str]]] = {}
     for edge_s in source.edges:
-        for edge_t in target.edges:
-            if edge_s.label != edge_t.label:
-                continue
-            node = (edge_s.subject, edge_t.subject)
-            successor = (edge_s.object, edge_t.object)
-            out_by_label.setdefault(node, {}).setdefault(edge_s.label, []).append(successor)
+        src_by_label.setdefault(edge_s.label, []).append((edge_s.subject, edge_s.object))
+    tgt_by_label: Dict[str, List[Tuple[str, str]]] = {}
+    for edge_t in target.edges:
+        tgt_by_label.setdefault(edge_t.label, []).append((edge_t.subject, edge_t.object))
+
+    allowed: Optional[Set[Pair]] = None
+    if restrict_to is not None:
+        allowed = _sparse_frontier(src_by_label, tgt_by_label, set(restrict_to))
+
+    out_by_label: Dict[Pair, Dict[str, List[Pair]]] = {}
+    for label, s_edges in src_by_label.items():
+        t_edges = tgt_by_label.get(label)
+        if not t_edges:
+            continue
+        for s_subject, s_object in s_edges:
+            for t_subject, t_object in t_edges:
+                node = (s_subject, t_subject)
+                successor = (s_object, t_object)
+                if allowed is not None and (
+                    node not in allowed or successor not in allowed
+                ):
+                    continue
+                out_by_label.setdefault(node, {}).setdefault(label, []).append(successor)
 
     weighted: Dict[Pair, List[Tuple[Pair, float]]] = {}
     for node, by_label in out_by_label.items():
@@ -94,14 +154,21 @@ def classic_flooding(
     target: SchemaGraph,
     initial: Mapping[Pair, float],
     config: Optional[FloodingConfig] = None,
+    restrict_to: Optional[Set[Pair]] = None,
 ) -> Dict[Pair, float]:
     """Melnik's basic fixpoint: σ⁺ = normalize(σ⁰ + σ + φ(σ)).
 
     *initial* maps (source element id, target element id) → similarity in
     [0, 1].  The result is normalized so the best pair scores 1.0.
+
+    When *restrict_to* is given (usually the scored candidate pairs),
+    the propagation graph is built sparsely over those pairs and their
+    one-hop neighborhood instead of the full edge cross-product — an
+    approximation (fanout weights are computed within the restricted
+    graph) that the engine keeps behind its ``sparse_flooding`` flag.
     """
     config = config or FloodingConfig()
-    adjacency = _pcg_edges(source, target)
+    adjacency = _pcg_edges(source, target, restrict_to=restrict_to)
     nodes = set(initial) | set(adjacency)
     for neighbors in adjacency.values():
         nodes.update(n for n, _ in neighbors)
@@ -161,6 +228,10 @@ def directional_flooding(
     Up: a parent pair absorbs the average of its children pairs' *positive*
     scores.  Down: a child pair absorbs its parent pair's *negative* score.
     Pairs in *pinned* (user-decided links, Section 4.3) are never modified.
+
+    This variant is inherently sparse: the parent/child pair maps are
+    derived from the scored pairs alone, so its cost is O(|scores|)
+    regardless of schema size — candidate blocking shrinks it for free.
     """
     config = config or DirectionalConfig()
     pinned = pinned or set()

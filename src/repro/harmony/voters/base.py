@@ -15,11 +15,11 @@ per-element token caches, so each voter stays small and stateless.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ...core.elements import CONTAINER_KINDS, ElementKind, SchemaElement
 from ...core.graph import SchemaGraph
-from ...text.stemmer import stem_all
+from ...text.stemmer import stem, stem_all
 from ...text.stopwords import remove_stop_words
 from ...text.tfidf import TfIdfCorpus
 from ...text.thesaurus import Thesaurus
@@ -46,12 +46,33 @@ class MatchContext:
         self.thesaurus = thesaurus if thesaurus is not None else Thesaurus.default()
         self.corpus = TfIdfCorpus()
         self._name_tokens: Dict[Tuple[str, str], List[str]] = {}
+        self._path_tokens: Dict[Tuple[str, str], List[str]] = {}
+        self._leaf_tokens: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        #: cross-run voter-score memo: (voter name, source id, target id) →
+        #: score.  Only populated when the engine reuses the context across
+        #: refinement rounds; the engine owns invalidation.
+        self.score_cache: Dict[Tuple[str, str, str], float] = {}
         for graph in (source, target):
             for element in graph:
                 if element.documentation:
                     self.corpus.add_document(
                         self._doc_id(graph, element), element.documentation
                     )
+        #: graph revisions at build time — is_current() compares against
+        #: these so a mutated schema forces a context rebuild.
+        self._built_for = (source.revision, target.revision)
+
+    def is_current(self, source: SchemaGraph, target: SchemaGraph) -> bool:
+        """Whether this context still describes *source* and *target*.
+
+        True only for the same graph objects with no structural mutation
+        since the context was built.
+        """
+        return (
+            source is self.source
+            and target is self.target
+            and self._built_for == (source.revision, target.revision)
+        )
 
     @staticmethod
     def _doc_id(graph: SchemaGraph, element: SchemaElement) -> str:
@@ -82,6 +103,35 @@ class MatchContext:
                 expanded.extend(split_identifier(expansion) or [expansion])
             self._name_tokens[key] = stem_all(remove_stop_words(expanded)) or expanded
         return self._name_tokens[key]
+
+    def path_tokens(self, graph: SchemaGraph, element: SchemaElement) -> List[str]:
+        """Stemmed tokens of the root-to-element name path (root excluded).
+
+        Cached per element — the structure voter asks for the same path
+        once per candidate pair, which is O(S·T) recomputations without
+        this memo.
+        """
+        key = (graph.name, element.element_id)
+        if key not in self._path_tokens:
+            tokens: List[str] = []
+            for name in graph.path(element.element_id)[1:]:
+                tokens.extend(stem(t) for t in split_identifier(name))
+            self._path_tokens[key] = tokens
+        return self._path_tokens[key]
+
+    def leaf_tokens(self, graph: SchemaGraph, element: SchemaElement) -> FrozenSet[str]:
+        """Stemmed name tokens of the leaf descendants below an element."""
+        key = (graph.name, element.element_id)
+        if key not in self._leaf_tokens:
+            names = set()
+            for descendant in graph.subtree(element.element_id):
+                if descendant.element_id == element.element_id:
+                    continue
+                if not graph.children(descendant.element_id):
+                    for token in split_identifier(descendant.name):
+                        names.add(stem(token))
+            self._leaf_tokens[key] = frozenset(names)
+        return self._leaf_tokens[key]
 
     def candidate_pairs(self) -> List[Tuple[SchemaElement, SchemaElement]]:
         """All (source, target) pairs worth scoring.
@@ -152,6 +202,11 @@ class MatchVoter(ABC):
 
     #: Stable identifier used in merger weights and benchmark output.
     name: str = "voter"
+
+    #: Whether the voter's scores depend on the corpus's learned word
+    #: weights (Section 4.3) — the engine's cross-run score cache
+    #: invalidates these voters' entries when the weights change.
+    uses_word_weights: bool = False
 
     @abstractmethod
     def score(

@@ -19,6 +19,7 @@ class DocumentationVoter(MatchVoter):
     """Bag-of-words comparison of documentation, IDF-weighted."""
 
     name = "documentation"
+    uses_word_weights = True
 
     def applicable(self, source: SchemaElement, target: SchemaElement) -> bool:
         return source.has_documentation and target.has_documentation

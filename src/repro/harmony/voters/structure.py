@@ -14,32 +14,9 @@ through the graph) with direct structural measures:
 
 from __future__ import annotations
 
-from typing import FrozenSet, List
-
 from ...core.elements import SchemaElement
-from ...core.graph import SchemaGraph
 from ...text.similarity import jaccard_similarity, monge_elkan
-from ...text.stemmer import stem
-from ...text.tokenize import split_identifier
 from .base import MatchContext, MatchVoter, calibrate
-
-
-def _path_tokens(graph: SchemaGraph, element: SchemaElement) -> List[str]:
-    tokens: List[str] = []
-    for name in graph.path(element.element_id)[1:]:  # skip the schema root name
-        tokens.extend(stem(t) for t in split_identifier(name))
-    return tokens
-
-
-def _leaf_names(graph: SchemaGraph, element: SchemaElement) -> FrozenSet[str]:
-    names = set()
-    for descendant in graph.subtree(element.element_id):
-        if descendant.element_id == element.element_id:
-            continue
-        if not graph.children(descendant.element_id):
-            for token in split_identifier(descendant.name):
-                names.add(stem(token))
-    return frozenset(names)
 
 
 class StructureVoter(MatchVoter):
@@ -49,11 +26,11 @@ class StructureVoter(MatchVoter):
         graph_s = context.graph_of(source)
         graph_t = context.graph_of(target)
         path_sim = monge_elkan(
-            _path_tokens(graph_s, source), _path_tokens(graph_t, target)
+            context.path_tokens(graph_s, source), context.path_tokens(graph_t, target)
         )
         if source.is_container and target.is_container:
-            leaves_s = _leaf_names(graph_s, source)
-            leaves_t = _leaf_names(graph_t, target)
+            leaves_s = context.leaf_tokens(graph_s, source)
+            leaves_t = context.leaf_tokens(graph_t, target)
             if leaves_s and leaves_t:
                 leaf_sim = jaccard_similarity(leaves_s, leaves_t)
                 similarity = 0.5 * path_sim + 0.5 * leaf_sim

@@ -30,6 +30,7 @@ from ..core.matrix import MappingMatrix
 from .namespace import IW_NS, Namespace
 from .store import TripleStore
 from .term import IRI, Literal, literal
+from .triple import Triple
 from . import vocabulary as V
 
 SCHEMA_BASE = Namespace("http://mitre.org/iw/schema/")
@@ -70,29 +71,39 @@ def cell_iri(matrix_name: str, source_id: str, target_id: str) -> IRI:
 # -- schema graph -> RDF ------------------------------------------------------
 
 def schema_to_rdf(graph: SchemaGraph, store: TripleStore) -> IRI:
-    """Write a schema graph into the store; returns the schema's IRI."""
+    """Write a schema graph into the store; returns the schema's IRI.
+
+    The whole graph lands via one :meth:`TripleStore.add_many` bulk
+    mutation, so transaction logs and other batch listeners pay one
+    callback per schema load instead of one per triple.
+    """
     s_iri = schema_iri(graph.name)
-    store.add(s_iri, V.RDF_TYPE, V.SCHEMA_CLASS)
-    store.add(s_iri, V.NAME, literal(graph.name))
+    triples: List[Triple] = [
+        Triple(s_iri, V.RDF_TYPE, V.SCHEMA_CLASS),
+        Triple(s_iri, V.NAME, literal(graph.name)),
+    ]
     element_iris: Dict[str, IRI] = {}
     for element in graph:
         e_iri = element_iri(graph.name, element.element_id)
         element_iris[element.element_id] = e_iri
-        store.add(s_iri, V.HAS_ELEMENT, e_iri)
-        store.add(e_iri, V.RDF_TYPE, V.ELEMENT_CLASS)
-        store.add(e_iri, V.NAME, literal(element.name))
-        store.add(e_iri, V.KIND, literal(element.kind.value))
+        triples.append(Triple(s_iri, V.HAS_ELEMENT, e_iri))
+        triples.append(Triple(e_iri, V.RDF_TYPE, V.ELEMENT_CLASS))
+        triples.append(Triple(e_iri, V.NAME, literal(element.name)))
+        triples.append(Triple(e_iri, V.KIND, literal(element.kind.value)))
         if element.datatype:
-            store.add(e_iri, V.TYPE, literal(element.datatype))
+            triples.append(Triple(e_iri, V.TYPE, literal(element.datatype)))
         if element.documentation:
-            store.add(e_iri, V.DOCUMENTATION, literal(element.documentation))
+            triples.append(Triple(e_iri, V.DOCUMENTATION, literal(element.documentation)))
         for key, value in element.annotations.items():
             if isinstance(value, (str, int, float, bool)):
-                store.add(e_iri, IW_NS.term(f"annotation-{_quote(key)}"), literal(value))
-    store.add(s_iri, V.HAS_ROOT, element_iris[graph.root.element_id])
+                triples.append(
+                    Triple(e_iri, IW_NS.term(f"annotation-{_quote(key)}"), literal(value))
+                )
+    triples.append(Triple(s_iri, V.HAS_ROOT, element_iris[graph.root.element_id]))
     for edge in graph.edges:
         predicate = V.EDGE_LABEL_TO_IRI.get(edge.label, IW_NS.term(_quote(edge.label)))
-        store.add(element_iris[edge.subject], predicate, element_iris[edge.object])
+        triples.append(Triple(element_iris[edge.subject], predicate, element_iris[edge.object]))
+    store.add_many(triples)
     return s_iri
 
 
@@ -155,32 +166,41 @@ def schemas_in_store(store: TripleStore) -> List[str]:
 def matrix_to_rdf(matrix: MappingMatrix, store: TripleStore) -> IRI:
     """Write a mapping matrix into the store; returns the matrix IRI."""
     m_iri = matrix_iri(matrix.name)
-    store.add(m_iri, V.RDF_TYPE, V.MATRIX_CLASS)
-    store.add(m_iri, V.NAME, literal(matrix.name))
+    triples: List[Triple] = [
+        Triple(m_iri, V.RDF_TYPE, V.MATRIX_CLASS),
+        Triple(m_iri, V.NAME, literal(matrix.name)),
+    ]
     if matrix.code:
-        store.set_value(m_iri, V.CODE, literal(matrix.code))
+        triples.append(Triple(m_iri, V.CODE, literal(matrix.code)))
     for element_id in matrix.row_ids:
         header = matrix.row(element_id)
         r_iri = row_iri(matrix.name, element_id)
-        store.add(m_iri, V.HAS_ROW, r_iri)
-        store.add(r_iri, V.RDF_TYPE, V.ROW_CLASS)
-        store.add(r_iri, V.ROW_ELEMENT, element_iri(header.schema_name, element_id))
-        store.add(r_iri, V.NAME, literal(element_id))
-        store.set_value(r_iri, V.IS_COMPLETE, literal(header.is_complete))
+        triples.append(Triple(m_iri, V.HAS_ROW, r_iri))
+        triples.append(Triple(r_iri, V.RDF_TYPE, V.ROW_CLASS))
+        triples.append(Triple(r_iri, V.ROW_ELEMENT, element_iri(header.schema_name, element_id)))
+        triples.append(Triple(r_iri, V.NAME, literal(element_id)))
+        triples.append(Triple(r_iri, V.IS_COMPLETE, literal(header.is_complete)))
         if header.variable_name:
-            store.set_value(r_iri, V.VARIABLE_NAME, literal(header.variable_name))
+            triples.append(Triple(r_iri, V.VARIABLE_NAME, literal(header.variable_name)))
     for element_id in matrix.column_ids:
         header = matrix.column(element_id)
         c_iri = column_iri(matrix.name, element_id)
-        store.add(m_iri, V.HAS_COLUMN, c_iri)
-        store.add(c_iri, V.RDF_TYPE, V.COLUMN_CLASS)
-        store.add(c_iri, V.COLUMN_ELEMENT, element_iri(header.schema_name, element_id))
-        store.add(c_iri, V.NAME, literal(element_id))
-        store.set_value(c_iri, V.IS_COMPLETE, literal(header.is_complete))
+        triples.append(Triple(m_iri, V.HAS_COLUMN, c_iri))
+        triples.append(Triple(c_iri, V.RDF_TYPE, V.COLUMN_CLASS))
+        triples.append(Triple(c_iri, V.COLUMN_ELEMENT, element_iri(header.schema_name, element_id)))
+        triples.append(Triple(c_iri, V.NAME, literal(element_id)))
+        triples.append(Triple(c_iri, V.IS_COMPLETE, literal(header.is_complete)))
         if header.code:
-            store.set_value(c_iri, V.CODE, literal(header.code))
+            triples.append(Triple(c_iri, V.CODE, literal(header.code)))
     for cell in matrix.cells():
-        write_cell(store, matrix.name, cell)
+        c_iri = cell_iri(matrix.name, cell.source_id, cell.target_id)
+        triples.append(Triple(m_iri, V.HAS_CELL, c_iri))
+        triples.append(Triple(c_iri, V.RDF_TYPE, V.CELL_CLASS))
+        triples.append(Triple(c_iri, V.CELL_ROW, row_iri(matrix.name, cell.source_id)))
+        triples.append(Triple(c_iri, V.CELL_COLUMN, column_iri(matrix.name, cell.target_id)))
+        triples.append(Triple(c_iri, V.CONFIDENCE_SCORE, literal(float(cell.confidence))))
+        triples.append(Triple(c_iri, V.IS_USER_DEFINED, literal(cell.is_user_defined)))
+    store.add_many(triples)
     return m_iri
 
 

@@ -12,7 +12,7 @@ their undo logs and how the event service learns about changes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import StoreError
 from .term import IRI, Object, Subject, Term
@@ -20,6 +20,9 @@ from .triple import Triple
 
 #: (added?, triple) — True for insertion, False for removal.
 StoreListener = Callable[[bool, Triple], None]
+#: One callback per mutation batch; single mutations arrive as 1-element
+#: batches.  Bulk loads pay one call instead of one per triple.
+BatchListener = Callable[[Sequence[Tuple[bool, Triple]]], None]
 
 
 class TripleStore:
@@ -31,6 +34,7 @@ class TripleStore:
         self._pos: Dict[IRI, Dict[Object, Set[Subject]]] = {}
         self._osp: Dict[Object, Dict[Subject, Set[IRI]]] = {}
         self._listeners: List[StoreListener] = []
+        self._batch_listeners: List[BatchListener] = []
 
     # -- mutation ------------------------------------------------------------
 
@@ -39,6 +43,13 @@ class TripleStore:
         return self.add_triple(Triple(subject, predicate, obj))
 
     def add_triple(self, triple: Triple) -> bool:
+        if not self._index_add(triple):
+            return False
+        self._notify(True, triple)
+        return True
+
+    def _index_add(self, triple: Triple) -> bool:
+        """Insert into the permutation indexes without notifying."""
         if triple in self._triples:
             return False
         self._triples.add(triple)
@@ -51,22 +62,49 @@ class TripleStore:
         self._osp.setdefault(triple.object, {}).setdefault(
             triple.subject, set()
         ).add(triple.predicate)
-        self._notify(True, triple)
         return True
+
+    def add_many(self, triples: Iterable[Triple]) -> int:
+        """Bulk insert with one batched listener notification.
+
+        Returns how many triples were new.  Per-triple listeners still
+        see every change; batch listeners get a single call — this is
+        what keeps blackboard schema loads O(n) instead of
+        O(n · listeners · call overhead).
+        """
+        changes: List[Tuple[bool, Triple]] = [
+            (True, triple) for triple in triples if self._index_add(triple)
+        ]
+        self._notify_many(changes)
+        return len(changes)
 
     def remove(self, subject: Subject, predicate: IRI, obj: Object) -> bool:
         """Remove one triple.  Returns True if the store changed."""
         return self.remove_triple(Triple(subject, predicate, obj))
 
     def remove_triple(self, triple: Triple) -> bool:
+        if not self._index_remove(triple):
+            return False
+        self._notify(False, triple)
+        return True
+
+    def _index_remove(self, triple: Triple) -> bool:
+        """Remove from the permutation indexes without notifying."""
         if triple not in self._triples:
             return False
         self._triples.discard(triple)
         self._spo[triple.subject][triple.predicate].discard(triple.object)
         self._pos[triple.predicate][triple.object].discard(triple.subject)
         self._osp[triple.object][triple.subject].discard(triple.predicate)
-        self._notify(False, triple)
         return True
+
+    def remove_many(self, triples: Iterable[Triple]) -> int:
+        """Bulk removal with one batched listener notification."""
+        changes: List[Tuple[bool, Triple]] = [
+            (False, triple) for triple in triples if self._index_remove(triple)
+        ]
+        self._notify_many(changes)
+        return len(changes)
 
     def remove_matching(
         self,
@@ -75,10 +113,7 @@ class TripleStore:
         obj: Optional[Object] = None,
     ) -> int:
         """Remove every triple matching the pattern; returns the count."""
-        victims = list(self.match(subject, predicate, obj))
-        for triple in victims:
-            self.remove_triple(triple)
-        return len(victims)
+        return self.remove_many(list(self.match(subject, predicate, obj)))
 
     def set_value(self, subject: Subject, predicate: IRI, obj: Object) -> None:
         """Functional-property write: replace all existing objects for
@@ -90,11 +125,10 @@ class TripleStore:
 
     def update(self, triples: Iterable[Triple]) -> int:
         """Bulk insert; returns how many were new."""
-        return sum(1 for t in triples if self.add_triple(t))
+        return self.add_many(triples)
 
     def clear(self) -> None:
-        for triple in list(self._triples):
-            self.remove_triple(triple)
+        self.remove_many(list(self._triples))
 
     # -- observation -----------------------------------------------------------
 
@@ -108,9 +142,38 @@ class TripleStore:
 
         return unsubscribe
 
+    def subscribe_batch(self, listener: BatchListener) -> Callable[[], None]:
+        """Register a batch mutation listener; returns an unsubscriber.
+
+        Batch listeners receive one call per bulk mutation (a list of
+        ``(added, triple)`` in application order); single mutations
+        arrive as one-element batches.
+        """
+        self._batch_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._batch_listeners:
+                self._batch_listeners.remove(listener)
+
+        return unsubscribe
+
     def _notify(self, added: bool, triple: Triple) -> None:
         for listener in list(self._listeners):
             listener(added, triple)
+        if self._batch_listeners:
+            event = [(added, triple)]
+            for listener in list(self._batch_listeners):
+                listener(event)
+
+    def _notify_many(self, changes: Sequence[Tuple[bool, Triple]]) -> None:
+        if not changes:
+            return
+        if self._listeners:
+            for listener in list(self._listeners):
+                for added, triple in changes:
+                    listener(added, triple)
+        for listener in list(self._batch_listeners):
+            listener(changes)
 
     # -- reads -------------------------------------------------------------------
 

@@ -36,6 +36,9 @@ class TfIdfCorpus:
         #: multiplicative per-word adjustment learned from user feedback;
         #: 1.0 means "no adjustment".
         self.word_weights: Dict[str, float] = {}
+        #: bumped whenever word weights change, so cached cosine-derived
+        #: scores held outside the corpus know when to re-score.
+        self.weights_revision: int = 0
         self._vectors: Optional[Dict[str, Dict[str, float]]] = None
 
     def add_document(self, doc_id: str, text: str) -> None:
@@ -76,6 +79,7 @@ class TfIdfCorpus:
         [0.1, 10] so no single feedback round can zero a word out."""
         current = self.word_weights.get(term, 1.0) * factor
         self.word_weights[term] = max(0.1, min(10.0, current))
+        self.weights_revision += 1
         self._vectors = None
 
     def vector(self, doc_id: str) -> Dict[str, float]:

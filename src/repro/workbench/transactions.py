@@ -14,7 +14,7 @@ window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.errors import TransactionError
 from ..rdf.store import TripleStore
@@ -37,12 +37,14 @@ class Transaction:
         self._log: List[_LogEntry] = []
         self._unsubscribe: Optional[Callable[[], None]] = None
         self._state = "open"
-        self._unsubscribe = store.subscribe(self._record)
+        # batch subscription: a bulk schema load inside the window costs
+        # one callback, not one per triple
+        self._unsubscribe = store.subscribe_batch(self._record_batch)
         if bus is not None:
             bus.defer()
 
-    def _record(self, added: bool, triple: Triple) -> None:
-        self._log.append(_LogEntry(added, triple))
+    def _record_batch(self, changes: Sequence[Tuple[bool, Triple]]) -> None:
+        self._log.extend(_LogEntry(added, triple) for added, triple in changes)
 
     @property
     def is_open(self) -> bool:
@@ -64,12 +66,26 @@ class Transaction:
         """Undo every change made inside this window and discard its
         deferred events.  Returns the number of changes undone."""
         self._finish("rolled-back")
-        # replay in reverse without re-recording
-        for entry in reversed(self._log):
-            if entry.added:
-                self._store.remove_triple(entry.triple)
+        # replay in reverse without re-recording; consecutive same-kind
+        # entries undo as one bulk mutation
+        run: List[Triple] = []
+        run_added: Optional[bool] = None
+
+        def flush() -> None:
+            if not run:
+                return
+            if run_added:
+                self._store.remove_many(run)
             else:
-                self._store.add_triple(entry.triple)
+                self._store.add_many(run)
+            run.clear()
+
+        for entry in reversed(self._log):
+            if run_added is not None and entry.added != run_added:
+                flush()
+            run_added = entry.added
+            run.append(entry.triple)
+        flush()
         if self._bus is not None:
             self._bus.release(discard=True)
         return len(self._log)

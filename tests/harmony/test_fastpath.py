@@ -1,0 +1,202 @@
+"""Tests for the fast match path: blocking, caching, parallelism, sparse flooding."""
+
+import pytest
+
+from repro.eval import evaluate_matrix, standard_suite
+from repro.harmony import (
+    BlockingConfig,
+    CandidateBlocker,
+    EngineConfig,
+    HarmonyEngine,
+    MatchContext,
+    MatchSession,
+    classic_flooding,
+)
+
+
+def _pair_ids(pairs):
+    return {(s.element_id, t.element_id) for s, t in pairs}
+
+
+class TestBlocking:
+    def test_ground_truth_survives_default_budget(self):
+        """Recall property: blocking never drops a true correspondence
+        that the exhaustive pipeline would have scored."""
+        blocker = CandidateBlocker(BlockingConfig())
+        for scenario in standard_suite():
+            context = MatchContext(scenario.source, scenario.target)
+            exhaustive = _pair_ids(context.candidate_pairs())
+            blocked = _pair_ids(blocker.candidates(context).pairs)
+            lost = (scenario.alignment.pairs & exhaustive) - blocked
+            assert not lost, f"{scenario.name}: blocking lost {sorted(lost)}"
+
+    def test_blocked_pairs_subset_of_exhaustive(self, orders_graph, notice_graph):
+        context = MatchContext(orders_graph, notice_graph)
+        result = CandidateBlocker().candidates(context)
+        assert _pair_ids(result.pairs) <= _pair_ids(context.candidate_pairs())
+        assert result.total_pairs == len(context.candidate_pairs())
+
+    def test_small_families_never_pruned(self, orders_graph, notice_graph):
+        # every kind family in the fixtures is below the default budget,
+        # so blocking must keep the full candidate set
+        context = MatchContext(orders_graph, notice_graph)
+        result = CandidateBlocker().candidates(context)
+        assert _pair_ids(result.pairs) == _pair_ids(context.candidate_pairs())
+        assert result.pruning_ratio == 0.0
+
+    def test_budget_caps_large_families(self):
+        scenario = standard_suite(seeds=(7,))[0]
+        budget = 3
+        context = MatchContext(scenario.source, scenario.target)
+        result = CandidateBlocker(BlockingConfig(budget=budget)).candidates(context)
+        per_source = {}
+        for source_el, _ in result.pairs:
+            per_source[source_el.element_id] = per_source.get(source_el.element_id, 0) + 1
+        # the tie extension never admits more than twice the budget
+        # (families smaller than the budget keep all members, hence no
+        # lower bound here)
+        assert all(n <= 2 * budget for n in per_source.values())
+        assert result.pruning_ratio > 0.0
+
+    def test_deterministic(self):
+        scenario = standard_suite(seeds=(7,))[0]
+        runs = []
+        for _ in range(2):
+            context = MatchContext(scenario.source, scenario.target)
+            runs.append(CandidateBlocker().candidates(context).pairs)
+        assert _pair_ids(runs[0]) == _pair_ids(runs[1])
+
+
+class TestParallelVoters:
+    def test_parallel_votes_identical_to_serial(self, orders_graph, notice_graph):
+        serial = HarmonyEngine(config=EngineConfig(parallelism=1)).match(
+            orders_graph, notice_graph)
+        parallel = HarmonyEngine(config=EngineConfig(parallelism=4)).match(
+            orders_graph, notice_graph)
+        assert serial.votes == parallel.votes
+
+    def test_parallel_matrix_identical_to_serial(self):
+        scenario = standard_suite(seeds=(7,))[0]
+        serial = HarmonyEngine(config=EngineConfig(parallelism=1)).match(
+            scenario.source, scenario.target)
+        parallel = HarmonyEngine(config=EngineConfig(parallelism=4)).match(
+            scenario.source, scenario.target)
+        serial_cells = {(c.source_id, c.target_id): c.confidence
+                        for c in serial.matrix.cells()}
+        parallel_cells = {(c.source_id, c.target_id): c.confidence
+                          for c in parallel.matrix.cells()}
+        assert serial_cells == parallel_cells
+
+
+class TestFastEquivalence:
+    @pytest.mark.parametrize("seed", [7, 42])
+    def test_fast_f1_matches_default(self, seed):
+        for scenario in standard_suite(seeds=(seed,)):
+            default = HarmonyEngine().match(scenario.source, scenario.target)
+            fast = HarmonyEngine(config=EngineConfig.fast()).match(
+                scenario.source, scenario.target)
+            f1_default = evaluate_matrix(default.matrix, scenario.alignment).f1
+            f1_fast = evaluate_matrix(fast.matrix, scenario.alignment).f1
+            assert abs(f1_default - f1_fast) <= 0.01, scenario.name
+
+    def test_fast_run_reports_blocking(self, orders_graph, notice_graph):
+        run = HarmonyEngine(config=EngineConfig.fast()).match(
+            orders_graph, notice_graph)
+        assert run.blocking is not None
+        summary = "\n".join(run.stage_summary())
+        assert "blocking" in summary
+
+
+class TestContextReuse:
+    def test_five_round_session_builds_context_once(self, orders_graph, notice_graph):
+        engine = HarmonyEngine(config=EngineConfig(reuse_context=True))
+        session = MatchSession(orders_graph, notice_graph, engine=engine)
+        first = session.run_engine()
+        assert not first.reused_context
+        session.accept("orders/customer/first_name",
+                       "notice/shippingNotice/recipientName/firstName")
+        session.reject("orders/purchase_order/po_id",
+                       "notice/shippingNotice/total")
+        for _ in range(4):
+            run = session.run_engine()
+            assert run.reused_context
+        assert len(session.runs) == 5
+        assert engine.context_builds == 1
+
+    def test_default_config_rebuilds_every_run(self, orders_graph, notice_graph):
+        engine = HarmonyEngine()
+        session = MatchSession(orders_graph, notice_graph, engine=engine)
+        for _ in range(3):
+            assert not session.run_engine().reused_context
+        assert engine.context_builds == 3
+
+    def test_graph_mutation_invalidates_context(self, orders_graph, notice_graph):
+        from repro.core import ElementKind, SchemaElement
+
+        engine = HarmonyEngine(config=EngineConfig(reuse_context=True))
+        engine.match(orders_graph, notice_graph)
+        orders_graph.add_child(
+            "orders/customer",
+            SchemaElement(element_id="orders/customer/fax", name="fax",
+                          kind=ElementKind.ATTRIBUTE),
+        )
+        run = engine.match(orders_graph, notice_graph)
+        assert not run.reused_context
+        assert engine.context_builds == 2
+
+    def test_reused_run_matches_fresh_engine(self, orders_graph, notice_graph):
+        """Cached scores must reproduce what a cold engine computes when
+        no feedback intervened."""
+        engine = HarmonyEngine(config=EngineConfig(reuse_context=True))
+        engine.match(orders_graph, notice_graph)
+        warm = engine.match(orders_graph, notice_graph)
+        cold = HarmonyEngine().match(orders_graph, notice_graph)
+        warm_cells = {(c.source_id, c.target_id): c.confidence
+                      for c in warm.matrix.cells()}
+        cold_cells = {(c.source_id, c.target_id): c.confidence
+                      for c in cold.matrix.cells()}
+        assert warm_cells == pytest.approx(cold_cells)
+
+    def test_learning_still_applies_with_reuse(self, orders_graph, notice_graph):
+        """Word-weight learning mutates the corpus; cached documentation
+        scores must be invalidated, not replayed."""
+        engine = HarmonyEngine(config=EngineConfig(reuse_context=True))
+        session = MatchSession(orders_graph, notice_graph, engine=engine)
+        session.run_engine()
+        session.accept("orders/customer/first_name",
+                       "notice/shippingNotice/recipientName/firstName")
+        rev_before = engine._last_context.corpus.weights_revision
+        run = session.run_engine()
+        assert run.reused_context
+        assert engine._last_context.corpus.weights_revision > rev_before
+
+
+class TestSparseFlooding:
+    def test_full_restriction_equals_dense(self, orders_graph, notice_graph):
+        context = MatchContext(orders_graph, notice_graph)
+        initial = {
+            (s.element_id, t.element_id): 0.5
+            for s, t in context.candidate_pairs()
+        }
+        everything = {
+            (s.element_id, t.element_id)
+            for s in orders_graph for t in notice_graph
+        }
+        dense = classic_flooding(orders_graph, notice_graph, initial)
+        sparse = classic_flooding(orders_graph, notice_graph, initial,
+                                  restrict_to=everything)
+        assert sparse == pytest.approx(dense)
+
+    def test_sparse_restriction_keeps_active_pairs(self, orders_graph, notice_graph):
+        initial = {("orders/customer/first_name",
+                    "notice/shippingNotice/recipientName/firstName"): 0.9}
+        result = classic_flooding(orders_graph, notice_graph, initial,
+                                  restrict_to=set(initial))
+        assert set(initial) <= set(result)
+
+
+class TestMatrixCellCount:
+    def test_cell_count_matches_cells(self, orders_graph, notice_graph):
+        run = HarmonyEngine().match(orders_graph, notice_graph)
+        assert run.matrix.cell_count() == len(list(run.matrix.cells()))
+        assert len(run.matrix) == run.matrix.cell_count()

@@ -1,0 +1,121 @@
+"""Tests for bulk TripleStore mutations and batched listener notification."""
+
+from repro.rdf import IRI, TripleStore, literal
+from repro.rdf.triple import Triple
+from repro.workbench import Transaction
+
+S = IRI("http://x/s")
+P = IRI("http://x/p")
+
+
+def _triples(n):
+    return [Triple(S, P, literal(i)) for i in range(n)]
+
+
+class TestBulkMutation:
+    def test_add_many_returns_new_count(self):
+        store = TripleStore()
+        assert store.add_many(_triples(5)) == 5
+        assert len(store) == 5
+        # re-adding the same triples changes nothing
+        assert store.add_many(_triples(5)) == 0
+
+    def test_remove_many_returns_removed_count(self):
+        store = TripleStore()
+        store.add_many(_triples(5))
+        assert store.remove_many(_triples(3)) == 3
+        assert len(store) == 2
+        assert store.remove_many(_triples(3)) == 0
+
+    def test_bulk_ops_keep_indexes_consistent(self):
+        store = TripleStore()
+        store.add_many(_triples(4))
+        store.remove_many(_triples(2))
+        assert sorted(o.lexical for o in store.objects(S, P)) == ["2", "3"]
+        assert store.subjects(P, literal(3)) == [S]
+
+    def test_update_and_clear_use_bulk_paths(self):
+        store = TripleStore()
+        batches = []
+        store.subscribe_batch(batches.append)
+        store.update(_triples(4))
+        store.clear()
+        assert len(store) == 0
+        assert len(batches) == 2
+        assert all(added for added, _ in batches[0])
+        assert not any(added for added, _ in batches[1])
+
+
+class TestBatchListeners:
+    def test_batch_listener_called_once_per_bulk_op(self):
+        store = TripleStore()
+        batches = []
+        store.subscribe_batch(batches.append)
+        store.add_many(_triples(10))
+        assert len(batches) == 1
+        assert len(batches[0]) == 10
+        assert all(added for added, _ in batches[0])
+
+    def test_per_triple_listeners_see_every_change(self):
+        store = TripleStore()
+        seen = []
+        store.subscribe(lambda added, triple: seen.append((added, triple)))
+        store.add_many(_triples(4))
+        store.remove_many(_triples(2))
+        assert len(seen) == 6
+        assert [added for added, _ in seen] == [True] * 4 + [False] * 2
+
+    def test_single_mutations_arrive_as_one_element_batches(self):
+        store = TripleStore()
+        batches = []
+        store.subscribe_batch(batches.append)
+        store.add(S, P, literal(1))
+        store.remove(S, P, literal(1))
+        assert [len(b) for b in batches] == [1, 1]
+
+    def test_empty_bulk_op_does_not_notify(self):
+        store = TripleStore()
+        batches = []
+        store.subscribe_batch(batches.append)
+        store.add_many([])
+        store.remove_many(_triples(3))  # nothing to remove
+        assert batches == []
+
+    def test_unsubscribe_batch(self):
+        store = TripleStore()
+        batches = []
+        unsubscribe = store.subscribe_batch(batches.append)
+        store.add_many(_triples(2))
+        unsubscribe()
+        store.add_many(_triples(4))
+        assert len(batches) == 1
+
+
+class TestTransactionsWithBulkOps:
+    def test_rollback_undoes_add_many(self):
+        store = TripleStore()
+        store.add_many(_triples(2))
+        txn = Transaction(store)
+        store.add_many(_triples(6))  # 4 new on top of the 2 existing
+        txn.rollback()
+        assert len(store) == 2
+
+    def test_rollback_undoes_remove_many(self):
+        store = TripleStore()
+        store.add_many(_triples(6))
+        txn = Transaction(store)
+        store.remove_many(_triples(4))
+        assert len(store) == 2
+        txn.rollback()
+        assert len(store) == 6
+
+    def test_rollback_undoes_mixed_bulk_sequence(self):
+        store = TripleStore()
+        store.add_many(_triples(3))
+        before = store.snapshot()
+        txn = Transaction(store)
+        store.remove_many(_triples(2))
+        store.add_many([Triple(S, P, literal(f"new{i}")) for i in range(5)])
+        store.clear()
+        txn.rollback()
+        assert store.snapshot() == before
