@@ -2,7 +2,7 @@
 
 Runs the A12-large schema pair (the largest registry-generated pair the
 benches use) through the default engine and through ``EngineConfig.fast()``
-and enforces two guards:
+and enforces these guards:
 
 * **relative** — the fast path must stay at least ``MIN_SPEEDUP`` times
   faster than the default path *measured on the same machine in the same
@@ -12,6 +12,13 @@ and enforces two guards:
   ``PERF_SMOKE_TOLERANCE`` (default 2.0×), catching regressions that slow
   both paths equally.  Regenerate the baseline on a representative
   machine with ``--write-baseline`` after intentional changes.
+* **kernel micro-benchmark** — Jaro-Winkler over the A12 token
+  vocabulary through ``repro.text.kernels`` must stay at least
+  ``KERNEL_MIN_SPEEDUP`` times faster than the reference implementation
+  once the memo cache is warm, and the token-cache hit rate must stay
+  above ``KERNEL_MIN_HIT_RATE`` — a regression in the cache (bad key,
+  accidental clear, lost intern) fails the build even if the engine-level
+  numbers survive it.
 
 Usage::
 
@@ -28,6 +35,8 @@ import time
 from repro.harmony import EngineConfig, HarmonyEngine
 from repro.loaders import load_registry
 from repro.registry import RegistryProfile, generate_registry
+from repro.text import kernels, similarity
+from repro.text.tokenize import split_identifier
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 BASELINE_PATH = os.path.join(HERE, "results", "BENCH_perf_baseline.json")
@@ -37,6 +46,10 @@ PERF_PATH = os.path.join(HERE, "results", "BENCH_perf.json")
 MIN_SPEEDUP = 2.0
 #: fast-path F1-relevant invariant — blocking must prune at least this much
 MIN_PRUNING = 0.5
+#: warm memoized Jaro-Winkler must beat the reference by at least this factor
+KERNEL_MIN_SPEEDUP = 3.0
+#: token-cache hit rate over the micro-benchmark passes
+KERNEL_MIN_HIT_RATE = 0.6
 
 
 def _schema_pair():
@@ -50,6 +63,42 @@ def _schema_pair():
                                  name="perf-smoke")
     loaded = load_registry(registry)
     return loaded.schemas[0], loaded.schemas[1]
+
+
+def _kernel_microbench(source, target):
+    """Jaro-Winkler over the pair's real token vocabulary: reference vs
+    memoized kernel (one cold pass to fill the cache, one warm pass)."""
+    vocabulary = sorted({
+        token
+        for graph in (source, target)
+        for element in graph
+        for token in split_identifier(element.name)
+    })
+    pairs = [(a, b) for a in vocabulary for b in vocabulary]
+
+    t0 = time.perf_counter()
+    for a, b in pairs:
+        similarity.jaro_winkler_similarity(a, b)
+    reference_wall = time.perf_counter() - t0
+
+    kernels.clear_caches()
+    t0 = time.perf_counter()
+    kernels.score_pairs(pairs, measure="jaro_winkler")
+    cold_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    kernels.score_pairs(pairs, measure="jaro_winkler")
+    warm_wall = time.perf_counter() - t0
+
+    stats = kernels.cache_stats()["token_jw"]
+    return {
+        "kernel_tokens": len(vocabulary),
+        "kernel_pairs": len(pairs),
+        "kernel_reference_wall_s": round(reference_wall, 4),
+        "kernel_cold_wall_s": round(cold_wall, 4),
+        "kernel_warm_wall_s": round(warm_wall, 4),
+        "kernel_warm_speedup": round(reference_wall / warm_wall, 2),
+        "kernel_hit_rate": stats["hit_rate"],
+    }
 
 
 def main(argv) -> int:
@@ -67,6 +116,7 @@ def main(argv) -> int:
     run_default = HarmonyEngine().match(source, target)
     default_wall = time.perf_counter() - t0
 
+    kernels.clear_caches()
     t0 = time.perf_counter()
     run_fast = HarmonyEngine(config=EngineConfig.fast()).match(source, target)
     fast_wall = time.perf_counter() - t0
@@ -82,7 +132,9 @@ def main(argv) -> int:
         "pruning_ratio": round(blocking.pruning_ratio, 4),
         "default_cells": run_default.matrix.cell_count(),
         "fast_cells": run_fast.matrix.cell_count(),
+        "engine_token_jw_hit_rate": kernels.cache_stats()["token_jw"]["hit_rate"],
     }
+    result.update(_kernel_microbench(source, target))
     print("perf smoke (A12-large pair):")
     for key, value in result.items():
         print(f"  {key:>16}: {value}")
@@ -104,6 +156,14 @@ def main(argv) -> int:
         failures.append(
             f"blocking pruned only {blocking.pruning_ratio:.0%} of pairs "
             f"(required >= {MIN_PRUNING:.0%})")
+    if result["kernel_warm_speedup"] < KERNEL_MIN_SPEEDUP:
+        failures.append(
+            f"warm kernel Jaro-Winkler only {result['kernel_warm_speedup']:.2f}x "
+            f"faster than reference (required >= {KERNEL_MIN_SPEEDUP}x)")
+    if result["kernel_hit_rate"] < KERNEL_MIN_HIT_RATE:
+        failures.append(
+            f"kernel token-cache hit rate {result['kernel_hit_rate']:.0%} "
+            f"below {KERNEL_MIN_HIT_RATE:.0%} — memo cache regressed")
     if os.path.exists(BASELINE_PATH):
         with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)["perf_smoke"]

@@ -17,6 +17,7 @@ from ..core.graph import SchemaGraph
 from ..core.matrix import MappingMatrix
 from ..harmony.voters.base import kinds_comparable
 from ..loaders.base import types_compatible
+from ..text.kernels import MongeElkanKernel
 from ..text.similarity import monge_elkan
 from ..text.stemmer import stem
 from ..text.thesaurus import Thesaurus
@@ -27,11 +28,22 @@ from .base import Matcher
 class CupidStyleMatcher(Matcher):
     name = "cupid-style"
 
-    def __init__(self, structure_weight: float = 0.5, thesaurus: Thesaurus = None) -> None:
+    def __init__(
+        self,
+        structure_weight: float = 0.5,
+        thesaurus: Thesaurus = None,
+        use_kernels: bool = True,
+    ) -> None:
         if not 0.0 <= structure_weight <= 1.0:
             raise ValueError("structure_weight must be in [0,1]")
         self.structure_weight = structure_weight
         self.thesaurus = thesaurus if thesaurus is not None else Thesaurus.default()
+        #: memoized Monge-Elkan around the thesaurus token measure — the
+        #: bottom-up ``_ssim`` recursion re-scores the same token pairs
+        #: constantly.  ``use_kernels=False`` restores the direct
+        #: (reference) evaluation; results are identical either way.
+        self.use_kernels = use_kernels
+        self._monge_elkan = MongeElkanKernel(self._token_sim)
 
     # -- linguistic similarity ------------------------------------------------------
 
@@ -41,18 +53,19 @@ class CupidStyleMatcher(Matcher):
             tokens.append(self.thesaurus.expand_abbreviation(token))
         return tokens
 
+    def _token_sim(self, a: str, b: str) -> float:
+        if a == b or stem(a) == stem(b):
+            return 1.0
+        if self.thesaurus.are_synonyms(a, b):
+            return 0.9
+        return 0.0
+
     def _lsim(self, s: SchemaElement, t: SchemaElement) -> float:
         tokens_s = self._tokens(s)
         tokens_t = self._tokens(t)
-
-        def token_sim(a: str, b: str) -> float:
-            if a == b or stem(a) == stem(b):
-                return 1.0
-            if self.thesaurus.are_synonyms(a, b):
-                return 0.9
-            return 0.0
-
-        return monge_elkan(tokens_s, tokens_t, base=token_sim)
+        if self.use_kernels:
+            return self._monge_elkan.similarity(tokens_s, tokens_t)
+        return monge_elkan(tokens_s, tokens_t, base=self._token_sim)
 
     # -- structural similarity (bottom-up over leaf sets) ----------------------------
 

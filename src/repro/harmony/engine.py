@@ -79,6 +79,10 @@ class EngineConfig:
     #: and their one-hop neighborhood (directional flooding is already
     #: sparse by construction)
     sparse_flooding: bool = False
+    #: score string similarity through the memoized ``repro.text.kernels``
+    #: instead of the reference ``repro.text.similarity`` — differentially
+    #: tested equal to 1e-12 (tests/text/test_kernels_differential.py)
+    similarity_kernels: bool = False
 
     @classmethod
     def fast(cls, **overrides) -> "EngineConfig":
@@ -87,6 +91,7 @@ class EngineConfig:
             blocking=BlockingConfig(),
             reuse_context=True,
             sparse_flooding=True,
+            similarity_kernels=True,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -186,7 +191,12 @@ class HarmonyEngine:
         if reused:
             context = self._last_context
         else:
-            context = MatchContext(source, target, thesaurus=self.thesaurus)
+            context = MatchContext(
+                source,
+                target,
+                thesaurus=self.thesaurus,
+                use_kernels=self.config.similarity_kernels,
+            )
             self.context_builds += 1
 
         decisions = decisions_from_matrix(matrix.cells())

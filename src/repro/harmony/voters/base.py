@@ -19,6 +19,8 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ...core.elements import CONTAINER_KINDS, ElementKind, SchemaElement
 from ...core.graph import SchemaGraph
+from ...text import kernels as similarity_kernels
+from ...text import similarity as similarity_reference
 from ...text.stemmer import stem, stem_all
 from ...text.stopwords import remove_stop_words
 from ...text.tfidf import TfIdfCorpus
@@ -40,10 +42,23 @@ class MatchContext:
         source: SchemaGraph,
         target: SchemaGraph,
         thesaurus: Optional[Thesaurus] = None,
+        use_kernels: bool = False,
     ) -> None:
         self.source = source
         self.target = target
         self.thesaurus = thesaurus if thesaurus is not None else Thesaurus.default()
+        #: the string-measure namespace voters score through — the
+        #: reference module by default, the optimized kernels when the
+        #: engine runs with ``EngineConfig.similarity_kernels`` (the
+        #: differential harness proves the two agree to 1e-12).
+        self.use_kernels = use_kernels
+        self.sim = similarity_kernels if use_kernels else similarity_reference
+        #: documentation-cosine memo (kernel path only): entries are keyed
+        #: on the *ordered* doc-id pair (dict-order float summation makes
+        #: cosine only approximately symmetric) and die with the context
+        #: or with a word-weight revision bump.
+        self._cosine_cache: Dict[Tuple[str, str], float] = {}
+        self._cosine_weights_rev: Optional[int] = None
         self.corpus = TfIdfCorpus()
         self._name_tokens: Dict[Tuple[str, str], List[str]] = {}
         self._path_tokens: Dict[Tuple[str, str], List[str]] = {}
@@ -80,6 +95,29 @@ class MatchContext:
 
     def doc_id(self, graph: SchemaGraph, element: SchemaElement) -> str:
         return self._doc_id(graph, element)
+
+    def cosine(self, doc_a: str, doc_b: str) -> float:
+        """Documentation cosine, memoized on the kernel path.
+
+        The memo is invalidated wholesale when the corpus's learned word
+        weights move (``weights_revision``), mirroring the engine's
+        score-cache invalidation rule for ``uses_word_weights`` voters.
+        """
+        if not self.use_kernels:
+            return self.corpus.cosine(doc_a, doc_b)
+        revision = self.corpus.weights_revision
+        if revision != self._cosine_weights_rev:
+            self._cosine_cache.clear()
+            self._cosine_weights_rev = revision
+        key = (doc_a, doc_b)
+        value = self._cosine_cache.get(key)
+        if value is None:
+            similarity_kernels.note_cache_event("cosine", hit=False)
+            value = self.corpus.cosine(doc_a, doc_b)
+            self._cosine_cache[key] = value
+        else:
+            similarity_kernels.note_cache_event("cosine", hit=True)
+        return value
 
     def graph_of(self, element: SchemaElement) -> SchemaGraph:
         """Which of the two graphs owns this element."""

@@ -29,7 +29,7 @@ class DocumentationVoter(MatchVoter):
             return 0.0
         doc_a = context.doc_id(context.graph_of(source), source)
         doc_b = context.doc_id(context.graph_of(target), target)
-        cosine = context.corpus.cosine(doc_a, doc_b)
+        cosine = context.cosine(doc_a, doc_b)
         # recall-oriented: positive territory starts at low cosine, and the
         # negative floor is shallow.
         return calibrate(cosine, zero_point=0.08, full_point=0.75, negative_floor=-0.35)

@@ -6,7 +6,9 @@ associated documentation"* (Section 4).  Everything here is implemented
 from scratch — no external NLP dependencies.
 """
 
+from . import kernels
 from .similarity import (
+    blended_name_similarity,
     dice_similarity,
     edit_similarity,
     jaccard_similarity,
@@ -30,6 +32,7 @@ __all__ = [
     "STOP_WORDS",
     "TfIdfCorpus",
     "Thesaurus",
+    "blended_name_similarity",
     "cosine_of_counts",
     "dice_similarity",
     "edit_similarity",
@@ -37,6 +40,7 @@ __all__ = [
     "jaccard_similarity",
     "jaro_similarity",
     "jaro_winkler_similarity",
+    "kernels",
     "levenshtein_distance",
     "longest_common_substring",
     "monge_elkan",

@@ -2,7 +2,29 @@
 
 All functions return values in ``[0, 1]`` where 1 means identical.  They
 are written for clarity first; the inputs are schema names and token sets,
-which are short.
+which are short.  This module is the **reference oracle** for the
+optimized mirrors in :mod:`repro.text.kernels` — the differential harness
+(``tests/text/test_kernels_differential.py``) asserts the two agree to
+within 1e-12 on every pair, so keep any semantic change here in lockstep
+with the kernels.
+
+Normalization conventions, uniform across every *string* measure
+(``edit_similarity``, ``jaro_similarity``, ``jaro_winkler_similarity``,
+``ngram_similarity``, ``substring_similarity``):
+
+* **case-insensitive** — both inputs are lowercased before comparison
+  (schema identifiers differ in convention, not meaning);
+* **two empty strings are identical** — similarity 1.0;
+* **exactly one empty string matches nothing** — similarity 0.0
+  (for ``ngram_similarity`` both rules apply to the alphanumeric squash
+  the n-grams are computed on, so a string of pure punctuation behaves
+  as empty).
+
+``levenshtein_distance`` and ``longest_common_substring`` are raw,
+case-sensitive building blocks and deliberately exempt: they return
+counts, not similarities.  The set measures (``jaccard_similarity``,
+``dice_similarity``) compare whatever hashables they are given and do not
+touch case.
 """
 
 from __future__ import annotations
@@ -50,7 +72,14 @@ def edit_similarity(a: str, b: str) -> float:
 
 
 def jaro_similarity(a: str, b: str) -> float:
-    """Jaro similarity — robust to transpositions in short strings."""
+    """Jaro similarity — robust to transpositions in short strings.
+
+    Case-insensitive, like every string measure in this module.
+
+    >>> jaro_similarity("NAME", "name")
+    1.0
+    """
+    a, b = a.lower(), b.lower()
     if a == b:
         return 1.0
     if not a or not b:
@@ -147,6 +176,23 @@ def monge_elkan(
         return sum(max(base(x, y) for y in ys) for x in xs) / len(xs)
 
     return (directed(tokens_a, tokens_b) + directed(tokens_b, tokens_a)) / 2.0
+
+
+def blended_name_similarity(
+    a: str,
+    b: str,
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+) -> float:
+    """The name voter's blend: the best of whole-string edit / Jaro-Winkler
+    similarity, character trigrams and token-level Monge-Elkan — any one
+    kind of agreement is evidence."""
+    return max(
+        edit_similarity(a, b),
+        jaro_winkler_similarity(a, b),
+        ngram_similarity(a, b),
+        monge_elkan(tokens_a, tokens_b),
+    )
 
 
 def longest_common_substring(a: str, b: str) -> int:

@@ -2,12 +2,15 @@
 
 import string
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.text import (
+    dice_similarity,
     edit_similarity,
     jaccard_similarity,
+    jaro_similarity,
     jaro_winkler_similarity,
     levenshtein_distance,
     monge_elkan,
@@ -15,6 +18,7 @@ from repro.text import (
     remove_stop_words,
     split_identifier,
     stem,
+    substring_similarity,
     word_tokens,
 )
 
@@ -113,3 +117,81 @@ class TestSimilarityProperties:
         score = monge_elkan(a, b)
         assert 0.0 <= score <= 1.0 + 1e-9
         assert abs(score - monge_elkan(b, a)) < 1e-9
+
+
+#: every string measure in repro.text.similarity, for the shared invariants
+#: (the differential kernel harness leans on these holding for the oracle)
+STRING_MEASURES = [
+    edit_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    ngram_similarity,
+    substring_similarity,
+]
+
+mixed_case = st.text(
+    alphabet=string.ascii_letters + string.digits + "_-", min_size=0, max_size=16
+)
+
+
+class TestReferenceMeasureInvariants:
+    """The invariants the differential harness assumes of the oracle:
+    symmetry, identity = 1.0, range [0, 1], measure orderings, and the
+    casing / empty-string conventions the module docstring promises."""
+
+    @pytest.mark.parametrize("measure", STRING_MEASURES,
+                             ids=[m.__name__ for m in STRING_MEASURES])
+    @given(mixed_case, mixed_case)
+    def test_symmetry(self, measure, a, b):
+        assert measure(a, b) == pytest.approx(measure(b, a), abs=1e-12)
+
+    @pytest.mark.parametrize("measure", STRING_MEASURES,
+                             ids=[m.__name__ for m in STRING_MEASURES])
+    @given(mixed_case)
+    def test_identity_is_one(self, measure, a):
+        assert measure(a, a) == 1.0
+
+    @pytest.mark.parametrize("measure", STRING_MEASURES,
+                             ids=[m.__name__ for m in STRING_MEASURES])
+    @given(mixed_case, mixed_case)
+    def test_range(self, measure, a, b):
+        assert 0.0 <= measure(a, b) <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize("measure", STRING_MEASURES,
+                             ids=[m.__name__ for m in STRING_MEASURES])
+    @given(mixed_case, mixed_case)
+    def test_case_insensitive(self, measure, a, b):
+        assert measure(a.upper(), b) == pytest.approx(measure(a.lower(), b), abs=1e-12)
+
+    @pytest.mark.parametrize("measure", STRING_MEASURES,
+                             ids=[m.__name__ for m in STRING_MEASURES])
+    @given(mixed_case)
+    def test_empty_string_conventions(self, measure, a):
+        assert measure("", "") == 1.0
+        # ngram_similarity works on the alphanumeric squash, so a string
+        # of pure punctuation legitimately behaves as empty there
+        if any(c.isalnum() for c in a):
+            assert measure(a, "") == 0.0
+            assert measure("", a) == 0.0
+
+    @given(mixed_case, mixed_case)
+    def test_jaro_winkler_geq_jaro(self, a, b):
+        """The Winkler prefix boost only ever adds."""
+        assert jaro_winkler_similarity(a, b) >= jaro_similarity(a, b) - 1e-12
+
+    @given(st.sets(words, max_size=8), st.sets(words, max_size=8))
+    def test_dice_geq_jaccard(self, a, b):
+        """Dice dominates Jaccard on the same sets (2|∩|/(|A|+|B|) vs
+        |∩|/|∪|)."""
+        assert dice_similarity(a, b) >= jaccard_similarity(a, b) - 1e-12
+
+    @given(st.sets(words, max_size=8), st.sets(words, max_size=8))
+    def test_dice_range_and_symmetry(self, a, b):
+        score = dice_similarity(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == dice_similarity(b, a)
+
+    @given(st.sets(words, max_size=8))
+    def test_set_measures_identity(self, a):
+        assert dice_similarity(a, a) == 1.0
+        assert jaccard_similarity(a, a) == 1.0

@@ -58,6 +58,15 @@ class TestJaro:
     def test_winkler_known_value(self):
         assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
 
+    def test_case_insensitive_like_every_string_measure(self):
+        assert jaro_similarity("MARTHA", "martha") == 1.0
+        assert jaro_similarity("Martha", "marhta") == jaro_similarity("martha", "marhta")
+
+    def test_empty_conventions(self):
+        assert jaro_similarity("", "") == 1.0
+        assert jaro_similarity("", "x") == 0.0
+        assert jaro_similarity("x", "") == 0.0
+
 
 class TestSetMeasures:
     def test_jaccard(self):
