@@ -19,6 +19,15 @@ and enforces these guards:
   above ``KERNEL_MIN_HIT_RATE`` — a regression in the cache (bad key,
   accidental clear, lost intern) fails the build even if the engine-level
   numbers survive it.
+* **sparse TF-IDF micro-benchmark** — one postings-driven
+  ``SparseTfIdf.all_pairs`` sweep over the pair's documentation corpus
+  must stay at least ``SPARSE_MIN_SPEEDUP`` times faster than the
+  per-pair dict-cosine reference, and both must agree to 1e-12 on every
+  cross-schema pair.
+* **query-planner micro-benchmark** — a selective 3-pattern BGP over a
+  blackboard-sized store must run at least ``PLANNER_MIN_SPEEDUP`` times
+  faster through the cost-based planner than through the reference
+  evaluator, with the identical solution multiset.
 
 Usage::
 
@@ -32,10 +41,22 @@ import os
 import sys
 import time
 
+from repro.core import MappingMatrix
 from repro.harmony import EngineConfig, HarmonyEngine
 from repro.loaders import load_registry
+from repro.rdf import (
+    Query,
+    TripleStore,
+    Variable,
+    evaluate_planned,
+    evaluate_reference,
+    literal,
+    matrix_iri,
+    matrix_to_rdf,
+)
+from repro.rdf import vocabulary as V
 from repro.registry import RegistryProfile, generate_registry
-from repro.text import kernels, similarity
+from repro.text import SparseTfIdf, TfIdfCorpus, kernels, similarity
 from repro.text.tokenize import split_identifier
 
 HERE = os.path.dirname(os.path.abspath(__file__))
@@ -50,6 +71,12 @@ MIN_PRUNING = 0.5
 KERNEL_MIN_SPEEDUP = 3.0
 #: token-cache hit rate over the micro-benchmark passes
 KERNEL_MIN_HIT_RATE = 0.6
+#: one postings sweep must beat per-pair dict cosine by at least this factor
+SPARSE_MIN_SPEEDUP = 3.0
+#: the cost-based planner must beat the reference evaluator by this factor
+PLANNER_MIN_SPEEDUP = 2.0
+#: sparse/reference cosine agreement bound (mirrors the differential suite)
+SPARSE_TOLERANCE = 1e-12
 
 
 def _schema_pair():
@@ -101,6 +128,106 @@ def _kernel_microbench(source, target):
     }
 
 
+def _sparse_microbench(source, target):
+    """The documentation corpus of the A12 pair: per-pair dict cosine
+    (what the voter did before the sparse engine) vs one postings-driven
+    ``all_pairs`` sweep, with a 1e-12 agreement sanity check."""
+    corpus = TfIdfCorpus()
+    source_docs = set()
+    for graph in (source, target):
+        for element in graph:
+            if element.documentation:
+                doc = f"{graph.name}::{element.element_id}"
+                corpus.add_document(doc, element.documentation)
+                if graph is source:
+                    source_docs.add(doc)
+    target_docs = [doc for doc in corpus._documents if doc not in source_docs]
+    cross_pairs = [(a, b) for a in sorted(source_docs) for b in target_docs]
+
+    t0 = time.perf_counter()
+    reference = {pair: corpus.cosine(*pair) for pair in cross_pairs}
+    reference_wall = time.perf_counter() - t0
+
+    sparse = SparseTfIdf(corpus)
+    t0 = time.perf_counter()
+    table = sparse.all_pairs(group_of=lambda doc: doc in source_docs)
+    sparse_wall = time.perf_counter() - t0
+
+    worst = 0.0
+    for (a, b), want in reference.items():
+        got = table.get((a, b), table.get((b, a), 0.0))
+        worst = max(worst, abs(got - want))
+    if worst > SPARSE_TOLERANCE:
+        raise AssertionError(
+            f"sparse cosine drifted from reference by {worst} (> {SPARSE_TOLERANCE})")
+    return {
+        "sparse_docs": len(corpus),
+        "sparse_cross_pairs": len(cross_pairs),
+        "sparse_scored_pairs": len(table),
+        "sparse_reference_wall_s": round(reference_wall, 4),
+        "sparse_wall_s": round(sparse_wall, 4),
+        "sparse_speedup": round(reference_wall / sparse_wall, 2),
+    }
+
+
+PLANNER_MATRIX_SIDE = 40
+PLANNER_ROUNDS = 20
+
+
+def _planner_microbench():
+    """A selective 3-pattern BGP over a blackboard-sized store: the
+    reference evaluator scans every cell; the planner starts from the
+    rare user-defined pattern and bind-joins the hasCell membership."""
+    matrix = MappingMatrix("planner-bench")
+    for i in range(PLANNER_MATRIX_SIDE):
+        matrix.add_row(f"s/e{i}")
+        matrix.add_column(f"t/e{i}")
+    for i in range(PLANNER_MATRIX_SIDE):
+        for j in range(PLANNER_MATRIX_SIDE):
+            if i == j and i % 8 == 0:
+                matrix.set_confidence(f"s/e{i}", f"t/e{j}", 1.0, user_defined=True)
+            elif (i + j) % 3 == 0:
+                matrix.set_confidence(f"s/e{i}", f"t/e{j}", ((i * j) % 100) / 100.0)
+    store = TripleStore()
+    matrix_to_rdf(matrix, store)
+
+    cell, conf = Variable("cell"), Variable("conf")
+
+    def query():
+        return (
+            Query()
+            .where(matrix_iri("planner-bench"), V.HAS_CELL, cell)
+            .where(cell, V.CONFIDENCE_SCORE, conf)
+            .where(cell, V.IS_USER_DEFINED, literal(True))
+        )
+
+    t0 = time.perf_counter()
+    for _ in range(PLANNER_ROUNDS):
+        reference = evaluate_reference(store, query())
+    reference_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(PLANNER_ROUNDS):
+        planned = evaluate_planned(store, query())
+    planned_wall = time.perf_counter() - t0
+
+    def multiset(solutions):
+        return sorted(
+            tuple(sorted((v.name, str(t)) for v, t in b.items()))
+            for b in solutions
+        )
+
+    if multiset(planned) != multiset(reference):
+        raise AssertionError("planned solutions differ from reference")
+    return {
+        "planner_store_triples": len(store),
+        "planner_solutions": len(planned),
+        "planner_reference_wall_s": round(reference_wall, 4),
+        "planner_wall_s": round(planned_wall, 4),
+        "planner_speedup": round(reference_wall / planned_wall, 2),
+    }
+
+
 def main(argv) -> int:
     write_baseline = "--write-baseline" in argv
     raw_tolerance = os.environ.get("PERF_SMOKE_TOLERANCE", "2.0")
@@ -135,6 +262,8 @@ def main(argv) -> int:
         "engine_token_jw_hit_rate": kernels.cache_stats()["token_jw"]["hit_rate"],
     }
     result.update(_kernel_microbench(source, target))
+    result.update(_sparse_microbench(source, target))
+    result.update(_planner_microbench())
     print("perf smoke (A12-large pair):")
     for key, value in result.items():
         print(f"  {key:>16}: {value}")
@@ -164,6 +293,14 @@ def main(argv) -> int:
         failures.append(
             f"kernel token-cache hit rate {result['kernel_hit_rate']:.0%} "
             f"below {KERNEL_MIN_HIT_RATE:.0%} — memo cache regressed")
+    if result["sparse_speedup"] < SPARSE_MIN_SPEEDUP:
+        failures.append(
+            f"sparse all_pairs only {result['sparse_speedup']:.2f}x faster "
+            f"than per-pair dict cosine (required >= {SPARSE_MIN_SPEEDUP}x)")
+    if result["planner_speedup"] < PLANNER_MIN_SPEEDUP:
+        failures.append(
+            f"planned BGP only {result['planner_speedup']:.2f}x faster "
+            f"than the reference evaluator (required >= {PLANNER_MIN_SPEEDUP}x)")
     if os.path.exists(BASELINE_PATH):
         with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)["perf_smoke"]

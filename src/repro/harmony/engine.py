@@ -83,6 +83,12 @@ class EngineConfig:
     #: instead of the reference ``repro.text.similarity`` — differentially
     #: tested equal to 1e-12 (tests/text/test_kernels_differential.py)
     similarity_kernels: bool = False
+    #: score documentation cosine through the sparse id-interned TF-IDF
+    #: engine (``repro.text.tfidf_sparse``): one postings-list
+    #: ``all_pairs`` sweep per corpus instead of a dict cosine per pair —
+    #: differentially tested equal to 1e-12
+    #: (tests/text/test_tfidf_sparse_differential.py)
+    sparse_tfidf: bool = False
 
     @classmethod
     def fast(cls, **overrides) -> "EngineConfig":
@@ -92,6 +98,7 @@ class EngineConfig:
             reuse_context=True,
             sparse_flooding=True,
             similarity_kernels=True,
+            sparse_tfidf=True,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -196,6 +203,7 @@ class HarmonyEngine:
                 target,
                 thesaurus=self.thesaurus,
                 use_kernels=self.config.similarity_kernels,
+                use_sparse_tfidf=self.config.sparse_tfidf,
             )
             self.context_builds += 1
 

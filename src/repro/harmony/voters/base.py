@@ -24,6 +24,7 @@ from ...text import similarity as similarity_reference
 from ...text.stemmer import stem, stem_all
 from ...text.stopwords import remove_stop_words
 from ...text.tfidf import TfIdfCorpus
+from ...text.tfidf_sparse import SparseTfIdf
 from ...text.thesaurus import Thesaurus
 from ...text.tokenize import split_identifier, word_tokens
 
@@ -43,6 +44,7 @@ class MatchContext:
         target: SchemaGraph,
         thesaurus: Optional[Thesaurus] = None,
         use_kernels: bool = False,
+        use_sparse_tfidf: bool = False,
     ) -> None:
         self.source = source
         self.target = target
@@ -60,6 +62,17 @@ class MatchContext:
         self._cosine_cache: Dict[Tuple[str, str], float] = {}
         self._cosine_weights_rev: Optional[int] = None
         self.corpus = TfIdfCorpus()
+        #: the sparse TF-IDF engine (``EngineConfig.sparse_tfidf``): the
+        #: documentation voter then scores through one postings-driven
+        #: ``all_pairs`` sweep instead of a dict cosine per pair.
+        self.sparse: Optional[SparseTfIdf] = (
+            SparseTfIdf(self.corpus) if use_sparse_tfidf else None
+        )
+        #: cross-schema similarity table from ``SparseTfIdf.all_pairs``;
+        #: pairs absent from it have cosine exactly 0.0.  Invalidated by
+        #: either corpus revision counter moving.
+        self._pair_sims: Optional[Dict[Tuple[str, str], float]] = None
+        self._pair_sims_rev: Optional[Tuple[int, int]] = None
         self._name_tokens: Dict[Tuple[str, str], List[str]] = {}
         self._path_tokens: Dict[Tuple[str, str], List[str]] = {}
         self._leaf_tokens: Dict[Tuple[str, str], FrozenSet[str]] = {}
@@ -67,12 +80,16 @@ class MatchContext:
         #: score.  Only populated when the engine reuses the context across
         #: refinement rounds; the engine owns invalidation.
         self.score_cache: Dict[Tuple[str, str, str], float] = {}
+        self._source_docs: FrozenSet[str] = frozenset()
+        source_docs = set()
         for graph in (source, target):
             for element in graph:
                 if element.documentation:
-                    self.corpus.add_document(
-                        self._doc_id(graph, element), element.documentation
-                    )
+                    doc = self._doc_id(graph, element)
+                    self.corpus.add_document(doc, element.documentation)
+                    if graph is source:
+                        source_docs.add(doc)
+        self._source_docs = frozenset(source_docs)
         #: graph revisions at build time — is_current() compares against
         #: these so a mutated schema forces a context rebuild.
         self._built_for = (source.revision, target.revision)
@@ -100,12 +117,18 @@ class MatchContext:
         """Documentation cosine, memoized on the kernel path.
 
         The memo is invalidated wholesale when the corpus's learned word
-        weights move (``weights_revision``), mirroring the engine's
-        score-cache invalidation rule for ``uses_word_weights`` voters.
+        weights move (``weights_revision``) or the document set changes
+        (``revision``), mirroring the engine's score-cache invalidation
+        rule for ``uses_word_weights`` voters.  With the sparse engine
+        enabled the memo *is* the ``all_pairs`` table: one postings
+        sweep scores every cross-schema pair sharing vocabulary, and
+        absent pairs are exactly 0.0.
         """
+        if self.sparse is not None:
+            return self._sparse_cosine(doc_a, doc_b)
         if not self.use_kernels:
             return self.corpus.cosine(doc_a, doc_b)
-        revision = self.corpus.weights_revision
+        revision = (self.corpus.weights_revision, self.corpus.revision)
         if revision != self._cosine_weights_rev:
             self._cosine_cache.clear()
             self._cosine_weights_rev = revision
@@ -118,6 +141,38 @@ class MatchContext:
         else:
             similarity_kernels.note_cache_event("cosine", hit=True)
         return value
+
+    def warm_pair_sims(self) -> Dict[Tuple[str, str], float]:
+        """Build (or reuse) the sparse cross-schema similarity table.
+
+        The documentation voter calls this from ``prepare`` so the one
+        ``all_pairs`` sweep happens before (possibly parallel) scoring.
+        """
+        assert self.sparse is not None
+        revision = (self.corpus.weights_revision, self.corpus.revision)
+        if self._pair_sims is None or self._pair_sims_rev != revision:
+            source_docs = self._source_docs
+            self._pair_sims = self.sparse.all_pairs(
+                group_of=lambda doc: doc in source_docs
+            )
+            self._pair_sims_rev = revision
+        return self._pair_sims
+
+    def _sparse_cosine(self, doc_a: str, doc_b: str) -> float:
+        table = self.warm_pair_sims()
+        value = table.get((doc_a, doc_b))
+        if value is None:
+            value = table.get((doc_b, doc_a))
+        if value is not None:
+            similarity_kernels.note_cache_event("cosine", hit=True)
+            return value
+        similarity_kernels.note_cache_event("cosine", hit=False)
+        if (doc_a in self._source_docs) != (doc_b in self._source_docs):
+            # cross-schema pair missing from the table: shares no term
+            return 0.0
+        # same-group lookup (self-match, within-schema probes): the table
+        # never holds these, so fall back to the sorted-merge cosine.
+        return self.sparse.cosine(doc_a, doc_b)
 
     def graph_of(self, element: SchemaElement) -> SchemaGraph:
         """Which of the two graphs owns this element."""

@@ -8,7 +8,20 @@ the canonical triple layout for schema graphs and mapping matrices.
 """
 
 from .namespace import IW_NS, RDF_NS, RDFS_NS, XSD_NS, Namespace, PrefixMap
-from .query import Query, TriplePattern, Variable, ask, evaluate, select, values
+from .query import (
+    PlanStep,
+    Query,
+    QueryPlan,
+    TriplePattern,
+    Variable,
+    ask,
+    evaluate,
+    evaluate_planned,
+    evaluate_reference,
+    explain,
+    select,
+    values,
+)
 from .schema_rdf import (
     cell_iri,
     column_iri,
@@ -51,8 +64,10 @@ __all__ = [
     "Literal",
     "Namespace",
     "Object",
+    "PlanStep",
     "PrefixMap",
     "Query",
+    "QueryPlan",
     "RDF_NS",
     "RDFS_NS",
     "StoreListener",
@@ -72,6 +87,9 @@ __all__ = [
     "column_iri",
     "element_iri",
     "evaluate",
+    "evaluate_planned",
+    "evaluate_reference",
+    "explain",
     "fresh_blank",
     "from_ntriples",
     "literal",

@@ -12,7 +12,18 @@ their undo logs and how the event service learns about changes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.errors import StoreError
 from .term import IRI, Object, Subject, Term
@@ -35,6 +46,19 @@ class TripleStore:
         self._osp: Dict[Object, Dict[Subject, Set[IRI]]] = {}
         self._listeners: List[StoreListener] = []
         self._batch_listeners: List[BatchListener] = []
+        #: per-position triple counts, kept incrementally so single-bound
+        #: cardinality estimates (`count_matching`) stay O(1).
+        self._subject_counts: Dict[Subject, int] = {}
+        self._predicate_counts: Dict[IRI, int] = {}
+        self._object_counts: Dict[Object, int] = {}
+        #: bumped by every successful add/remove; the query planner keys
+        #: its pattern-result memo on this.
+        self._revision: int = 0
+
+    @property
+    def revision(self) -> int:
+        """Mutation counter: changes iff the store's contents changed."""
+        return self._revision
 
     # -- mutation ------------------------------------------------------------
 
@@ -62,6 +86,13 @@ class TripleStore:
         self._osp.setdefault(triple.object, {}).setdefault(
             triple.subject, set()
         ).add(triple.predicate)
+        counts = self._subject_counts
+        counts[triple.subject] = counts.get(triple.subject, 0) + 1
+        counts = self._predicate_counts
+        counts[triple.predicate] = counts.get(triple.predicate, 0) + 1
+        counts = self._object_counts
+        counts[triple.object] = counts.get(triple.object, 0) + 1
+        self._revision += 1
         return True
 
     def add_many(self, triples: Iterable[Triple]) -> int:
@@ -96,6 +127,17 @@ class TripleStore:
         self._spo[triple.subject][triple.predicate].discard(triple.object)
         self._pos[triple.predicate][triple.object].discard(triple.subject)
         self._osp[triple.object][triple.subject].discard(triple.predicate)
+        for counts, key in (
+            (self._subject_counts, triple.subject),
+            (self._predicate_counts, triple.predicate),
+            (self._object_counts, triple.object),
+        ):
+            remaining = counts[key] - 1
+            if remaining:
+                counts[key] = remaining
+            else:
+                del counts[key]
+        self._revision += 1
         return True
 
     def remove_many(self, triples: Iterable[Triple]) -> int:
@@ -220,6 +262,56 @@ class TripleStore:
                     yield Triple(s, p, obj)
             return
         yield from list(self._triples)
+
+    def count_matching(
+        self,
+        subject: Optional[Subject] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Object] = None,
+    ) -> int:
+        """Exact number of triples matching a pattern, in O(1).
+
+        Every answer comes straight off index-level sizes or the
+        incrementally maintained per-position counters — no triple is
+        ever enumerated, which is what makes this usable as the query
+        planner's cardinality estimator.
+        """
+        if subject is not None and predicate is not None and obj is not None:
+            if not isinstance(predicate, IRI):
+                return 0
+            return 1 if Triple(subject, predicate, obj) in self._triples else 0
+        if subject is not None and predicate is not None:
+            return len(self._spo.get(subject, {}).get(predicate, ()))
+        if predicate is not None and obj is not None:
+            return len(self._pos.get(predicate, {}).get(obj, ()))
+        if subject is not None and obj is not None:
+            return len(self._osp.get(obj, {}).get(subject, ()))
+        if subject is not None:
+            return self._subject_counts.get(subject, 0)
+        if predicate is not None:
+            return self._predicate_counts.get(predicate, 0)
+        if obj is not None:
+            return self._object_counts.get(obj, 0)
+        return len(self._triples)
+
+    #: shared empty result for the *_set accessors below
+    _EMPTY: AbstractSet = frozenset()
+
+    def object_set(self, subject: Subject, predicate: IRI) -> AbstractSet[Object]:
+        """The objects of (subject, predicate, ?) as a set.
+
+        Returns a live read-only view of the index — do not mutate; the
+        query planner's bind-joins intersect these directly.
+        """
+        return self._spo.get(subject, {}).get(predicate) or self._EMPTY
+
+    def subject_set(self, predicate: IRI, obj: Object) -> AbstractSet[Subject]:
+        """The subjects of (?, predicate, object) as a set (read-only)."""
+        return self._pos.get(predicate, {}).get(obj) or self._EMPTY
+
+    def predicate_set(self, subject: Subject, obj: Object) -> AbstractSet[IRI]:
+        """The predicates of (subject, ?, object) as a set (read-only)."""
+        return self._osp.get(obj, {}).get(subject) or self._EMPTY
 
     def objects(self, subject: Subject, predicate: IRI) -> List[Object]:
         """All objects of (subject, predicate, ?)."""

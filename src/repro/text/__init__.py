@@ -23,6 +23,7 @@ from .similarity import (
 from .stemmer import stem, stem_all
 from .stopwords import STOP_WORDS, is_stop_word, remove_stop_words
 from .tfidf import TfIdfCorpus, cosine_of_counts, preprocess
+from .tfidf_sparse import SparseTfIdf
 from .thesaurus import DEFAULT_ABBREVIATIONS, DEFAULT_SYNSETS, Thesaurus
 from .tokenize import name_tokens, ngrams, sentences, split_identifier, word_tokens
 
@@ -30,6 +31,7 @@ __all__ = [
     "DEFAULT_ABBREVIATIONS",
     "DEFAULT_SYNSETS",
     "STOP_WORDS",
+    "SparseTfIdf",
     "TfIdfCorpus",
     "Thesaurus",
     "blended_name_similarity",

@@ -39,6 +39,11 @@ class TfIdfCorpus:
         #: bumped whenever word weights change, so cached cosine-derived
         #: scores held outside the corpus know when to re-score.
         self.weights_revision: int = 0
+        #: bumped whenever the document set changes (add or replace) —
+        #: adding a document shifts every IDF, so cosine memos held
+        #: outside the corpus must check this alongside
+        #: ``weights_revision`` to stay valid.
+        self.revision: int = 0
         self._vectors: Optional[Dict[str, Dict[str, float]]] = None
 
     def add_document(self, doc_id: str, text: str) -> None:
@@ -54,6 +59,7 @@ class TfIdfCorpus:
         for term in counts:
             self._document_frequency[term] += 1
         self._vectors = None
+        self.revision += 1
 
     def __len__(self) -> int:
         return len(self._documents)

@@ -18,10 +18,15 @@ from .manager import WorkbenchManager
 from .provenance import ProvenanceEntry, ProvenanceLog
 from .queries import (
     elements_of_kind,
+    elements_of_kind_query,
     matrix_progress,
+    query_plan,
     strong_cells,
+    strong_cells_query,
     undocumented_elements,
+    undocumented_elements_query,
     user_decided_cells,
+    user_decided_cells_query,
 )
 from .tools import CodeGenTool, LoaderTool, MapperTool, MatcherTool, Tool
 from .transactions import Transaction
@@ -53,8 +58,13 @@ __all__ = [
     "evolve_and_rematch",
     "diff_schemas",
     "elements_of_kind",
+    "elements_of_kind_query",
     "matrix_progress",
+    "query_plan",
     "strong_cells",
+    "strong_cells_query",
     "undocumented_elements",
+    "undocumented_elements_query",
     "user_decided_cells",
+    "user_decided_cells_query",
 ]

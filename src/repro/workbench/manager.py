@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..core.errors import ToolError
-from ..rdf.query import Binding, Query, evaluate
+from ..rdf.query import Binding, Query, QueryPlan, evaluate, explain
 from .blackboard import IntegrationBlackboard
 from .events import EventBus
 from .tools import Tool
@@ -67,6 +67,11 @@ class WorkbenchManager:
     def query(self, query: Query) -> List[Binding]:
         """Evaluate an ad hoc BGP query against the IB."""
         return evaluate(self.blackboard.store, query)
+
+    def explain(self, query: Query) -> QueryPlan:
+        """The executed cost-based plan for an ad hoc query: join order,
+        estimated vs. actual per-pattern cardinalities, memo hits."""
+        return explain(self.blackboard.store, query)
 
     def __repr__(self) -> str:
         return (

@@ -4,16 +4,23 @@ The manager's third service is query evaluation (Section 5.2); these are
 the queries integration tools actually pose — strong cells, undecided
 cells, documented elements, schema membership — expressed over the IB's
 triple layout via the BGP engine.
+
+Each canned query is split into a ``*_query`` builder (returns the
+:class:`~repro.rdf.query.Query`) and the evaluating wrapper, so the
+manager's query service can also *report the plan* for any of them:
+:func:`query_plan` runs the cost-based planner and returns the executed
+join order, estimated vs. actual per-pattern cardinalities and memo hit
+counts (see ``repro.rdf.query.explain``).
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
-from ..rdf.query import Query, TriplePattern, Variable
+from ..rdf.query import Query, QueryPlan, TriplePattern, Variable, evaluate, explain
 from ..rdf.schema_rdf import matrix_iri, schema_iri
 from ..rdf.store import TripleStore
-from ..rdf.term import IRI, Literal
+from ..rdf.term import IRI, Literal, literal
 from ..rdf import vocabulary as V
 
 CELL = Variable("cell")
@@ -23,13 +30,8 @@ NAME = Variable("name")
 USER = Variable("user")
 
 
-def strong_cells(
-    store: TripleStore, matrix_name: str, threshold: float = 0.5
-) -> List[Tuple[str, float]]:
-    """Cells of a matrix whose confidence exceeds *threshold*.
-
-    Returns (cell IRI string, confidence), strongest first.
-    """
+def strong_cells_query(matrix_name: str, threshold: float = 0.5) -> Query:
+    """The BGP + filter behind :func:`strong_cells`."""
     query = Query()
     query.where(matrix_iri(matrix_name), V.HAS_CELL, CELL)
     query.where(CELL, V.CONFIDENCE_SCORE, CONFIDENCE)
@@ -37,36 +39,51 @@ def strong_cells(
         lambda binding: isinstance(binding[CONFIDENCE], Literal)
         and float(binding[CONFIDENCE].to_python()) > threshold
     )
-    from ..rdf.query import evaluate
+    return query
 
+
+def strong_cells(
+    store: TripleStore, matrix_name: str, threshold: float = 0.5
+) -> List[Tuple[str, float]]:
+    """Cells of a matrix whose confidence exceeds *threshold*.
+
+    Returns (cell IRI string, confidence), strongest first.
+    """
     rows = [
         (str(binding[CELL]), float(binding[CONFIDENCE].to_python()))
-        for binding in evaluate(store, query)
+        for binding in evaluate(store, strong_cells_query(matrix_name, threshold))
     ]
     return sorted(rows, key=lambda r: -r[1])
 
 
-def user_decided_cells(store: TripleStore, matrix_name: str) -> List[str]:
-    """Cells the engineer has pinned (accepted or rejected)."""
-    from ..rdf.query import evaluate
-    from ..rdf.term import literal
-
+def user_decided_cells_query(matrix_name: str) -> Query:
+    """The BGP behind :func:`user_decided_cells`."""
     query = Query()
     query.where(matrix_iri(matrix_name), V.HAS_CELL, CELL)
     query.where(CELL, V.IS_USER_DEFINED, literal(True))
+    return query
+
+
+def user_decided_cells(store: TripleStore, matrix_name: str) -> List[str]:
+    """Cells the engineer has pinned (accepted or rejected)."""
+    query = user_decided_cells_query(matrix_name)
     return sorted(str(binding[CELL]) for binding in evaluate(store, query))
+
+
+def undocumented_elements_query(schema_name: str) -> Query:
+    """The BGP behind :func:`undocumented_elements` (the documentation
+    check itself is a per-row store probe, not a pattern)."""
+    query = Query()
+    query.where(schema_iri(schema_name), V.HAS_ELEMENT, ELEMENT)
+    query.where(ELEMENT, V.NAME, NAME)
+    return query
 
 
 def undocumented_elements(store: TripleStore, schema_name: str) -> List[str]:
     """Element names in a schema lacking a documentation annotation —
     the enrichment worklist for task 1/2."""
-    from ..rdf.query import evaluate
-
-    query = Query()
-    query.where(schema_iri(schema_name), V.HAS_ELEMENT, ELEMENT)
-    query.where(ELEMENT, V.NAME, NAME)
     names = []
-    for binding in evaluate(store, query):
+    for binding in evaluate(store, undocumented_elements_query(schema_name)):
         element = binding[ELEMENT]
         has_doc = bool(store.objects(element, V.DOCUMENTATION))
         if not has_doc and isinstance(binding[NAME], Literal):
@@ -74,15 +91,18 @@ def undocumented_elements(store: TripleStore, schema_name: str) -> List[str]:
     return sorted(set(names))
 
 
-def elements_of_kind(store: TripleStore, schema_name: str, kind: str) -> List[str]:
-    """Names of a schema's elements with the given kind annotation."""
-    from ..rdf.query import evaluate
-    from ..rdf.term import literal
-
+def elements_of_kind_query(schema_name: str, kind: str) -> Query:
+    """The BGP behind :func:`elements_of_kind`."""
     query = Query()
     query.where(schema_iri(schema_name), V.HAS_ELEMENT, ELEMENT)
     query.where(ELEMENT, V.KIND, literal(kind))
     query.where(ELEMENT, V.NAME, NAME)
+    return query
+
+
+def elements_of_kind(store: TripleStore, schema_name: str, kind: str) -> List[str]:
+    """Names of a schema's elements with the given kind annotation."""
+    query = elements_of_kind_query(schema_name, kind)
     return sorted(
         binding[NAME].lexical
         for binding in evaluate(store, query)
@@ -90,10 +110,14 @@ def elements_of_kind(store: TripleStore, schema_name: str, kind: str) -> List[st
     )
 
 
+def query_plan(store: TripleStore, query: Query) -> QueryPlan:
+    """The executed cost-based plan for an ad hoc query — what the
+    manager's query service reports alongside (or instead of) results."""
+    return explain(store, query)
+
+
 def matrix_progress(store: TripleStore, matrix_name: str) -> float:
     """Fraction of rows+columns flagged is-complete, straight off the IB."""
-    from ..rdf.term import literal
-
     m_iri = matrix_iri(matrix_name)
     total = 0
     done = 0
