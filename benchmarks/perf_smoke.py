@@ -28,6 +28,16 @@ and enforces these guards:
   blackboard-sized store must run at least ``PLANNER_MIN_SPEEDUP`` times
   faster through the cost-based planner than through the reference
   evaluator, with the identical solution multiset.
+* **compiled-flooding micro-benchmark** — the classic fixpoint over the
+  A12-large PCG must run at least ``FLOODING_MIN_SPEEDUP`` times faster
+  through the cached compiled edge arrays (``FloodingState``, as the
+  engine holds it across refinement rounds) than through the dict-based
+  reference, agreeing to 1e-12 on every pair.
+* **incremental-rematch micro-benchmark** — after a small scripted
+  evolution (one attribute moved, one renamed, one redocumented), a warm
+  ``HarmonyEngine.rematch`` must run at least ``REMATCH_MIN_SPEEDUP``
+  times faster than a cold ``match`` on the evolved pair, producing the
+  same matrix.
 
 Usage::
 
@@ -42,7 +52,9 @@ import sys
 import time
 
 from repro.core import MappingMatrix
+from repro.core.graph import CONTAINMENT_LABELS, CONTAINS_ELEMENT
 from repro.harmony import EngineConfig, HarmonyEngine
+from repro.harmony.flooding import FloodingState, classic_flooding
 from repro.loaders import load_registry
 from repro.rdf import (
     Query,
@@ -75,6 +87,10 @@ KERNEL_MIN_HIT_RATE = 0.6
 SPARSE_MIN_SPEEDUP = 3.0
 #: the cost-based planner must beat the reference evaluator by this factor
 PLANNER_MIN_SPEEDUP = 2.0
+#: the cached compiled fixpoint must beat the dict reference by this factor
+FLOODING_MIN_SPEEDUP = 3.0
+#: a warm incremental rematch must beat a cold match by this factor
+REMATCH_MIN_SPEEDUP = 2.0
 #: sparse/reference cosine agreement bound (mirrors the differential suite)
 SPARSE_TOLERANCE = 1e-12
 
@@ -167,6 +183,114 @@ def _sparse_microbench(source, target):
         "sparse_reference_wall_s": round(reference_wall, 4),
         "sparse_wall_s": round(sparse_wall, 4),
         "sparse_speedup": round(reference_wall / sparse_wall, 2),
+    }
+
+
+FLOODING_ROUNDS = 3
+
+
+def _flooding_microbench(source, target):
+    """The classic fixpoint over the A12-large full PCG, repeated over
+    ``FLOODING_ROUNDS`` refinement rounds: the dict-based reference
+    rebuilds the PCG every call; the compiled path compiles the edge
+    arrays once (``FloodingState``) and reuses structure and buffers."""
+    source_ids = sorted(e.element_id for e in source)
+    target_ids = sorted(e.element_id for e in target)
+    initial = {
+        (s, t): 0.2 + ((i * 7) % 11) / 20.0
+        for i, (s, t) in enumerate(zip(source_ids, target_ids))
+    }
+
+    t0 = time.perf_counter()
+    for _ in range(FLOODING_ROUNDS):
+        reference = classic_flooding(source, target, initial)
+    reference_wall = time.perf_counter() - t0
+
+    state = FloodingState()
+    t0 = time.perf_counter()
+    for _ in range(FLOODING_ROUNDS):
+        compiled = state.flood(source, target, initial)
+    compiled_wall = time.perf_counter() - t0
+
+    if set(compiled) != set(reference):
+        raise AssertionError("compiled flooding scored a different pair set")
+    worst = max(abs(compiled[p] - reference[p]) for p in reference)
+    if worst > SPARSE_TOLERANCE:
+        raise AssertionError(
+            f"compiled flooding drifted from reference by {worst} "
+            f"(> {SPARSE_TOLERANCE})")
+    return {
+        "flooding_pcg_nodes": state.compiled.node_count,
+        "flooding_pcg_edges": state.compiled.edge_count,
+        "flooding_compiles": state.compiles,
+        "flooding_reference_wall_s": round(reference_wall, 4),
+        "flooding_compiled_wall_s": round(compiled_wall, 4),
+        "flooding_speedup": round(reference_wall / compiled_wall, 2),
+    }
+
+
+def _rematch_microbench(source, target):
+    """A small scripted evolution of the A12 source (one attribute moved
+    to another parent, one renamed, one redocumented): warm
+    ``HarmonyEngine.rematch`` with every cache primed vs a cold
+    ``match`` on the evolved pair, both under ``EngineConfig.fast()``."""
+    evolved = source.copy()
+    leaves = sorted(
+        e.element_id for e in evolved
+        if not evolved.children(e.element_id)
+        and evolved.parent(e.element_id) is not None
+    )
+    moved = leaves[0]
+    old_parent = evolved.parent(moved).element_id
+    new_parent = next(
+        evolved.parent(leaf).element_id for leaf in leaves
+        if evolved.parent(leaf).element_id not in (old_parent, moved)
+    )
+    for edge in evolved.in_edges(moved):
+        if edge.label in CONTAINMENT_LABELS:
+            evolved.remove_edge(edge)
+    evolved.add_edge(new_parent, CONTAINS_ELEMENT, moved)
+    evolved.element(leaves[len(leaves) // 2]).name += "_v2"
+    evolved.element(leaves[-1]).documentation = (
+        "Evolved documentation for the perf smoke.")
+    evolved.revision += 1
+
+    warm_engine = HarmonyEngine(config=EngineConfig.fast())
+    warm_engine.match(source, target)
+    t0 = time.perf_counter()
+    warm_run = warm_engine.rematch(evolved, target)
+    warm_wall = time.perf_counter() - t0
+
+    # a true cold match starts with empty kernel memo caches too — the
+    # warm run above filled the process-global ones
+    kernels.clear_caches()
+    cold_engine = HarmonyEngine(config=EngineConfig.fast())
+    t0 = time.perf_counter()
+    cold_run = cold_engine.match(evolved, target)
+    cold_wall = time.perf_counter() - t0
+
+    if warm_engine.rematch_patches != 1:
+        raise AssertionError("warm rematch did not take the incremental path")
+    warm_cells = {
+        (c.source_id, c.target_id): c.confidence for c in warm_run.matrix.cells()
+    }
+    cold_cells = {
+        (c.source_id, c.target_id): c.confidence for c in cold_run.matrix.cells()
+    }
+    if set(warm_cells) != set(cold_cells):
+        raise AssertionError("warm rematch produced a different cell set")
+    worst = max(
+        (abs(warm_cells[p] - cold_cells[p]) for p in cold_cells), default=0.0
+    )
+    if worst > SPARSE_TOLERANCE:
+        raise AssertionError(
+            f"warm rematch drifted from cold match by {worst} "
+            f"(> {SPARSE_TOLERANCE})")
+    return {
+        "rematch_cold_wall_s": round(cold_wall, 4),
+        "rematch_warm_wall_s": round(warm_wall, 4),
+        "rematch_speedup": round(cold_wall / warm_wall, 2),
+        "rematch_cells": len(warm_cells),
     }
 
 
@@ -264,6 +388,8 @@ def main(argv) -> int:
     result.update(_kernel_microbench(source, target))
     result.update(_sparse_microbench(source, target))
     result.update(_planner_microbench())
+    result.update(_flooding_microbench(source, target))
+    result.update(_rematch_microbench(source, target))
     print("perf smoke (A12-large pair):")
     for key, value in result.items():
         print(f"  {key:>16}: {value}")
@@ -301,6 +427,14 @@ def main(argv) -> int:
         failures.append(
             f"planned BGP only {result['planner_speedup']:.2f}x faster "
             f"than the reference evaluator (required >= {PLANNER_MIN_SPEEDUP}x)")
+    if result["flooding_speedup"] < FLOODING_MIN_SPEEDUP:
+        failures.append(
+            f"compiled flooding only {result['flooding_speedup']:.2f}x faster "
+            f"than the dict reference (required >= {FLOODING_MIN_SPEEDUP}x)")
+    if result["rematch_speedup"] < REMATCH_MIN_SPEEDUP:
+        failures.append(
+            f"warm rematch only {result['rematch_speedup']:.2f}x faster "
+            f"than a cold match (required >= {REMATCH_MIN_SPEEDUP}x)")
     if os.path.exists(BASELINE_PATH):
         with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)["perf_smoke"]

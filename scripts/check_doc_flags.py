@@ -1,0 +1,64 @@
+"""Doc-consistency check: every EngineConfig knob must be documented.
+
+Walks `dataclasses.fields(EngineConfig)` and asserts each field name
+appears in backticks in
+
+* the README configuration table,
+* `docs/performance.md` (the fast-path narrative), and
+* `docs/MATCHING.md` (the engine reference section),
+
+so adding a flag without documenting it fails CI.  Run directly::
+
+    PYTHONPATH=src python scripts/check_doc_flags.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+
+#: every one of these files must mention every EngineConfig field
+DOC_PATHS = [
+    "README.md",
+    os.path.join("docs", "performance.md"),
+    os.path.join("docs", "MATCHING.md"),
+]
+
+
+def undocumented_flags() -> list:
+    """(flag, doc-path) pairs for every missing mention."""
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    from repro.harmony.engine import EngineConfig
+
+    flags = [f.name for f in dataclasses.fields(EngineConfig)]
+    missing = []
+    for path in DOC_PATHS:
+        with open(os.path.join(REPO, path), "r", encoding="utf-8") as handle:
+            text = handle.read()
+        for flag in flags:
+            if f"`{flag}`" not in text and f"`EngineConfig.{flag}`" not in text:
+                missing.append((flag, path))
+    return missing
+
+
+def main() -> int:
+    missing = undocumented_flags()
+    if missing:
+        for flag, path in missing:
+            print(f"FAIL: EngineConfig.{flag} is not documented in {path}",
+                  file=sys.stderr)
+        print(f"{len(missing)} missing flag mention(s); document the flag "
+              f"in a backticked table row or prose reference.",
+              file=sys.stderr)
+        return 1
+    print("doc-consistency OK: every EngineConfig flag is documented in "
+          + ", ".join(DOC_PATHS))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

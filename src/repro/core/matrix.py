@@ -16,7 +16,7 @@ the assembled source→target mapping.  Rows and columns also carry Harmony's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .correspondence import Correspondence, validate_confidence
 from .errors import MappingError
@@ -165,6 +165,36 @@ class MappingMatrix:
         else:
             cell.suggest(confidence)
         return cell
+
+    def set_cells(self, entries: Iterable[Tuple[str, str, float]]) -> int:
+        """Bulk machine write: (source_id, target_id, confidence) triples.
+
+        Semantically one :meth:`set_confidence` per entry (validation
+        included, user-decided cells left untouched) but in a single pass
+        over pre-resolved axis dicts — the batched-matrix path the engine
+        uses under ``EngineConfig.batched_matrix``.  Returns how many
+        cells actually took a suggestion, which the matcher tool reports
+        in its coalesced ``MappingMatrixEvent``.
+        """
+        rows = self._rows
+        columns = self._columns
+        cells = self._cells
+        written = 0
+        for source_id, target_id, confidence in entries:
+            if source_id not in rows:
+                raise MappingError(f"no row for source element {source_id!r}")
+            if target_id not in columns:
+                raise MappingError(f"no column for target element {target_id!r}")
+            confidence = validate_confidence(confidence)
+            pair = (source_id, target_id)
+            cell = cells.get(pair)
+            if cell is None:
+                cell = cells[pair] = Correspondence(source_id, target_id)
+            if cell.is_decided:
+                continue
+            cell.confidence = confidence
+            written += 1
+        return written
 
     def cells(self) -> Iterator[Correspondence]:
         """All materialized cells."""

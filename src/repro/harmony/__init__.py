@@ -13,8 +13,11 @@ from .engine import (
     FLOODING_DIRECTIONAL,
     FLOODING_OFF,
     EngineConfig,
+    GraphDelta,
     HarmonyEngine,
     MatchRun,
+    evolution_closure,
+    graph_delta,
 )
 from .filters import (
     ConfidenceFilter,
@@ -27,11 +30,16 @@ from .filters import (
     SubtreeFilter,
 )
 from .flooding import (
+    CompiledPCG,
     DirectionalConfig,
     FloodingConfig,
+    FloodingState,
     classic_flooding,
+    compile_pcg,
     directional_flooding,
+    directional_flooding_compiled,
     flooded_ranking,
+    patch_pcg,
 )
 from .gui_model import GuiState, LineView, TreeNodeView, line_color, render
 from .learning import (
@@ -83,6 +91,9 @@ __all__ = [
     "FeedbackStats",
     "FilterSet",
     "FloodingConfig",
+    "FloodingState",
+    "CompiledPCG",
+    "GraphDelta",
     "GuiState",
     "HarmonyEngine",
     "InstanceVoter",
@@ -107,6 +118,10 @@ __all__ = [
     "VoteMerger",
     "calibrate",
     "classic_flooding",
+    "compile_pcg",
+    "patch_pcg",
+    "evolution_closure",
+    "graph_delta",
     "cluster_elements",
     "derive_target_schema",
     "integrate_sources",
@@ -114,6 +129,7 @@ __all__ = [
     "decisions_from_matrix",
     "default_voters",
     "directional_flooding",
+    "directional_flooding_compiled",
     "flooded_ranking",
     "kinds_comparable",
     "line_color",

@@ -30,8 +30,10 @@ from .blocking import BlockingConfig, BlockingResult, CandidateBlocker
 from .flooding import (
     DirectionalConfig,
     FloodingConfig,
+    FloodingState,
     classic_flooding,
     directional_flooding,
+    directional_flooding_compiled,
 )
 from .learning import decisions_from_matrix, update_merger_weights, update_word_weights
 from .merger import MergeResult, VoteMerger
@@ -89,6 +91,26 @@ class EngineConfig:
     #: differentially tested equal to 1e-12
     #: (tests/text/test_tfidf_sparse_differential.py)
     sparse_tfidf: bool = False
+    #: run the flooding fixpoints over the compiled edge-array PCG
+    #: (``repro.harmony.flooding.CompiledPCG``/``FloodingState``) —
+    #: int-interned pairs, parallel ``array('l')``/``array('d')`` edge
+    #: arrays, preallocated score buffers, the compiled structure cached
+    #: across runs on a (graph, revision, active-set) epoch.  Cold runs
+    #: are bit-identical to the reference fixpoints
+    #: (tests/harmony/test_flooding_compiled_differential.py)
+    compiled_flooding: bool = False
+    #: let :meth:`HarmonyEngine.rematch` patch the previous run's
+    #: MatchContext, cached voter scores and compiled PCG for the
+    #: elements an evolution actually touched, instead of rebuilding from
+    #: scratch.  Builds on ``reuse_context``; warm results are
+    #: differentially tested identical to a cold match on the evolved
+    #: schemas
+    incremental_rematch: bool = False
+    #: populate the mapping matrix through the bulk
+    #: :meth:`MappingMatrix.set_cells` path, and let the matcher tool
+    #: publish one coalesced ``MappingMatrixEvent`` (``cells_updated``)
+    #: instead of a ``MappingCellEvent`` per changed cell
+    batched_matrix: bool = False
 
     @classmethod
     def fast(cls, **overrides) -> "EngineConfig":
@@ -99,6 +121,9 @@ class EngineConfig:
             sparse_flooding=True,
             similarity_kernels=True,
             sparse_tfidf=True,
+            compiled_flooding=True,
+            incremental_rematch=True,
+            batched_matrix=True,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -147,6 +172,105 @@ class MatchRun:
         return lines
 
 
+@dataclass
+class GraphDelta:
+    """What changed between two revisions of one schema graph.
+
+    Computed by :func:`graph_delta` from the engine's cached graph and
+    the evolved one — the engine diffs for itself rather than trusting a
+    caller-supplied diff, so a stale or partial diff can never leave
+    caches silently wrong.  Mirrors ``workbench.versioning.SchemaDiff``
+    but lives here to keep ``harmony`` import-independent of
+    ``workbench``.
+    """
+
+    added: set = field(default_factory=set)
+    removed: set = field(default_factory=set)
+    #: surviving elements whose name/kind/datatype/annotations changed
+    changed: set = field(default_factory=set)
+    #: surviving/added elements whose documentation changed (drives the
+    #: TF-IDF corpus patch), plus removed ones handled via ``removed``
+    doc_changed: set = field(default_factory=set)
+    #: endpoints of added/removed edges (any label) — the structurally
+    #: dirty elements for PCG patching and path/leaf token invalidation
+    structural: set = field(default_factory=set)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.added or self.removed or self.changed
+            or self.doc_changed or self.structural
+        )
+
+
+def graph_delta(old: SchemaGraph, new: SchemaGraph) -> GraphDelta:
+    """Element- and edge-level delta between two graphs (matched by id)."""
+    delta = GraphDelta()
+    old_ids = set(old.element_ids)
+    new_ids = set(new.element_ids)
+    delta.added = new_ids - old_ids
+    delta.removed = old_ids - new_ids
+    for element_id in old_ids & new_ids:
+        old_el = old.element(element_id)
+        new_el = new.element(element_id)
+        if (
+            old_el.name != new_el.name
+            or old_el.kind != new_el.kind
+            or old_el.datatype != new_el.datatype
+            or old_el.annotations != new_el.annotations
+        ):
+            delta.changed.add(element_id)
+        if old_el.documentation != new_el.documentation:
+            delta.changed.add(element_id)
+            delta.doc_changed.add(element_id)
+    for element_id in delta.added:
+        if new.element(element_id).documentation:
+            delta.doc_changed.add(element_id)
+    old_edges = {(e.subject, e.label, e.object) for e in old.edges}
+    new_edges = {(e.subject, e.label, e.object) for e in new.edges}
+    for subject, _, obj in old_edges ^ new_edges:
+        delta.structural.add(subject)
+        delta.structural.add(obj)
+    return delta
+
+
+def evolution_closure(
+    old: SchemaGraph, new: SchemaGraph, delta: GraphDelta
+) -> set:
+    """Every surviving element whose cached match evidence the delta can
+    have touched.
+
+    Beyond the directly changed/added/structurally-rewired elements this
+    includes their containment *descendants* (path tokens embed ancestor
+    names), their *ancestors* (leaf-token sets embed descendant names),
+    ancestors of removed elements, and any attribute referencing a
+    changed DOMAIN subtree through a ``has-domain`` edge (domain-value
+    evidence).
+    """
+    from ..core.graph import HAS_DOMAIN
+
+    base = delta.added | delta.changed | delta.structural
+    closure = set(base)
+    for element_id in base:
+        graph = new if element_id in new else (old if element_id in old else None)
+        if graph is None:
+            continue
+        closure.update(el.element_id for el in graph.subtree(element_id))
+        closure.update(el.element_id for el in graph.ancestors(element_id))
+    for element_id in delta.removed:
+        if element_id in old:
+            closure.update(el.element_id for el in old.ancestors(element_id))
+    # attributes pointing at a touched domain: their coded-value evidence
+    # lives in the domain's subtree, not on the attribute itself
+    for element_id in list(closure) + sorted(delta.removed):
+        for graph in (old, new):
+            if element_id in graph:
+                for edge in graph.in_edges(element_id, HAS_DOMAIN):
+                    closure.add(edge.subject)
+    closure -= delta.removed
+    return closure
+
+
 class HarmonyEngine:
     """Bundles the voters, merger and flooding into one matcher."""
 
@@ -172,6 +296,12 @@ class HarmonyEngine:
         #: re-run would compound weights, the over-crediting the paper's
         #: Section 4.3 warns about)
         self._consumed_decisions: set = set()
+        #: compiled-PCG cache for ``config.compiled_flooding`` (epoch-keyed,
+        #: patched incrementally after evolutions)
+        self._flooding_state: Optional[FloodingState] = None
+        #: how many times :meth:`rematch` patched state instead of
+        #: rebuilding (tests and perf_smoke assert on it)
+        self.rematch_patches: int = 0
 
     # -- main entry point ----------------------------------------------------
 
@@ -239,12 +369,22 @@ class HarmonyEngine:
         }
         post_flooding = self._flood(source, target, pre_flooding, decisions)
 
-        for (source_id, target_id), confidence in post_flooding.items():
-            if source_id not in source or target_id not in target:
-                continue  # flooding can surface pairs outside the matrix axes
-            if source_id not in matrix.row_ids or target_id not in matrix.column_ids:
-                continue
-            matrix.set_confidence(source_id, target_id, confidence)
+        row_ids = set(matrix.row_ids)
+        column_ids = set(matrix.column_ids)
+        if self.config.batched_matrix:
+            matrix.set_cells(
+                (source_id, target_id, confidence)
+                for (source_id, target_id), confidence in post_flooding.items()
+                if source_id in source and target_id in target
+                and source_id in row_ids and target_id in column_ids
+            )
+        else:
+            for (source_id, target_id), confidence in post_flooding.items():
+                if source_id not in source or target_id not in target:
+                    continue  # flooding can surface pairs outside the matrix axes
+                if source_id not in row_ids or target_id not in column_ids:
+                    continue
+                matrix.set_confidence(source_id, target_id, confidence)
 
         self._last_votes = votes
         self._last_context = context
@@ -258,6 +398,69 @@ class HarmonyEngine:
             blocking=blocking_result,
             reused_context=reused,
         )
+
+    # -- incremental rematch -------------------------------------------------
+
+    def rematch(
+        self,
+        source: SchemaGraph,
+        target: SchemaGraph,
+        matrix: Optional[MappingMatrix] = None,
+    ) -> MatchRun:
+        """Match after a schema evolution, reusing every still-valid cache.
+
+        The engine diffs its previous run's graphs against *source* /
+        *target* itself (element attributes, annotations and edges), then:
+
+        * patches the cached :class:`MatchContext` — token caches and
+          TF-IDF documents for exactly the evolution closure (changed
+          elements, their containment ancestors/descendants, has-domain
+          referrers), rebinding it onto the new graph objects;
+        * drops cached voter scores touching the closure;
+        * marks the structurally-dirty elements so the compiled PCG is
+          patched instead of recompiled (``compiled_flooding``);
+
+        and then runs a normal :meth:`match`.  Because the surviving
+        caches are exactly the entries a cold run would recompute
+        unchanged, the resulting matrix is identical to a cold match on
+        the evolved schemas (asserted by the differential suite).  Falls
+        back to a full cold match when ``incremental_rematch`` /
+        ``reuse_context`` are off or no previous state fits.
+        """
+        context = self._last_context
+        if (
+            not self.config.incremental_rematch
+            or not self.config.reuse_context
+            or context is None
+            or context.source.name != source.name
+            or context.target.name != target.name
+        ):
+            return self.match(source, target, matrix)
+
+        source_delta = graph_delta(context.source, source)
+        target_delta = graph_delta(context.target, target)
+        source_closure = evolution_closure(context.source, source, source_delta)
+        target_closure = evolution_closure(context.target, target, target_delta)
+
+        context.patch_side("source", source, source_closure, source_delta)
+        context.patch_side("target", target, target_closure, target_delta)
+        context.rebind(source, target)
+
+        stale_source = source_closure | source_delta.removed
+        stale_target = target_closure | target_delta.removed
+        if stale_source or stale_target:
+            context.score_cache = {
+                key: value
+                for key, value in context.score_cache.items()
+                if key[1] not in stale_source and key[2] not in stale_target
+            }
+        if self._flooding_state is not None:
+            self._flooding_state.note_evolution(
+                source_delta.structural | source_delta.added | source_delta.removed,
+                target_delta.structural | target_delta.added | target_delta.removed,
+            )
+        self.rematch_patches += 1
+        return self.match(source, target, matrix)
 
     # -- voter scoring ------------------------------------------------------
 
@@ -279,8 +482,14 @@ class HarmonyEngine:
             self._invalidate_stale_scores(context)
         else:
             context.score_cache.clear()
-        # stamp the word-weight revision the cache contents are valid for
-        context._score_cache_weights_rev = context.corpus.weights_revision
+        # stamp the corpus state the cache contents are valid for: the
+        # word-weight revision (Section 4.3 learning) *and* the document
+        # revision (incremental rematch adds/removes/replaces documents,
+        # which moves every IDF)
+        context._score_cache_corpus_rev = (
+            context.corpus.weights_revision,
+            context.corpus.revision,
+        )
         cache = context.score_cache if self.config.reuse_context else None
 
         workers = self.config.parallelism
@@ -330,13 +539,14 @@ class HarmonyEngine:
     def _invalidate_stale_scores(self, context: MatchContext) -> None:
         """Drop cached scores whose inputs changed since the last run.
 
-        Today the only mutable voter input is the TF-IDF word-weight
-        table (Section 4.3 bag-of-words learning), tracked by the
-        corpus's ``weights_revision``; only voters that declare
-        ``uses_word_weights`` pay the re-score.
+        The mutable voter inputs are the TF-IDF word-weight table
+        (Section 4.3 bag-of-words learning, ``weights_revision``) and the
+        corpus document set itself (incremental rematch after evolution,
+        ``revision`` — adding or removing a document moves every IDF);
+        only voters that declare ``uses_word_weights`` pay the re-score.
         """
-        cached_rev = getattr(context, "_score_cache_weights_rev", None)
-        current_rev = context.corpus.weights_revision
+        cached_rev = getattr(context, "_score_cache_corpus_rev", None)
+        current_rev = (context.corpus.weights_revision, context.corpus.revision)
         if cached_rev != current_rev:
             stale = {v.name for v in self.voters if v.uses_word_weights}
             if stale:
@@ -360,16 +570,29 @@ class HarmonyEngine:
         if mode == FLOODING_OFF or not scores:
             return dict(scores)
         if mode == FLOODING_DIRECTIONAL:
+            if self.config.compiled_flooding:
+                return directional_flooding_compiled(
+                    source, target, scores,
+                    config=self.config.directional, pinned=pinned,
+                )
             return directional_flooding(
                 source, target, scores, config=self.config.directional, pinned=pinned
             )
         if mode == FLOODING_CLASSIC:
             positive = {pair: max(0.0, value) for pair, value in scores.items()}
             restrict_to = set(positive) if self.config.sparse_flooding else None
-            flooded = classic_flooding(
-                source, target, positive, config=self.config.classic,
-                restrict_to=restrict_to,
-            )
+            if self.config.compiled_flooding:
+                if self._flooding_state is None:
+                    self._flooding_state = FloodingState()
+                flooded = self._flooding_state.flood(
+                    source, target, positive, config=self.config.classic,
+                    restrict_to=restrict_to,
+                )
+            else:
+                flooded = classic_flooding(
+                    source, target, positive, config=self.config.classic,
+                    restrict_to=restrict_to,
+                )
             blend = self.config.classic_blend
             out: Dict[Pair, float] = {}
             for pair, original in scores.items():

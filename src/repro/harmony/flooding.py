@@ -8,7 +8,7 @@ negative confidence scores trickle down the schema graph.  Intuitively,
 two attributes are unlikely to match if their parent entities do not
 match."*
 
-Two algorithms live here:
+Two algorithms live here, each in two executions:
 
 * :func:`classic_flooding` — the original fixpoint computation over the
   pairwise connectivity graph, on [0,1] similarities.  Used standalone by
@@ -16,12 +16,25 @@ Two algorithms live here:
   against the directional variant).
 * :func:`directional_flooding` — Harmony's asymmetric propagation over
   the containment hierarchy, on [-1,+1] confidences.
+* :class:`CompiledPCG` / :class:`FloodingState` — the compiled fast path
+  behind ``EngineConfig.compiled_flooding``: PCG pairs interned to
+  contiguous int ids, edges stored as parallel ``array('l')`` index
+  arrays with ``array('d')`` propagation coefficients, and the fixpoint
+  run as index-gather/scatter sweeps over preallocated score buffers.
+  The compiled classic sweep reproduces :func:`classic_flooding`
+  bit-for-bit (same accumulation order); :func:`FloodingState.ensure`
+  keys the compiled structure on a (graph names, revisions, active-set)
+  epoch and, after a schema evolution, patches only the PCG edges
+  incident to the evolved elements instead of recompiling.
+* :func:`directional_flooding_compiled` — the same up/down propagation
+  over int-indexed parent/child lists, bit-identical to the reference.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..core.correspondence import clamp_confidence
 from ..core.elements import ElementKind
@@ -93,17 +106,32 @@ def _pcg_edges(
     ever flow between a scored pair and its structural neighbors, so the
     vast dark region of the full cross-product is never materialized.
     """
-    src_by_label: Dict[str, List[Tuple[str, str]]] = {}
-    for edge_s in source.edges:
-        src_by_label.setdefault(edge_s.label, []).append((edge_s.subject, edge_s.object))
-    tgt_by_label: Dict[str, List[Tuple[str, str]]] = {}
-    for edge_t in target.edges:
-        tgt_by_label.setdefault(edge_t.label, []).append((edge_t.subject, edge_t.object))
+    src_by_label = _edges_by_label(source)
+    tgt_by_label = _edges_by_label(target)
 
     allowed: Optional[Set[Pair]] = None
     if restrict_to is not None:
         allowed = _sparse_frontier(src_by_label, tgt_by_label, set(restrict_to))
 
+    out_by_label = _build_out_by_label(src_by_label, tgt_by_label, allowed)
+    return _weighted_adjacency(out_by_label)
+
+
+def _edges_by_label(graph: SchemaGraph) -> Dict[str, List[Tuple[str, str]]]:
+    """(subject, object) tuples bucketed by edge label, in the graph's
+    deterministic sorted-edge order."""
+    by_label: Dict[str, List[Tuple[str, str]]] = {}
+    for edge in graph.edges:
+        by_label.setdefault(edge.label, []).append((edge.subject, edge.object))
+    return by_label
+
+
+def _build_out_by_label(
+    src_by_label: Mapping[str, List[Tuple[str, str]]],
+    tgt_by_label: Mapping[str, List[Tuple[str, str]]],
+    allowed: Optional[Set[Pair]],
+) -> Dict[Pair, Dict[str, List[Pair]]]:
+    """Raw label-bucketed PCG out-edges (before weighting)."""
     out_by_label: Dict[Pair, Dict[str, List[Pair]]] = {}
     for label, s_edges in src_by_label.items():
         t_edges = tgt_by_label.get(label)
@@ -118,7 +146,14 @@ def _pcg_edges(
                 ):
                     continue
                 out_by_label.setdefault(node, {}).setdefault(label, []).append(successor)
+    return out_by_label
 
+
+def _weighted_adjacency(
+    out_by_label: Mapping[Pair, Dict[str, List[Pair]]],
+) -> Dict[Pair, List[Tuple[Pair, float]]]:
+    """Fold inverse-average propagation coefficients into a symmetrized
+    adjacency, exactly as Melnik's scheme prescribes."""
     weighted: Dict[Pair, List[Tuple[Pair, float]]] = {}
     for node, by_label in out_by_label.items():
         for label, successors in by_label.items():
@@ -198,6 +233,392 @@ def classic_flooding(
     return sigma
 
 
+# -- compiled fixpoint (flat edge arrays) --------------------------------------
+
+
+class CompiledPCG:
+    """The pairwise connectivity graph compiled to flat edge arrays.
+
+    PCG pairs are interned to contiguous int ids; edges live in parallel
+    ``array('l')`` src/dst index arrays with an ``array('d')`` coefficient
+    array, flattened from the reference adjacency *in its exact iteration
+    order* — so the compiled sweep accumulates floating-point
+    contributions in the same order as :func:`classic_flooding` and the
+    cold fixpoint is bit-identical to the reference.
+
+    The label-bucketed ``out_by_label`` intermediate is retained so
+    :func:`patch_pcg` can splice edges incident to evolved elements in
+    and out without rebuilding the cross-product; coefficients are
+    re-derived from list lengths at flatten time, keeping weights
+    consistent by construction.
+    """
+
+    __slots__ = (
+        "nodes", "node_index", "edge_src", "edge_dst", "edge_weight",
+        "out_by_label", "allowed", "_edge_iter", "_buffers",
+    )
+
+    def __init__(
+        self,
+        out_by_label: Dict[Pair, Dict[str, List[Pair]]],
+        allowed: Optional[Set[Pair]],
+    ) -> None:
+        self.out_by_label = out_by_label
+        self.allowed = allowed
+        self.nodes: List[Pair] = []
+        self.node_index: Dict[Pair, int] = {}
+        self.edge_src = array("l")
+        self.edge_dst = array("l")
+        self.edge_weight = array("d")
+        self._edge_iter: Optional[List[Tuple[int, int, float]]] = None
+        self._buffers: Optional[Tuple[List[float], ...]] = None
+        self._flatten()
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edge_src)
+
+    def _flatten(self) -> None:
+        adjacency = _weighted_adjacency(self.out_by_label)
+        nodes: List[Pair] = []
+        index: Dict[Pair, int] = {}
+        src = array("l")
+        dst = array("l")
+        wts = array("d")
+        for node, neighbors in adjacency.items():
+            i = index.get(node)
+            if i is None:
+                i = index[node] = len(nodes)
+                nodes.append(node)
+            for neighbor, weight in neighbors:
+                j = index.get(neighbor)
+                if j is None:
+                    j = index[neighbor] = len(nodes)
+                    nodes.append(neighbor)
+                src.append(i)
+                dst.append(j)
+                wts.append(weight)
+        self.nodes = nodes
+        self.node_index = index
+        self.edge_src = src
+        self.edge_dst = dst
+        self.edge_weight = wts
+        self._edge_iter = None
+        self._buffers = None
+
+    def _edges(self) -> List[Tuple[int, int, float]]:
+        edges = self._edge_iter
+        if edges is None:
+            edges = self._edge_iter = list(
+                zip(self.edge_src, self.edge_dst, self.edge_weight)
+            )
+        return edges
+
+    def run(
+        self,
+        initial: Mapping[Pair, float],
+        config: Optional[FloodingConfig] = None,
+    ) -> Dict[Pair, float]:
+        """The classic fixpoint as index-gather/scatter sweeps.
+
+        Same σ⁺ = normalize(σ⁰ + σ + φ(σ)) recurrence, same accumulation
+        order, same normalization and residual arithmetic as
+        :func:`classic_flooding` — bit-identical by construction.
+        """
+        config = config or FloodingConfig()
+        index = self.node_index
+        structural_n = len(self.nodes)
+        # initial pairs outside the structural PCG carry their score
+        # through normalization untouched by propagation; intern them
+        # past the structural block without polluting the compiled index
+        extra: Dict[Pair, int] = {}
+        for pair in initial:
+            if pair not in index and pair not in extra:
+                extra[pair] = structural_n + len(extra)
+        n = structural_n + len(extra)
+
+        buffers = self._buffers
+        if buffers is None or len(buffers[0]) != n:
+            buffers = tuple([0.0] * n for _ in range(4))
+            self._buffers = buffers
+        sigma0, sigma, incoming, updated = buffers
+
+        for i in range(n):
+            sigma0[i] = 0.0
+        for pair, value in initial.items():
+            value = float(value)
+            i = index.get(pair)
+            if i is None:
+                i = extra[pair]
+            sigma0[i] = value if value > 0.0 else 0.0
+        sigma[:] = sigma0
+
+        edges = self._edges()
+        epsilon = config.epsilon
+        for _ in range(config.max_iterations):
+            for i in range(n):
+                incoming[i] = 0.0
+            for s, d, w in edges:
+                value = sigma[s]
+                if value != 0.0:
+                    incoming[d] += value * w
+            peak = 0.0
+            for i in range(n):
+                value = sigma0[i] + sigma[i] + incoming[i]
+                updated[i] = value
+                if value > peak:
+                    peak = value
+            residual = 0.0
+            if peak > 0.0:
+                for i in range(n):
+                    value = updated[i] / peak
+                    updated[i] = value
+                    delta = value - sigma[i]
+                    if delta < 0.0:
+                        delta = -delta
+                    if delta > residual:
+                        residual = delta
+            else:
+                for i in range(n):
+                    delta = updated[i] - sigma[i]
+                    if delta < 0.0:
+                        delta = -delta
+                    if delta > residual:
+                        residual = delta
+            sigma, updated = updated, sigma
+            if residual < epsilon:
+                break
+        # buffers were swapped in place; record the final assignment
+        self._buffers = (sigma0, sigma, incoming, updated)
+
+        result = {pair: sigma[i] for pair, i in index.items()}
+        for pair, i in extra.items():
+            result[pair] = sigma[i]
+        return result
+
+
+def compile_pcg(
+    source: SchemaGraph,
+    target: SchemaGraph,
+    restrict_to: Optional[Set[Pair]] = None,
+) -> CompiledPCG:
+    """Build a :class:`CompiledPCG` for the pair of schemas.
+
+    Construction goes through the same label-bucketed helpers as the
+    reference :func:`_pcg_edges`, so the flattened edge order mirrors the
+    reference adjacency's iteration order exactly.
+    """
+    src_by_label = _edges_by_label(source)
+    tgt_by_label = _edges_by_label(target)
+    allowed: Optional[Set[Pair]] = None
+    if restrict_to is not None:
+        allowed = _sparse_frontier(src_by_label, tgt_by_label, set(restrict_to))
+    out_by_label = _build_out_by_label(src_by_label, tgt_by_label, allowed)
+    return CompiledPCG(out_by_label, allowed)
+
+
+def patch_pcg(
+    compiled: CompiledPCG,
+    source: SchemaGraph,
+    target: SchemaGraph,
+    restrict_to: Optional[Set[Pair]],
+    dirty_source: Set[str],
+    dirty_target: Set[str],
+) -> CompiledPCG:
+    """Splice evolved elements' edges into an existing compiled PCG.
+
+    *dirty_source* / *dirty_target* are the element ids whose incident
+    edge sets may have changed (endpoints of added/removed edges plus
+    added/removed elements).  A PCG pair is *dirty* when either component
+    is a dirty element or its sparse-frontier membership flipped; all
+    edges touching dirty pairs are dropped, then rebuilt from the new
+    schemas — cost Σ_l |ΔE_s(l)|·|E_t(l)| + |E_t-side Δ| instead of the
+    full cross-product.  Coefficients are re-derived at flatten time, so
+    the patched structure equals a fresh compile up to edge-array order
+    (asserted structurally by the differential suite; score drift is
+    bounded by float reassociation, ≤1e-12 in the harness).
+    """
+    src_by_label = _edges_by_label(source)
+    tgt_by_label = _edges_by_label(target)
+    new_allowed: Optional[Set[Pair]] = None
+    if restrict_to is not None:
+        new_allowed = _sparse_frontier(src_by_label, tgt_by_label, set(restrict_to))
+    old_allowed = compiled.allowed
+    delta: Set[Pair] = set()
+    if new_allowed is not None and old_allowed is not None:
+        delta = old_allowed ^ new_allowed
+
+    def pair_dirty(pair: Pair) -> bool:
+        return pair[0] in dirty_source or pair[1] in dirty_target or pair in delta
+
+    out_by_label = compiled.out_by_label
+    # drop everything touching a dirty pair
+    for node in list(out_by_label):
+        if pair_dirty(node):
+            del out_by_label[node]
+            continue
+        by_label = out_by_label[node]
+        for label in list(by_label):
+            successors = by_label[label]
+            kept = [p for p in successors if not pair_dirty(p)]
+            if len(kept) != len(successors):
+                if kept:
+                    by_label[label] = kept
+                else:
+                    del by_label[label]
+        if not by_label:
+            del out_by_label[node]
+
+    added_guard: Set[Tuple[Pair, str, Pair]] = set()
+
+    def add(node: Pair, label: str, successor: Pair) -> None:
+        if new_allowed is not None and (
+            node not in new_allowed or successor not in new_allowed
+        ):
+            return
+        key = (node, label, successor)
+        if key in added_guard:
+            return
+        added_guard.add(key)
+        out_by_label.setdefault(node, {}).setdefault(label, []).append(successor)
+
+    # 1) combos built from an edge incident to a dirty element — every such
+    #    combo has a dirty pair endpoint, so it was dropped above
+    for label, s_edges in src_by_label.items():
+        t_edges = tgt_by_label.get(label)
+        if not t_edges:
+            continue
+        s_dirty = [
+            e for e in s_edges if e[0] in dirty_source or e[1] in dirty_source
+        ]
+        t_dirty = [
+            e for e in t_edges if e[0] in dirty_target or e[1] in dirty_target
+        ]
+        for s_subject, s_object in s_dirty:
+            for t_subject, t_object in t_edges:
+                add((s_subject, t_subject), label, (s_object, t_object))
+        if t_dirty:
+            for s_subject, s_object in s_edges:
+                for t_subject, t_object in t_dirty:
+                    add((s_subject, t_subject), label, (s_object, t_object))
+
+    # 2) pairs whose sparse-frontier membership flipped without any dirty
+    #    element: give newly-allowed pairs their out- and in-edges
+    if delta:
+        src_out: Dict[str, Dict[str, List[str]]] = {}
+        src_in: Dict[str, Dict[str, List[str]]] = {}
+        tgt_out: Dict[str, Dict[str, List[str]]] = {}
+        tgt_in: Dict[str, Dict[str, List[str]]] = {}
+        for label, edges in src_by_label.items():
+            for subject, obj in edges:
+                src_out.setdefault(label, {}).setdefault(subject, []).append(obj)
+                src_in.setdefault(label, {}).setdefault(obj, []).append(subject)
+        for label, edges in tgt_by_label.items():
+            for subject, obj in edges:
+                tgt_out.setdefault(label, {}).setdefault(subject, []).append(obj)
+                tgt_in.setdefault(label, {}).setdefault(obj, []).append(subject)
+        assert new_allowed is not None
+        for pair in delta:
+            if pair not in new_allowed:
+                continue  # left the frontier: removal already handled it
+            a, b = pair
+            for label in src_out:
+                for a2 in src_out[label].get(a, ()):
+                    for b2 in tgt_out.get(label, {}).get(b, ()):
+                        add(pair, label, (a2, b2))
+            for label in src_in:
+                for a0 in src_in[label].get(a, ()):
+                    for b0 in tgt_in.get(label, {}).get(b, ()):
+                        add((a0, b0), label, pair)
+
+    compiled.allowed = new_allowed
+    compiled._flatten()
+    return compiled
+
+
+class FloodingState:
+    """Epoch-keyed cache of the compiled PCG across engine runs.
+
+    The epoch is (source name, target name, source revision, target
+    revision, active-set); a matching epoch reuses the compiled arrays
+    and buffers outright.  After a schema evolution the engine calls
+    :meth:`note_evolution` with the structurally-dirty element ids, and
+    the next :meth:`ensure` patches the compiled PCG via
+    :func:`patch_pcg` instead of recompiling.  Any other epoch change
+    falls back to a full compile.
+
+    Warm starts reuse *structure only*: the fixpoint always iterates
+    from σ⁰, so a warm run can never converge to different scores than a
+    cold one (see ``tests/harmony/test_flooding_compiled_differential``).
+    """
+
+    def __init__(self) -> None:
+        self.compiled: Optional[CompiledPCG] = None
+        self._key: Optional[Tuple] = None
+        self._pending: Optional[Tuple[Set[str], Set[str]]] = None
+        self.compiles = 0
+        self.patches = 0
+
+    def note_evolution(
+        self,
+        dirty_source: Iterable[str],
+        dirty_target: Iterable[str],
+    ) -> None:
+        """Mark element ids whose edge structure changed; the next
+        :meth:`ensure` with a new revision patches instead of rebuilding."""
+        if self._pending is None:
+            self._pending = (set(), set())
+        self._pending[0].update(dirty_source)
+        self._pending[1].update(dirty_target)
+
+    def ensure(
+        self,
+        source: SchemaGraph,
+        target: SchemaGraph,
+        restrict_to: Optional[Set[Pair]] = None,
+    ) -> CompiledPCG:
+        active = None if restrict_to is None else frozenset(restrict_to)
+        key = (source.name, target.name, source.revision, target.revision, active)
+        if self.compiled is not None and key == self._key:
+            self._pending = None
+            return self.compiled
+        old_key = self._key
+        if (
+            self.compiled is not None
+            and self._pending is not None
+            and old_key is not None
+            and old_key[0] == key[0]
+            and old_key[1] == key[1]
+            and (old_key[4] is None) == (active is None)
+        ):
+            self.compiled = patch_pcg(
+                self.compiled, source, target, restrict_to, *self._pending
+            )
+            self.patches += 1
+        else:
+            self.compiled = compile_pcg(source, target, restrict_to)
+            self.compiles += 1
+        self._key = key
+        self._pending = None
+        return self.compiled
+
+    def flood(
+        self,
+        source: SchemaGraph,
+        target: SchemaGraph,
+        initial: Mapping[Pair, float],
+        config: Optional[FloodingConfig] = None,
+        restrict_to: Optional[Set[Pair]] = None,
+    ) -> Dict[Pair, float]:
+        """Drop-in replacement for :func:`classic_flooding` with the
+        compiled structure cached across calls."""
+        return self.ensure(source, target, restrict_to).run(initial, config)
+
+
 # -- Harmony's directional variant ------------------------------------------------
 
 @dataclass
@@ -275,6 +696,92 @@ def directional_flooding(
                 )
         adjusted = updated
     return adjusted
+
+
+def directional_flooding_compiled(
+    source: SchemaGraph,
+    target: SchemaGraph,
+    scores: Mapping[Pair, float],
+    config: Optional[DirectionalConfig] = None,
+    pinned: Optional[set] = None,
+) -> Dict[Pair, float]:
+    """Bit-identical compiled mirror of :func:`directional_flooding`.
+
+    Scored pairs are interned to int ids in score order; the parent/child
+    structure compiles to flat index lists (parent id → child-id list,
+    plus the (child, parent) sweep order), and each iteration is a list
+    copy plus two index sweeps instead of per-iteration dict copies.
+    Positive-child sums accumulate in the reference's list order, so the
+    averages — and therefore every score — are bit-identical.
+    """
+    config = config or DirectionalConfig()
+    pinned = pinned or set()
+    pairs = list(scores)
+    index = {pair: i for i, pair in enumerate(pairs)}
+    current = [clamp_confidence(scores[pair]) for pair in pairs]
+
+    parent_cache_s: Dict[str, Optional[str]] = {}
+    parent_cache_t: Dict[str, Optional[str]] = {}
+    up_parents: List[int] = []
+    up_children: List[List[int]] = []
+    up_slot: Dict[int, int] = {}
+    down_edges: List[Tuple[int, int]] = []  # (child id, parent id), sweep order
+    for i, (s_id, t_id) in enumerate(pairs):
+        if s_id in parent_cache_s:
+            parent_s = parent_cache_s[s_id]
+        else:
+            parent_s = (
+                _containment_parent(source, s_id) if s_id in source else None
+            )
+            parent_cache_s[s_id] = parent_s
+        if t_id in parent_cache_t:
+            parent_t = parent_cache_t[t_id]
+        else:
+            parent_t = (
+                _containment_parent(target, t_id) if t_id in target else None
+            )
+            parent_cache_t[t_id] = parent_t
+        if parent_s is None or parent_t is None:
+            continue
+        j = index.get((parent_s, parent_t))
+        if j is None:
+            continue
+        slot = up_slot.get(j)
+        if slot is None:
+            slot = up_slot[j] = len(up_parents)
+            up_parents.append(j)
+            up_children.append([])
+        up_children[slot].append(i)
+        down_edges.append((i, j))
+
+    pinned_ids = {index[pair] for pair in pinned if pair in index}
+    up_rate = config.up_rate
+    down_rate = config.down_rate
+    for _ in range(config.iterations):
+        updated = current[:]
+        for slot, j in enumerate(up_parents):
+            if j in pinned_ids:
+                continue
+            total = 0.0
+            count = 0
+            for child in up_children[slot]:
+                value = current[child]
+                if value > 0.0:
+                    total += value
+                    count += 1
+            if count:
+                boost = up_rate * (total / count)
+                updated[j] = clamp_confidence(min(0.99, current[j] + boost))
+        for child, j in down_edges:
+            if child in pinned_ids:
+                continue
+            parent_score = current[j]
+            if parent_score < 0.0:
+                updated[child] = clamp_confidence(
+                    max(-0.99, updated[child] + down_rate * parent_score)
+                )
+        current = updated
+    return {pair: current[i] for i, pair in enumerate(pairs)}
 
 
 def flooded_ranking(result: Mapping[Pair, float], top: int = 10) -> List[Tuple[Pair, float]]:

@@ -106,6 +106,58 @@ class MatchContext:
             and self._built_for == (source.revision, target.revision)
         )
 
+    def patch_side(self, side, new_graph, closure_ids, delta) -> None:
+        """Invalidate exactly the caches a schema evolution touched.
+
+        *closure_ids* is the engine's evolution closure for this side
+        (``repro.harmony.engine.evolution_closure``); *delta* the
+        :class:`~repro.harmony.engine.GraphDelta`.  Token caches for the
+        closure are dropped, and the TF-IDF corpus is patched in place —
+        documents removed, replaced or added only where documentation
+        actually changed, so the corpus revision (and with it every
+        cosine memo) moves only when IDFs really shift.  Because the
+        sparse TF-IDF engine interns terms from the *sorted* vocabulary,
+        the patched corpus scores bit-identically to a freshly built one.
+
+        Call once per side, then :meth:`rebind`.  The engine owns the
+        voter-score cache; it prunes that separately.
+        """
+        old_graph = self.source if side == "source" else self.target
+        graph_name = old_graph.name
+        removed = delta.removed
+        for cache in (self._name_tokens, self._path_tokens, self._leaf_tokens):
+            for element_id in closure_ids:
+                cache.pop((graph_name, element_id), None)
+            for element_id in removed:
+                cache.pop((graph_name, element_id), None)
+        for element_id in removed:
+            doc = f"{graph_name}::{element_id}"
+            if doc in self.corpus:
+                self.corpus.remove_document(doc)
+        for element_id in sorted(delta.doc_changed):
+            element = new_graph.get(element_id)
+            if element is None:
+                continue
+            doc = f"{graph_name}::{element_id}"
+            if element.documentation:
+                self.corpus.add_document(doc, element.documentation)
+            elif doc in self.corpus:
+                self.corpus.remove_document(doc)
+        if side == "source":
+            docs = {d for d in self._source_docs if d in self.corpus}
+            for element_id in delta.doc_changed:
+                doc = f"{graph_name}::{element_id}"
+                if doc in self.corpus:
+                    docs.add(doc)
+            self._source_docs = frozenset(docs)
+
+    def rebind(self, source: SchemaGraph, target: SchemaGraph) -> None:
+        """Point the context at the (possibly new) graph objects after
+        :meth:`patch_side` has been applied for both sides."""
+        self.source = source
+        self.target = target
+        self._built_for = (source.revision, target.revision)
+
     @staticmethod
     def _doc_id(graph: SchemaGraph, element: SchemaElement) -> str:
         return f"{graph.name}::{element.element_id}"

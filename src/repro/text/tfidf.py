@@ -61,6 +61,22 @@ class TfIdfCorpus:
         self._vectors = None
         self.revision += 1
 
+    def remove_document(self, doc_id: str) -> None:
+        """Remove a document; invalidates cached vectors.
+
+        Removing shifts every IDF just like adding does, so the document
+        ``revision`` is bumped.  Unknown ids are a no-op.
+        """
+        counts = self._documents.pop(doc_id, None)
+        if counts is None:
+            return
+        for term in counts:
+            self._document_frequency[term] -= 1
+            if self._document_frequency[term] <= 0:
+                del self._document_frequency[term]
+        self._vectors = None
+        self.revision += 1
+
     def __len__(self) -> int:
         return len(self._documents)
 

@@ -60,10 +60,19 @@ class MappingVectorEvent(Event):
 @dataclass(frozen=True)
 class MappingMatrixEvent(Event):
     """*"The code generation tool ... generates a mapping-matrix event when
-    the user manually modifies the final mapping."*"""
+    the user manually modifies the final mapping."*
+
+    Also published by the matcher tool as one *coalesced* notification
+    for a whole batched matrix write (``EngineConfig.batched_matrix``):
+    ``cells_updated`` then carries how many cells changed, replacing the
+    per-cell :class:`MappingCellEvent` stream.
+    """
 
     matrix_name: str = ""
     code: str = ""
+    #: number of cells changed by a batched matrix write (0 for the
+    #: classic manual-modification event)
+    cells_updated: int = 0
 
 
 Listener = Callable[[Event], None]

@@ -66,6 +66,12 @@ def apply_evolution(
     affected: Set[str] = set(diff.redocumented)
     affected.update(element_id for element_id, _, _ in diff.renamed)
     affected.update(element_id for element_id, _, _ in diff.retyped)
+    affected.update(diff.rekinded)
+    affected.update(diff.reannotated)
+    # structural rewires (containment/domain edges) change flooding and
+    # path/leaf evidence even when no element attribute moved — their
+    # machine suggestions are stale too
+    affected.update(diff.restructured_ids())
 
     is_row = side == "source"
     axis_ids = matrix.row_ids if is_row else matrix.column_ids
@@ -147,5 +153,7 @@ def evolve_and_rematch(
                 source_schema=source_schema,
                 target_schema=target_schema,
                 matrix_name=matrix_name,
+                evolution=diff,
+                evolved_side=side,
             )
     return report

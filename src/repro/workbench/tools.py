@@ -96,8 +96,20 @@ class MatcherTool(Tool):
         source_schema: str = "",
         target_schema: str = "",
         matrix_name: Optional[str] = None,
+        evolution: Any = None,
+        evolved_side: str = "source",
         **kwargs: Any,
     ) -> MappingMatrix:
+        """Run the engine over the named schemas.
+
+        *evolution* (a ``SchemaDiff``, forwarded by ``evolve_and_rematch``)
+        signals that this invocation follows a schema change; with
+        ``EngineConfig.incremental_rematch`` enabled the engine then goes
+        through :meth:`HarmonyEngine.rematch`, which self-diffs against
+        its cached state and patches instead of rebuilding.  The engine
+        diffs for itself, so the hint being stale or partial cannot
+        corrupt results — at worst it costs a cold rebuild.
+        """
         blackboard = manager.blackboard
         source = blackboard.get_schema(source_schema)
         target = blackboard.get_schema(target_schema)
@@ -111,22 +123,41 @@ class MatcherTool(Tool):
             (c.source_id, c.target_id): (c.confidence, c.is_user_defined)
             for c in matrix.cells()
         }
+        incremental = getattr(self.engine.config, "incremental_rematch", False)
         with manager.transaction():
-            self.engine.match(source, target, matrix=matrix)
+            if incremental and evolution is not None:
+                self.engine.rematch(source, target, matrix=matrix)
+            else:
+                self.engine.match(source, target, matrix=matrix)
             blackboard.put_matrix(matrix)
-            for cell in matrix.cells():
-                pair = (cell.source_id, cell.target_id)
-                if before.get(pair) != (cell.confidence, cell.is_user_defined):
-                    manager.events.publish(
-                        MappingCellEvent(
-                            source_tool=self.name,
-                            matrix_name=matrix.name,
-                            source_id=cell.source_id,
-                            target_id=cell.target_id,
-                            confidence=cell.confidence,
-                            user_defined=cell.is_user_defined,
-                        )
+            if getattr(self.engine.config, "batched_matrix", False):
+                cells_updated = sum(
+                    1
+                    for cell in matrix.cells()
+                    if before.get((cell.source_id, cell.target_id))
+                    != (cell.confidence, cell.is_user_defined)
+                )
+                manager.events.publish(
+                    MappingMatrixEvent(
+                        source_tool=self.name,
+                        matrix_name=matrix.name,
+                        cells_updated=cells_updated,
                     )
+                )
+            else:
+                for cell in matrix.cells():
+                    pair = (cell.source_id, cell.target_id)
+                    if before.get(pair) != (cell.confidence, cell.is_user_defined):
+                        manager.events.publish(
+                            MappingCellEvent(
+                                source_tool=self.name,
+                                matrix_name=matrix.name,
+                                source_id=cell.source_id,
+                                target_id=cell.target_id,
+                                confidence=cell.confidence,
+                                user_defined=cell.is_user_defined,
+                            )
+                        )
         return matrix
 
 

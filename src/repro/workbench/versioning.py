@@ -25,29 +25,69 @@ from .blackboard import IntegrationBlackboard
 
 @dataclass
 class SchemaDiff:
-    """Element-level difference between two schema versions."""
+    """Element- and edge-level difference between two schema versions."""
 
     added: List[str] = field(default_factory=list)
     removed: List[str] = field(default_factory=list)
     renamed: List[Tuple[str, str, str]] = field(default_factory=list)   # (id, old, new)
     retyped: List[Tuple[str, Optional[str], Optional[str]]] = field(default_factory=list)
     redocumented: List[str] = field(default_factory=list)
+    #: elements whose ``kind`` changed (id list)
+    rekinded: List[str] = field(default_factory=list)
+    #: elements whose annotations changed, e.g. ``instance_values`` (id list)
+    reannotated: List[str] = field(default_factory=list)
+    #: (subject, label, object) triples present only in the new version
+    edges_added: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: (subject, label, object) triples present only in the old version
+    edges_removed: List[Tuple[str, str, str]] = field(default_factory=list)
 
     @property
     def is_empty(self) -> bool:
         return not (
-            self.added or self.removed or self.renamed or self.retyped or self.redocumented
+            self.added or self.removed or self.renamed or self.retyped
+            or self.redocumented or self.rekinded or self.reannotated
+            or self.edges_added or self.edges_removed
         )
+
+    def restructured_ids(self) -> List[str]:
+        """Surviving elements whose incident edge set changed.
+
+        These are the elements a matcher's structural evidence (flooding,
+        path/leaf tokens, domain linkage) must re-examine even when no
+        element attribute changed — e.g. an attribute moved to another
+        entity, or a containment edge was rewired.
+        """
+        ids = set()
+        for subject, _, obj in self.edges_added:
+            ids.add(subject)
+            ids.add(obj)
+        for subject, _, obj in self.edges_removed:
+            ids.add(subject)
+            ids.add(obj)
+        ids -= set(self.added)
+        ids -= set(self.removed)
+        return sorted(ids)
 
     def affected_ids(self) -> List[str]:
         ids = set(self.added) | set(self.removed) | set(self.redocumented)
         ids.update(r[0] for r in self.renamed)
         ids.update(r[0] for r in self.retyped)
+        ids.update(self.rekinded)
+        ids.update(self.reannotated)
+        ids.update(self.restructured_ids())
         return sorted(ids)
 
 
 def diff_schemas(old: SchemaGraph, new: SchemaGraph) -> SchemaDiff:
-    """What changed from *old* to *new* (matched by element id)."""
+    """What changed from *old* to *new* (matched by element id).
+
+    Beyond the per-element attributes (name, datatype, documentation,
+    kind, annotations), the diff records added/removed *edges* — so
+    purely structural evolutions such as moving an attribute between
+    entities (a containment-edge rewire with no element change) still
+    produce a non-empty diff whose :meth:`SchemaDiff.affected_ids`
+    includes the rewired endpoints.
+    """
     diff = SchemaDiff()
     old_ids = set(old.element_ids)
     new_ids = set(new.element_ids)
@@ -62,6 +102,14 @@ def diff_schemas(old: SchemaGraph, new: SchemaGraph) -> SchemaDiff:
             diff.retyped.append((element_id, old_el.datatype, new_el.datatype))
         if old_el.documentation != new_el.documentation:
             diff.redocumented.append(element_id)
+        if old_el.kind != new_el.kind:
+            diff.rekinded.append(element_id)
+        if old_el.annotations != new_el.annotations:
+            diff.reannotated.append(element_id)
+    old_edges = {(e.subject, e.label, e.object) for e in old.edges}
+    new_edges = {(e.subject, e.label, e.object) for e in new.edges}
+    diff.edges_added = sorted(new_edges - old_edges)
+    diff.edges_removed = sorted(old_edges - new_edges)
     return diff
 
 

@@ -144,3 +144,58 @@ class TestAnnotations:
         text = figure3_matrix.to_text()
         assert "+0.8m" in text
         assert "+1.0u" in text
+
+
+class TestSetCells:
+    def _matrix(self) -> MappingMatrix:
+        matrix = MappingMatrix()
+        matrix.add_row("a")
+        matrix.add_row("b")
+        matrix.add_column("x")
+        matrix.add_column("y")
+        return matrix
+
+    def test_bulk_write_equals_per_cell_suggest(self):
+        batched = self._matrix()
+        reference = self._matrix()
+        entries = [("a", "x", 0.7), ("a", "y", -0.2), ("b", "x", 0.0)]
+        written = batched.set_cells(entries)
+        for source_id, target_id, confidence in entries:
+            reference.set_confidence(source_id, target_id, confidence)
+        assert written == 3
+        assert {
+            (c.source_id, c.target_id): (c.confidence, c.is_user_defined)
+            for c in batched.cells()
+        } == {
+            (c.source_id, c.target_id): (c.confidence, c.is_user_defined)
+            for c in reference.cells()
+        }
+
+    def test_user_decisions_survive_bulk_write(self):
+        matrix = self._matrix()
+        matrix.set_confidence("a", "x", 1.0, user_defined=True)
+        written = matrix.set_cells([("a", "x", 0.3), ("a", "y", 0.3)])
+        assert written == 1
+        assert matrix.cell("a", "x").confidence == 1.0
+        assert matrix.cell("a", "x").is_user_defined
+        assert matrix.cell("a", "y").confidence == 0.3
+
+    def test_unknown_axis_raises(self):
+        matrix = self._matrix()
+        with pytest.raises(MappingError):
+            matrix.set_cells([("nope", "x", 0.5)])
+        with pytest.raises(MappingError):
+            matrix.set_cells([("a", "nope", 0.5)])
+
+    def test_out_of_range_confidence_raises(self):
+        matrix = self._matrix()
+        with pytest.raises(MappingError):
+            matrix.set_cells([("a", "x", 1.5)])
+
+    def test_accepts_generator(self):
+        matrix = self._matrix()
+        written = matrix.set_cells(
+            (row, col, 0.1) for row in ("a", "b") for col in ("x", "y")
+        )
+        assert written == 4
+        assert matrix.cell_count() == 4

