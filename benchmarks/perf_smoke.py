@@ -37,7 +37,26 @@ and enforces these guards:
   evolution (one attribute moved, one renamed, one redocumented), a warm
   ``HarmonyEngine.rematch`` must run at least ``REMATCH_MIN_SPEEDUP``
   times faster than a cold ``match`` on the evolved pair, producing the
-  same matrix.
+  same matrix — and ``fastpath_stats`` must show every cache took its
+  incremental path exactly once (context built once, blocking index
+  built once then patched, rematch patched), so a silently-degraded
+  cache fails loudly instead of just slowly.
+* **sweep-backend micro-benchmark** — the NumPy ``bincount`` sweep over
+  the A12-large compiled PCG must run at least ``SWEEP_MIN_SPEEDUP``
+  times faster than the pure-Python gather/scatter loop on the same
+  compiled edge arrays, agreeing to 1e-12 on every pair.  Skipped (with
+  a note) when NumPy is not importable — the bench stays dependency-free.
+* **blocking-index micro-benchmark** — across a series of single-element
+  evolutions, retrieval through the patched persistent
+  ``BlockingIndex`` must run at least ``BLOCKING_MIN_SPEEDUP`` times
+  faster than a cold index build on the evolved pair, returning the
+  identical ordered candidate list.
+* **matrix-serialization micro-benchmark** — re-serializing a
+  blackboard-sized matrix after a rematch-style update through
+  ``serialize_matrix`` (delta mode) must run at least
+  ``SERIALIZE_MIN_SPEEDUP`` times faster than the generic per-cell
+  loop (which can only stay stale-free by clearing and rewriting every
+  part), landing the byte-identical store state every round.
 
 Usage::
 
@@ -46,6 +65,7 @@ Usage::
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import sys
@@ -53,8 +73,18 @@ import time
 
 from repro.core import MappingMatrix
 from repro.core.graph import CONTAINMENT_LABELS, CONTAINS_ELEMENT
-from repro.harmony import EngineConfig, HarmonyEngine
-from repro.harmony.flooding import FloodingState, classic_flooding
+from repro.harmony import (
+    BlockingConfig,
+    BlockingIndex,
+    CandidateBlocker,
+    EngineConfig,
+    HarmonyEngine,
+    MatchContext,
+    evolution_closure,
+    graph_delta,
+    resolve_sweep_backend,
+)
+from repro.harmony.flooding import FloodingState, classic_flooding, compile_pcg
 from repro.loaders import load_registry
 from repro.rdf import (
     Query,
@@ -62,9 +92,16 @@ from repro.rdf import (
     Variable,
     evaluate_planned,
     evaluate_reference,
+    column_iri,
+    element_iri,
     literal,
     matrix_iri,
     matrix_to_rdf,
+    rdf_to_matrix,
+    remove_matrix,
+    row_iri,
+    serialize_matrix,
+    write_cell,
 )
 from repro.rdf import vocabulary as V
 from repro.registry import RegistryProfile, generate_registry
@@ -91,6 +128,12 @@ PLANNER_MIN_SPEEDUP = 2.0
 FLOODING_MIN_SPEEDUP = 3.0
 #: a warm incremental rematch must beat a cold match by this factor
 REMATCH_MIN_SPEEDUP = 2.0
+#: the numpy bincount sweep must beat the python loop by this factor
+SWEEP_MIN_SPEEDUP = 2.0
+#: patched blocking-index retrieval must beat a cold build by this factor
+BLOCKING_MIN_SPEEDUP = 3.0
+#: delta re-serialization must beat the per-cell rewrite by this factor
+SERIALIZE_MIN_SPEEDUP = 3.0
 #: sparse/reference cosine agreement bound (mirrors the differential suite)
 SPARSE_TOLERANCE = 1e-12
 
@@ -269,6 +312,17 @@ def _rematch_microbench(source, target):
     cold_run = cold_engine.match(evolved, target)
     cold_wall = time.perf_counter() - t0
 
+    stats = warm_engine.fastpath_stats()
+    for counter, expected in (
+        ("context_builds", 1),
+        ("blocking_builds", 1),
+        ("blocking_patches", 1),
+        ("rematch_patches", 1),
+    ):
+        if stats[counter] != expected:
+            raise AssertionError(
+                f"fastpath_stats[{counter!r}] == {stats[counter]} after a warm "
+                f"rematch (expected {expected}) — a cache regressed")
     if warm_engine.rematch_patches != 1:
         raise AssertionError("warm rematch did not take the incremental path")
     warm_cells = {
@@ -291,6 +345,239 @@ def _rematch_microbench(source, target):
         "rematch_warm_wall_s": round(warm_wall, 4),
         "rematch_speedup": round(cold_wall / warm_wall, 2),
         "rematch_cells": len(warm_cells),
+        "rematch_sweep_backend": stats["sweep_backend"],
+    }
+
+
+SWEEP_ROUNDS = 3
+
+
+def _sweep_microbench(source, target):
+    """The same fixpoint on the same compiled A12-large PCG, once through
+    the pure-Python gather/scatter loop and once through the NumPy
+    ``bincount`` sweep.  When NumPy is not importable the ``auto``
+    selector resolves to the python backend and the gate is skipped —
+    the smoke stays runnable on a dependency-free install."""
+    compiled = compile_pcg(source, target)
+    source_ids = sorted(e.element_id for e in source)
+    target_ids = sorted(e.element_id for e in target)
+    initial = {
+        (s, t): 0.2 + ((i * 7) % 11) / 20.0
+        for i, (s, t) in enumerate(zip(source_ids, target_ids))
+    }
+
+    python_backend = resolve_sweep_backend("python")
+    t0 = time.perf_counter()
+    for _ in range(SWEEP_ROUNDS):
+        python_result = compiled.run(initial, backend=python_backend)
+    python_wall = time.perf_counter() - t0
+
+    auto_backend = resolve_sweep_backend("auto")
+    result = {
+        "sweep_pcg_edges": compiled.edge_count,
+        "sweep_backend": auto_backend.name,
+        "sweep_python_wall_s": round(python_wall, 4),
+    }
+    if auto_backend.name != "numpy":
+        print("note: numpy not importable; sweep-backend gate skipped")
+        return result
+
+    t0 = time.perf_counter()
+    for _ in range(SWEEP_ROUNDS):
+        numpy_result = compiled.run(initial, backend=auto_backend)
+    numpy_wall = time.perf_counter() - t0
+
+    if set(numpy_result) != set(python_result):
+        raise AssertionError("numpy sweep scored a different pair set")
+    worst = max(
+        abs(numpy_result[p] - python_result[p]) for p in python_result
+    )
+    if worst > SPARSE_TOLERANCE:
+        raise AssertionError(
+            f"numpy sweep drifted from the python loop by {worst} "
+            f"(> {SPARSE_TOLERANCE})")
+    result.update({
+        "sweep_numpy_wall_s": round(numpy_wall, 4),
+        "sweep_speedup": round(python_wall / numpy_wall, 2),
+    })
+    return result
+
+
+BLOCKING_ROUNDS = 4
+
+
+def _blocking_microbench(source, target):
+    """A chain of single-element evolutions of the A12 source: each round
+    the persistent ``BlockingIndex`` is patched from the evolution
+    closure, while the reference rebuilds a fresh index from scratch on
+    the evolved pair.  Retrieval must be order-identical."""
+    blocker = CandidateBlocker(BlockingConfig())
+    index = BlockingIndex()
+    blocker.candidates(MatchContext(source, target), index)  # prime the cache
+
+    current = source
+    patched_wall = 0.0
+    cold_wall = 0.0
+    for round_no in range(BLOCKING_ROUNDS):
+        evolved = current.copy()
+        leaves = sorted(
+            e.element_id for e in evolved
+            if not evolved.children(e.element_id)
+            and evolved.parent(e.element_id) is not None
+        )
+        evolved.element(leaves[round_no]).name += "_r"
+        # copy() rebuilds through add_element and always lands on the
+        # same revision; advance past the previous epoch explicitly
+        evolved.revision = current.revision + 1
+        delta = graph_delta(current, evolved)
+        closure = evolution_closure(current, evolved, delta)
+        index.note_evolution(closure | delta.removed, set())
+        context = MatchContext(evolved, target)
+
+        t0 = time.perf_counter()
+        warm = blocker.candidates(context, index)
+        patched_wall += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cold = blocker.candidates(context, BlockingIndex())
+        cold_wall += time.perf_counter() - t0
+
+        warm_pairs = [(s.element_id, t.element_id) for s, t in warm.pairs]
+        cold_pairs = [(s.element_id, t.element_id) for s, t in cold.pairs]
+        if warm_pairs != cold_pairs:
+            raise AssertionError(
+                "patched blocking retrieved a different candidate list")
+        current = evolved
+
+    if index.patches != BLOCKING_ROUNDS:
+        raise AssertionError(
+            f"blocking index patched {index.patches} times over "
+            f"{BLOCKING_ROUNDS} evolutions — the patch path regressed")
+    return {
+        "blocking_rounds": BLOCKING_ROUNDS,
+        "blocking_cold_wall_s": round(cold_wall, 4),
+        "blocking_patched_wall_s": round(patched_wall, 4),
+        "blocking_index_speedup": round(cold_wall / patched_wall, 2),
+    }
+
+
+SERIALIZE_MATRIX_SIDE = 40
+SERIALIZE_ROUNDS = 5
+
+
+def _write_matrix_percell(matrix, store):
+    """The pre-bulk generic path: every part re-derives its IRIs through
+    the per-call helpers and lands one ``store.add`` per triple, with
+    cells going through ``write_cell`` — exactly what ``matrix_to_rdf``
+    amounted to before ``serialize_matrix``."""
+    m_iri = matrix_iri(matrix.name)
+    store.add(m_iri, V.RDF_TYPE, V.MATRIX_CLASS)
+    store.add(m_iri, V.NAME, literal(matrix.name))
+    for element_id in matrix.row_ids:
+        header = matrix.row(element_id)
+        r_iri = row_iri(matrix.name, element_id)
+        store.add(m_iri, V.HAS_ROW, r_iri)
+        store.add(r_iri, V.RDF_TYPE, V.ROW_CLASS)
+        store.add(r_iri, V.ROW_ELEMENT, element_iri(header.schema_name, element_id))
+        store.add(r_iri, V.NAME, literal(element_id))
+        store.add(r_iri, V.IS_COMPLETE, literal(header.is_complete))
+        if header.variable_name:
+            store.add(r_iri, V.VARIABLE_NAME, literal(header.variable_name))
+    for element_id in matrix.column_ids:
+        header = matrix.column(element_id)
+        c_iri = column_iri(matrix.name, element_id)
+        store.add(m_iri, V.HAS_COLUMN, c_iri)
+        store.add(c_iri, V.RDF_TYPE, V.COLUMN_CLASS)
+        store.add(c_iri, V.COLUMN_ELEMENT, element_iri(header.schema_name, element_id))
+        store.add(c_iri, V.NAME, literal(element_id))
+        store.add(c_iri, V.IS_COMPLETE, literal(header.is_complete))
+        if header.code:
+            store.add(c_iri, V.CODE, literal(header.code))
+    for cell in matrix.cells():
+        write_cell(store, matrix.name, cell)
+
+
+def _serialize_microbench():
+    """The engine-loop refresh scenario: a blackboard store already holds
+    the matrix, a rematch shifts a batch of confidences and retires a
+    row, and the new state must land with no stale cell triples left
+    behind.  The generic per-cell loop can only do that correctly by
+    clearing and rewriting every part; ``serialize_matrix(delta=True)``
+    diffs against the stored subject slices and touches the changed
+    triples alone.  Both must land the identical store state."""
+    matrix = MappingMatrix("serialize-bench")
+    for i in range(SERIALIZE_MATRIX_SIDE):
+        matrix.add_row(f"s/e{i}")
+        matrix.add_column(f"t/e{i}")
+    for i in range(SERIALIZE_MATRIX_SIDE):
+        for j in range(SERIALIZE_MATRIX_SIDE):
+            if i == j and i % 8 == 0:
+                matrix.set_confidence(f"s/e{i}", f"t/e{j}", 1.0, user_defined=True)
+            elif (i + j) % 3 == 0:
+                matrix.set_confidence(f"s/e{i}", f"t/e{j}", ((i * j) % 100) / 100.0)
+
+    reference_store, delta_store = TripleStore(), TripleStore()
+    serialize_matrix(matrix, reference_store)
+    serialize_matrix(matrix, delta_store, delta=True)
+
+    reference_wall = 0.0
+    delta_wall = 0.0
+    cells_touched = 0
+    # the delta side is only a few ms per round, so a cyclic-GC pass
+    # triggered by garbage from the *earlier* microbenches landing inside
+    # it would swamp the measurement; drain that garbage once and keep
+    # the collector out of the timed sections
+    gc.collect()
+    gc.disable()
+    for round_no in range(SERIALIZE_ROUNDS):
+        # a rematch-sized update: one row retires, a spread of
+        # confidences move (the same script both stores must absorb)
+        matrix.remove_row(f"s/e{round_no}")
+        rows = matrix.row_ids
+        for source_id in rows:
+            i = int(source_id.rsplit("e", 1)[1])
+            j = (i + round_no) % SERIALIZE_MATRIX_SIDE
+            if (i + j) % 3 == 0 and i != j:
+                matrix.set_confidence(
+                    source_id, f"t/e{j}", ((i * j + round_no) % 100) / 100.0
+                )
+                cells_touched += 1
+
+        t0 = time.perf_counter()
+        remove_matrix(reference_store, matrix.name)
+        _write_matrix_percell(matrix, reference_store)
+        reference_wall += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        serialize_matrix(matrix, delta_store, delta=True)
+        delta_wall += time.perf_counter() - t0
+
+        if set(delta_store) != set(reference_store):
+            gc.enable()
+            raise AssertionError(
+                "delta serialization landed a different store state than "
+                "the per-cell rewrite")
+    gc.enable()
+
+    restored = rdf_to_matrix(delta_store, matrix.name)
+    want = {
+        (c.source_id, c.target_id): (c.confidence, c.is_user_defined)
+        for c in matrix.cells()
+    }
+    got = {
+        (c.source_id, c.target_id): (c.confidence, c.is_user_defined)
+        for c in restored.cells()
+    }
+    if got != want:
+        raise AssertionError("delta serialization read back a different matrix")
+    return {
+        "serialize_cells": matrix.cell_count(),
+        "serialize_rounds": SERIALIZE_ROUNDS,
+        "serialize_cells_touched": cells_touched,
+        "serialize_store_triples": len(delta_store),
+        "serialize_percell_wall_s": round(reference_wall, 4),
+        "serialize_delta_wall_s": round(delta_wall, 4),
+        "serialize_speedup": round(reference_wall / delta_wall, 2),
     }
 
 
@@ -390,6 +677,9 @@ def main(argv) -> int:
     result.update(_planner_microbench())
     result.update(_flooding_microbench(source, target))
     result.update(_rematch_microbench(source, target))
+    result.update(_sweep_microbench(source, target))
+    result.update(_blocking_microbench(source, target))
+    result.update(_serialize_microbench())
     print("perf smoke (A12-large pair):")
     for key, value in result.items():
         print(f"  {key:>16}: {value}")
@@ -435,6 +725,20 @@ def main(argv) -> int:
         failures.append(
             f"warm rematch only {result['rematch_speedup']:.2f}x faster "
             f"than a cold match (required >= {REMATCH_MIN_SPEEDUP}x)")
+    if "sweep_speedup" in result and result["sweep_speedup"] < SWEEP_MIN_SPEEDUP:
+        failures.append(
+            f"numpy sweep only {result['sweep_speedup']:.2f}x faster "
+            f"than the python loop (required >= {SWEEP_MIN_SPEEDUP}x)")
+    if result["blocking_index_speedup"] < BLOCKING_MIN_SPEEDUP:
+        failures.append(
+            f"patched blocking only {result['blocking_index_speedup']:.2f}x "
+            f"faster than a cold index build "
+            f"(required >= {BLOCKING_MIN_SPEEDUP}x)")
+    if result["serialize_speedup"] < SERIALIZE_MIN_SPEEDUP:
+        failures.append(
+            f"delta re-serialization only {result['serialize_speedup']:.2f}x "
+            f"faster than the per-cell rewrite "
+            f"(required >= {SERIALIZE_MIN_SPEEDUP}x)")
     if os.path.exists(BASELINE_PATH):
         with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)["perf_smoke"]

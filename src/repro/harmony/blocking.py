@@ -25,12 +25,19 @@ ranked by rarity-weighted key overlap (rare keys are worth more, exactly
 like IDF).  Ties at the cut keep *all* tied targets, and elements with
 no key overlap at all are padded back up to the budget in deterministic
 order — the recall budget is a floor, never a filter on its own.
+
+Behind ``EngineConfig.incremental_blocking`` the engine keeps a
+persistent :class:`BlockingIndex` next to its ``FloodingState``: per-
+element key sets are cached across runs, and after a schema evolution
+only the dirty closure is re-keyed (:meth:`BlockingIndex.note_evolution`)
+before the postings are reassembled in current-graph order — identical
+retrieval, without paying key extraction for untouched elements.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.elements import CONTAINER_KINDS, ElementKind, SchemaElement
 from ..core.graph import SchemaGraph
@@ -93,6 +100,50 @@ def _ngrams(text: str, n: int) -> Set[str]:
     return {text[i : i + n] for i in range(len(text) - n + 1)}
 
 
+class BlockingIndex:
+    """Persistent blocking state, patched across schema evolutions.
+
+    Caches the expensive per-element *key sets* (stemming, thesaurus
+    expansion, n-grams, corpus term lookups) for both sides, keyed on a
+    (graph names, revisions, key-relevant config) epoch — the same warm
+    discipline as :class:`~repro.harmony.flooding.FloodingState`.  After
+    an evolution the engine calls :meth:`note_evolution` with the dirty
+    closure, and the next ensure re-keys only those elements; the
+    families/postings structures are then reassembled from the cached
+    key sets *in current-graph iteration order*, so retrieval is
+    indistinguishable from a cold build (differentially tested in
+    ``tests/harmony/test_fastpath.py``).
+    """
+
+    def __init__(self) -> None:
+        #: source element id → sorted key list (retrieval iterates keys
+        #: sorted, so the sort is paid once here)
+        self.source_keys: Dict[str, List[str]] = {}
+        #: target element id → key set
+        self.target_keys: Dict[str, Set[str]] = {}
+        # assembled target-side retrieval structures
+        self.families: Dict[str, List[SchemaElement]] = {}
+        self.postings: Dict[str, Dict[str, List[str]]] = {}
+        self.by_id: Dict[str, SchemaElement] = {}
+        self._key: Optional[Tuple] = None
+        self._pending: Optional[Tuple[Set[str], Set[str]]] = None
+        self.builds = 0
+        self.patches = 0
+        self.hits = 0
+
+    def note_evolution(
+        self,
+        dirty_source: Iterable[str],
+        dirty_target: Iterable[str],
+    ) -> None:
+        """Mark element ids whose keys may have changed; the next ensure
+        with a new revision re-keys only those (plus adds/removes)."""
+        if self._pending is None:
+            self._pending = (set(), set())
+        self._pending[0].update(dirty_source)
+        self._pending[1].update(dirty_target)
+
+
 class CandidateBlocker:
     """Builds the target-side inverted index and retrieves candidates."""
 
@@ -129,31 +180,153 @@ class CandidateBlocker:
                 keys.add(f"l:{token}")
         return keys
 
-    # -- retrieval ----------------------------------------------------------
+    # -- persistent index maintenance ---------------------------------------
 
-    def candidates(self, context: MatchContext) -> BlockingResult:
-        """The pruned (source, target) pair set, in deterministic order."""
+    def _config_signature(self) -> Tuple:
+        """The config fields that feed key extraction (budget is a
+        retrieval-time knob and deliberately excluded)."""
         config = self.config
-        target_root = context.target.root.element_id
-        source_root = context.source.root.element_id
+        return (
+            config.ngram,
+            config.index_documentation,
+            config.index_synonyms,
+            config.index_leaves,
+            config.index_parents,
+        )
 
-        # index: family → key → target ids (postings in insertion order)
-        index: Dict[str, Dict[str, List[str]]] = {}
+    def _side_keys(
+        self,
+        context: MatchContext,
+        graph: SchemaGraph,
+        stale: Set[str],
+        cache: Dict[str, object],
+        sort: bool,
+    ) -> Dict[str, object]:
+        """Key sets for one side, reusing *cache* entries not in *stale*.
+
+        Iterates the current graph, so removed elements drop out and
+        added ones are keyed whether or not the closure named them.
+        """
+        root = graph.root.element_id
+        fresh: Dict[str, object] = {}
+        for element in graph:
+            element_id = element.element_id
+            if element_id == root or element.kind is ElementKind.KEY:
+                continue
+            if element_id in cache and element_id not in stale:
+                fresh[element_id] = cache[element_id]
+                continue
+            keys = self.keys_for(context, graph, element)
+            fresh[element_id] = sorted(keys) if sort else keys
+        return fresh
+
+    def _assemble(self, context: MatchContext, index: BlockingIndex) -> None:
+        """Rebuild families/postings from cached target key sets, in
+        current-graph iteration order — cheap relative to key extraction,
+        and order-identical to a cold build by construction."""
+        target_root = context.target.root.element_id
         families: Dict[str, List[SchemaElement]] = {}
+        postings_by_family: Dict[str, Dict[str, List[str]]] = {}
         for element in context.target:
             if element.element_id == target_root or element.kind is ElementKind.KEY:
                 continue
             family = _family(element.kind)
             families.setdefault(family, []).append(element)
-            postings = index.setdefault(family, {})
-            for key in self.keys_for(context, context.target, element):
+            postings = postings_by_family.setdefault(family, {})
+            for key in index.target_keys[element.element_id]:
                 postings.setdefault(key, []).append(element.element_id)
-
-        by_id = {
+        index.families = families
+        index.postings = postings_by_family
+        index.by_id = {
             e.element_id: e
             for members in families.values()
             for e in members
         }
+
+    def ensure_index(self, context: MatchContext, index: BlockingIndex) -> None:
+        """Bring *index* up to date with the context's graphs: reuse on
+        an epoch hit, re-key only the dirty closure after an evolution,
+        rebuild from scratch otherwise."""
+        key = (
+            context.source.name,
+            context.target.name,
+            context.source.revision,
+            context.target.revision,
+            self._config_signature(),
+        )
+        if index._key == key and index.families:
+            index._pending = None
+            index.hits += 1
+            return
+        old_key = index._key
+        pending = index._pending
+        if (
+            old_key is not None
+            and pending is not None
+            and old_key[0] == key[0]
+            and old_key[1] == key[1]
+            and old_key[4] == key[4]
+        ):
+            dirty_source, dirty_target = pending
+            index.patches += 1
+        else:
+            dirty_source = set(index.source_keys)
+            dirty_target = set(index.target_keys)
+            index.source_keys = {}
+            index.target_keys = {}
+            index.builds += 1
+        index.source_keys = self._side_keys(
+            context, context.source, dirty_source, index.source_keys, sort=True
+        )
+        index.target_keys = self._side_keys(
+            context, context.target, dirty_target, index.target_keys, sort=False
+        )
+        self._assemble(context, index)
+        index._key = key
+        index._pending = None
+
+    # -- retrieval ----------------------------------------------------------
+
+    def candidates(
+        self,
+        context: MatchContext,
+        index: Optional[BlockingIndex] = None,
+    ) -> BlockingResult:
+        """The pruned (source, target) pair set, in deterministic order.
+
+        With *index* (a persistent :class:`BlockingIndex`), key sets are
+        served from the warm cache; without one, keys are extracted ad
+        hoc exactly as before — both paths retrieve identical pairs.
+        """
+        config = self.config
+        source_root = context.source.root.element_id
+
+        if index is not None:
+            self.ensure_index(context, index)
+            families = index.families
+            postings_by_family = index.postings
+            by_id = index.by_id
+            source_keys: Optional[Dict[str, List[str]]] = index.source_keys
+        else:
+            target_root = context.target.root.element_id
+            # index: family → key → target ids (postings in insertion order)
+            postings_by_family = {}
+            families = {}
+            for element in context.target:
+                if element.element_id == target_root or element.kind is ElementKind.KEY:
+                    continue
+                family = _family(element.kind)
+                families.setdefault(family, []).append(element)
+                postings = postings_by_family.setdefault(family, {})
+                for key in self.keys_for(context, context.target, element):
+                    postings.setdefault(key, []).append(element.element_id)
+            by_id = {
+                e.element_id: e
+                for members in families.values()
+                for e in members
+            }
+            source_keys = None
+
         pairs: List[Tuple[SchemaElement, SchemaElement]] = []
         total = 0
         for source_el in context.source:
@@ -167,14 +340,20 @@ class CandidateBlocker:
             if len(members) <= config.budget:
                 pairs.extend((source_el, t) for t in members)
                 continue
-            postings = index[family]
+            postings = postings_by_family[family]
             # keys matching more than half the family discriminate
             # nothing — skip them like stop words
             stop_df = max(config.budget, len(members) // 2)
             scores: Dict[str, float] = {}
             # sorted so float accumulation order (and thus tie ranking)
             # does not depend on the process hash seed
-            for key in sorted(self.keys_for(context, context.source, source_el)):
+            if source_keys is not None:
+                element_keys = source_keys[source_el.element_id]
+            else:
+                element_keys = sorted(
+                    self.keys_for(context, context.source, source_el)
+                )
+            for key in element_keys:
                 matched = postings.get(key)
                 if matched and len(matched) <= stop_df:
                     # rarity weighting: a key shared by few targets is

@@ -26,14 +26,16 @@ from ..core.elements import SchemaElement
 from ..core.graph import SchemaGraph
 from ..core.matrix import MappingMatrix
 from ..text.thesaurus import Thesaurus
-from .blocking import BlockingConfig, BlockingResult, CandidateBlocker
+from .blocking import BlockingConfig, BlockingIndex, BlockingResult, CandidateBlocker
 from .flooding import (
     DirectionalConfig,
     FloodingConfig,
     FloodingState,
+    SweepBackend,
     classic_flooding,
     directional_flooding,
     directional_flooding_compiled,
+    resolve_sweep_backend,
 )
 from .learning import decisions_from_matrix, update_merger_weights, update_word_weights
 from .merger import MergeResult, VoteMerger
@@ -111,6 +113,27 @@ class EngineConfig:
     #: publish one coalesced ``MappingMatrixEvent`` (``cells_updated``)
     #: instead of a ``MappingCellEvent`` per changed cell
     batched_matrix: bool = False
+    #: which :class:`~repro.harmony.flooding.SweepBackend` runs the
+    #: compiled classic-flooding sweeps: ``"python"`` (the reference
+    #: gather/scatter loop, zero dependencies), ``"numpy"`` (vectorized
+    #: ``np.bincount`` sweeps over zero-copy views of the edge arrays —
+    #: requires the ``fast`` extra), or ``"auto"`` (NumPy when
+    #: importable, silently the Python loop otherwise).  Only consulted
+    #: when ``compiled_flooding`` runs the classic fixpoint; backends
+    #: agree to ≤1e-12 (tests/harmony/test_sweep_backends.py)
+    sweep_backend: str = "python"
+    #: keep a persistent :class:`~repro.harmony.blocking.BlockingIndex`
+    #: next to the flooding state: per-element blocking keys are cached
+    #: across runs and, after an evolution, only the dirty closure is
+    #: re-keyed instead of rebuilding the inverted index from scratch —
+    #: retrieval is identical to a cold build
+    incremental_blocking: bool = False
+    #: serialize mapping matrices to blackboard RDF through the bulk
+    #: :func:`~repro.rdf.schema_rdf.serialize_matrix` path — precomputed
+    #: IRI interning plus one ``add_many``, and in delta mode a diff
+    #: against the stored cell set so re-serializing after a rematch
+    #: touches only changed cells (idempotent, no stale cell triples)
+    delta_matrix_rdf: bool = False
 
     @classmethod
     def fast(cls, **overrides) -> "EngineConfig":
@@ -124,6 +147,9 @@ class EngineConfig:
             compiled_flooding=True,
             incremental_rematch=True,
             batched_matrix=True,
+            sweep_backend="auto",
+            incremental_blocking=True,
+            delta_matrix_rdf=True,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -299,6 +325,13 @@ class HarmonyEngine:
         #: compiled-PCG cache for ``config.compiled_flooding`` (epoch-keyed,
         #: patched incrementally after evolutions)
         self._flooding_state: Optional[FloodingState] = None
+        #: persistent blocking index for ``config.incremental_blocking``
+        #: (epoch-keyed key-set cache, patched after evolutions)
+        self._blocking_index: Optional[BlockingIndex] = None
+        #: resolved sweep backend, memoized per selector so ``auto``
+        #: probes importlib once per engine, not once per run
+        self._sweep_backend: Optional[SweepBackend] = None
+        self._sweep_backend_selector: Optional[str] = None
         #: how many times :meth:`rematch` patched state instead of
         #: rebuilding (tests and perf_smoke assert on it)
         self.rematch_patches: int = 0
@@ -356,7 +389,13 @@ class HarmonyEngine:
 
         blocking_result: Optional[BlockingResult] = None
         if self.config.blocking is not None:
-            blocking_result = CandidateBlocker(self.config.blocking).candidates(context)
+            blocker = CandidateBlocker(self.config.blocking)
+            if self.config.incremental_blocking:
+                if self._blocking_index is None:
+                    self._blocking_index = BlockingIndex()
+                blocking_result = blocker.candidates(context, self._blocking_index)
+            else:
+                blocking_result = blocker.candidates(context)
             candidate_pairs = blocking_result.pairs
         else:
             candidate_pairs = context.candidate_pairs()
@@ -459,6 +498,11 @@ class HarmonyEngine:
                 source_delta.structural | source_delta.added | source_delta.removed,
                 target_delta.structural | target_delta.added | target_delta.removed,
             )
+        if self._blocking_index is not None:
+            # blocking keys embed name/doc/parent/leaf evidence, so the
+            # full closure (plus removals) is the stale set — the same
+            # one the voter-score cache invalidates on
+            self._blocking_index.note_evolution(stale_source, stale_target)
         self.rematch_patches += 1
         return self.match(source, target, matrix)
 
@@ -586,7 +630,7 @@ class HarmonyEngine:
                     self._flooding_state = FloodingState()
                 flooded = self._flooding_state.flood(
                     source, target, positive, config=self.config.classic,
-                    restrict_to=restrict_to,
+                    restrict_to=restrict_to, backend=self._resolve_backend(),
                 )
             else:
                 flooded = classic_flooding(
@@ -605,5 +649,45 @@ class HarmonyEngine:
             return out
         raise ValueError(f"unknown flooding mode {mode!r}")
 
+    def _resolve_backend(self) -> SweepBackend:
+        """The configured :class:`SweepBackend`, memoized per selector."""
+        selector = self.config.sweep_backend
+        if self._sweep_backend is None or self._sweep_backend_selector != selector:
+            self._sweep_backend = resolve_sweep_backend(selector)
+            self._sweep_backend_selector = selector
+        return self._sweep_backend
+
     def voter_names(self) -> List[str]:
         return [voter.name for voter in self.voters]
+
+    # -- observability -------------------------------------------------------
+
+    def fastpath_stats(self) -> Dict[str, object]:
+        """Warm-path counters, ``stage_summary``-style but machine-readable.
+
+        Reports how often each persistent cache was reused (hit), patched
+        from an evolution delta, or rebuilt cold — plus the process-wide
+        bulk-serialization counters from :mod:`repro.rdf.schema_rdf`.
+        ``perf_smoke.py`` asserts on these so a silently-broken cache
+        fails the build loudly instead of just slowly.
+        """
+        flooding = self._flooding_state
+        blocking = self._blocking_index
+        stats: Dict[str, object] = {
+            "context_builds": self.context_builds,
+            "rematch_patches": self.rematch_patches,
+            "sweep_backend": self._resolve_backend().name,
+            "flooding_compiles": flooding.compiles if flooding else 0,
+            "flooding_patches": flooding.patches if flooding else 0,
+            "flooding_hits": flooding.hits if flooding else 0,
+            "blocking_builds": blocking.builds if blocking else 0,
+            "blocking_patches": blocking.patches if blocking else 0,
+            "blocking_hits": blocking.hits if blocking else 0,
+        }
+        # process-wide bulk/delta serialization counters live with the
+        # serializer; imported lazily to keep harmony → rdf decoupled at
+        # import time
+        from ..rdf.schema_rdf import serialization_stats
+
+        stats.update(serialization_stats())
+        return stats

@@ -26,6 +26,20 @@ Two algorithms live here, each in two executions:
   keys the compiled structure on a (graph names, revisions, active-set)
   epoch and, after a schema evolution, patches only the PCG edges
   incident to the evolved elements instead of recompiling.
+* :class:`SweepBackend` and its two implementations — the sweep loop
+  itself is pluggable (``EngineConfig.sweep_backend``).
+  :class:`PythonSweepBackend` is the pure-Python gather/scatter loop
+  (bit-identical to the reference, zero dependencies);
+  :class:`NumpySweepBackend` consumes the same ``array`` buffers
+  zero-copy via ``np.frombuffer`` and runs each sweep as one
+  ``np.bincount`` scatter plus vectorized normalization and residual.
+  ``bincount`` accumulates in edge order — the order the arrays were
+  flattened in — so the NumPy sweep reproduces the Python backend's
+  float arithmetic operation for operation (differentially tested to
+  1e-12; bit-identical in practice).  :func:`resolve_sweep_backend`
+  maps the ``"auto" | "python" | "numpy"`` selector to a backend,
+  probing for NumPy and degrading silently on ``"auto"`` — NumPy stays
+  an optional extra, never a hard dependency.
 * :func:`directional_flooding_compiled` — the same up/down propagation
   over int-indexed parent/child lists, bit-identical to the reference.
 """
@@ -34,7 +48,7 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.correspondence import clamp_confidence
 from ..core.elements import ElementKind
@@ -255,7 +269,7 @@ class CompiledPCG:
 
     __slots__ = (
         "nodes", "node_index", "edge_src", "edge_dst", "edge_weight",
-        "out_by_label", "allowed", "_edge_iter", "_buffers",
+        "out_by_label", "allowed", "_edge_iter", "_buffers", "_np_edges",
     )
 
     def __init__(
@@ -272,6 +286,10 @@ class CompiledPCG:
         self.edge_weight = array("d")
         self._edge_iter: Optional[List[Tuple[int, int, float]]] = None
         self._buffers: Optional[Tuple[List[float], ...]] = None
+        #: zero-copy NumPy views over the edge arrays, built on demand by
+        #: :class:`NumpySweepBackend` and dropped whenever the arrays are
+        #: reflattened
+        self._np_edges: Optional[Tuple] = None
         self._flatten()
 
     @property
@@ -309,6 +327,7 @@ class CompiledPCG:
         self.edge_weight = wts
         self._edge_iter = None
         self._buffers = None
+        self._np_edges = None
 
     def _edges(self) -> List[Tuple[int, int, float]]:
         edges = self._edge_iter
@@ -322,12 +341,15 @@ class CompiledPCG:
         self,
         initial: Mapping[Pair, float],
         config: Optional[FloodingConfig] = None,
+        backend: Optional["SweepBackend"] = None,
     ) -> Dict[Pair, float]:
         """The classic fixpoint as index-gather/scatter sweeps.
 
         Same σ⁺ = normalize(σ⁰ + σ + φ(σ)) recurrence, same accumulation
         order, same normalization and residual arithmetic as
-        :func:`classic_flooding` — bit-identical by construction.
+        :func:`classic_flooding` — bit-identical by construction on the
+        default Python backend.  *backend* selects which
+        :class:`SweepBackend` iterates the fixpoint over the edge arrays.
         """
         config = config or FloodingConfig()
         index = self.node_index
@@ -341,23 +363,84 @@ class CompiledPCG:
                 extra[pair] = structural_n + len(extra)
         n = structural_n + len(extra)
 
-        buffers = self._buffers
-        if buffers is None or len(buffers[0]) != n:
-            buffers = tuple([0.0] * n for _ in range(4))
-            self._buffers = buffers
-        sigma0, sigma, incoming, updated = buffers
-
-        for i in range(n):
-            sigma0[i] = 0.0
+        entries: List[Tuple[int, float]] = []
         for pair, value in initial.items():
             value = float(value)
             i = index.get(pair)
             if i is None:
                 i = extra[pair]
-            sigma0[i] = value if value > 0.0 else 0.0
+            entries.append((i, value if value > 0.0 else 0.0))
+
+        if backend is None:
+            backend = PYTHON_SWEEP_BACKEND
+        sigma = backend.sweep(self, entries, n, config)
+
+        result = {pair: sigma[i] for pair, i in index.items()}
+        for pair, i in extra.items():
+            result[pair] = sigma[i]
+        return result
+
+
+#: valid ``EngineConfig.sweep_backend`` / :func:`resolve_sweep_backend`
+#: selectors
+SWEEP_BACKENDS = ("auto", "python", "numpy")
+
+
+class SweepBackend:
+    """Strategy seam for :meth:`CompiledPCG.run`'s inner fixpoint.
+
+    A backend receives the compiled PCG, the dense ``(index, value)``
+    initial-score entries, the total node count (structural + extra
+    interned pairs) and the :class:`FloodingConfig`; it returns the final
+    σ vector indexable by node id.  Backends must preserve the reference
+    recurrence σ⁺ = normalize(σ⁰ + σ + φ(σ)), the max-normalization and
+    the max-abs-delta residual; the differential suite in
+    ``tests/harmony/test_sweep_backends.py`` holds them to ≤1e-12
+    agreement.
+    """
+
+    name = "abstract"
+
+    def sweep(
+        self,
+        compiled: CompiledPCG,
+        entries: List[Tuple[int, float]],
+        n: int,
+        config: FloodingConfig,
+    ) -> Sequence[float]:
+        raise NotImplementedError
+
+
+class PythonSweepBackend(SweepBackend):
+    """The pure-Python gather/scatter loop (reference-bit-identical).
+
+    Reuses ``CompiledPCG``'s preallocated score buffers across runs and
+    accumulates in flattened edge order, so it is bit-identical to
+    :func:`classic_flooding` on a cold compile.
+    """
+
+    name = "python"
+
+    def sweep(
+        self,
+        compiled: CompiledPCG,
+        entries: List[Tuple[int, float]],
+        n: int,
+        config: FloodingConfig,
+    ) -> Sequence[float]:
+        buffers = compiled._buffers
+        if buffers is None or len(buffers[0]) != n:
+            buffers = tuple([0.0] * n for _ in range(4))
+            compiled._buffers = buffers
+        sigma0, sigma, incoming, updated = buffers
+
+        for i in range(n):
+            sigma0[i] = 0.0
+        for i, value in entries:
+            sigma0[i] = value
         sigma[:] = sigma0
 
-        edges = self._edges()
+        edges = compiled._edges()
         epsilon = config.epsilon
         for _ in range(config.max_iterations):
             for i in range(n):
@@ -393,12 +476,115 @@ class CompiledPCG:
             if residual < epsilon:
                 break
         # buffers were swapped in place; record the final assignment
-        self._buffers = (sigma0, sigma, incoming, updated)
+        compiled._buffers = (sigma0, sigma, incoming, updated)
+        return sigma
 
-        result = {pair: sigma[i] for pair, i in index.items()}
-        for pair, i in extra.items():
-            result[pair] = sigma[i]
-        return result
+
+def _probe_numpy():
+    """Import numpy if available, else ``None`` (never raises)."""
+    try:
+        import numpy
+    except Exception:
+        return None
+    return numpy
+
+
+class NumpySweepBackend(SweepBackend):
+    """Vectorized sweeps over zero-copy views of the edge arrays.
+
+    ``np.frombuffer`` wraps ``CompiledPCG``'s ``array('l')``/``array('d')``
+    buffers without copying (views are cached on the compiled PCG and
+    dropped whenever it reflattens); each sweep is one
+    ``np.bincount(dst, weights=sigma[src] * w)`` scatter — which
+    accumulates in input (edge) order, matching the Python loop's
+    float-accumulation order — plus vectorized normalization and
+    max-abs-delta residual.
+    """
+
+    name = "numpy"
+
+    def __init__(self, module=None) -> None:
+        self._np = module if module is not None else _probe_numpy()
+        if self._np is None:
+            raise ImportError(
+                "NumPy is not installed; install the 'fast' extra or use "
+                "sweep_backend='python'/'auto'"
+            )
+
+    def _edge_views(self, compiled: CompiledPCG):
+        np = self._np
+        views = compiled._np_edges
+        if views is None:
+            src = np.frombuffer(
+                compiled.edge_src, dtype=np.dtype(f"i{compiled.edge_src.itemsize}")
+            )
+            dst = np.frombuffer(
+                compiled.edge_dst, dtype=np.dtype(f"i{compiled.edge_dst.itemsize}")
+            )
+            wts = np.frombuffer(compiled.edge_weight, dtype=np.float64)
+            views = compiled._np_edges = (src, dst, wts)
+        return views
+
+    def sweep(
+        self,
+        compiled: CompiledPCG,
+        entries: List[Tuple[int, float]],
+        n: int,
+        config: FloodingConfig,
+    ) -> Sequence[float]:
+        np = self._np
+        if n == 0:
+            return []
+        if compiled.edge_count:
+            src, dst, wts = self._edge_views(compiled)
+        else:
+            src = dst = wts = None
+        sigma0 = np.zeros(n)
+        for i, value in entries:
+            sigma0[i] = value
+        sigma = sigma0.copy()
+        epsilon = config.epsilon
+        for _ in range(config.max_iterations):
+            if src is not None:
+                incoming = np.bincount(dst, weights=sigma[src] * wts, minlength=n)
+            else:
+                incoming = np.zeros(n)
+            updated = sigma0 + sigma + incoming
+            peak = updated.max()
+            if peak > 0.0:
+                updated /= peak
+            residual = np.abs(updated - sigma).max()
+            sigma = updated
+            if residual < epsilon:
+                break
+        return sigma.tolist()
+
+
+#: process-wide singleton for the default backend — stateless, so safe
+#: to share across engines and threads
+PYTHON_SWEEP_BACKEND = PythonSweepBackend()
+
+
+def resolve_sweep_backend(selector: str = "python") -> SweepBackend:
+    """Map an ``EngineConfig.sweep_backend`` selector to a backend.
+
+    ``"python"`` returns the shared pure-Python backend; ``"numpy"``
+    requires NumPy and raises :class:`ImportError` if it is missing;
+    ``"auto"`` probes for NumPy and silently falls back to the Python
+    backend when unavailable (the package keeps zero hard dependencies).
+    """
+    if selector == "python":
+        return PYTHON_SWEEP_BACKEND
+    if selector == "numpy":
+        return NumpySweepBackend()
+    if selector == "auto":
+        module = _probe_numpy()
+        if module is None:
+            return PYTHON_SWEEP_BACKEND
+        return NumpySweepBackend(module)
+    raise ValueError(
+        f"unknown sweep backend {selector!r}; expected one of {SWEEP_BACKENDS}"
+    )
 
 
 def compile_pcg(
@@ -562,6 +748,7 @@ class FloodingState:
         self._pending: Optional[Tuple[Set[str], Set[str]]] = None
         self.compiles = 0
         self.patches = 0
+        self.hits = 0
 
     def note_evolution(
         self,
@@ -585,6 +772,7 @@ class FloodingState:
         key = (source.name, target.name, source.revision, target.revision, active)
         if self.compiled is not None and key == self._key:
             self._pending = None
+            self.hits += 1
             return self.compiled
         old_key = self._key
         if (
@@ -613,10 +801,13 @@ class FloodingState:
         initial: Mapping[Pair, float],
         config: Optional[FloodingConfig] = None,
         restrict_to: Optional[Set[Pair]] = None,
+        backend: Optional[SweepBackend] = None,
     ) -> Dict[Pair, float]:
         """Drop-in replacement for :func:`classic_flooding` with the
         compiled structure cached across calls."""
-        return self.ensure(source, target, restrict_to).run(initial, config)
+        return self.ensure(source, target, restrict_to).run(
+            initial, config, backend=backend
+        )
 
 
 # -- Harmony's directional variant ------------------------------------------------

@@ -20,7 +20,7 @@ and deltas are stable across workbench instances.
 from __future__ import annotations
 
 import urllib.parse
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.correspondence import Correspondence
 from ..core.elements import ElementKind, SchemaElement
@@ -163,44 +163,266 @@ def schemas_in_store(store: TripleStore) -> List[str]:
 
 # -- mapping matrix -> RDF --------------------------------------------------------
 
-def matrix_to_rdf(matrix: MappingMatrix, store: TripleStore) -> IRI:
-    """Write a mapping matrix into the store; returns the matrix IRI."""
+#: process-wide bulk/delta matrix-serialization counters; surfaced via
+#: :meth:`HarmonyEngine.fastpath_stats` and asserted in perf_smoke.py
+_SERIALIZATION_STATS = {
+    "matrix_bulk_serializations": 0,
+    "matrix_delta_serializations": 0,
+    "matrix_triples_written": 0,
+    "matrix_triples_removed": 0,
+    "matrix_triples_unchanged": 0,
+}
+
+
+def serialization_stats() -> Dict[str, int]:
+    """A snapshot of the matrix-serialization counters."""
+    return dict(_SERIALIZATION_STATS)
+
+
+def reset_serialization_stats() -> None:
+    for key in _SERIALIZATION_STATS:
+        _SERIALIZATION_STATS[key] = 0
+
+
+def _matrix_slices(
+    matrix: MappingMatrix,
+) -> "Tuple[Dict[object, Dict[IRI, List[object]]], int]":
+    """The canonical matrix layout as ``{subject: {predicate: [objects]}}``.
+
+    This is the single source of truth for the matrix→RDF shape.  Both
+    :func:`matrix_triples` (which flattens it) and the delta branch of
+    :func:`serialize_matrix` (which diffs it against the store's index
+    slices without materializing a :class:`Triple` per statement) build
+    on it, so bulk and delta serialization can never drift apart.
+
+    The matrix name is quoted once and every row/column identifier is
+    interned in a dict, so the cell loop — the bulk of a big matrix —
+    reuses the quoted ids instead of re-quoting three per cell.  Returns
+    the nested slices plus the total statement count.
+    """
+    qname = _quote(matrix.name)
     m_iri = matrix_iri(matrix.name)
-    triples: List[Triple] = [
-        Triple(m_iri, V.RDF_TYPE, V.MATRIX_CLASS),
-        Triple(m_iri, V.NAME, literal(matrix.name)),
-    ]
+    slices: Dict[object, Dict[IRI, List[object]]] = {}
+    total = 0
+
+    def _slot(subject: object, predicate: IRI) -> List[object]:
+        by_pred = slices.get(subject)
+        if by_pred is None:
+            by_pred = slices[subject] = {}
+        objs = by_pred.get(predicate)
+        if objs is None:
+            objs = by_pred[predicate] = []
+        return objs
+
+    m_slice: Dict[IRI, List[object]] = slices.setdefault(m_iri, {})
+    m_slice[V.RDF_TYPE] = [V.MATRIX_CLASS]
+    m_slice[V.NAME] = [literal(matrix.name)]
+    total += 2
     if matrix.code:
-        triples.append(Triple(m_iri, V.CODE, literal(matrix.code)))
+        m_slice[V.CODE] = [literal(matrix.code)]
+        total += 1
+    quoted_ids: Dict[str, str] = {}
+
+    def _qid(element_id: str) -> str:
+        quoted = quoted_ids.get(element_id)
+        if quoted is None:
+            quoted = quoted_ids[element_id] = _quote(element_id)
+        return quoted
+
+    term = MATRIX_BASE.term
+    row_iris: Dict[str, IRI] = {}
+    col_iris: Dict[str, IRI] = {}
+    has_rows = m_slice.setdefault(V.HAS_ROW, [])
     for element_id in matrix.row_ids:
         header = matrix.row(element_id)
-        r_iri = row_iri(matrix.name, element_id)
-        triples.append(Triple(m_iri, V.HAS_ROW, r_iri))
-        triples.append(Triple(r_iri, V.RDF_TYPE, V.ROW_CLASS))
-        triples.append(Triple(r_iri, V.ROW_ELEMENT, element_iri(header.schema_name, element_id)))
-        triples.append(Triple(r_iri, V.NAME, literal(element_id)))
-        triples.append(Triple(r_iri, V.IS_COMPLETE, literal(header.is_complete)))
+        r_iri = term(f"{qname}/row/{_qid(element_id)}")
+        row_iris[element_id] = r_iri
+        has_rows.append(r_iri)
+        r_slice: Dict[IRI, List[object]] = {
+            V.RDF_TYPE: [V.ROW_CLASS],
+            V.ROW_ELEMENT: [element_iri(header.schema_name, element_id)],
+            V.NAME: [literal(element_id)],
+            V.IS_COMPLETE: [literal(header.is_complete)],
+        }
+        total += 5
         if header.variable_name:
-            triples.append(Triple(r_iri, V.VARIABLE_NAME, literal(header.variable_name)))
+            r_slice[V.VARIABLE_NAME] = [literal(header.variable_name)]
+            total += 1
+        slices[r_iri] = r_slice
+    has_columns = m_slice.setdefault(V.HAS_COLUMN, [])
     for element_id in matrix.column_ids:
         header = matrix.column(element_id)
-        c_iri = column_iri(matrix.name, element_id)
-        triples.append(Triple(m_iri, V.HAS_COLUMN, c_iri))
-        triples.append(Triple(c_iri, V.RDF_TYPE, V.COLUMN_CLASS))
-        triples.append(Triple(c_iri, V.COLUMN_ELEMENT, element_iri(header.schema_name, element_id)))
-        triples.append(Triple(c_iri, V.NAME, literal(element_id)))
-        triples.append(Triple(c_iri, V.IS_COMPLETE, literal(header.is_complete)))
+        c_iri = term(f"{qname}/col/{_qid(element_id)}")
+        col_iris[element_id] = c_iri
+        has_columns.append(c_iri)
+        c_slice: Dict[IRI, List[object]] = {
+            V.RDF_TYPE: [V.COLUMN_CLASS],
+            V.COLUMN_ELEMENT: [element_iri(header.schema_name, element_id)],
+            V.NAME: [literal(element_id)],
+            V.IS_COMPLETE: [literal(header.is_complete)],
+        }
+        total += 5
         if header.code:
-            triples.append(Triple(c_iri, V.CODE, literal(header.code)))
+            c_slice[V.CODE] = [literal(header.code)]
+            total += 1
+        slices[c_iri] = c_slice
+    has_cells = m_slice.setdefault(V.HAS_CELL, [])
+    rdf_type, cell_class = V.RDF_TYPE, V.CELL_CLASS
+    cell_row, cell_column = V.CELL_ROW, V.CELL_COLUMN
+    confidence_score, is_user_defined = V.CONFIDENCE_SCORE, V.IS_USER_DEFINED
     for cell in matrix.cells():
-        c_iri = cell_iri(matrix.name, cell.source_id, cell.target_id)
-        triples.append(Triple(m_iri, V.HAS_CELL, c_iri))
-        triples.append(Triple(c_iri, V.RDF_TYPE, V.CELL_CLASS))
-        triples.append(Triple(c_iri, V.CELL_ROW, row_iri(matrix.name, cell.source_id)))
-        triples.append(Triple(c_iri, V.CELL_COLUMN, column_iri(matrix.name, cell.target_id)))
-        triples.append(Triple(c_iri, V.CONFIDENCE_SCORE, literal(float(cell.confidence))))
-        triples.append(Triple(c_iri, V.IS_USER_DEFINED, literal(cell.is_user_defined)))
-    store.add_many(triples)
+        source_id, target_id = cell.source_id, cell.target_id
+        c_iri = term(f"{qname}/cell/{_qid(source_id)}/{_qid(target_id)}")
+        r_iri = row_iris.get(source_id)
+        if r_iri is None:
+            r_iri = term(f"{qname}/row/{_qid(source_id)}")
+        col_iri_ = col_iris.get(target_id)
+        if col_iri_ is None:
+            col_iri_ = term(f"{qname}/col/{_qid(target_id)}")
+        has_cells.append(c_iri)
+        slices[c_iri] = {
+            rdf_type: [cell_class],
+            cell_row: [r_iri],
+            cell_column: [col_iri_],
+            confidence_score: [literal(float(cell.confidence))],
+            is_user_defined: [literal(cell.is_user_defined)],
+        }
+        total += 6
+    for predicate in (V.HAS_ROW, V.HAS_COLUMN, V.HAS_CELL):
+        if not m_slice[predicate]:
+            del m_slice[predicate]
+    return slices, total
+
+
+def matrix_triples(matrix: MappingMatrix) -> List[Triple]:
+    """The canonical triple layout of a matrix, as one list.
+
+    Flattens :func:`_matrix_slices`, so it is byte-identical in content
+    to what the delta serializer diffs.  Shared by :func:`matrix_to_rdf`
+    and :func:`serialize_matrix`.
+    """
+    slices, total = _matrix_slices(matrix)
+    triples: List[Triple] = []
+    append = triples.append
+    for subject, by_pred in slices.items():
+        for predicate, objs in by_pred.items():
+            for obj in objs:
+                append(Triple(subject, predicate, obj))
+    return triples
+
+
+def _matrix_part_iris(store: TripleStore, m_iri: IRI) -> List[IRI]:
+    """The row/column/cell resources a stored matrix links to."""
+    parts: List[IRI] = []
+    for predicate in (V.HAS_ROW, V.HAS_COLUMN, V.HAS_CELL):
+        parts.extend(
+            obj for obj in store.objects(m_iri, predicate)
+            if isinstance(obj, IRI)
+        )
+    return parts
+
+
+def remove_matrix(store: TripleStore, matrix_name: str) -> int:
+    """Remove a matrix and all its row/column/cell triples.
+
+    Also strips triples *pointing at* the parts (annotations on cells),
+    so nothing dangles.  Returns the number of triples removed; zero if
+    no such matrix is stored.
+    """
+    m_iri = matrix_iri(matrix_name)
+    parts = _matrix_part_iris(store, m_iri)
+    removed = store.remove_matching(subject=m_iri)
+    for part in parts:
+        removed += store.remove_matching(subject=part)
+        removed += store.remove_matching(obj=part)
+    return removed
+
+
+def matrix_to_rdf(matrix: MappingMatrix, store: TripleStore) -> IRI:
+    """Write a mapping matrix into the store; returns the matrix IRI.
+
+    Idempotent: a previously stored matrix of the same name is removed
+    first (:func:`remove_matrix`), so re-serializing after a rematch can
+    never leave superseded cell triples behind.
+    """
+    m_iri = matrix_iri(matrix.name)
+    if V.MATRIX_CLASS in store.objects(m_iri, V.RDF_TYPE):
+        remove_matrix(store, matrix.name)
+    store.add_many(matrix_triples(matrix))
+    return m_iri
+
+
+def serialize_matrix(
+    matrix: MappingMatrix, store: TripleStore, delta: bool = False
+) -> IRI:
+    """Bulk matrix serialization (the ``EngineConfig.delta_matrix_rdf`` path).
+
+    Both modes are idempotent and produce the same stored matrix state
+    as :func:`matrix_to_rdf`:
+
+    * **bulk** (``delta=False``) — remove any stored matrix of the same
+      name, then land the precomputed triple list in one ``add_many``;
+    * **delta** (``delta=True``) — diff the desired triples against the
+      currently stored matrix subjects and only remove the stale / add
+      the fresh ones, so re-serializing after a rematch touches changed
+      cells alone.  Unlike the bulk mode, *inbound* triples pointing at
+      surviving parts (e.g. annotations on cells) are preserved.
+    """
+    stats = _SERIALIZATION_STATS
+    m_iri = matrix_iri(matrix.name)
+    if not delta:
+        desired = matrix_triples(matrix)
+        removed = 0
+        if V.MATRIX_CLASS in store.objects(m_iri, V.RDF_TYPE):
+            removed = remove_matrix(store, matrix.name)
+        store.add_many(desired)
+        stats["matrix_bulk_serializations"] += 1
+        stats["matrix_triples_written"] += len(desired)
+        stats["matrix_triples_removed"] += removed
+        return m_iri
+
+    # diff the desired layout against the store at the term level: each
+    # (subject, predicate) index slice is compared as a set of objects,
+    # so no Triple is materialized for statements that are staying put —
+    # only the actual fresh/stale statements pay construction cost
+    desired_slices, total = _matrix_slices(matrix)
+    subject_slice = store.subject_slice
+    fresh: List[Triple] = []
+    fresh_append = fresh.append
+    for subject, by_pred in desired_slices.items():
+        stored = subject_slice(subject)
+        if stored:
+            for predicate, objs in by_pred.items():
+                have = stored.get(predicate)
+                if have is None:
+                    for obj in objs:
+                        fresh_append(Triple(subject, predicate, obj))
+                else:
+                    for obj in objs:
+                        if obj not in have:
+                            fresh_append(Triple(subject, predicate, obj))
+        else:
+            for predicate, objs in by_pred.items():
+                for obj in objs:
+                    fresh_append(Triple(subject, predicate, obj))
+    subjects = {m_iri}
+    subjects.update(_matrix_part_iris(store, m_iri))
+    stale: List[Triple] = []
+    for subject in subjects:
+        desired_slice = desired_slices.get(subject)
+        stored = subject_slice(subject)
+        for predicate, objs in stored.items():
+            want = desired_slice.get(predicate) if desired_slice else None
+            gone = objs - set(want) if want else objs
+            for obj in gone:
+                stale.append(Triple(subject, predicate, obj))
+    stale.sort(key=Triple.sort_key)
+    store.remove_many(stale)
+    store.add_many(fresh)
+    stats["matrix_delta_serializations"] += 1
+    stats["matrix_triples_written"] += len(fresh)
+    stats["matrix_triples_removed"] += len(stale)
+    stats["matrix_triples_unchanged"] += total - len(fresh)
     return m_iri
 
 

@@ -12,6 +12,7 @@ their undo logs and how the event service learns about changes.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import (
     AbstractSet,
     Callable,
@@ -101,13 +102,56 @@ class TripleStore:
         Returns how many triples were new.  Per-triple listeners still
         see every change; batch listeners get a single call — this is
         what keeps blackboard schema loads O(n) instead of
-        O(n · listeners · call overhead).
+        O(n · listeners · call overhead).  The index maintenance is
+        inlined with the lookups hoisted out of the loop, so a bulk
+        matrix serialization pays no per-triple call overhead.
         """
-        changes: List[Tuple[bool, Triple]] = [
-            (True, triple) for triple in triples if self._index_add(triple)
-        ]
-        self._notify_many(changes)
-        return len(changes)
+        stored = self._triples
+        spo, pos, osp = self._spo, self._pos, self._osp
+        fresh: List[Triple] = []
+        append = fresh.append
+        for triple in triples:
+            if triple in stored:
+                continue
+            stored.add(triple)
+            append(triple)
+            subject = triple.subject
+            predicate = triple.predicate
+            obj = triple.object
+            by_pred = spo.get(subject)
+            if by_pred is None:
+                by_pred = spo[subject] = {}
+            objs = by_pred.get(predicate)
+            if objs is None:
+                objs = by_pred[predicate] = set()
+            objs.add(obj)
+            by_obj = pos.get(predicate)
+            if by_obj is None:
+                by_obj = pos[predicate] = {}
+            subjects = by_obj.get(obj)
+            if subjects is None:
+                subjects = by_obj[obj] = set()
+            subjects.add(subject)
+            by_subj = osp.get(obj)
+            if by_subj is None:
+                by_subj = osp[obj] = {}
+            predicates = by_subj.get(subject)
+            if predicates is None:
+                predicates = by_subj[subject] = set()
+            predicates.add(predicate)
+        if not fresh:
+            return 0
+        for counts, per_key in (
+            (self._subject_counts, Counter(t.subject for t in fresh)),
+            (self._predicate_counts, Counter(t.predicate for t in fresh)),
+            (self._object_counts, Counter(t.object for t in fresh)),
+        ):
+            for key, count in per_key.items():
+                counts[key] = counts.get(key, 0) + count
+        self._revision += len(fresh)
+        if self._listeners or self._batch_listeners:
+            self._notify_many([(True, triple) for triple in fresh])
+        return len(fresh)
 
     def remove(self, subject: Subject, predicate: IRI, obj: Object) -> bool:
         """Remove one triple.  Returns True if the store changed."""
@@ -218,6 +262,18 @@ class TripleStore:
             listener(changes)
 
     # -- reads -------------------------------------------------------------------
+
+    def subject_slice(self, subject: Subject) -> Dict[IRI, AbstractSet[Object]]:
+        """The ``{predicate: objects}`` mapping for one subject.
+
+        Returns the live index slice (empty mapping if the subject is
+        absent) so bulk consumers — the matrix delta serializer — can
+        diff a subject's stored statements without materializing one
+        :class:`Triple` per stored statement.  Callers must treat the
+        returned mapping as read-only and must not mutate the store
+        while iterating it.
+        """
+        return self._spo.get(subject, {})
 
     def __len__(self) -> int:
         return len(self._triples)

@@ -34,6 +34,17 @@ class IRI:
     def __post_init__(self) -> None:
         if not self.value:
             raise ValueError("IRI must be non-empty")
+        object.__setattr__(self, "_hash", hash(self.value))
+
+    def __hash__(self) -> int:
+        # terms are hashed on every index insert/lookup; the cached value
+        # turns that into one attribute read (interned IRIs hash once ever)
+        try:
+            return self._hash
+        except AttributeError:  # copied/unpickled around __init__
+            value = hash(self.value)
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __str__(self) -> str:
         return f"<{self.value}>"
@@ -45,6 +56,17 @@ class Literal:
 
     lexical: str
     datatype: str = XSD_STRING
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.lexical, self.datatype)))
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.lexical, self.datatype))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __str__(self) -> str:
         escaped = (
@@ -78,6 +100,17 @@ class BlankNode:
 
     label: str
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(self.label))
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(self.label)
+            object.__setattr__(self, "_hash", value)
+            return value
+
     def __str__(self) -> str:
         return f"_:{self.label}"
 
@@ -95,6 +128,12 @@ Object = Union[IRI, BlankNode, Literal]
 Term = Union[IRI, BlankNode, Literal]
 
 
+#: interned boolean literals — every matrix cell carries one, so sharing
+#: the two instances (and their cached hashes) keeps bulk writes cheap
+_TRUE = Literal("true", XSD_BOOLEAN)
+_FALSE = Literal("false", XSD_BOOLEAN)
+
+
 def literal(value: Any) -> Literal:
     """Build a typed literal from a Python value.
 
@@ -106,7 +145,7 @@ def literal(value: Any) -> Literal:
     if isinstance(value, Literal):
         return value
     if isinstance(value, bool):
-        return Literal("true" if value else "false", XSD_BOOLEAN)
+        return _TRUE if value else _FALSE
     if isinstance(value, int):
         return Literal(str(value), XSD_INTEGER)
     if isinstance(value, float):

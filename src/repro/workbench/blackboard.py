@@ -69,11 +69,15 @@ class IntegrationBlackboard:
 
     # -- mapping matrices ---------------------------------------------------------------
 
-    def put_matrix(self, matrix: MappingMatrix) -> IRI:
-        """Write (or replace) a whole mapping matrix."""
-        if matrix.name in self.matrix_names():
-            self.remove_matrix(matrix.name)
-        return schema_rdf.matrix_to_rdf(matrix, self.store)
+    def put_matrix(self, matrix: MappingMatrix, delta: bool = False) -> IRI:
+        """Write (or replace) a whole mapping matrix.
+
+        With ``delta=True`` (the ``EngineConfig.delta_matrix_rdf`` path)
+        the write diffs against the stored cell set and touches only
+        changed triples — idempotent either way, never leaving stale
+        cells behind.
+        """
+        return schema_rdf.serialize_matrix(matrix, self.store, delta=delta)
 
     def get_matrix(self, name: str) -> MappingMatrix:
         return schema_rdf.rdf_to_matrix(self.store, name)
@@ -85,18 +89,7 @@ class IntegrationBlackboard:
         return schema_rdf.matrices_in_store(self.store)
 
     def remove_matrix(self, name: str) -> int:
-        m_iri = schema_rdf.matrix_iri(name)
-        parts: List[IRI] = []
-        for predicate in (V.HAS_ROW, V.HAS_COLUMN, V.HAS_CELL):
-            parts.extend(
-                obj for obj in self.store.objects(m_iri, predicate)
-                if isinstance(obj, IRI)
-            )
-        removed = self.store.remove_matching(subject=m_iri)
-        for part in parts:
-            removed += self.store.remove_matching(subject=part)
-            removed += self.store.remove_matching(obj=part)
-        return removed
+        return schema_rdf.remove_matrix(self.store, name)
 
     # -- cell-level updates (what match tools write) --------------------------------------
 

@@ -129,7 +129,10 @@ class MatcherTool(Tool):
                 self.engine.rematch(source, target, matrix=matrix)
             else:
                 self.engine.match(source, target, matrix=matrix)
-            blackboard.put_matrix(matrix)
+            blackboard.put_matrix(
+                matrix,
+                delta=getattr(self.engine.config, "delta_matrix_rdf", False),
+            )
             if getattr(self.engine.config, "batched_matrix", False):
                 cells_updated = sum(
                     1

@@ -2,15 +2,19 @@
 
 import pytest
 
+from repro.core import ElementKind, SchemaElement
 from repro.eval import evaluate_matrix, standard_suite
 from repro.harmony import (
     BlockingConfig,
+    BlockingIndex,
     CandidateBlocker,
     EngineConfig,
     HarmonyEngine,
     MatchContext,
     MatchSession,
     classic_flooding,
+    evolution_closure,
+    graph_delta,
 )
 
 
@@ -200,3 +204,142 @@ class TestMatrixCellCount:
         run = HarmonyEngine().match(orders_graph, notice_graph)
         assert run.matrix.cell_count() == len(list(run.matrix.cells()))
         assert len(run.matrix) == run.matrix.cell_count()
+
+
+def _ordered_pairs(result):
+    return [(s.element_id, t.element_id) for s, t in result.pairs]
+
+
+def _evolve(graph):
+    """A deterministic mix of the evolutions blocking keys depend on:
+    rename, re-documentation, add, leaf removal and a containment move."""
+    from repro.core.graph import CONTAINMENT_LABELS, CONTAINS_ELEMENT
+
+    evolved = graph.copy()
+    ids = [e.element_id for e in evolved if e.element_id != evolved.root.element_id]
+    renamed = ids[0]
+    evolved.element(renamed).name += "_renamed"
+    evolved.revision += 1
+    redocumented = ids[1]
+    evolved.element(redocumented).documentation = "completely fresh words here"
+    evolved.revision += 1
+    evolved.add_child(
+        renamed, SchemaElement(f"{graph.name}/brand_new", "brandNew", ElementKind.ATTRIBUTE)
+    )
+    leaf = next(i for i in reversed(ids) if not evolved.children(i))
+    evolved.remove_element(leaf)
+    movable = next(
+        (
+            i for i in ids[2:]
+            if i in evolved and not evolved.children(i)
+            and evolved.parent(i) is not None
+            and evolved.parent(i).element_id not in (renamed, evolved.root.element_id)
+        ),
+        None,
+    )
+    if movable is not None:
+        for edge in list(evolved.in_edges(movable)):
+            if edge.label in CONTAINMENT_LABELS:
+                evolved.remove_edge(edge)
+        evolved.add_edge(renamed, CONTAINS_ELEMENT, movable)
+    return evolved
+
+
+class TestBlockingIndex:
+    def test_index_backed_retrieval_identical(self, orders_graph, notice_graph):
+        """Cold index-backed retrieval == ad-hoc retrieval, order included."""
+        blocker = CandidateBlocker(BlockingConfig())
+        context = MatchContext(orders_graph, notice_graph)
+        index = BlockingIndex()
+        indexed = blocker.candidates(context, index)
+        adhoc = blocker.candidates(context)
+        assert _ordered_pairs(indexed) == _ordered_pairs(adhoc)
+        assert indexed.total_pairs == adhoc.total_pairs
+        assert index.builds == 1 and index.patches == 0
+
+    def test_epoch_hit_skips_rebuild(self, orders_graph, notice_graph):
+        blocker = CandidateBlocker(BlockingConfig())
+        context = MatchContext(orders_graph, notice_graph)
+        index = BlockingIndex()
+        first = blocker.candidates(context, index)
+        second = blocker.candidates(context, index)
+        assert _ordered_pairs(first) == _ordered_pairs(second)
+        assert index.builds == 1 and index.hits == 1 and index.patches == 0
+
+    def test_patched_index_identical_to_cold_build(self, orders_graph, notice_graph):
+        """After an evolution, the patched index retrieves exactly what a
+        from-scratch build on the evolved graphs retrieves."""
+        blocker = CandidateBlocker(BlockingConfig())
+        index = BlockingIndex()
+        blocker.candidates(MatchContext(orders_graph, notice_graph), index)
+
+        evolved = _evolve(orders_graph)
+        delta = graph_delta(orders_graph, evolved)
+        closure = evolution_closure(orders_graph, evolved, delta)
+        index.note_evolution(closure | delta.removed, set())
+
+        evolved_context = MatchContext(evolved, notice_graph)
+        warm = blocker.candidates(evolved_context, index)
+        cold = blocker.candidates(evolved_context)
+        assert _ordered_pairs(warm) == _ordered_pairs(cold)
+        assert index.builds == 1 and index.patches == 1
+
+    def test_target_side_evolution_patches(self, orders_graph, notice_graph):
+        blocker = CandidateBlocker(BlockingConfig())
+        index = BlockingIndex()
+        blocker.candidates(MatchContext(orders_graph, notice_graph), index)
+
+        evolved = _evolve(notice_graph)
+        delta = graph_delta(notice_graph, evolved)
+        closure = evolution_closure(notice_graph, evolved, delta)
+        index.note_evolution(set(), closure | delta.removed)
+
+        evolved_context = MatchContext(orders_graph, evolved)
+        warm = blocker.candidates(evolved_context, index)
+        cold = blocker.candidates(evolved_context)
+        assert _ordered_pairs(warm) == _ordered_pairs(cold)
+        assert index.patches == 1
+
+    def test_unannounced_revision_change_rebuilds(self, orders_graph, notice_graph):
+        """A revision bump without note_evolution must rebuild cold, never
+        serve stale keys."""
+        blocker = CandidateBlocker(BlockingConfig())
+        index = BlockingIndex()
+        blocker.candidates(MatchContext(orders_graph, notice_graph), index)
+        evolved = _evolve(orders_graph)
+        evolved_context = MatchContext(evolved, notice_graph)
+        warm = blocker.candidates(evolved_context, index)
+        cold = blocker.candidates(evolved_context)
+        assert _ordered_pairs(warm) == _ordered_pairs(cold)
+        assert index.builds == 2 and index.patches == 0
+
+    def test_key_config_change_rebuilds(self, orders_graph, notice_graph):
+        index = BlockingIndex()
+        context = MatchContext(orders_graph, notice_graph)
+        CandidateBlocker(BlockingConfig()).candidates(context, index)
+        reconfigured = CandidateBlocker(BlockingConfig(ngram=4))
+        result = reconfigured.candidates(context, index)
+        assert index.builds == 2  # ngram feeds the keys: full rebuild
+        assert _ordered_pairs(result) == _ordered_pairs(
+            reconfigured.candidates(context)
+        )
+
+    def test_budget_change_reuses_index(self, orders_graph, notice_graph):
+        """The recall budget is retrieval-time only — no re-keying."""
+        index = BlockingIndex()
+        context = MatchContext(orders_graph, notice_graph)
+        CandidateBlocker(BlockingConfig()).candidates(context, index)
+        wider = CandidateBlocker(BlockingConfig(budget=20))
+        result = wider.candidates(context, index)
+        assert index.builds == 1 and index.hits == 1
+        assert _ordered_pairs(result) == _ordered_pairs(wider.candidates(context))
+
+    def test_engine_patches_blocking_on_rematch(self, orders_graph, notice_graph):
+        engine = HarmonyEngine(config=EngineConfig.fast())
+        engine.match(orders_graph, notice_graph)
+        evolved = _evolve(orders_graph)
+        engine.rematch(evolved, notice_graph)
+        stats = engine.fastpath_stats()
+        assert stats["blocking_builds"] == 1
+        assert stats["blocking_patches"] == 1
+        assert stats["rematch_patches"] == 1

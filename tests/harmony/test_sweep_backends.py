@@ -1,0 +1,216 @@
+"""Differential harness: pluggable sweep backends for compiled flooding.
+
+``CompiledPCG.run`` delegates its inner fixpoint to a
+:class:`SweepBackend`.  The Python backend *is* the reference loop
+(bit-identical to ``classic_flooding`` on a cold compile — that is
+already pinned by ``test_flooding_compiled_differential``); the NumPy
+backend re-expresses each sweep as a ``np.bincount`` scatter over
+zero-copy ``np.frombuffer`` views of the same edge arrays.  ``bincount``
+accumulates in edge order, so the two backends perform the same float
+additions in the same sequence — this file holds them to ``TOLERANCE``
+(they are bit-identical in practice) and proves the ``auto`` selector
+degrades silently when NumPy cannot be imported.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ElementKind, SchemaElement, SchemaGraph
+from repro.harmony import EngineConfig, HarmonyEngine
+from repro.harmony import flooding as flooding_mod
+from repro.harmony.flooding import (
+    SWEEP_BACKENDS,
+    FloodingConfig,
+    NumpySweepBackend,
+    PythonSweepBackend,
+    classic_flooding,
+    compile_pcg,
+    resolve_sweep_backend,
+)
+
+TOLERANCE = 1e-12
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+HAS_NUMPY = flooding_mod._probe_numpy() is not None
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+
+
+def _random_graph(name, seed, size=14):
+    rng = random.Random(seed)
+    graph = SchemaGraph.create(name)
+    ids = [name]
+    for i in range(size):
+        element_id = f"{name}/e{i}"
+        kind = (
+            ElementKind.ENTITY if i % 4 == 0
+            else ElementKind.ATTRIBUTE if i % 4 in (1, 2)
+            else ElementKind.DOMAIN
+        )
+        graph.add_child(rng.choice(ids), SchemaElement(element_id, f"elem{i}", kind))
+        ids.append(element_id)
+    for _ in range(3):
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b:
+            graph.add_edge(a, "references", b)
+    return graph, ids
+
+
+def _random_initial(source_ids, target_ids, seed, n=25):
+    rng = random.Random(seed)
+    return {
+        (rng.choice(source_ids), rng.choice(target_ids)): rng.uniform(0.0, 1.0)
+        for _ in range(n)
+    }
+
+
+def _cells(matrix):
+    return {
+        (c.source_id, c.target_id): (c.confidence, c.is_user_defined)
+        for c in matrix.cells()
+    }
+
+
+# -- selector resolution ------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_selector_vocabulary(self):
+        assert SWEEP_BACKENDS == ("auto", "python", "numpy")
+
+    def test_python_selector_is_shared_singleton(self):
+        first = resolve_sweep_backend("python")
+        second = resolve_sweep_backend("python")
+        assert isinstance(first, PythonSweepBackend)
+        assert first is second
+        assert first.name == "python"
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            resolve_sweep_backend("cuda")
+
+    @needs_numpy
+    def test_numpy_and_auto_select_numpy_when_available(self):
+        assert isinstance(resolve_sweep_backend("numpy"), NumpySweepBackend)
+        auto = resolve_sweep_backend("auto")
+        assert isinstance(auto, NumpySweepBackend)
+        assert auto.name == "numpy"
+
+    def test_auto_degrades_to_python_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(flooding_mod, "_probe_numpy", lambda: None)
+        backend = resolve_sweep_backend("auto")
+        assert isinstance(backend, PythonSweepBackend)
+
+    def test_explicit_numpy_raises_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(flooding_mod, "_probe_numpy", lambda: None)
+        with pytest.raises(ImportError):
+            resolve_sweep_backend("numpy")
+
+    def test_engine_auto_runs_without_numpy(self, monkeypatch):
+        """The full fast preset must work on a numpy-free install."""
+        monkeypatch.setattr(flooding_mod, "_probe_numpy", lambda: None)
+        source, sids = _random_graph("s", 3)
+        target, tids = _random_graph("t", 4)
+        engine = HarmonyEngine(config=EngineConfig.fast(flooding="classic"))
+        run = engine.match(source, target)
+        assert run.matrix.cell_count() > 0
+        assert engine.fastpath_stats()["sweep_backend"] == "python"
+
+    @needs_numpy
+    def test_engine_reports_numpy_backend(self):
+        engine = HarmonyEngine(
+            config=EngineConfig.fast(flooding="classic", sweep_backend="numpy")
+        )
+        assert engine.fastpath_stats()["sweep_backend"] == "numpy"
+
+
+# -- numpy vs python vs reference --------------------------------------------
+
+
+@needs_numpy
+class TestNumpyDifferential:
+    @given(seeds, seeds, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_numpy_matches_python_and_reference(self, s1, s2, s3):
+        source, sids = _random_graph("s", s1)
+        target, tids = _random_graph("t", s2)
+        initial = _random_initial(sids, tids, s3)
+        reference = classic_flooding(source, target, initial)
+        compiled = compile_pcg(source, target)
+        python = compiled.run(initial, backend=resolve_sweep_backend("python"))
+        vectorized = compiled.run(initial, backend=resolve_sweep_backend("numpy"))
+        assert python == reference  # cold compiled stays bit-identical
+        assert vectorized.keys() == python.keys()
+        for pair, value in python.items():
+            assert abs(value - vectorized[pair]) <= TOLERANCE
+
+    @given(seeds, seeds, seeds, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_custom_config_matches(self, s1, s2, s3, iterations):
+        source, sids = _random_graph("s", s1)
+        target, tids = _random_graph("t", s2)
+        initial = _random_initial(sids, tids, s3)
+        config = FloodingConfig(max_iterations=iterations, epsilon=0.0)
+        compiled = compile_pcg(source, target)
+        python = compiled.run(initial, config, backend=resolve_sweep_backend("python"))
+        vectorized = compiled.run(initial, config, backend=resolve_sweep_backend("numpy"))
+        for pair, value in python.items():
+            assert abs(value - vectorized[pair]) <= TOLERANCE
+
+    def test_empty_initial_and_extra_pairs(self):
+        source, _ = _random_graph("s", 1)
+        target, _ = _random_graph("t", 2)
+        compiled = compile_pcg(source, target)
+        numpy_backend = resolve_sweep_backend("numpy")
+        assert compiled.run({}, backend=numpy_backend) == compiled.run({})
+        # pairs outside the structural PCG are interned past it and ride
+        # through normalization on both backends
+        lone = {("s/nowhere", "t/nowhere"): 0.7}
+        assert compiled.run(lone, backend=numpy_backend) == compiled.run(lone)
+
+    def test_backends_interleave_on_one_compiled_pcg(self):
+        """Alternating backends on the same compiled structure (shared
+        buffers, cached views) never changes results."""
+        source, sids = _random_graph("s", 5)
+        target, tids = _random_graph("t", 6)
+        initial = _random_initial(sids, tids, 7)
+        compiled = compile_pcg(source, target)
+        python_backend = resolve_sweep_backend("python")
+        numpy_backend = resolve_sweep_backend("numpy")
+        first = compiled.run(initial, backend=python_backend)
+        second = compiled.run(initial, backend=numpy_backend)
+        third = compiled.run(initial, backend=python_backend)
+        assert first == third
+        for pair, value in first.items():
+            assert abs(value - second[pair]) <= TOLERANCE
+
+    def test_results_are_plain_floats(self):
+        source, sids = _random_graph("s", 8)
+        target, tids = _random_graph("t", 9)
+        initial = _random_initial(sids, tids, 10)
+        result = compile_pcg(source, target).run(
+            initial, backend=resolve_sweep_backend("numpy")
+        )
+        assert all(type(value) is float for value in result.values())
+
+    @given(seeds, seeds, seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_engine_matrix_identical_across_backends(self, s1, s2, s3):
+        source, _ = _random_graph("s", s1)
+        target, _ = _random_graph("t", s2)
+        python_engine = HarmonyEngine(
+            config=EngineConfig.fast(flooding="classic", sweep_backend="python")
+        )
+        numpy_engine = HarmonyEngine(
+            config=EngineConfig.fast(flooding="classic", sweep_backend="numpy")
+        )
+        python_cells = _cells(python_engine.match(source, target).matrix)
+        numpy_cells = _cells(numpy_engine.match(source, target).matrix)
+        assert set(python_cells) == set(numpy_cells)
+        for pair, (confidence, decided) in python_cells.items():
+            numpy_confidence, numpy_decided = numpy_cells[pair]
+            assert decided == numpy_decided
+            assert abs(confidence - numpy_confidence) <= TOLERANCE

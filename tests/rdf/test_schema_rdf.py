@@ -5,12 +5,18 @@ import pytest
 from repro.core import ElementKind, SchemaElement, SchemaGraph, StoreError
 from repro.rdf import (
     TripleStore,
+    cell_iri,
     matrices_in_store,
     matrix_to_rdf,
+    matrix_triples,
     rdf_to_matrix,
     rdf_to_schema,
+    remove_matrix,
+    reset_serialization_stats,
     schema_to_rdf,
     schemas_in_store,
+    serialization_stats,
+    serialize_matrix,
 )
 from repro.core import MappingMatrix
 
@@ -116,3 +122,134 @@ class TestMatrixRoundtrip:
         restored_store = from_ntriples(to_ntriples(store))
         restored = rdf_to_matrix(restored_store, figure3_matrix.name)
         assert len(list(restored.cells())) == len(list(figure3_matrix.cells()))
+
+
+def _store_state(store):
+    return set(store)
+
+
+def _matrix_state(matrix):
+    return {
+        (c.source_id, c.target_id): (c.confidence, c.is_user_defined)
+        for c in matrix.cells()
+    }
+
+
+class TestMatrixIdempotence:
+    def test_reserialize_is_idempotent(self, figure3_matrix):
+        """Regression: re-serializing used to append without clearing."""
+        store = TripleStore()
+        matrix_to_rdf(figure3_matrix, store)
+        first = _store_state(store)
+        matrix_to_rdf(figure3_matrix, store)
+        assert _store_state(store) == first
+
+    def test_reserialize_after_rematch_drops_stale_cells(self, figure3_matrix):
+        """serialize → change cells → re-serialize → read back equality."""
+        store = TripleStore()
+        matrix_to_rdf(figure3_matrix, store)
+        # a rematch moves one confidence and abandons a whole row
+        figure3_matrix.set_confidence(
+            "po/purchaseOrder/shipTo", "sn/shippingInfo", 0.95
+        )
+        removed_row = "po/purchaseOrder/shipTo/firstName"
+        figure3_matrix.remove_row(removed_row)
+        matrix_to_rdf(figure3_matrix, store)
+        restored = rdf_to_matrix(store, figure3_matrix.name)
+        assert _matrix_state(restored) == _matrix_state(figure3_matrix)
+        stale = cell_iri(figure3_matrix.name, removed_row, "sn/shippingInfo")
+        assert not list(store.match(subject=stale))
+
+    def test_remove_matrix(self, figure3_matrix):
+        store = TripleStore()
+        matrix_to_rdf(figure3_matrix, store)
+        removed = remove_matrix(store, figure3_matrix.name)
+        assert removed > 0
+        assert matrices_in_store(store) == []
+        assert len(store) == 0
+        assert remove_matrix(store, figure3_matrix.name) == 0
+
+    def test_remove_matrix_strips_inbound_annotations(self, figure3_matrix):
+        from repro.rdf import IW_NS, literal
+
+        store = TripleStore()
+        matrix_to_rdf(figure3_matrix, store)
+        target = cell_iri(
+            figure3_matrix.name, "po/purchaseOrder/shipTo", "sn/shippingInfo"
+        )
+        store.add(IW_NS.term("note"), IW_NS.term("about"), target)
+        remove_matrix(store, figure3_matrix.name)
+        assert not list(store.match(obj=target))
+
+
+class TestSerializeMatrix:
+    def test_matrix_triples_matches_matrix_to_rdf(self, figure3_matrix):
+        store = TripleStore()
+        matrix_to_rdf(figure3_matrix, store)
+        assert set(matrix_triples(figure3_matrix)) == _store_state(store)
+
+    def test_bulk_equals_matrix_to_rdf(self, figure3_matrix):
+        bulk_store, legacy_store = TripleStore(), TripleStore()
+        serialize_matrix(figure3_matrix, bulk_store)
+        matrix_to_rdf(figure3_matrix, legacy_store)
+        assert _store_state(bulk_store) == _store_state(legacy_store)
+
+    def test_delta_equals_bulk_final_state(self, figure3_matrix):
+        bulk_store, delta_store = TripleStore(), TripleStore()
+        serialize_matrix(figure3_matrix, delta_store, delta=True)  # cold delta
+        figure3_matrix.set_confidence(
+            "po/purchaseOrder/shipTo", "sn/shippingInfo", 0.95
+        )
+        figure3_matrix.remove_row("po/purchaseOrder/shipTo/firstName")
+        serialize_matrix(figure3_matrix, bulk_store)
+        serialize_matrix(figure3_matrix, delta_store, delta=True)
+        assert _store_state(delta_store) == _store_state(bulk_store)
+        restored = rdf_to_matrix(delta_store, figure3_matrix.name)
+        assert _matrix_state(restored) == _matrix_state(figure3_matrix)
+
+    def test_delta_touches_only_changed_cells(self, figure3_matrix):
+        store = TripleStore()
+        serialize_matrix(figure3_matrix, store, delta=True)
+        reset_serialization_stats()
+        figure3_matrix.set_confidence(
+            "po/purchaseOrder/shipTo", "sn/shippingInfo", 0.95
+        )
+        serialize_matrix(figure3_matrix, store, delta=True)
+        stats = serialization_stats()
+        assert stats["matrix_delta_serializations"] == 1
+        # one confidence literal replaced: one removal, one write
+        assert stats["matrix_triples_removed"] == 1
+        assert stats["matrix_triples_written"] == 1
+        assert stats["matrix_triples_unchanged"] > 0
+
+    def test_delta_noop_writes_nothing(self, figure3_matrix):
+        store = TripleStore()
+        serialize_matrix(figure3_matrix, store, delta=True)
+        revision = store.revision
+        serialize_matrix(figure3_matrix, store, delta=True)
+        assert store.revision == revision
+
+    def test_delta_preserves_inbound_annotations(self, figure3_matrix):
+        """Unlike the bulk path, delta keeps triples pointing at parts."""
+        from repro.rdf import IW_NS
+
+        store = TripleStore()
+        serialize_matrix(figure3_matrix, store, delta=True)
+        target = cell_iri(
+            figure3_matrix.name, "po/purchaseOrder/shipTo", "sn/shippingInfo"
+        )
+        note = (IW_NS.term("note"), IW_NS.term("about"), target)
+        store.add(*note)
+        figure3_matrix.set_confidence(
+            "po/purchaseOrder/shipTo", "sn/shippingInfo", 0.95
+        )
+        serialize_matrix(figure3_matrix, store, delta=True)
+        assert list(store.match(obj=target))
+
+    def test_bulk_counters(self, figure3_matrix):
+        reset_serialization_stats()
+        store = TripleStore()
+        serialize_matrix(figure3_matrix, store)
+        stats = serialization_stats()
+        assert stats["matrix_bulk_serializations"] == 1
+        assert stats["matrix_triples_written"] == len(store)
