@@ -7,6 +7,7 @@ cluster quality (pairwise precision/recall over same-cluster pairs) and
 check the derived unified schema covers every base concept.
 """
 
+import time
 from typing import Dict, List, Set, Tuple
 
 import pytest
@@ -59,7 +60,9 @@ def _pairwise_quality(clusters, concept_of):
 
 def run_multisource():
     sources, concept_of = _three_sources()
+    t0 = time.perf_counter()
     result = integrate_sources(sources, threshold=0.5, name="unified")
+    wall = time.perf_counter() - t0
     precision, recall = _pairwise_quality(result.clusters, concept_of)
     base_concepts = len(set(concept_of.values()))
     derived_elements = len(result.target) - 1  # minus the schema root
@@ -70,11 +73,12 @@ def run_multisource():
         "base_concepts": base_concepts,
         "derived_elements": derived_elements,
         "multi_clusters": multi,
+        "wall_s": round(wall, 3),
         "result": result,
     }
 
 
-def test_a11_multisource_integration(benchmark, report):
+def test_a11_multisource_integration(benchmark, report, perf_record):
     stats = benchmark.pedantic(run_multisource, rounds=1, iterations=1)
     result = stats["result"]
 
@@ -97,6 +101,15 @@ def test_a11_multisource_integration(benchmark, report):
         "source pre-mapped to it"
     )
     report("A11_multisource", "\n".join(lines))
+    perf_record("A11_multisource", {
+        "sources": 3,
+        "precision": round(stats["precision"], 4),
+        "recall": round(stats["recall"], 4),
+        "base_concepts": stats["base_concepts"],
+        "multi_clusters": stats["multi_clusters"],
+        "derived_elements": stats["derived_elements"],
+        "wall_s": stats["wall_s"],
+    })
 
     assert stats["precision"] > 0.85
     assert stats["recall"] > 0.7

@@ -57,6 +57,20 @@ and enforces these guards:
   ``SERIALIZE_MIN_SPEEDUP`` times faster than the generic per-cell
   loop (which can only stay stale-free by clearing and rewriting every
   part), landing the byte-identical store state every round.
+* **N-way parallel gate** — ``match_all_pairs(parallelism=k)`` over the
+  50-schema family workload (``nway_workload``) must run at least
+  ``NWAY_MIN_PARALLEL_SPEEDUP`` times faster than the serial loop under
+  the same ``EngineConfig.fast()``, with every pair matrix bit-identical
+  (1e-12).  Skipped (with a note) on single-CPU runners, where a process
+  pool cannot win.
+* **N-way pruning gate** — hub-schema pair selection over the 100-schema
+  family workload must run at least ``NWAY_MIN_PRUNED_SPEEDUP`` times
+  faster than the exhaustive sweep (both arms at the same parallelism),
+  and the pruned clustering's pairwise F1 against the workload's ground
+  truth must come within ``NWAY_MAX_F1_LOSS`` of the exhaustive arm's.
+  In practice pruning *improves* truth F1 here — the exhaustive sweep
+  wires weak cross-family links into transitive chains that hub
+  selection never scores.
 
 Usage::
 
@@ -80,9 +94,13 @@ from repro.harmony import (
     EngineConfig,
     HarmonyEngine,
     MatchContext,
+    cluster_elements,
+    cluster_pair_f1,
     evolution_closure,
     graph_delta,
+    match_all_pairs,
     resolve_sweep_backend,
+    select_pairs,
 )
 from repro.harmony.flooding import FloodingState, classic_flooding, compile_pcg
 from repro.loaders import load_registry
@@ -107,6 +125,8 @@ from repro.rdf import vocabulary as V
 from repro.registry import RegistryProfile, generate_registry
 from repro.text import SparseTfIdf, TfIdfCorpus, kernels, similarity
 from repro.text.tokenize import split_identifier
+
+from nway_workload import NWAY_THRESHOLD, family_workload
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 BASELINE_PATH = os.path.join(HERE, "results", "BENCH_perf_baseline.json")
@@ -136,6 +156,15 @@ BLOCKING_MIN_SPEEDUP = 3.0
 SERIALIZE_MIN_SPEEDUP = 3.0
 #: sparse/reference cosine agreement bound (mirrors the differential suite)
 SPARSE_TOLERANCE = 1e-12
+#: process-pool N-way matching must beat the serial loop by this factor
+NWAY_MIN_PARALLEL_SPEEDUP = 2.0
+#: hub-pruned N-way matching must beat the exhaustive sweep by this factor
+NWAY_MIN_PRUNED_SPEEDUP = 3.0
+#: pruned clustering may lose at most this much truth F1 vs exhaustive
+NWAY_MAX_F1_LOSS = 0.02
+#: N-way workload tiers (schema counts) for the two gates
+NWAY_PARALLEL_TIER = 50
+NWAY_PRUNED_TIER = 100
 
 
 def _schema_pair():
@@ -639,6 +668,104 @@ def _planner_microbench():
     }
 
 
+def _nway_parallel_microbench():
+    """Serial vs process-pool ``match_all_pairs`` over the 50-schema
+    family workload, same ``EngineConfig.fast()`` both arms.  The pool
+    must be bit-identical and, given >=2 CPUs, at least
+    ``NWAY_MIN_PARALLEL_SPEEDUP`` times faster."""
+    schemas, _ = family_workload(NWAY_PARALLEL_TIER)
+    pair_count = NWAY_PARALLEL_TIER * (NWAY_PARALLEL_TIER - 1) // 2
+    config = EngineConfig.fast()
+
+    t0 = time.perf_counter()
+    serial = match_all_pairs(schemas, engine_config=config)
+    serial_wall = time.perf_counter() - t0
+
+    result = {
+        "nway_schemas": NWAY_PARALLEL_TIER,
+        "nway_pairs": pair_count,
+        "nway_serial_wall_s": round(serial_wall, 4),
+    }
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        print("note: single CPU; N-way parallel gate skipped")
+        return result
+
+    workers = min(4, cpus)
+    t0 = time.perf_counter()
+    parallel = match_all_pairs(
+        schemas, engine_config=config, parallelism=workers)
+    parallel_wall = time.perf_counter() - t0
+
+    if list(parallel) != list(serial):
+        raise AssertionError("parallel match_all_pairs changed the pair order")
+    worst = 0.0
+    for key in serial:
+        want = {
+            (c.source_id, c.target_id): c.confidence
+            for c in serial[key].cells()
+        }
+        got = {
+            (c.source_id, c.target_id): c.confidence
+            for c in parallel[key].cells()
+        }
+        if set(want) != set(got):
+            raise AssertionError(
+                f"parallel matrix {key} scored a different cell set")
+        worst = max(
+            (abs(want[p] - got[p]) for p in want), default=worst)
+    if worst > SPARSE_TOLERANCE:
+        raise AssertionError(
+            f"parallel matrices drifted from serial by {worst} "
+            f"(> {SPARSE_TOLERANCE})")
+    result.update({
+        "nway_workers": workers,
+        "nway_parallel_wall_s": round(parallel_wall, 4),
+        "nway_parallel_speedup": round(serial_wall / parallel_wall, 2),
+    })
+    return result
+
+
+def _nway_pruned_microbench():
+    """Exhaustive vs hub-pruned N-way matching over the 100-schema family
+    workload, both arms at the same parallelism.  Clustering quality is
+    scored against the workload's ground truth; pruning must cost at
+    most ``NWAY_MAX_F1_LOSS`` of it (it gains, in practice)."""
+    schemas, truth = family_workload(NWAY_PRUNED_TIER)
+    config = EngineConfig.fast()
+    workers = min(4, os.cpu_count() or 1)
+    parallelism = workers if workers >= 2 else 1
+
+    t0 = time.perf_counter()
+    exhaustive = match_all_pairs(
+        schemas, engine_config=config, parallelism=parallelism)
+    exhaustive_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    selection = select_pairs(schemas, hub_count=2, partners_per_schema=3)
+    pruned = match_all_pairs(
+        schemas, engine_config=config, parallelism=parallelism,
+        selection=selection)
+    pruned_wall = time.perf_counter() - t0
+
+    exhaustive_f1 = cluster_pair_f1(
+        cluster_elements(schemas, exhaustive, threshold=NWAY_THRESHOLD), truth)
+    pruned_f1 = cluster_pair_f1(
+        cluster_elements(schemas, pruned, threshold=NWAY_THRESHOLD), truth)
+    return {
+        "nway_pruned_schemas": NWAY_PRUNED_TIER,
+        "nway_pruned_parallelism": parallelism,
+        "nway_total_pairs": selection.total_pairs,
+        "nway_kept_pairs": selection.kept_pairs,
+        "nway_pruning_ratio": round(selection.pruning_ratio, 4),
+        "nway_exhaustive_wall_s": round(exhaustive_wall, 4),
+        "nway_pruned_wall_s": round(pruned_wall, 4),
+        "nway_pruned_speedup": round(exhaustive_wall / pruned_wall, 2),
+        "nway_exhaustive_truth_f1": round(exhaustive_f1, 4),
+        "nway_pruned_truth_f1": round(pruned_f1, 4),
+    }
+
+
 def main(argv) -> int:
     write_baseline = "--write-baseline" in argv
     raw_tolerance = os.environ.get("PERF_SMOKE_TOLERANCE", "2.0")
@@ -680,6 +807,8 @@ def main(argv) -> int:
     result.update(_sweep_microbench(source, target))
     result.update(_blocking_microbench(source, target))
     result.update(_serialize_microbench())
+    result.update(_nway_parallel_microbench())
+    result.update(_nway_pruned_microbench())
     print("perf smoke (A12-large pair):")
     for key, value in result.items():
         print(f"  {key:>16}: {value}")
@@ -739,6 +868,22 @@ def main(argv) -> int:
             f"delta re-serialization only {result['serialize_speedup']:.2f}x "
             f"faster than the per-cell rewrite "
             f"(required >= {SERIALIZE_MIN_SPEEDUP}x)")
+    if ("nway_parallel_speedup" in result
+            and result["nway_parallel_speedup"] < NWAY_MIN_PARALLEL_SPEEDUP):
+        failures.append(
+            f"N-way process pool only {result['nway_parallel_speedup']:.2f}x "
+            f"faster than the serial pair loop "
+            f"(required >= {NWAY_MIN_PARALLEL_SPEEDUP}x)")
+    if result["nway_pruned_speedup"] < NWAY_MIN_PRUNED_SPEEDUP:
+        failures.append(
+            f"hub-pruned N-way sweep only {result['nway_pruned_speedup']:.2f}x "
+            f"faster than exhaustive (required >= {NWAY_MIN_PRUNED_SPEEDUP}x)")
+    if (result["nway_pruned_truth_f1"]
+            < result["nway_exhaustive_truth_f1"] - NWAY_MAX_F1_LOSS):
+        failures.append(
+            f"pruned clustering truth F1 {result['nway_pruned_truth_f1']:.3f} "
+            f"fell more than {NWAY_MAX_F1_LOSS} below the exhaustive arm's "
+            f"{result['nway_exhaustive_truth_f1']:.3f}")
     if os.path.exists(BASELINE_PATH):
         with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)["perf_smoke"]

@@ -25,6 +25,7 @@ from ..core.correspondence import VoterScore
 from ..core.elements import SchemaElement
 from ..core.graph import SchemaGraph
 from ..core.matrix import MappingMatrix
+from ..text.tfidf import CorpusSnapshot
 from ..text.thesaurus import Thesaurus
 from .blocking import BlockingConfig, BlockingIndex, BlockingResult, CandidateBlocker
 from .flooding import (
@@ -306,11 +307,17 @@ class HarmonyEngine:
         merger: Optional[VoteMerger] = None,
         config: Optional[EngineConfig] = None,
         thesaurus: Optional[Thesaurus] = None,
+        corpus_snapshot: Optional[CorpusSnapshot] = None,
     ) -> None:
         self.voters: List[MatchVoter] = list(voters) if voters is not None else default_voters()
         self.merger = merger if merger is not None else VoteMerger()
         self.config = config or EngineConfig()
         self.thesaurus = thesaurus
+        #: shared preprocessed-documentation snapshot (N-way matching):
+        #: contexts built by this engine skip the linguistic pipeline for
+        #: documents the snapshot covers — bit-identical corpora, built
+        #: once in the parent instead of once per schema pair per worker
+        self.corpus_snapshot = corpus_snapshot
         #: votes from the most recent run, kept for feedback learning
         self._last_votes: List[VoterScore] = []
         self._last_context: Optional[MatchContext] = None
@@ -367,6 +374,7 @@ class HarmonyEngine:
                 thesaurus=self.thesaurus,
                 use_kernels=self.config.similarity_kernels,
                 use_sparse_tfidf=self.config.sparse_tfidf,
+                corpus_snapshot=self.corpus_snapshot,
             )
             self.context_builds += 1
 

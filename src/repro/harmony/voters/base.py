@@ -23,7 +23,7 @@ from ...text import kernels as similarity_kernels
 from ...text import similarity as similarity_reference
 from ...text.stemmer import stem, stem_all
 from ...text.stopwords import remove_stop_words
-from ...text.tfidf import TfIdfCorpus
+from ...text.tfidf import CorpusSnapshot, TfIdfCorpus
 from ...text.tfidf_sparse import SparseTfIdf
 from ...text.thesaurus import Thesaurus
 from ...text.tokenize import split_identifier, word_tokens
@@ -45,6 +45,7 @@ class MatchContext:
         thesaurus: Optional[Thesaurus] = None,
         use_kernels: bool = False,
         use_sparse_tfidf: bool = False,
+        corpus_snapshot: Optional[CorpusSnapshot] = None,
     ) -> None:
         self.source = source
         self.target = target
@@ -82,11 +83,18 @@ class MatchContext:
         self.score_cache: Dict[Tuple[str, str, str], float] = {}
         self._source_docs: FrozenSet[str] = frozenset()
         source_docs = set()
+        # with a shared CorpusSnapshot (N-way matching ships one per
+        # worker) the documents arrive pre-preprocessed — bit-identical
+        # to running the pipeline here, term order included
         for graph in (source, target):
             for element in graph:
                 if element.documentation:
                     doc = self._doc_id(graph, element)
-                    self.corpus.add_document(doc, element.documentation)
+                    if corpus_snapshot is not None and doc in corpus_snapshot:
+                        self.corpus.add_document_counts(
+                            doc, corpus_snapshot.counts(doc))
+                    else:
+                        self.corpus.add_document(doc, element.documentation)
                     if graph is source:
                         source_docs.add(doc)
         self._source_docs = frozenset(source_docs)

@@ -12,6 +12,7 @@ from .generator import (
     PAPER_MODEL_COUNT,
     RegistryProfile,
     generate_registry,
+    generate_table1_registry,
 )
 from .statistics import (
     PAPER_TABLE_1,
@@ -19,6 +20,7 @@ from .statistics import (
     RegistryStats,
     comparison_table,
     compute_stats,
+    model_size_distribution,
 )
 
 __all__ = [
@@ -33,4 +35,6 @@ __all__ = [
     "comparison_table",
     "compute_stats",
     "generate_registry",
+    "generate_table1_registry",
+    "model_size_distribution",
 ]

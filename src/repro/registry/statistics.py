@@ -114,6 +114,34 @@ PAPER_TABLE_1 = {
 }
 
 
+def model_size_distribution(registry: Mapping[str, Any]) -> Mapping[str, float]:
+    """Per-model element-count distribution summary.
+
+    The generator samples per-model entity counts from a Poisson whose
+    mean is the Table 1 elements-per-model ratio, so across the full
+    registry the variance should track the mean (Poisson dispersion ≈ 1)
+    and the minimum is clamped at 1.  Returns ``models``, ``mean``,
+    ``min``, ``max``, ``variance`` and ``dispersion`` (variance / mean).
+    """
+    sizes = [
+        len(model.get("entities", [])) + len(model.get("relationships", []))
+        for model in registry.get("models", [])
+    ]
+    if not sizes:
+        return {"models": 0, "mean": 0.0, "min": 0, "max": 0,
+                "variance": 0.0, "dispersion": 0.0}
+    mean = sum(sizes) / len(sizes)
+    variance = sum((s - mean) ** 2 for s in sizes) / len(sizes)
+    return {
+        "models": len(sizes),
+        "mean": mean,
+        "min": min(sizes),
+        "max": max(sizes),
+        "variance": variance,
+        "dispersion": variance / mean if mean else 0.0,
+    }
+
+
 def comparison_table(stats: RegistryStats, scale: float) -> str:
     """Render measured-vs-paper, with counts rescaled to full size."""
     lines = [

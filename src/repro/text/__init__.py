@@ -22,12 +22,13 @@ from .similarity import (
 )
 from .stemmer import stem, stem_all
 from .stopwords import STOP_WORDS, is_stop_word, remove_stop_words
-from .tfidf import TfIdfCorpus, cosine_of_counts, preprocess
-from .tfidf_sparse import SparseTfIdf
+from .tfidf import CorpusSnapshot, TfIdfCorpus, cosine_of_counts, preprocess
+from .tfidf_sparse import SparseTfIdf, sparse_from_snapshot
 from .thesaurus import DEFAULT_ABBREVIATIONS, DEFAULT_SYNSETS, Thesaurus
 from .tokenize import name_tokens, ngrams, sentences, split_identifier, word_tokens
 
 __all__ = [
+    "CorpusSnapshot",
     "DEFAULT_ABBREVIATIONS",
     "DEFAULT_SYNSETS",
     "STOP_WORDS",
@@ -52,6 +53,7 @@ __all__ = [
     "preprocess",
     "remove_stop_words",
     "sentences",
+    "sparse_from_snapshot",
     "split_identifier",
     "stem",
     "stem_all",

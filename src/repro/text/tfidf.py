@@ -14,8 +14,9 @@ words were most predictive"*.
 from __future__ import annotations
 
 import math
+from array import array
 from collections import Counter
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from .stemmer import stem_all
 from .stopwords import remove_stop_words
@@ -25,6 +26,97 @@ from .tokenize import word_tokens
 def preprocess(text: str) -> List[str]:
     """The full linguistic pipeline: tokenize → stop-words → stem."""
     return stem_all(remove_stop_words(word_tokens(text)))
+
+
+class CorpusSnapshot:
+    """A compact, picklable capture of preprocessed documentation.
+
+    N-way matching builds one TF-IDF corpus *per schema pair*, so every
+    schema's documentation is re-preprocessed (tokenize → stop-words →
+    stem) once per partner — O(N) redundant passes per schema across an
+    N-way workload, and the single hottest part of a cold corpus build.
+    A snapshot runs the pipeline exactly once per document and stores the
+    result as interned term ids (one shared vocabulary list, one
+    ``array('l')`` id/count pair per document), which makes it cheap to
+    pickle into worker processes.
+
+    Per-document term order is preserved exactly as ``Counter(preprocess
+    (text))`` yields it (first occurrence order), so a corpus rehydrated
+    from a snapshot is *bit-identical* to one built from the raw text —
+    including the float-summation order inside
+    :meth:`TfIdfCorpus.vector` norms.
+    """
+
+    __slots__ = ("_terms", "_doc_terms", "_doc_counts")
+
+    def __init__(
+        self,
+        terms: List[str],
+        doc_terms: Dict[str, array],
+        doc_counts: Dict[str, array],
+    ) -> None:
+        self._terms = terms
+        self._doc_terms = doc_terms
+        self._doc_counts = doc_counts
+
+    @classmethod
+    def build(cls, documents: Mapping[str, str]) -> "CorpusSnapshot":
+        """Preprocess *documents* (``{doc_id: raw text}``) once."""
+        term_ids: Dict[str, int] = {}
+        terms: List[str] = []
+        doc_terms: Dict[str, array] = {}
+        doc_counts: Dict[str, array] = {}
+        for doc_id, text in documents.items():
+            counts = Counter(preprocess(text))
+            ids = array("l")
+            tfs = array("l")
+            for term, tf in counts.items():
+                tid = term_ids.get(term)
+                if tid is None:
+                    tid = term_ids[term] = len(terms)
+                    terms.append(term)
+                ids.append(tid)
+                tfs.append(tf)
+            doc_terms[doc_id] = ids
+            doc_counts[doc_id] = tfs
+        return cls(terms, doc_terms, doc_counts)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_terms
+
+    def __len__(self) -> int:
+        return len(self._doc_terms)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._terms)
+
+    def document_ids(self) -> List[str]:
+        return list(self._doc_terms)
+
+    def counts(self, doc_id: str) -> Counter:
+        """The document's term counts, in original first-occurrence order."""
+        terms = self._terms
+        counts: Counter = Counter()
+        for tid, tf in zip(self._doc_terms[doc_id], self._doc_counts[doc_id]):
+            counts[terms[tid]] = tf
+        return counts
+
+    def rehydrate(self, doc_ids: Optional[Iterable[str]] = None) -> "TfIdfCorpus":
+        """A :class:`TfIdfCorpus` over *doc_ids* (default: every document),
+        identical to one built from the raw texts but with no preprocessing
+        paid."""
+        corpus = TfIdfCorpus()
+        ids = self._doc_terms if doc_ids is None else doc_ids
+        for doc_id in ids:
+            corpus.add_document_counts(doc_id, self.counts(doc_id))
+        return corpus
+
+    def __repr__(self) -> str:
+        return (
+            f"CorpusSnapshot(documents={len(self._doc_terms)}, "
+            f"vocabulary={len(self._terms)})"
+        )
 
 
 class TfIdfCorpus:
@@ -48,13 +140,22 @@ class TfIdfCorpus:
 
     def add_document(self, doc_id: str, text: str) -> None:
         """Add (or replace) a document; invalidates cached vectors."""
-        tokens = preprocess(text)
+        self.add_document_counts(doc_id, Counter(preprocess(text)))
+
+    def add_document_counts(self, doc_id: str, counts: Mapping[str, int]) -> None:
+        """Add (or replace) a document from precomputed term counts.
+
+        The preprocessed-counts entry point of :class:`CorpusSnapshot`:
+        term iteration order of *counts* is preserved as the document's
+        term order, so feeding back ``Counter(preprocess(text))`` is
+        indistinguishable from :meth:`add_document`.
+        """
         if doc_id in self._documents:
             for term in self._documents[doc_id]:
                 self._document_frequency[term] -= 1
                 if self._document_frequency[term] <= 0:
                     del self._document_frequency[term]
-        counts = Counter(tokens)
+        counts = Counter(counts)
         self._documents[doc_id] = counts
         for term in counts:
             self._document_frequency[term] += 1

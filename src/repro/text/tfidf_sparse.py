@@ -37,11 +37,28 @@ from __future__ import annotations
 import heapq
 import math
 from array import array
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
-from .tfidf import TfIdfCorpus
+from .tfidf import CorpusSnapshot, TfIdfCorpus
 
-__all__ = ["SparseTfIdf"]
+__all__ = ["SparseTfIdf", "sparse_from_snapshot"]
+
+
+def sparse_from_snapshot(
+    snapshot: CorpusSnapshot, doc_ids: Optional[Iterable[str]] = None
+) -> "SparseTfIdf":
+    """A warm :class:`SparseTfIdf` over a :class:`CorpusSnapshot` subset.
+
+    The per-worker rehydration path of N-way matching: the parent ships
+    one snapshot of every schema's preprocessed documentation, and each
+    worker builds its per-pair sparse engine from the relevant *doc_ids*
+    without re-running the linguistic pipeline.  The packed structure is
+    built eagerly so the first ``all_pairs`` sweep pays no lazy-build
+    latency inside a timed section.
+    """
+    sparse = SparseTfIdf(snapshot.rehydrate(doc_ids))
+    sparse._ensure_current()
+    return sparse
 
 
 class SparseTfIdf:

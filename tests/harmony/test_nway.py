@@ -1,0 +1,253 @@
+"""Registry-scale N-way matching: fan-out, sharding, pruning.
+
+The load-bearing property is *determinism*: the process-pool path must
+be bit-identical to the serial loop, and clustering must not depend on
+the order pair matrices arrive in — otherwise ``parallelism`` would be a
+semantics knob, not a performance knob.
+"""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.eval import ScenarioConfig, commerce_model, generate_scenario
+from repro.harmony import (
+    MultiSourceResult,
+    PairSelection,
+    cluster_elements,
+    cluster_pair_f1,
+    integrate_sources,
+    match_all_pairs,
+    select_pairs,
+    snapshot_corpus,
+)
+from repro.harmony.engine import EngineConfig
+from repro.harmony.multisource import _resolve_pair_list, _UnionFind
+
+
+@pytest.fixture(scope="module")
+def sources():
+    """Four variants of one base model — four 'source systems'."""
+    base = commerce_model()
+    out = []
+    for seed in (101, 202, 303, 404):
+        scenario = generate_scenario(
+            base, ScenarioConfig(seed=seed, drop_rate=0.0, noise_attributes=0.0)
+        )
+        out.append(scenario.target.copy(name=f"sys{seed}"))
+    return out
+
+
+def _cells(matrix):
+    return {(c.source_id, c.target_id): c.confidence for c in matrix.cells()}
+
+
+@pytest.fixture(scope="module")
+def serial_matrices(sources):
+    return match_all_pairs(sources, engine_config=EngineConfig.fast())
+
+
+class TestParallelFanOut:
+    def test_parallel_bit_identical_to_serial(self, sources, serial_matrices):
+        parallel = match_all_pairs(
+            sources, engine_config=EngineConfig.fast(), parallelism=2
+        )
+        # same pairs, in the same canonical enumeration order
+        assert list(parallel) == list(serial_matrices)
+        for key in serial_matrices:
+            left, right = _cells(serial_matrices[key]), _cells(parallel[key])
+            assert left.keys() == right.keys()
+            assert all(abs(left[k] - right[k]) <= 1e-12 for k in left)
+
+    def test_parallel_clusters_and_target_identical(self, sources):
+        config = EngineConfig.fast()
+        serial = integrate_sources(sources, engine_config=config)
+        parallel = integrate_sources(sources, engine_config=config, parallelism=2)
+        assert serial.clusters == parallel.clusters
+        assert cluster_pair_f1(parallel.clusters, serial.clusters) == 1.0
+        serial_ids = sorted(e.element_id for e in serial.target)
+        parallel_ids = sorted(e.element_id for e in parallel.target)
+        assert serial_ids == parallel_ids
+
+    def test_chunk_size_does_not_change_results(self, sources, serial_matrices):
+        chunked = match_all_pairs(
+            sources, engine_config=EngineConfig.fast(), parallelism=2,
+            chunk_size=1,
+        )
+        for key in serial_matrices:
+            assert _cells(serial_matrices[key]) == _cells(chunked[key])
+
+
+class TestCorpusSharding:
+    def test_snapshot_covers_documented_elements(self, sources):
+        snapshot = snapshot_corpus(sources)
+        documented = sum(
+            1 for g in sources for e in g if e.documentation
+        )
+        assert len(snapshot) == documented
+        graph = sources[0]
+        element = next(e for e in graph if e.documentation)
+        assert f"{graph.name}::{element.element_id}" in snapshot
+
+    def test_shared_corpus_bit_identical_to_rebuilt(self, sources, serial_matrices):
+        rebuilt = match_all_pairs(
+            sources, engine_config=EngineConfig.fast(), share_corpus=False
+        )
+        for key in serial_matrices:
+            left, right = _cells(serial_matrices[key]), _cells(rebuilt[key])
+            assert left.keys() == right.keys()
+            assert all(abs(left[k] - right[k]) <= 1e-12 for k in left)
+
+
+class TestPairSelection:
+    def test_hubs_pair_with_every_schema(self, sources):
+        selection = select_pairs(sources, hub_count=1, partners_per_schema=0)
+        assert len(selection.hubs) == 1
+        hub = selection.hubs[0]
+        expected = {
+            (min(i, hub), max(i, hub))
+            for i in range(len(sources)) if i != hub
+        }
+        assert set(selection.pairs) == expected
+
+    def test_budget_is_a_floor_not_a_cap(self, sources):
+        guaranteed = select_pairs(sources, hub_count=2, partners_per_schema=3)
+        budgeted = select_pairs(
+            sources, pair_budget=1, hub_count=2, partners_per_schema=3
+        )
+        # hub/partner guarantees survive a budget smaller than them
+        assert set(budgeted.pairs) >= set(guaranteed.pairs)
+
+    def test_budget_fills_with_strongest_pairs(self, sources):
+        total = len(sources) * (len(sources) - 1) // 2
+        selection = select_pairs(
+            sources, pair_budget=total, hub_count=0, partners_per_schema=0
+        )
+        assert selection.kept_pairs == total
+        assert selection.pruning_ratio == 0.0
+
+    def test_selection_is_deterministic(self, sources):
+        one = select_pairs(sources, pair_budget=4)
+        two = select_pairs(sources, pair_budget=4)
+        assert one.pairs == two.pairs
+        assert one.hubs == two.hubs
+        assert one.similarity == two.similarity
+
+    def test_snapshot_does_not_change_selection(self, sources):
+        plain = select_pairs(sources, pair_budget=4)
+        shared = select_pairs(
+            sources, pair_budget=4, snapshot=snapshot_corpus(sources)
+        )
+        assert plain.pairs == shared.pairs
+
+    def test_match_all_pairs_honors_selection(self, sources):
+        selection = select_pairs(sources, hub_count=1, partners_per_schema=0)
+        matrices = match_all_pairs(
+            sources, engine_config=EngineConfig.fast(), selection=selection
+        )
+        expected = [
+            (sources[i].name, sources[j].name) for i, j in selection.pairs
+        ]
+        assert list(matrices) == expected
+
+    def test_raw_index_pairs_accepted(self, sources):
+        matrices = match_all_pairs(
+            sources, engine_config=EngineConfig.fast(), selection=[(1, 0)]
+        )
+        assert list(matrices) == [(sources[0].name, sources[1].name)]
+
+    def test_invalid_pair_rejected(self, sources):
+        with pytest.raises(SchemaError):
+            _resolve_pair_list(sources, [(0, 99)])
+        with pytest.raises(SchemaError):
+            _resolve_pair_list(sources, [(2, 2)])
+
+    def test_pruned_clusters_track_exhaustive(self, sources, serial_matrices):
+        exhaustive = cluster_elements(sources, serial_matrices)
+        selection = select_pairs(sources, hub_count=2, partners_per_schema=2)
+        pruned_matrices = {
+            key: serial_matrices[key]
+            for key in (
+                (sources[i].name, sources[j].name) for i, j in selection.pairs
+            )
+        }
+        pruned = cluster_elements(sources, pruned_matrices)
+        # variants of one base: hub transitivity keeps the concepts together
+        assert cluster_pair_f1(pruned, exhaustive) >= 0.98
+
+    def test_integrate_sources_pair_budget(self, sources):
+        result = integrate_sources(
+            sources, engine_config=EngineConfig.fast(), pair_budget=4
+        )
+        assert isinstance(result.selection, PairSelection)
+        assert set(result.matrices) == {
+            (sources[i].name, sources[j].name)
+            for i, j in result.selection.pairs
+        }
+
+
+class TestClusterPairF1:
+    def test_identical_clusterings(self):
+        clusters = [[("a", "1"), ("b", "1")], [("a", "2")]]
+        assert cluster_pair_f1(clusters, clusters) == 1.0
+
+    def test_all_singletons(self):
+        singles = [[("a", "1")], [("b", "1")]]
+        assert cluster_pair_f1(singles, singles) == 1.0
+
+    def test_disjoint_pairings(self):
+        left = [[("a", "1"), ("b", "1")], [("a", "2"), ("b", "2")]]
+        right = [[("a", "1"), ("b", "2")], [("a", "2"), ("b", "1")]]
+        assert cluster_pair_f1(left, right) == 0.0
+
+    def test_partial_overlap(self):
+        reference = [[("a", "1"), ("b", "1"), ("c", "1")]]  # 3 pairs
+        predicted = [[("a", "1"), ("b", "1")], [("c", "1")]]  # 1 pair, a hit
+        f1 = cluster_pair_f1(predicted, reference)
+        assert f1 == pytest.approx(2 * 1.0 * (1 / 3) / (1.0 + 1 / 3))
+
+
+class TestOrderIndependence:
+    def test_cluster_elements_ignores_matrix_dict_order(self, sources, serial_matrices):
+        forward = cluster_elements(sources, serial_matrices)
+        reversed_dict = dict(reversed(list(serial_matrices.items())))
+        assert list(reversed_dict) != list(serial_matrices)
+        assert cluster_elements(sources, reversed_dict) == forward
+
+
+class TestUnionFindMemoization:
+    def test_members_cached_until_mutation(self):
+        uf = _UnionFind()
+        uf.union(("a", "1"), ("b", "1"))
+        first = uf.members()
+        assert uf.members() is first  # cache hit, no rebuild
+        uf.find(("c", "1"))  # new ref invalidates
+        second = uf.members()
+        assert second is not first
+        assert ("c", "1") in second
+        uf.union(("c", "1"), ("a", "1"))  # merge invalidates
+        third = uf.members()
+        assert third is not second
+        assert sorted(third[("a", "1")]) == [("a", "1"), ("b", "1"), ("c", "1")]
+
+    def test_noop_union_keeps_cache(self):
+        uf = _UnionFind()
+        uf.union(("a", "1"), ("b", "1"))
+        first = uf.members()
+        uf.union(("a", "1"), ("b", "1"))  # already joined: no mutation
+        assert uf.members() is first
+
+
+class TestClusterOfIndex:
+    def test_lookup_and_miss(self):
+        result = MultiSourceResult(
+            clusters=[[("a", "1"), ("b", "1")], [("a", "2")]]
+        )
+        assert result.cluster_of("a", "1") == [("a", "1"), ("b", "1")]
+        assert result.cluster_of("a", "2") == [("a", "2")]
+        assert result.cluster_of("z", "9") is None
+
+    def test_index_rebuilds_when_clusters_replaced(self):
+        result = MultiSourceResult(clusters=[[("a", "1")]])
+        assert result.cluster_of("a", "1") == [("a", "1")]
+        result.clusters = [[("a", "1"), ("b", "7")]]
+        assert result.cluster_of("b", "7") == [("a", "1"), ("b", "7")]

@@ -93,3 +93,63 @@ class TestTable1Calibration:
         assert stats.element.percent_with_definition == 0.0
         assert stats.element.words_per_item == 0.0
         assert stats.element.words_per_definition == 0.0
+
+
+class TestTable1FullScale:
+    """The full 265-model registry hits the published marginals ±2%."""
+
+    @pytest.fixture(scope="class")
+    def full_registry(self):
+        from repro.registry import generate_table1_registry
+
+        return generate_table1_registry(seed=2006)
+
+    def test_model_count_exact(self, full_registry):
+        assert len(full_registry["models"]) == 265
+
+    def test_marginals_within_two_percent(self, full_registry):
+        stats = compute_stats(full_registry)
+        assert stats.element.item_count == pytest.approx(13_049, rel=0.02)
+        assert stats.attribute.item_count == pytest.approx(163_736, rel=0.02)
+        assert stats.domain.item_count == pytest.approx(282_331, rel=0.02)
+
+    def test_seed_determinism(self, full_registry):
+        from repro.registry import generate_table1_registry
+
+        again = generate_table1_registry(seed=2006)
+        assert again == full_registry
+
+    def test_model_size_distribution(self, full_registry):
+        from repro.registry import model_size_distribution
+
+        dist = model_size_distribution(full_registry)
+        assert dist["models"] == 265
+        # per-model entity counts are Poisson(elements_per_model):
+        # the mean tracks Table 1's ratio and dispersion stays near 1
+        assert dist["mean"] == pytest.approx(13_049 / 265, rel=0.05)
+        assert dist["min"] >= 1
+        assert 0.7 < dist["dispersion"] < 1.3
+
+
+class TestCompactProfile:
+    """The many-small-models shape the N-way benches run on."""
+
+    def test_model_count_and_size(self):
+        from repro.registry import model_size_distribution
+
+        profile = RegistryProfile.compact(50)
+        registry = generate_registry(seed=7, scale=1.0, profile=profile)
+        assert len(registry["models"]) == 50
+        dist = model_size_distribution(registry)
+        assert dist["mean"] == pytest.approx(2.0, abs=1.0)
+
+    def test_definition_rates_preserved(self):
+        profile = RegistryProfile.compact(80)
+        registry = generate_registry(seed=7, scale=1.0, profile=profile)
+        stats = compute_stats(registry)
+        assert stats.element.percent_with_definition > 95.0
+        assert 70.0 < stats.attribute.percent_with_definition < 95.0
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            RegistryProfile.compact(0)
