@@ -57,6 +57,15 @@ and enforces these guards:
   ``SERIALIZE_MIN_SPEEDUP`` times faster than the generic per-cell
   loop (which can only stay stale-free by clearing and rewriting every
   part), landing the byte-identical store state every round.
+* **durability gates** — (1) the end-to-end engineer workflow (one A12
+  fast match, then persisting both schemas and the matrix) through a
+  WAL-backed durable blackboard (``fsync="commit"``) must cost at most
+  ``WAL_MAX_OVERHEAD`` times the in-memory blackboard, best-of-2 per
+  arm; (2) reopening a checkpointed ≥100k-triple durable blackboard
+  (snapshot + WAL-tail replay) must be at least ``RECOVERY_MIN_SPEEDUP``
+  times faster than rebuilding the same state from schema sources —
+  re-importing the registry and re-running the default-config matches
+  whose decided mappings the blackboard holds.
 * **N-way parallel gate** — ``match_all_pairs(parallelism=k)`` over the
   50-schema family workload (``nway_workload``) must run at least
   ``NWAY_MIN_PARALLEL_SPEEDUP`` times faster than the serial loop under
@@ -83,6 +92,7 @@ import gc
 import json
 import os
 import sys
+import tempfile
 import time
 
 from repro.core import MappingMatrix
@@ -105,7 +115,10 @@ from repro.harmony import (
 from repro.harmony.flooding import FloodingState, classic_flooding, compile_pcg
 from repro.loaders import load_registry
 from repro.rdf import (
+    DurableStore,
+    IRI,
     Query,
+    Triple,
     TripleStore,
     Variable,
     evaluate_planned,
@@ -118,10 +131,12 @@ from repro.rdf import (
     rdf_to_matrix,
     remove_matrix,
     row_iri,
+    schema_to_rdf,
     serialize_matrix,
     write_cell,
 )
 from repro.rdf import vocabulary as V
+from repro.workbench import IntegrationBlackboard
 from repro.registry import RegistryProfile, generate_registry
 from repro.text import SparseTfIdf, TfIdfCorpus, kernels, similarity
 from repro.text.tokenize import split_identifier
@@ -156,6 +171,17 @@ BLOCKING_MIN_SPEEDUP = 3.0
 SERIALIZE_MIN_SPEEDUP = 3.0
 #: sparse/reference cosine agreement bound (mirrors the differential suite)
 SPARSE_TOLERANCE = 1e-12
+#: durable (WAL-on, fsync="commit") match+persist may cost at most this
+#: multiple of the in-memory blackboard's wall time
+WAL_MAX_OVERHEAD = 1.3
+#: snapshot+replay recovery must beat rebuild-from-sources by this factor
+RECOVERY_MIN_SPEEDUP = 5.0
+#: the recovery-gate blackboard must hold at least this many triples
+DURABILITY_MIN_TRIPLES = 100_000
+#: registry scale and decided-mapping count behind the recovery gate
+DURABILITY_MODELS = 80
+DURABILITY_MATCH_PAIRS = 4
+DURABILITY_LINK_THRESHOLD = 0.5
 #: process-pool N-way matching must beat the serial loop by this factor
 NWAY_MIN_PARALLEL_SPEEDUP = 2.0
 #: hub-pruned N-way matching must beat the exhaustive sweep by this factor
@@ -668,6 +694,133 @@ def _planner_microbench():
     }
 
 
+def _durability_microbench(source, target):
+    """Two durability gates.
+
+    **WAL overhead** — the engineer workflow (one A12 fast match, then
+    persisting both schemas and the matrix) through an in-memory
+    blackboard vs a WAL-backed durable one (``fsync="commit"``),
+    best-of-2 per arm with cold kernel caches each run.
+
+    **Recovery speedup** — a blackboard holding an 80-model registry's
+    schemas plus the decided mappings of ``DURABILITY_MATCH_PAIRS``
+    default-config matches (≥100k triples) is checkpointed, reopened
+    (snapshot decode + ``bulk_load`` + WAL-tail replay), and the open
+    time is compared against rebuilding the identical state from schema
+    sources: re-importing the registry, re-running every match, and
+    re-serializing.  Mappings are what the paper's blackboard stores, so
+    losing the durable directory really does mean re-running matchers —
+    that is the cost recovery must beat.
+    """
+    def persist_workload(board):
+        run = HarmonyEngine(config=EngineConfig.fast()).match(source, target)
+        board.put_schema(source)
+        board.put_schema(target)
+        board.put_matrix(run.matrix)
+
+    memory_wall = float("inf")
+    for _ in range(2):
+        kernels.clear_caches()
+        board = IntegrationBlackboard()
+        t0 = time.perf_counter()
+        persist_workload(board)
+        memory_wall = min(memory_wall, time.perf_counter() - t0)
+
+    durable_wall = float("inf")
+    wal_bytes = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for attempt in range(2):
+            kernels.clear_caches()
+            board = IntegrationBlackboard(
+                durable=os.path.join(tmp, f"ib{attempt}"), fsync="commit")
+            t0 = time.perf_counter()
+            persist_workload(board)
+            board.durability.sync()
+            durable_wall = min(durable_wall, time.perf_counter() - t0)
+            wal_bytes = board.durability.wal_size
+            board.close()
+
+    # -- recovery arm ------------------------------------------------------
+    profile = RegistryProfile(
+        model_count=DURABILITY_MODELS,
+        elements_per_model=12,
+        attributes_per_element=8,
+        domain_values_per_attribute=0.5,
+    )
+    registry = generate_registry(seed=41, scale=1.0, profile=profile,
+                                 name="durability")
+
+    def decided_mapping(run, name):
+        mapping = MappingMatrix(name)
+        for link in run.matrix.links(DURABILITY_LINK_THRESHOLD):
+            if link.source_id not in mapping.row_ids:
+                mapping.add_row(link.source_id)
+            if link.target_id not in mapping.column_ids:
+                mapping.add_column(link.target_id)
+            mapping.set_confidence(
+                link.source_id, link.target_id, link.confidence)
+        return mapping
+
+    def rebuild(store):
+        loaded = load_registry(registry)
+        for graph in loaded.schemas:
+            schema_to_rdf(graph, store)
+        for i in range(DURABILITY_MATCH_PAIRS):
+            run = HarmonyEngine().match(
+                loaded.schemas[2 * i], loaded.schemas[2 * i + 1])
+            serialize_matrix(decided_mapping(run, f"mapping-{i}"), store)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = os.path.join(tmp, "ib")
+        kernels.clear_caches()
+        durable = DurableStore(directory, fsync="commit")
+        rebuild(durable.store)
+        durable.sync()
+        durable.checkpoint()
+        # a post-checkpoint tail so recovery replays WAL frames too
+        durable.store.add_many([
+            Triple(IRI(f"urn:bench:tail{i}"), V.NAME, literal(i))
+            for i in range(100)
+        ])
+        durable.sync()
+        triple_count = len(durable.store)
+        revision = durable.revision
+        durable.close()
+
+        kernels.clear_caches()
+        fresh = TripleStore()
+        t0 = time.perf_counter()
+        rebuild(fresh)
+        rebuild_wall = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        recovered = DurableStore(directory)
+        recovery_wall = time.perf_counter() - t0
+        if len(recovered.store) != triple_count:
+            raise AssertionError(
+                f"recovery lost triples: {len(recovered.store)} of "
+                f"{triple_count}")
+        if recovered.revision != revision:
+            raise AssertionError(
+                f"recovered revision {recovered.revision} != primary's "
+                f"{revision}")
+        if recovered.stats["recovered_frames"] != 1:
+            raise AssertionError(
+                "recovery did not replay the post-checkpoint WAL tail")
+        recovered.close()
+
+    return {
+        "wal_memory_wall_s": round(memory_wall, 4),
+        "wal_durable_wall_s": round(durable_wall, 4),
+        "wal_overhead": round(durable_wall / memory_wall, 3),
+        "wal_bytes": wal_bytes,
+        "durability_store_triples": triple_count,
+        "durability_rebuild_wall_s": round(rebuild_wall, 4),
+        "durability_recovery_wall_s": round(recovery_wall, 4),
+        "recovery_speedup": round(rebuild_wall / recovery_wall, 2),
+    }
+
+
 def _nway_parallel_microbench():
     """Serial vs process-pool ``match_all_pairs`` over the 50-schema
     family workload, same ``EngineConfig.fast()`` both arms.  The pool
@@ -807,6 +960,7 @@ def main(argv) -> int:
     result.update(_sweep_microbench(source, target))
     result.update(_blocking_microbench(source, target))
     result.update(_serialize_microbench())
+    result.update(_durability_microbench(source, target))
     result.update(_nway_parallel_microbench())
     result.update(_nway_pruned_microbench())
     print("perf smoke (A12-large pair):")
@@ -868,6 +1022,20 @@ def main(argv) -> int:
             f"delta re-serialization only {result['serialize_speedup']:.2f}x "
             f"faster than the per-cell rewrite "
             f"(required >= {SERIALIZE_MIN_SPEEDUP}x)")
+    if result["wal_overhead"] > WAL_MAX_OVERHEAD:
+        failures.append(
+            f"WAL-on match+persist cost {result['wal_overhead']:.3f}x the "
+            f"in-memory blackboard (allowed <= {WAL_MAX_OVERHEAD}x)")
+    if result["durability_store_triples"] < DURABILITY_MIN_TRIPLES:
+        failures.append(
+            f"recovery-gate blackboard holds only "
+            f"{result['durability_store_triples']} triples "
+            f"(required >= {DURABILITY_MIN_TRIPLES}) — the scenario shrank")
+    if result["recovery_speedup"] < RECOVERY_MIN_SPEEDUP:
+        failures.append(
+            f"snapshot+replay recovery only {result['recovery_speedup']:.2f}x "
+            f"faster than rebuilding from schema sources "
+            f"(required >= {RECOVERY_MIN_SPEEDUP}x)")
     if ("nway_parallel_speedup" in result
             and result["nway_parallel_speedup"] < NWAY_MIN_PARALLEL_SPEEDUP):
         failures.append(

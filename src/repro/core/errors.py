@@ -70,6 +70,19 @@ class QueryError(StoreError):
     """An RDF query is malformed."""
 
 
+class DurabilityError(StoreError):
+    """A write-ahead log or snapshot is unusable beyond crash-truncation.
+
+    Raised for damage that crash recovery must *not* silently repair:
+    an unreadable snapshot, a WAL whose header names a foreign format or
+    version, or a replayed frame whose revision counter disagrees with
+    the store it was applied to."""
+
+
+class ReplicationError(StoreError):
+    """A replica was fed frames it cannot safely apply (gap, drift)."""
+
+
 class TransactionError(WorkbenchError):
     """A blackboard transaction was used incorrectly."""
 

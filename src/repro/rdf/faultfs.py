@@ -1,0 +1,299 @@
+"""Filesystem seam for the durability layer, with fault injection.
+
+:class:`~repro.rdf.durability.DurableStore` performs every file operation
+through a small :class:`FileSystem` object so the crash-recovery test
+harness can put a hostile disk underneath it.  Three implementations:
+
+* :class:`OsFileSystem` — the real thing (the default, via :data:`OS_FS`);
+* :class:`MemoryFS` — an in-memory disk, so property tests can run
+  thousands of recoveries without touching the host filesystem;
+* :class:`FaultInjectingFS` — a :class:`MemoryFS` that models the failure
+  modes a write-ahead log must survive:
+
+  - **fsync-dropped tail** — written bytes live in a volatile cache until
+    ``fsync``; :meth:`FaultInjectingFS.crash` reverts every file to its
+    last-synced prefix, so un-synced frames vanish exactly as they would
+    on power loss;
+  - **torn writes** — ``crash(keep_unsynced_bytes=k)`` persists only the
+    first *k* bytes of the volatile tail, leaving a partial frame on disk;
+  - **short writes** — :attr:`FaultInjectingFS.fail_after_bytes` makes a
+    write persist a prefix and then raise ``OSError``, like a full disk;
+  - **corrupt frames** — :meth:`FaultInjectingFS.corrupt` flips stored
+    bytes in place, defeating length checks but not checksums.
+
+The model is deliberately byte-granular: recovery must yield exactly the
+longest durable prefix for a crash at *any* byte boundary, and the
+hypothesis suite in ``tests/rdf/test_wal_recovery.py`` drives these hooks
+over every boundary of every generated log.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+__all__ = [
+    "FileSystem",
+    "OsFileSystem",
+    "MemoryFS",
+    "FaultInjectingFS",
+    "OS_FS",
+]
+
+
+class FileSystem:
+    """The file operations the durability layer needs, as one seam.
+
+    Only binary modes are supported (``"rb"``, ``"wb"``, ``"ab"``,
+    ``"r+b"``) — the WAL and snapshot formats are binary.
+    """
+
+    def open(self, path: str, mode: str = "rb"):
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def replace(self, src: str, dst: str) -> None:
+        """Atomically rename ``src`` over ``dst`` (``os.replace``)."""
+        raise NotImplementedError
+
+    def remove(self, path: str) -> None:
+        raise NotImplementedError
+
+    def fsync(self, handle) -> None:
+        """Force ``handle``'s written bytes to durable storage."""
+        raise NotImplementedError
+
+
+class OsFileSystem(FileSystem):
+    """The real filesystem."""
+
+    def open(self, path: str, mode: str = "rb"):
+        return open(path, mode)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def fsync(self, handle) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+#: shared real-filesystem instance (the default everywhere)
+OS_FS = OsFileSystem()
+
+
+class _MemFile:
+    """A file handle over a :class:`MemoryFS` entry."""
+
+    def __init__(self, fs: "MemoryFS", path: str, mode: str) -> None:
+        if mode not in ("rb", "wb", "ab", "r+b"):
+            raise ValueError(f"MemoryFS supports binary modes only, got {mode!r}")
+        self._fs = fs
+        self.path = path
+        self.mode = mode
+        self.closed = False
+        data = fs._files.get(path)
+        if mode == "rb":
+            if data is None:
+                raise FileNotFoundError(path)
+            self._pos = 0
+        elif mode == "wb":
+            fs._files[path] = bytearray()
+            fs._synced[path] = 0
+            self._pos = 0
+        elif mode == "ab":
+            if data is None:
+                fs._files[path] = bytearray()
+                fs._synced[path] = 0
+            self._pos = len(fs._files[path])
+        else:  # r+b
+            if data is None:
+                raise FileNotFoundError(path)
+            self._pos = 0
+
+    # -- the subset of the io protocol the WAL uses ---------------------------
+
+    def read(self, size: int = -1) -> bytes:
+        self._check_open()
+        data = self._fs._files[self.path]
+        if size is None or size < 0:
+            chunk = bytes(data[self._pos:])
+        else:
+            chunk = bytes(data[self._pos:self._pos + size])
+        self._pos += len(chunk)
+        return chunk
+
+    def write(self, payload: bytes) -> int:
+        self._check_open()
+        if self.mode == "rb":
+            raise OSError("file opened read-only")
+        accepted = self._fs._accept_write(self.path, len(payload))
+        data = self._fs._files[self.path]
+        chunk = payload[:accepted]
+        end = self._pos + len(chunk)
+        if self._pos == len(data):
+            data.extend(chunk)
+        else:
+            if end > len(data):
+                data.extend(b"\x00" * (end - len(data)))
+            data[self._pos:end] = chunk
+        self._pos = end
+        if accepted < len(payload):
+            raise OSError(
+                f"short write on {self.path}: {accepted}/{len(payload)} bytes")
+        return accepted
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        self._check_open()
+        size = len(self._fs._files[self.path])
+        if whence == 0:
+            self._pos = offset
+        elif whence == 1:
+            self._pos += offset
+        elif whence == 2:
+            self._pos = size + offset
+        else:
+            raise ValueError(f"bad whence {whence}")
+        return self._pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        self._check_open()
+        if self.mode == "rb":
+            raise OSError("file opened read-only")
+        size = self._pos if size is None else size
+        data = self._fs._files[self.path]
+        del data[size:]
+        synced = self._fs._synced
+        synced[self.path] = min(synced.get(self.path, 0), size)
+        return size
+
+    def flush(self) -> None:
+        self._check_open()
+        # writes are modeled as landing in the OS cache immediately; only
+        # FileSystem.fsync advances the durable prefix
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            handles = self._fs._handles.get(self.path)
+            if handles and self in handles:
+                handles.remove(self)
+
+    def __enter__(self) -> "_MemFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ValueError("I/O operation on closed file")
+
+
+class MemoryFS(FileSystem):
+    """An in-memory disk with the same durability model as a real one:
+    file contents are what the OS cache sees; the per-file *synced*
+    length is what survives :meth:`FaultInjectingFS.crash`."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, bytearray] = {}
+        #: durable prefix length per path (advanced only by fsync)
+        self._synced: Dict[str, int] = {}
+        self._handles: Dict[str, List[_MemFile]] = {}
+
+    def open(self, path: str, mode: str = "rb"):
+        handle = _MemFile(self, path, mode)
+        self._handles.setdefault(path, []).append(handle)
+        return handle
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def replace(self, src: str, dst: str) -> None:
+        if src not in self._files:
+            raise FileNotFoundError(src)
+        self._files[dst] = self._files.pop(src)
+        self._synced[dst] = self._synced.pop(src, 0)
+
+    def remove(self, path: str) -> None:
+        if path not in self._files:
+            raise FileNotFoundError(path)
+        del self._files[path]
+        self._synced.pop(path, None)
+
+    def fsync(self, handle) -> None:
+        self._synced[handle.path] = len(self._files[handle.path])
+
+    # -- inspection helpers for tests ----------------------------------------
+
+    def read_bytes(self, path: str) -> bytes:
+        return bytes(self._files[path])
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        """Install file content directly, marking it fully durable."""
+        self._files[path] = bytearray(data)
+        self._synced[path] = len(data)
+
+    def synced_length(self, path: str) -> int:
+        return self._synced.get(path, 0)
+
+    def _accept_write(self, path: str, size: int) -> int:
+        """How many of ``size`` bytes the disk accepts (hook for faults)."""
+        return size
+
+
+class FaultInjectingFS(MemoryFS):
+    """A :class:`MemoryFS` that can lose power, run out of disk, and rot."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: when set, total bytes accepted across all writes before the
+        #: disk starts short-writing (the excess raises ``OSError``)
+        self.fail_after_bytes: Optional[int] = None
+        self._written_total = 0
+        self.crashes = 0
+
+    def _accept_write(self, path: str, size: int) -> int:
+        if self.fail_after_bytes is None:
+            return size
+        budget = self.fail_after_bytes - self._written_total
+        accepted = max(0, min(size, budget))
+        self._written_total += accepted
+        return accepted
+
+    def crash(self, keep_unsynced_bytes: int = 0) -> None:
+        """Simulate power loss: every file reverts to its durable prefix.
+
+        ``keep_unsynced_bytes`` persists that many bytes of each file's
+        volatile tail first — a torn write frozen mid-flight.  All open
+        handles are invalidated, as the process they belonged to is gone.
+        """
+        self.crashes += 1
+        for path, data in self._files.items():
+            durable = min(
+                len(data), self._synced.get(path, 0) + keep_unsynced_bytes
+            )
+            del data[durable:]
+            self._synced[path] = durable
+        for path, handles in list(self._handles.items()):
+            for handle in handles:
+                handle.closed = True
+            self._handles[path] = []
+
+    def corrupt(self, path: str, offset: int, xor: int = 0xFF) -> None:
+        """Flip bits of one stored byte in place (checksum fodder)."""
+        data = self._files[path]
+        if not 0 <= offset < len(data):
+            raise IndexError(f"corrupt offset {offset} outside {path}")
+        data[offset] ^= xor

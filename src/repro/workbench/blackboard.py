@@ -20,6 +20,7 @@ from ..core.errors import StoreError
 from ..core.graph import SchemaGraph
 from ..core.matrix import MappingMatrix
 from ..rdf import schema_rdf
+from ..rdf.durability import DurableStore
 from ..rdf.namespace import IW_NS
 from ..rdf.store import TripleStore
 from ..rdf.serialize import from_ntriples, to_ntriples
@@ -31,10 +32,37 @@ _WORKBENCH = IW_NS.workbench
 
 
 class IntegrationBlackboard:
-    """Typed access to the shared RDF repository."""
+    """Typed access to the shared RDF repository.
 
-    def __init__(self, store: Optional[TripleStore] = None) -> None:
-        self.store = store if store is not None else TripleStore()
+    By default the repository is memory-only.  Passing ``durable=`` (a
+    directory path) puts a :class:`~repro.rdf.durability.DurableStore`
+    underneath instead: every mutation is write-ahead logged, the
+    directory is recovered on open (so a session survives a crash or
+    restart), :meth:`checkpoint` compacts the log, and the WAL frame
+    stream can feed read-only replicas.  ``fsync`` and
+    ``auto_checkpoint_bytes`` pass through to the durable layer.
+    """
+
+    def __init__(
+        self,
+        store: Optional[TripleStore] = None,
+        durable: Optional[str] = None,
+        fsync: str = "commit",
+        auto_checkpoint_bytes: Optional[int] = None,
+    ) -> None:
+        if durable is not None:
+            if store is not None:
+                raise StoreError(
+                    "pass either store= or durable=, not both — a durable "
+                    "blackboard owns its recovered store")
+            self.durability: Optional[DurableStore] = DurableStore(
+                durable, fsync=fsync,
+                auto_checkpoint_bytes=auto_checkpoint_bytes,
+            )
+            self.store = self.durability.store
+        else:
+            self.durability = None
+            self.store = store if store is not None else TripleStore()
 
     # -- schemata -----------------------------------------------------------------
 
@@ -154,6 +182,17 @@ class IntegrationBlackboard:
         return None
 
     # -- durability ---------------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Compact the durable layer (snapshot + WAL truncate)."""
+        if self.durability is None:
+            raise StoreError("checkpoint() requires a durable blackboard")
+        self.durability.checkpoint()
+
+    def close(self) -> None:
+        """Flush and release the durable layer (no-op when in-memory)."""
+        if self.durability is not None:
+            self.durability.close()
 
     def dumps(self) -> str:
         """Serialize the whole blackboard as N-Triples."""

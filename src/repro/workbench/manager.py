@@ -27,8 +27,18 @@ class WorkbenchManager:
     tools"* — Figure 4.)
     """
 
-    def __init__(self, blackboard: Optional[IntegrationBlackboard] = None) -> None:
-        self.blackboard = blackboard if blackboard is not None else IntegrationBlackboard()
+    def __init__(
+        self,
+        blackboard: Optional[IntegrationBlackboard] = None,
+        durable: Optional[str] = None,
+        fsync: str = "commit",
+    ) -> None:
+        if blackboard is not None and durable is not None:
+            raise ToolError(
+                "pass either blackboard= or durable=, not both")
+        if blackboard is None:
+            blackboard = IntegrationBlackboard(durable=durable, fsync=fsync)
+        self.blackboard = blackboard
         self.events = EventBus()
         self._tools: Dict[str, Tool] = {}
 
@@ -72,6 +82,14 @@ class WorkbenchManager:
         """The executed cost-based plan for an ad hoc query: join order,
         estimated vs. actual per-pattern cardinalities, memo hits."""
         return explain(self.blackboard.store, query)
+
+    def close(self) -> None:
+        """Release the blackboard's durable layer, if any.
+
+        A durable workbench reopened on the same directory recovers the
+        session (schemas, matrices, focus) exactly as it was.
+        """
+        self.blackboard.close()
 
     def __repr__(self) -> str:
         return (

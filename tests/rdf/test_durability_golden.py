@@ -1,0 +1,177 @@
+"""Golden-format tests: the on-disk WAL and snapshot bytes are frozen.
+
+``tests/rdf/golden/`` holds byte-exact WAL and snapshot files produced
+by :func:`golden_history` at format version 1, plus ``expected.json``
+describing the state they must decode to.  These tests fail if the
+serialization format drifts — which is the point: a format change must
+either keep decoding the committed bytes (backwards compatible) or bump
+``FORMAT_VERSION`` and add new goldens alongside the old ones.
+
+Regenerate (only when introducing a NEW format version) with::
+
+    PYTHONPATH=src python tests/rdf/test_durability_golden.py --regenerate
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.errors import DurabilityError
+from repro.rdf import (
+    BlankNode,
+    IRI,
+    DurableStore,
+    FaultInjectingFS,
+    literal,
+    scan_wal,
+)
+from repro.rdf.durability import (
+    FORMAT_VERSION,
+    decode_snapshot,
+    encode_snapshot,
+)
+from repro.rdf.serialize import to_ntriples
+from repro.rdf.term import XSD_INTEGER, Literal
+from repro.rdf.triple import Triple
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+WAL_GOLDEN = os.path.join(GOLDEN_DIR, "wal_v1.bin")
+SNAPSHOT_GOLDEN = os.path.join(GOLDEN_DIR, "snapshot_v1.bin")
+EXPECTED = os.path.join(GOLDEN_DIR, "expected.json")
+
+
+def golden_history(store):
+    """A fixed mutation history covering every term kind and op shape:
+    IRIs, blank nodes, plain/typed/unicode literals, bulk and single
+    adds, removals, and a no-op-containing batch."""
+    ex = lambda s: IRI(f"http://example.org/{s}")
+    store.add(ex("alice"), ex("knows"), ex("bob"))
+    store.add_many([
+        Triple(ex("alice"), ex("name"), literal("Alice")),
+        Triple(ex("alice"), ex("age"), literal(30)),
+        Triple(ex("bob"), ex("name"), literal("Bobé 你好")),
+        Triple(BlankNode("b0"), ex("memberOf"), ex("team")),
+        Triple(ex("bob"), ex("score"),
+               Literal("2.5", "http://www.w3.org/2001/XMLSchema#double")),
+    ])
+    store.remove(ex("alice"), ex("age"), literal(30))
+    store.add_many([
+        Triple(ex("alice"), ex("knows"), ex("bob")),  # no-op duplicate
+        Triple(ex("alice"), ex("knows"), ex("carol")),
+    ])
+    store.remove_many([
+        Triple(ex("bob"), ex("name"), literal("Bobé 你好")),
+        Triple(ex("never"), ex("was"), ex("here")),  # no-op removal
+    ])
+
+
+def build_golden_bytes():
+    fs = FaultInjectingFS()
+    durable = DurableStore("/db", fsync="always", fs=fs)
+    golden_history(durable.store)
+    snapshot = encode_snapshot(durable.store, seq=durable.next_seq)
+    state = {
+        "format_version": FORMAT_VERSION,
+        "revision": durable.revision,
+        "next_seq": durable.next_seq,
+        "triple_count": len(durable.store),
+        "ntriples": to_ntriples(durable.store),
+    }
+    wal = fs.read_bytes("/db/store.wal")
+    durable.close()
+    return wal, snapshot, state
+
+
+class TestGoldenWAL:
+    def test_golden_wal_still_loads(self):
+        with open(WAL_GOLDEN, "rb") as handle:
+            data = handle.read()
+        with open(EXPECTED, "r", encoding="utf-8") as handle:
+            expected = json.load(handle)
+
+        base_revision, base_seq, frames, durable_len = scan_wal(data)
+        assert (base_revision, base_seq) == (0, 1)
+        assert durable_len == len(data)  # not one stale byte
+
+        fs = FaultInjectingFS()
+        fs.write_bytes("/db/store.wal", data)
+        recovered = DurableStore("/db", fs=fs)
+        assert recovered.revision == expected["revision"]
+        assert recovered.next_seq == expected["next_seq"]
+        assert len(recovered.store) == expected["triple_count"]
+        assert to_ntriples(recovered.store) == expected["ntriples"]
+        recovered.close()
+
+    def test_current_encoder_reproduces_golden_bytes(self):
+        """Byte-for-byte: today's writer produces yesterday's file."""
+        wal, _, _ = build_golden_bytes()
+        with open(WAL_GOLDEN, "rb") as handle:
+            assert handle.read() == wal
+
+    def test_future_version_wal_rejected(self):
+        with open(WAL_GOLDEN, "rb") as handle:
+            data = bytearray(handle.read())
+        data[len(b"IWWAL")] = FORMAT_VERSION + 1
+        with pytest.raises(DurabilityError):
+            scan_wal(bytes(data))
+
+
+class TestGoldenSnapshot:
+    def test_golden_snapshot_still_loads(self):
+        with open(SNAPSHOT_GOLDEN, "rb") as handle:
+            data = handle.read()
+        with open(EXPECTED, "r", encoding="utf-8") as handle:
+            expected = json.load(handle)
+
+        revision, next_seq, triples = decode_snapshot(data)
+        assert revision == expected["revision"]
+        assert next_seq == expected["next_seq"]
+        assert len(triples) == expected["triple_count"]
+
+        fs = FaultInjectingFS()
+        fs.write_bytes("/db/store.snapshot", data)
+        recovered = DurableStore("/db", fs=fs)
+        assert to_ntriples(recovered.store) == expected["ntriples"]
+        recovered.close()
+
+    def test_current_encoder_reproduces_golden_bytes(self):
+        _, snapshot, _ = build_golden_bytes()
+        with open(SNAPSHOT_GOLDEN, "rb") as handle:
+            assert handle.read() == snapshot
+
+    def test_future_version_snapshot_rejected(self):
+        with open(SNAPSHOT_GOLDEN, "rb") as handle:
+            data = bytearray(handle.read())
+        data[len(b"IWSNAP")] = FORMAT_VERSION + 1
+        with pytest.raises(DurabilityError):
+            decode_snapshot(bytes(data))
+
+    def test_expected_json_matches_builder(self):
+        """The committed expected.json is itself regenerable."""
+        _, _, state = build_golden_bytes()
+        with open(EXPECTED, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == state
+
+
+def _regenerate():
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    wal, snapshot, state = build_golden_bytes()
+    with open(WAL_GOLDEN, "wb") as handle:
+        handle.write(wal)
+    with open(SNAPSHOT_GOLDEN, "wb") as handle:
+        handle.write(snapshot)
+    with open(EXPECTED, "w", encoding="utf-8") as handle:
+        json.dump(state, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(wal)}-byte WAL, {len(snapshot)}-byte snapshot, "
+          f"revision {state['revision']}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

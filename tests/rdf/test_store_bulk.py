@@ -119,3 +119,57 @@ class TestTransactionsWithBulkOps:
         store.clear()
         txn.rollback()
         assert store.snapshot() == before
+
+
+class TestRevisionAccounting:
+    """The revision invariant durability depends on: the counter advances
+    by exactly the number of *applied* changes, whatever the batching.
+    A WAL frame records the primary's post-mutation revision; replay
+    verifies it, so bulk and single mutations must account identically.
+    """
+
+    def test_add_many_matches_single_adds(self):
+        bulk, single = TripleStore(), TripleStore()
+        bulk.add_many(_triples(7))
+        for triple in _triples(7):
+            single.add_triple(triple)
+        assert bulk.revision == single.revision == 7
+
+    def test_noop_mutations_do_not_advance_revision(self):
+        store = TripleStore()
+        store.add_many(_triples(3))
+        assert store.revision == 3
+        store.add_many(_triples(3))          # all duplicates
+        store.remove_many(_triples(0))       # empty batch
+        store.remove_triple(Triple(S, P, literal("absent")))
+        assert store.revision == 3
+
+    def test_partial_overlap_counts_only_applied(self):
+        store = TripleStore()
+        store.add_many(_triples(4))
+        store.add_many(_triples(6))          # 4 duplicates + 2 fresh
+        assert store.revision == 6
+        store.remove_many(_triples(8))       # 6 present + 2 absent
+        assert store.revision == 12
+
+    def test_mixed_history_replay_reproduces_exact_revision(self):
+        """A WAL-shaped oracle: replaying the applied-change batches of a
+        mixed bulk/single history lands on the primary's exact revision."""
+        primary = TripleStore()
+        batches = []
+        primary.subscribe_batch(batches.append)
+
+        primary.add_many(_triples(5))
+        primary.add_triple(Triple(S, P, literal("solo")))
+        primary.remove_many(_triples(3))
+        primary.add_many(_triples(4))        # 2 back in, 2 duplicates
+        primary.remove_triple(Triple(S, P, literal("solo")))
+
+        replica = TripleStore()
+        for changes in batches:
+            added = [t for was_add, t in changes if was_add]
+            removed = [t for was_add, t in changes if not was_add]
+            assert replica.add_many(added) == len(added)
+            assert replica.remove_many(removed) == len(removed)
+        assert replica.revision == primary.revision == 13
+        assert replica.snapshot() == primary.snapshot()

@@ -1,0 +1,174 @@
+"""The durable blackboard end to end: sessions survive restarts.
+
+``IntegrationBlackboard(durable=...)`` (and the ``WorkbenchManager``
+pass-through) puts a :class:`~repro.rdf.durability.DurableStore` under
+the usual typed facade.  These tests exercise the whole stack on the
+real filesystem: put schemas and matrices, crash or close, reopen, and
+find the session exactly as it was — including after checkpoint
+compaction and around transaction rollbacks.
+"""
+
+import pytest
+
+from repro.core.errors import StoreError, ToolError
+from repro.rdf import TripleStore
+from repro.workbench import IntegrationBlackboard, WorkbenchManager
+
+
+class TestDurableBlackboard:
+    def test_session_survives_restart(self, tmp_path, purchase_order_graph,
+                                      shipping_notice_graph, figure3_matrix):
+        directory = str(tmp_path / "ib")
+        board = IntegrationBlackboard(durable=directory)
+        board.put_schema(purchase_order_graph)
+        board.put_schema(shipping_notice_graph)
+        board.put_matrix(figure3_matrix)
+        board.set_focus("po/purchaseOrder/shipTo")
+        triples = board.store.snapshot()
+        board.close()
+
+        reopened = IntegrationBlackboard(durable=directory)
+        assert reopened.schema_names() == ["po", "sn"]
+        assert reopened.matrix_names() == [figure3_matrix.name]
+        assert reopened.get_focus() == "po/purchaseOrder/shipTo"
+        assert reopened.store.snapshot() == triples
+
+        # the recovered session is live: typed round-trips still work
+        schema = reopened.get_schema("po")
+        assert schema.name == purchase_order_graph.name
+        assert len(schema) == len(purchase_order_graph)
+        matrix = reopened.get_matrix(figure3_matrix.name)
+        assert set(matrix.row_ids) == set(figure3_matrix.row_ids)
+        assert set(matrix.column_ids) == set(figure3_matrix.column_ids)
+        assert {
+            (c.source_id, c.target_id, c.confidence)
+            for c in matrix.cells()
+        } == {
+            (c.source_id, c.target_id, c.confidence)
+            for c in figure3_matrix.cells()
+        }
+        reopened.close()
+
+    def test_unclosed_session_recovers_from_wal(self, tmp_path,
+                                                purchase_order_graph):
+        """No clean close() — recovery must come purely from the WAL."""
+        directory = str(tmp_path / "ib")
+        board = IntegrationBlackboard(durable=directory, fsync="always")
+        board.put_schema(purchase_order_graph)
+        board.set_focus("po/purchaseOrder")
+        triples = board.store.snapshot()
+        del board  # simulated crash: no flush, no checkpoint
+
+        recovered = IntegrationBlackboard(durable=directory)
+        assert recovered.store.snapshot() == triples
+        assert recovered.get_focus() == "po/purchaseOrder"
+        recovered.close()
+
+    def test_checkpoint_compacts_wal(self, tmp_path, purchase_order_graph,
+                                     shipping_notice_graph, figure3_matrix):
+        directory = str(tmp_path / "ib")
+        board = IntegrationBlackboard(durable=directory)
+        board.put_schema(purchase_order_graph)
+        board.put_schema(shipping_notice_graph)
+        # churn: rewrite the matrix a few times so the WAL outgrows state
+        for _ in range(5):
+            board.put_matrix(figure3_matrix)
+        wal_before = board.durability.wal_size
+        board.checkpoint()
+        assert board.durability.wal_size < wal_before
+        state = board.store.snapshot()
+        board.close()
+
+        reopened = IntegrationBlackboard(durable=directory)
+        assert reopened.store.snapshot() == state
+        # recovery came from the snapshot, not a replayed log
+        assert reopened.durability.stats["recovered_frames"] == 0
+        reopened.close()
+
+    def test_cell_updates_are_durable(self, tmp_path, figure3_matrix):
+        directory = str(tmp_path / "ib")
+        board = IntegrationBlackboard(durable=directory)
+        board.put_matrix(figure3_matrix)
+        board.update_cell(figure3_matrix.name, "po/purchaseOrder/shipTo",
+                          "sn/shippingInfo", 0.93)
+        board.close()
+
+        reopened = IntegrationBlackboard(durable=directory)
+        assert reopened.cell_confidence(
+            figure3_matrix.name, "po/purchaseOrder/shipTo",
+            "sn/shippingInfo") == (0.93, False)
+        reopened.close()
+
+    def test_store_and_durable_are_exclusive(self, tmp_path):
+        with pytest.raises(StoreError):
+            IntegrationBlackboard(store=TripleStore(),
+                                  durable=str(tmp_path / "ib"))
+
+    def test_checkpoint_requires_durable(self):
+        board = IntegrationBlackboard()
+        with pytest.raises(StoreError):
+            board.checkpoint()
+        board.close()  # no-op for the in-memory board
+
+    def test_auto_checkpoint_passthrough(self, tmp_path,
+                                         purchase_order_graph):
+        directory = str(tmp_path / "ib")
+        board = IntegrationBlackboard(durable=directory,
+                                      auto_checkpoint_bytes=256)
+        for _ in range(8):
+            board.put_schema(purchase_order_graph)
+        assert board.durability.stats["checkpoints"] >= 1
+        board.close()
+
+
+class TestDurableWorkbenchManager:
+    def test_manager_durable_session(self, tmp_path, purchase_order_graph,
+                                     figure3_matrix):
+        directory = str(tmp_path / "wb")
+        manager = WorkbenchManager(durable=directory)
+        manager.blackboard.put_schema(purchase_order_graph)
+        manager.blackboard.put_matrix(figure3_matrix)
+        manager.close()
+
+        reopened = WorkbenchManager(durable=directory)
+        assert reopened.blackboard.schema_names() == ["po"]
+        assert reopened.blackboard.has_matrix(figure3_matrix.name)
+        reopened.close()
+
+    def test_blackboard_and_durable_are_exclusive(self, tmp_path):
+        with pytest.raises(ToolError):
+            WorkbenchManager(blackboard=IntegrationBlackboard(),
+                             durable=str(tmp_path / "wb"))
+
+    def test_rolled_back_transaction_stays_rolled_back(
+            self, tmp_path, purchase_order_graph, shipping_notice_graph):
+        """A rollback's compensating mutations are WAL frames too: the
+        recovered store must not resurrect the aborted work."""
+        directory = str(tmp_path / "wb")
+        manager = WorkbenchManager(durable=directory, fsync="always")
+        manager.blackboard.put_schema(purchase_order_graph)
+        committed = manager.blackboard.store.snapshot()
+
+        txn = manager.transaction()
+        manager.blackboard.put_schema(shipping_notice_graph)
+        txn.rollback()
+        assert manager.blackboard.store.snapshot() == committed
+        del manager  # crash without close
+
+        recovered = WorkbenchManager(durable=directory)
+        assert recovered.blackboard.schema_names() == ["po"]
+        assert recovered.blackboard.store.snapshot() == committed
+        recovered.close()
+
+    def test_committed_transaction_is_durable(self, tmp_path,
+                                              purchase_order_graph):
+        directory = str(tmp_path / "wb")
+        manager = WorkbenchManager(durable=directory, fsync="always")
+        txn = manager.transaction()
+        manager.blackboard.put_schema(purchase_order_graph)
+        txn.commit()
+        del manager
+
+        recovered = WorkbenchManager(durable=directory)
+        assert recovered.blackboard.schema_names() == ["po"]
+        recovered.close()
