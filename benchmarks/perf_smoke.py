@@ -41,11 +41,28 @@ and enforces these guards:
   incremental path exactly once (context built once, blocking index
   built once then patched, rematch patched), so a silently-degraded
   cache fails loudly instead of just slowly.
-* **sweep-backend micro-benchmark** — the NumPy ``bincount`` sweep over
-  the A12-large compiled PCG must run at least ``SWEEP_MIN_SPEEDUP``
-  times faster than the pure-Python gather/scatter loop on the same
-  compiled edge arrays, agreeing to 1e-12 on every pair.  Skipped (with
-  a note) when NumPy is not importable — the bench stays dependency-free.
+* **sweep-backend micro-benchmark** — the same classic fixpoint on the
+  same compiled A12-large edge arrays through all importable backends:
+  the NumPy ``bincount`` sweep must run at least ``SWEEP_MIN_SPEEDUP``
+  times faster than the pure-Python gather/scatter loop, and the C
+  extension (``repro.harmony._csweep``) at least
+  ``C_SWEEP_MIN_SPEEDUP`` times faster than the Python loop *and*
+  ``C_SWEEP_MIN_VS_NUMPY`` times faster than the NumPy sweep — all
+  agreeing to 1e-12 on every pair.  Each accelerator gate is skipped
+  (with a note) when its backend is not importable/buildable — the
+  bench stays dependency-free.
+* **schema-serialization micro-benchmark** — a chain of small schema
+  evolutions of the A12 source: re-landing each version through
+  ``serialize_schema(delta=True, previous=...)`` must run at least
+  ``SCHEMA_SERIALIZE_MIN_SPEEDUP`` times faster than the remove +
+  full-rewrite discipline ``put_schema`` used before, producing the
+  byte-identical store state every round.
+* **all-pairs backend micro-benchmark** — the documentation voter's
+  cross-partition ``SparseTfIdf.all_pairs`` sweep over a 12-model
+  registry documentation corpus through the CSR matmul route must run
+  at least ``ALLPAIRS_MIN_SPEEDUP`` times faster than the postings
+  sorted-merge reference, with identical pair membership and values
+  within 1e-12.  Skipped (with a note) when NumPy is not importable.
 * **blocking-index micro-benchmark** — across a series of single-element
   evolutions, retrieval through the patched persistent
   ``BlockingIndex`` must run at least ``BLOCKING_MIN_SPEEDUP`` times
@@ -112,7 +129,14 @@ from repro.harmony import (
     resolve_sweep_backend,
     select_pairs,
 )
-from repro.harmony.flooding import FloodingState, classic_flooding, compile_pcg
+from repro.harmony.flooding import (
+    FloodingConfig,
+    FloodingState,
+    classic_flooding,
+    compile_pcg,
+    reset_sweep_run_stats,
+    sweep_run_stats,
+)
 from repro.loaders import load_registry
 from repro.rdf import (
     DurableStore,
@@ -130,15 +154,19 @@ from repro.rdf import (
     matrix_to_rdf,
     rdf_to_matrix,
     remove_matrix,
+    remove_schema,
     row_iri,
     schema_to_rdf,
+    serialization_stats,
     serialize_matrix,
+    serialize_schema,
     write_cell,
 )
 from repro.rdf import vocabulary as V
 from repro.workbench import IntegrationBlackboard
 from repro.registry import RegistryProfile, generate_registry
 from repro.text import SparseTfIdf, TfIdfCorpus, kernels, similarity
+from repro.text.tfidf_sparse import all_pairs_stats, reset_all_pairs_stats
 from repro.text.tokenize import split_identifier
 
 from nway_workload import NWAY_THRESHOLD, family_workload
@@ -165,6 +193,14 @@ FLOODING_MIN_SPEEDUP = 3.0
 REMATCH_MIN_SPEEDUP = 2.0
 #: the numpy bincount sweep must beat the python loop by this factor
 SWEEP_MIN_SPEEDUP = 2.0
+#: the C sweep extension must beat the python loop by this factor
+C_SWEEP_MIN_SPEEDUP = 20.0
+#: ... and the numpy bincount sweep by this factor
+C_SWEEP_MIN_VS_NUMPY = 2.0
+#: delta schema re-serialization must beat remove + full rewrite by this
+SCHEMA_SERIALIZE_MIN_SPEEDUP = 3.0
+#: the CSR all_pairs matmul must beat the postings merge by this factor
+ALLPAIRS_MIN_SPEEDUP = 2.0
 #: patched blocking-index retrieval must beat a cold build by this factor
 BLOCKING_MIN_SPEEDUP = 3.0
 #: delta re-serialization must beat the per-cell rewrite by this factor
@@ -353,6 +389,7 @@ def _rematch_microbench(source, target):
         "Evolved documentation for the perf smoke.")
     evolved.revision += 1
 
+    reset_sweep_run_stats()
     warm_engine = HarmonyEngine(config=EngineConfig.fast())
     warm_engine.match(source, target)
     t0 = time.perf_counter()
@@ -395,6 +432,14 @@ def _rematch_microbench(source, target):
         raise AssertionError(
             f"warm rematch drifted from cold match by {worst} "
             f"(> {SPARSE_TOLERANCE})")
+    resolved = stats["sweep_backend"]
+    run_counters = {k: v for k, v in sweep_run_stats().items() if v}
+    expected = {f"sweep_directional_runs_{resolved}": 3}
+    if run_counters != expected:
+        raise AssertionError(
+            f"sweep run counters {run_counters} after warm match + warm "
+            f"rematch + cold match — expected {expected}: every compiled "
+            f"sweep must run on the resolved {resolved!r} backend")
     return {
         "rematch_cold_wall_s": round(cold_wall, 4),
         "rematch_warm_wall_s": round(warm_wall, 4),
@@ -407,12 +452,36 @@ def _rematch_microbench(source, target):
 SWEEP_ROUNDS = 3
 
 
+def _sweep_entries(compiled, initial):
+    """Precompute the dense ``(index, value)`` entry list that
+    ``CompiledPCG.run`` builds from the initial scores, so every backend
+    arm times :meth:`SweepBackend.sweep_classic` alone — the fixpoint
+    kernel — and not the shared entry-build/result-dict bookkeeping."""
+    index = compiled.node_index
+    structural_n = len(compiled.nodes)
+    extra = {}
+    for pair in initial:
+        if pair not in index and pair not in extra:
+            extra[pair] = structural_n + len(extra)
+    n = structural_n + len(extra)
+    entries = []
+    for pair, value in initial.items():
+        value = float(value)
+        i = index.get(pair)
+        if i is None:
+            i = extra[pair]
+        entries.append((i, value if value > 0.0 else 0.0))
+    return entries, n
+
+
 def _sweep_microbench(source, target):
-    """The same fixpoint on the same compiled A12-large PCG, once through
-    the pure-Python gather/scatter loop and once through the NumPy
-    ``bincount`` sweep.  When NumPy is not importable the ``auto``
-    selector resolves to the python backend and the gate is skipped —
-    the smoke stays runnable on a dependency-free install."""
+    """The classic fixpoint kernel on the compiled A12-large edge arrays
+    through every importable backend, on identical precomputed entries:
+    pure-Python gather/scatter (always), the NumPy ``bincount`` sweep,
+    and the C extension.  Every accelerated σ vector must agree with the
+    python one to 1e-12.  An accelerator arm whose backend cannot import
+    is skipped with a note — the smoke stays runnable on a
+    dependency-free install."""
     compiled = compile_pcg(source, target)
     source_ids = sorted(e.element_id for e in source)
     target_ids = sorted(e.element_id for e in target)
@@ -420,41 +489,62 @@ def _sweep_microbench(source, target):
         (s, t): 0.2 + ((i * 7) % 11) / 20.0
         for i, (s, t) in enumerate(zip(source_ids, target_ids))
     }
+    entries, n = _sweep_entries(compiled, initial)
+    # epsilon=0 disables the residual early-exit so every arm runs the
+    # identical 50 iterations — the per-call setup overhead amortizes and
+    # the backend ratios stop flapping with timer noise on ~1ms walls
+    config = FloodingConfig(max_iterations=50, epsilon=0.0)
+
+    def best_of_3(backend):
+        wall = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for _ in range(SWEEP_ROUNDS):
+                sigma = backend.sweep_classic(compiled, entries, n, config)
+            wall = min(wall, time.perf_counter() - t0)
+        return wall, sigma
 
     python_backend = resolve_sweep_backend("python")
-    t0 = time.perf_counter()
-    for _ in range(SWEEP_ROUNDS):
-        python_result = compiled.run(initial, backend=python_backend)
-    python_wall = time.perf_counter() - t0
+    python_wall, python_sigma = best_of_3(python_backend)
 
-    auto_backend = resolve_sweep_backend("auto")
     result = {
         "sweep_pcg_edges": compiled.edge_count,
-        "sweep_backend": auto_backend.name,
+        "sweep_backend": resolve_sweep_backend("auto").name,
         "sweep_python_wall_s": round(python_wall, 4),
     }
-    if auto_backend.name != "numpy":
-        print("note: numpy not importable; sweep-backend gate skipped")
-        return result
 
-    t0 = time.perf_counter()
-    for _ in range(SWEEP_ROUNDS):
-        numpy_result = compiled.run(initial, backend=auto_backend)
-    numpy_wall = time.perf_counter() - t0
+    def accelerated_arm(selector):
+        try:
+            backend = resolve_sweep_backend(selector)
+        except ImportError:
+            return None
+        wall, sigma = best_of_3(backend)
+        worst = max(abs(sigma[i] - python_sigma[i]) for i in range(n))
+        if worst > SPARSE_TOLERANCE:
+            raise AssertionError(
+                f"{selector} sweep drifted from the python loop by {worst} "
+                f"(> {SPARSE_TOLERANCE})")
+        return wall
 
-    if set(numpy_result) != set(python_result):
-        raise AssertionError("numpy sweep scored a different pair set")
-    worst = max(
-        abs(numpy_result[p] - python_result[p]) for p in python_result
-    )
-    if worst > SPARSE_TOLERANCE:
-        raise AssertionError(
-            f"numpy sweep drifted from the python loop by {worst} "
-            f"(> {SPARSE_TOLERANCE})")
-    result.update({
-        "sweep_numpy_wall_s": round(numpy_wall, 4),
-        "sweep_speedup": round(python_wall / numpy_wall, 2),
-    })
+    numpy_wall = accelerated_arm("numpy")
+    if numpy_wall is None:
+        print("note: numpy not importable; numpy sweep gate skipped")
+    else:
+        result.update({
+            "sweep_numpy_wall_s": round(numpy_wall, 4),
+            "sweep_speedup": round(python_wall / numpy_wall, 2),
+        })
+
+    c_wall = accelerated_arm("c")
+    if c_wall is None:
+        print("note: C sweep extension not importable; C sweep gate skipped")
+    else:
+        result.update({
+            "sweep_c_wall_s": round(c_wall, 4),
+            "sweep_c_speedup": round(python_wall / c_wall, 2),
+        })
+        if numpy_wall is not None:
+            result["sweep_c_vs_numpy"] = round(numpy_wall / c_wall, 2)
     return result
 
 
@@ -634,6 +724,170 @@ def _serialize_microbench():
         "serialize_delta_wall_s": round(delta_wall, 4),
         "serialize_speedup": round(reference_wall / delta_wall, 2),
     }
+
+
+SCHEMA_ROUNDS = 6
+
+
+def _schema_serialize_microbench(source):
+    """A chain of small evolutions of the A12 source: the full arm
+    re-lands each version with the remove + full-rewrite discipline
+    ``put_schema`` used before delta mode; the delta arm diffs the new
+    version against the stored subject slices through
+    ``serialize_schema(delta=True, previous=...)``.  Both stores must
+    hold the identical state after every round, and the serialization
+    counters must show the delta arm left most triples untouched."""
+    full_store, delta_store = TripleStore(), TripleStore()
+    schema_to_rdf(source, full_store)
+    serialize_schema(source, delta_store)
+    if set(full_store) != set(delta_store):
+        raise AssertionError(
+            "bulk serialize_schema landed a different store state than "
+            "schema_to_rdf")
+
+    before = serialization_stats()
+    current = source
+    full_wall = 0.0
+    delta_wall = 0.0
+    gc.collect()
+    gc.disable()
+    for round_no in range(SCHEMA_ROUNDS):
+        evolved = current.copy()
+        leaves = sorted(
+            e.element_id for e in evolved
+            if not evolved.children(e.element_id)
+            and evolved.parent(e.element_id) is not None
+        )
+        evolved.element(leaves[round_no]).name += "_r"
+        evolved.element(leaves[-1 - round_no]).documentation = (
+            f"Schema-delta bench documentation, round {round_no}.")
+        evolved.revision = current.revision + 1
+
+        t0 = time.perf_counter()
+        remove_schema(full_store, evolved.name)
+        schema_to_rdf(evolved, full_store)
+        full_wall += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        serialize_schema(evolved, delta_store, delta=True, previous=current)
+        delta_wall += time.perf_counter() - t0
+
+        if set(delta_store) != set(full_store):
+            gc.enable()
+            raise AssertionError(
+                "delta schema serialization landed a different store state "
+                "than the full rewrite")
+        current = evolved
+    gc.enable()
+
+    after = serialization_stats()
+    deltas = (after["schema_delta_serializations"]
+              - before["schema_delta_serializations"])
+    if deltas != SCHEMA_ROUNDS:
+        raise AssertionError(
+            f"{deltas} delta serializations counted over {SCHEMA_ROUNDS} "
+            f"rounds — the delta path was bypassed")
+    written = (after["schema_triples_written"]
+               - before["schema_triples_written"])
+    unchanged = (after["schema_triples_unchanged"]
+                 - before["schema_triples_unchanged"])
+    if written >= unchanged:
+        raise AssertionError(
+            f"the delta arm rewrote {written} triples but left only "
+            f"{unchanged} untouched — the O(delta) path regressed to a "
+            f"full rewrite")
+    return {
+        "schema_rounds": SCHEMA_ROUNDS,
+        "schema_store_triples": len(delta_store),
+        "schema_triples_written": written,
+        "schema_triples_unchanged": unchanged,
+        "schema_full_wall_s": round(full_wall, 4),
+        "schema_delta_wall_s": round(delta_wall, 4),
+        "schema_serialize_speedup": round(full_wall / delta_wall, 2),
+    }
+
+
+ALLPAIRS_MODELS = 12
+
+
+def _allpairs_microbench():
+    """The documentation voter's cross-partition sweep at registry scale:
+    a 12-model registry's documentation corpus, partitioned the way
+    ``warm_pair_sims`` does — one schema's docs as the source group
+    against everything else.  The postings sorted-merge reference vs the
+    CSR matmul route, best-of-2 after a warm pass, with identical pair
+    membership and 1e-12 value agreement.  Skipped (with a note) when
+    NumPy is not importable."""
+    profile = RegistryProfile(
+        model_count=ALLPAIRS_MODELS,
+        elements_per_model=10,
+        attributes_per_element=8,
+        domain_values_per_attribute=0.5,
+    )
+    registry = generate_registry(seed=77, scale=1.0, profile=profile,
+                                 name="allpairs-bench")
+    loaded = load_registry(registry)
+    corpus = TfIdfCorpus()
+    group_a = set()
+    first = loaded.schemas[0].name
+    for graph in loaded.schemas:
+        for element in graph:
+            if element.documentation:
+                doc = f"{graph.name}::{element.element_id}"
+                corpus.add_document(doc, element.documentation)
+                if graph.name == first:
+                    group_a.add(doc)
+
+    def group_of(doc):
+        return doc in group_a
+
+    reset_all_pairs_stats()
+    merge = SparseTfIdf(corpus, all_pairs_backend="merge")
+    merge_table = merge.all_pairs(group_of=group_of)  # warm the lazy pack
+    merge_wall = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        merge.all_pairs(group_of=group_of)
+        merge_wall = min(merge_wall, time.perf_counter() - t0)
+
+    result = {
+        "allpairs_docs": len(corpus),
+        "allpairs_pairs": len(merge_table),
+        "allpairs_merge_wall_s": round(merge_wall, 4),
+    }
+    csr = SparseTfIdf(corpus, all_pairs_backend="csr")
+    try:
+        csr_table = csr.all_pairs(group_of=group_of)
+    except ImportError:
+        print("note: numpy not importable; all-pairs CSR gate skipped")
+        return result
+    csr_wall = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        csr.all_pairs(group_of=group_of)
+        csr_wall = min(csr_wall, time.perf_counter() - t0)
+
+    if set(csr_table) != set(merge_table):
+        raise AssertionError("CSR all_pairs scored a different pair set")
+    worst = max(abs(csr_table[p] - merge_table[p]) for p in merge_table)
+    if worst > SPARSE_TOLERANCE:
+        raise AssertionError(
+            f"CSR all_pairs drifted from the postings merge by {worst} "
+            f"(> {SPARSE_TOLERANCE})")
+    routing = all_pairs_stats()
+    if routing["allpairs_merge_sweeps"] != 3 or routing["allpairs_csr_sweeps"] != 3:
+        raise AssertionError(
+            f"all_pairs routing counters {routing} — each arm must have "
+            f"run its own backend exactly three times (warm + best-of-2)")
+    if routing["allpairs_csr_oversize_fallbacks"] != 0:
+        raise AssertionError(
+            "the CSR arm fell back to the merge on an oversize guard — "
+            "the bench corpus no longer fits the dense budget")
+    result.update({
+        "allpairs_csr_wall_s": round(csr_wall, 4),
+        "allpairs_speedup": round(merge_wall / csr_wall, 2),
+    })
+    return result
 
 
 PLANNER_MATRIX_SIDE = 40
@@ -960,6 +1214,8 @@ def main(argv) -> int:
     result.update(_sweep_microbench(source, target))
     result.update(_blocking_microbench(source, target))
     result.update(_serialize_microbench())
+    result.update(_schema_serialize_microbench(source))
+    result.update(_allpairs_microbench())
     result.update(_durability_microbench(source, target))
     result.update(_nway_parallel_microbench())
     result.update(_nway_pruned_microbench())
@@ -968,6 +1224,20 @@ def main(argv) -> int:
         print(f"  {key:>16}: {value}")
 
     os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+    # mirror conftest.perf_record's merge discipline: refresh this run's
+    # entry without erasing the pytest benches' numbers
+    merged = {}
+    if os.path.exists(PERF_PATH):
+        try:
+            with open(PERF_PATH, "r", encoding="utf-8") as handle:
+                merged = json.load(handle)
+        except (OSError, ValueError):
+            merged = {}
+    merged["perf_smoke"] = result
+    with open(PERF_PATH, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
     if write_baseline:
         with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
             json.dump({"perf_smoke": result}, handle, indent=2, sort_keys=True)
@@ -1012,6 +1282,27 @@ def main(argv) -> int:
         failures.append(
             f"numpy sweep only {result['sweep_speedup']:.2f}x faster "
             f"than the python loop (required >= {SWEEP_MIN_SPEEDUP}x)")
+    if ("sweep_c_speedup" in result
+            and result["sweep_c_speedup"] < C_SWEEP_MIN_SPEEDUP):
+        failures.append(
+            f"C sweep only {result['sweep_c_speedup']:.2f}x faster than "
+            f"the python loop (required >= {C_SWEEP_MIN_SPEEDUP}x)")
+    if ("sweep_c_vs_numpy" in result
+            and result["sweep_c_vs_numpy"] < C_SWEEP_MIN_VS_NUMPY):
+        failures.append(
+            f"C sweep only {result['sweep_c_vs_numpy']:.2f}x faster than "
+            f"the numpy sweep (required >= {C_SWEEP_MIN_VS_NUMPY}x)")
+    if result["schema_serialize_speedup"] < SCHEMA_SERIALIZE_MIN_SPEEDUP:
+        failures.append(
+            f"delta schema serialization only "
+            f"{result['schema_serialize_speedup']:.2f}x faster than the "
+            f"remove + full-rewrite path "
+            f"(required >= {SCHEMA_SERIALIZE_MIN_SPEEDUP}x)")
+    if ("allpairs_speedup" in result
+            and result["allpairs_speedup"] < ALLPAIRS_MIN_SPEEDUP):
+        failures.append(
+            f"CSR all_pairs only {result['allpairs_speedup']:.2f}x faster "
+            f"than the postings merge (required >= {ALLPAIRS_MIN_SPEEDUP}x)")
     if result["blocking_index_speedup"] < BLOCKING_MIN_SPEEDUP:
         failures.append(
             f"patched blocking only {result['blocking_index_speedup']:.2f}x "

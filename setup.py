@@ -1,3 +1,15 @@
-from setuptools import setup
+from setuptools import Extension, setup
 
-setup()
+setup(
+    ext_modules=[
+        # Optional C-accelerated flooding sweeps (sweep_backend="c").
+        # `optional=True`: a missing compiler degrades the install to the
+        # pure-python package instead of failing it — resolve_sweep_backend
+        # probes for the module at runtime and falls back.
+        Extension(
+            "repro.harmony._csweep",
+            sources=["src/repro/harmony/_csweep.c"],
+            optional=True,
+        )
+    ]
+)

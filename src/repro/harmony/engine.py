@@ -115,12 +115,14 @@ class EngineConfig:
     #: instead of a ``MappingCellEvent`` per changed cell
     batched_matrix: bool = False
     #: which :class:`~repro.harmony.flooding.SweepBackend` runs the
-    #: compiled classic-flooding sweeps: ``"python"`` (the reference
-    #: gather/scatter loop, zero dependencies), ``"numpy"`` (vectorized
-    #: ``np.bincount`` sweeps over zero-copy views of the edge arrays —
-    #: requires the ``fast`` extra), or ``"auto"`` (NumPy when
-    #: importable, silently the Python loop otherwise).  Only consulted
-    #: when ``compiled_flooding`` runs the classic fixpoint; backends
+    #: compiled flooding sweeps (classic and directional): ``"python"``
+    #: (the reference gather/scatter loop, zero dependencies),
+    #: ``"numpy"`` (vectorized ``np.bincount`` sweeps over zero-copy
+    #: views of the edge arrays — requires the ``fast`` extra), ``"c"``
+    #: (the compiled ``_csweep`` extension — built by ``pip install .``
+    #: with a C compiler, or runtime-compiled via cffi), or ``"auto"``
+    #: (probes c → numpy → python, silently falling back).  Only
+    #: consulted when ``compiled_flooding`` runs a fixpoint; backends
     #: agree to ≤1e-12 (tests/harmony/test_sweep_backends.py)
     sweep_backend: str = "python"
     #: keep a persistent :class:`~repro.harmony.blocking.BlockingIndex`
@@ -135,6 +137,15 @@ class EngineConfig:
     #: against the stored cell set so re-serializing after a rematch
     #: touches only changed cells (idempotent, no stale cell triples)
     delta_matrix_rdf: bool = False
+    #: serialize evolved schemas to blackboard RDF through the delta
+    #: :func:`~repro.rdf.schema_rdf.serialize_schema` path — the term
+    #: level diff against ``TripleStore.subject_slice`` the matrix path
+    #: already uses, restricted (when the previous graph version is
+    #: known) to the elements the evolution actually touched, so
+    #: evolve→serialize is O(delta) instead of a whole-graph rewrite.
+    #: Consulted by :func:`~repro.workbench.evolution.evolve_and_rematch`
+    #: when it republishes the evolved schema
+    delta_schema_rdf: bool = False
 
     @classmethod
     def fast(cls, **overrides) -> "EngineConfig":
@@ -151,6 +162,7 @@ class EngineConfig:
             sweep_backend="auto",
             incremental_blocking=True,
             delta_matrix_rdf=True,
+            delta_schema_rdf=True,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -626,6 +638,7 @@ class HarmonyEngine:
                 return directional_flooding_compiled(
                     source, target, scores,
                     config=self.config.directional, pinned=pinned,
+                    backend=self._resolve_backend(),
                 )
             return directional_flooding(
                 source, target, scores, config=self.config.directional, pinned=pinned
@@ -696,6 +709,10 @@ class HarmonyEngine:
         # serializer; imported lazily to keep harmony → rdf decoupled at
         # import time
         from ..rdf.schema_rdf import serialization_stats
+        from ..text.tfidf_sparse import all_pairs_stats
+        from .flooding import sweep_run_stats
 
         stats.update(serialization_stats())
+        stats.update(all_pairs_stats())
+        stats.update(sweep_run_stats())
         return stats

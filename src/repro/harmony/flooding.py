@@ -26,8 +26,8 @@ Two algorithms live here, each in two executions:
   keys the compiled structure on a (graph names, revisions, active-set)
   epoch and, after a schema evolution, patches only the PCG edges
   incident to the evolved elements instead of recompiling.
-* :class:`SweepBackend` and its two implementations — the sweep loop
-  itself is pluggable (``EngineConfig.sweep_backend``).
+* :class:`SweepBackend` and its three implementations — the sweep loops
+  themselves are pluggable (``EngineConfig.sweep_backend``).
   :class:`PythonSweepBackend` is the pure-Python gather/scatter loop
   (bit-identical to the reference, zero dependencies);
   :class:`NumpySweepBackend` consumes the same ``array`` buffers
@@ -36,12 +36,17 @@ Two algorithms live here, each in two executions:
   ``bincount`` accumulates in edge order — the order the arrays were
   flattened in — so the NumPy sweep reproduces the Python backend's
   float arithmetic operation for operation (differentially tested to
-  1e-12; bit-identical in practice).  :func:`resolve_sweep_backend`
-  maps the ``"auto" | "python" | "numpy"`` selector to a backend,
-  probing for NumPy and degrading silently on ``"auto"`` — NumPy stays
-  an optional extra, never a hard dependency.
+  1e-12; bit-identical in practice).  :class:`CSweepBackend` hands the
+  same buffers to the compiled cores in ``_csweep.c`` (the optional
+  setuptools extension, or a runtime cffi build of the same source) —
+  plain C replicas of the reference loops, statement for statement, so
+  they too are bit-identical.  :func:`resolve_sweep_backend` maps the
+  ``"auto" | "python" | "numpy" | "c"`` selector to a backend, probing
+  c → numpy → python on ``"auto"`` and degrading silently — the
+  accelerators stay optional extras, never hard dependencies.
 * :func:`directional_flooding_compiled` — the same up/down propagation
-  over int-indexed parent/child lists, bit-identical to the reference.
+  over int-indexed parent/child arrays, bit-identical to the reference,
+  routed through :meth:`SweepBackend.sweep_directional`.
 """
 
 from __future__ import annotations
@@ -373,7 +378,8 @@ class CompiledPCG:
 
         if backend is None:
             backend = PYTHON_SWEEP_BACKEND
-        sigma = backend.sweep(self, entries, n, config)
+        _note_sweep_run("classic", backend.name)
+        sigma = backend.sweep_classic(self, entries, n, config)
 
         result = {pair: sigma[i] for pair, i in index.items()}
         for pair, i in extra.items():
@@ -383,25 +389,62 @@ class CompiledPCG:
 
 #: valid ``EngineConfig.sweep_backend`` / :func:`resolve_sweep_backend`
 #: selectors
-SWEEP_BACKENDS = ("auto", "python", "numpy")
+SWEEP_BACKENDS = ("auto", "python", "numpy", "c")
+
+#: concrete backend names, in ``"auto"``'s preference order
+_SWEEP_BACKEND_NAMES = ("c", "numpy", "python")
+
+#: process-wide per-backend sweep-run counters — which backend actually
+#: executed each compiled fixpoint; surfaced via
+#: :meth:`HarmonyEngine.fastpath_stats` and asserted in perf_smoke.py
+_SWEEP_RUN_STATS: Dict[str, int] = {
+    f"sweep_{kind}_runs_{name}": 0
+    for kind in ("classic", "directional")
+    for name in _SWEEP_BACKEND_NAMES
+}
+
+
+def sweep_run_stats() -> Dict[str, int]:
+    """A snapshot of the per-backend compiled-sweep run counters."""
+    return dict(_SWEEP_RUN_STATS)
+
+
+def reset_sweep_run_stats() -> None:
+    for key in _SWEEP_RUN_STATS:
+        _SWEEP_RUN_STATS[key] = 0
+
+
+def _note_sweep_run(kind: str, name: str) -> None:
+    key = f"sweep_{kind}_runs_{name}"
+    if key in _SWEEP_RUN_STATS:
+        _SWEEP_RUN_STATS[key] += 1
 
 
 class SweepBackend:
-    """Strategy seam for :meth:`CompiledPCG.run`'s inner fixpoint.
+    """Strategy seam for the compiled flooding fixpoints.
 
-    A backend receives the compiled PCG, the dense ``(index, value)``
-    initial-score entries, the total node count (structural + extra
-    interned pairs) and the :class:`FloodingConfig`; it returns the final
-    σ vector indexable by node id.  Backends must preserve the reference
-    recurrence σ⁺ = normalize(σ⁰ + σ + φ(σ)), the max-normalization and
-    the max-abs-delta residual; the differential suite in
-    ``tests/harmony/test_sweep_backends.py`` holds them to ≤1e-12
-    agreement.
+    :meth:`sweep_classic` receives the compiled PCG, the dense
+    ``(index, value)`` initial-score entries, the total node count
+    (structural + extra interned pairs) and the :class:`FloodingConfig`;
+    it returns the final σ vector indexable by node id.  Backends must
+    preserve the reference recurrence σ⁺ = normalize(σ⁰ + σ + φ(σ)),
+    the max-normalization and the max-abs-delta residual.
+
+    :meth:`sweep_directional` receives the flattened directional
+    structure built by :func:`directional_flooding_compiled` — the
+    ``array('d')`` score vector, parent ids with a CSR-style
+    indptr/children pair, the (child, parent) down-sweep arrays and a
+    pinned byte mask — and returns the final score vector.  The base
+    implementation here is the pure-Python reference loop; accelerated
+    backends may override it.
+
+    The differential suite in ``tests/harmony/test_sweep_backends.py``
+    holds every backend to ≤1e-12 agreement on both fixpoints.
     """
 
     name = "abstract"
 
-    def sweep(
+    def sweep_classic(
         self,
         compiled: CompiledPCG,
         entries: List[Tuple[int, float]],
@@ -409,6 +452,59 @@ class SweepBackend:
         config: FloodingConfig,
     ) -> Sequence[float]:
         raise NotImplementedError
+
+    #: backwards-compatible alias (the seam predates the directional port)
+    def sweep(
+        self,
+        compiled: CompiledPCG,
+        entries: List[Tuple[int, float]],
+        n: int,
+        config: FloodingConfig,
+    ) -> Sequence[float]:
+        return self.sweep_classic(compiled, entries, n, config)
+
+    def sweep_directional(
+        self,
+        current: array,
+        up_parents: array,
+        up_indptr: array,
+        up_children: array,
+        down_child: array,
+        down_parent: array,
+        pinned: bytearray,
+        config: "DirectionalConfig",
+    ) -> Sequence[float]:
+        up_rate = config.up_rate
+        down_rate = config.down_rate
+        n_up = len(up_parents)
+        n_down = len(down_child)
+        for _ in range(config.iterations):
+            updated = array("d", current)
+            for slot in range(n_up):
+                j = up_parents[slot]
+                if pinned[j]:
+                    continue
+                total = 0.0
+                count = 0
+                for k in range(up_indptr[slot], up_indptr[slot + 1]):
+                    value = current[up_children[k]]
+                    if value > 0.0:
+                        total += value
+                        count += 1
+                if count:
+                    boost = up_rate * (total / count)
+                    updated[j] = clamp_confidence(min(0.99, current[j] + boost))
+            for e in range(n_down):
+                child = down_child[e]
+                if pinned[child]:
+                    continue
+                parent_score = current[down_parent[e]]
+                if parent_score < 0.0:
+                    updated[child] = clamp_confidence(
+                        max(-0.99, updated[child] + down_rate * parent_score)
+                    )
+            current = updated
+        return current
 
 
 class PythonSweepBackend(SweepBackend):
@@ -421,7 +517,7 @@ class PythonSweepBackend(SweepBackend):
 
     name = "python"
 
-    def sweep(
+    def sweep_classic(
         self,
         compiled: CompiledPCG,
         entries: List[Tuple[int, float]],
@@ -507,8 +603,10 @@ class NumpySweepBackend(SweepBackend):
         self._np = module if module is not None else _probe_numpy()
         if self._np is None:
             raise ImportError(
-                "NumPy is not installed; install the 'fast' extra or use "
-                "sweep_backend='python'/'auto'"
+                "sweep_backend='numpy' requires NumPy, which is not "
+                "importable; install it with `pip install .[fast]` (or "
+                "`pip install numpy`), or use sweep_backend='auto' to fall "
+                "back to the pure-python sweep silently"
             )
 
     def _edge_views(self, compiled: CompiledPCG):
@@ -525,7 +623,7 @@ class NumpySweepBackend(SweepBackend):
             views = compiled._np_edges = (src, dst, wts)
         return views
 
-    def sweep(
+    def sweep_classic(
         self,
         compiled: CompiledPCG,
         entries: List[Tuple[int, float]],
@@ -560,6 +658,190 @@ class NumpySweepBackend(SweepBackend):
         return sigma.tolist()
 
 
+def _probe_csweep():
+    """Import the compiled ``_csweep`` extension if built, else ``None``
+    (never raises)."""
+    try:
+        from . import _csweep
+    except Exception:
+        return None
+    return _csweep
+
+
+#: memoized result of the one-time cffi build attempt — compiling is far
+#: too expensive to retry per resolve call
+_CFFI_CSWEEP = None
+_CFFI_CSWEEP_PROBED = False
+
+
+class _CffiSweepModule:
+    """Adapter giving a cffi build of ``_csweep.c`` the same two-function
+    surface as the compiled CPython extension."""
+
+    def __init__(self, ffi, lib) -> None:
+        self._ffi = ffi
+        self._lib = lib
+
+    def sweep_classic(self, src, dst, wts, sigma, max_iterations, epsilon):
+        ffi = self._ffi
+        status = self._lib.csweep_classic(
+            len(src),
+            ffi.from_buffer("long[]", src),
+            ffi.from_buffer("long[]", dst),
+            ffi.from_buffer("double[]", wts),
+            len(sigma),
+            max_iterations,
+            epsilon,
+            ffi.from_buffer("double[]", sigma, require_writable=True),
+        )
+        if status != 0:
+            raise MemoryError("csweep_classic allocation failed")
+
+    def sweep_directional(
+        self, current, up_parents, up_indptr, up_children,
+        down_child, down_parent, pinned, up_rate, down_rate, iterations,
+    ):
+        ffi = self._ffi
+        status = self._lib.csweep_directional(
+            len(current),
+            ffi.from_buffer("double[]", current, require_writable=True),
+            len(up_parents),
+            ffi.from_buffer("long[]", up_parents),
+            ffi.from_buffer("long[]", up_indptr),
+            ffi.from_buffer("long[]", up_children),
+            len(down_child),
+            ffi.from_buffer("long[]", down_child),
+            ffi.from_buffer("long[]", down_parent),
+            ffi.from_buffer("unsigned char[]", pinned),
+            up_rate,
+            down_rate,
+            iterations,
+        )
+        if status != 0:
+            raise MemoryError("csweep_directional allocation failed")
+
+
+def _cffi_csweep():
+    """Compile the ``_csweep.c`` cores with cffi at runtime.
+
+    The fallback when the prebuilt extension is absent but cffi and a C
+    compiler are available.  The build lands in a per-interpreter temp
+    directory and the (possibly failed) outcome is memoized for the
+    process.  Returns an adapter with the extension's two-function
+    surface, or ``None``; never raises.
+    """
+    global _CFFI_CSWEEP, _CFFI_CSWEEP_PROBED
+    if _CFFI_CSWEEP_PROBED:
+        return _CFFI_CSWEEP
+    _CFFI_CSWEEP_PROBED = True
+    try:
+        import importlib.util
+        import os
+        import sys
+        import tempfile
+
+        import cffi
+
+        here = os.path.dirname(os.path.abspath(__file__))
+        with open(os.path.join(here, "_csweep.c")) as handle:
+            source = handle.read()
+        ffi = cffi.FFI()
+        ffi.cdef(
+            """
+            int csweep_classic(long n_edges, const long *src, const long *dst,
+                               const double *wts, long n, long max_iterations,
+                               double epsilon, double *sigma);
+            int csweep_directional(long n, double *current, long n_up,
+                                   const long *up_parents,
+                                   const long *up_indptr,
+                                   const long *up_children, long n_down,
+                                   const long *down_child,
+                                   const long *down_parent,
+                                   const unsigned char *pinned,
+                                   double up_rate, double down_rate,
+                                   long iterations);
+            """
+        )
+        tag = "iw_csweep_cffi_py{}{}".format(*sys.version_info[:2])
+        ffi.set_source(tag, "#define CSWEEP_NO_PYTHON\n" + source)
+        tmpdir = os.path.join(tempfile.gettempdir(), tag)
+        os.makedirs(tmpdir, exist_ok=True)
+        lib_path = ffi.compile(tmpdir=tmpdir)
+        spec = importlib.util.spec_from_file_location(tag, lib_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        _CFFI_CSWEEP = _CffiSweepModule(module.ffi, module.lib)
+    except Exception:
+        _CFFI_CSWEEP = None
+    return _CFFI_CSWEEP
+
+
+class CSweepBackend(SweepBackend):
+    """Compiled-C sweeps over the same flat ``array`` buffers.
+
+    Both fixpoints run in ``_csweep.c``'s cores — line-for-line replicas
+    of the pure-Python reference loops (same edge-order accumulation,
+    normalization, residual and clamp arithmetic, no ``-ffast-math``) —
+    so results are bit-identical, not merely within tolerance.  The
+    binding is either the prebuilt ``repro.harmony._csweep`` extension
+    or a runtime cffi compile of the same source file.
+    """
+
+    name = "c"
+
+    def __init__(self, module=None) -> None:
+        if module is None:
+            module = _probe_csweep()
+            if module is None:
+                module = _cffi_csweep()
+        if module is None:
+            raise ImportError(
+                "sweep_backend='c' requires the compiled _csweep extension, "
+                "which is not importable; build it with `python setup.py "
+                "build_ext --inplace` or `pip install .` (both need a C "
+                "compiler — alternatively `pip install .[fast]` provides "
+                "cffi for a runtime build), or use sweep_backend='auto' to "
+                "fall back silently"
+            )
+        self._mod = module
+
+    def sweep_classic(
+        self,
+        compiled: CompiledPCG,
+        entries: List[Tuple[int, float]],
+        n: int,
+        config: FloodingConfig,
+    ) -> Sequence[float]:
+        sigma = array("d", bytes(8 * n))
+        for i, value in entries:
+            sigma[i] = value
+        if n:
+            self._mod.sweep_classic(
+                compiled.edge_src, compiled.edge_dst, compiled.edge_weight,
+                sigma, config.max_iterations, config.epsilon,
+            )
+        return sigma
+
+    def sweep_directional(
+        self,
+        current: array,
+        up_parents: array,
+        up_indptr: array,
+        up_children: array,
+        down_child: array,
+        down_parent: array,
+        pinned: bytearray,
+        config: "DirectionalConfig",
+    ) -> Sequence[float]:
+        if len(current):
+            self._mod.sweep_directional(
+                current, up_parents, up_indptr, up_children,
+                down_child, down_parent, pinned,
+                config.up_rate, config.down_rate, config.iterations,
+            )
+        return current
+
+
 #: process-wide singleton for the default backend — stateless, so safe
 #: to share across engines and threads
 PYTHON_SWEEP_BACKEND = PythonSweepBackend()
@@ -568,20 +850,28 @@ PYTHON_SWEEP_BACKEND = PythonSweepBackend()
 def resolve_sweep_backend(selector: str = "python") -> SweepBackend:
     """Map an ``EngineConfig.sweep_backend`` selector to a backend.
 
-    ``"python"`` returns the shared pure-Python backend; ``"numpy"``
-    requires NumPy and raises :class:`ImportError` if it is missing;
-    ``"auto"`` probes for NumPy and silently falls back to the Python
-    backend when unavailable (the package keeps zero hard dependencies).
+    ``"python"`` returns the shared pure-Python backend.  ``"numpy"``
+    and ``"c"`` require their accelerator and raise an actionable
+    :class:`ImportError` naming the install remedy when it is missing.
+    ``"auto"`` probes c → numpy → python and silently falls back (the
+    package keeps zero hard dependencies): the C backend is preferred
+    when its prebuilt extension is importable, NumPy next, and the
+    pure-python loop always works.
     """
     if selector == "python":
         return PYTHON_SWEEP_BACKEND
     if selector == "numpy":
         return NumpySweepBackend()
+    if selector == "c":
+        return CSweepBackend()
     if selector == "auto":
+        csweep = _probe_csweep()
+        if csweep is not None:
+            return CSweepBackend(csweep)
         module = _probe_numpy()
-        if module is None:
-            return PYTHON_SWEEP_BACKEND
-        return NumpySweepBackend(module)
+        if module is not None:
+            return NumpySweepBackend(module)
+        return PYTHON_SWEEP_BACKEND
     raise ValueError(
         f"unknown sweep backend {selector!r}; expected one of {SWEEP_BACKENDS}"
     )
@@ -895,28 +1185,33 @@ def directional_flooding_compiled(
     scores: Mapping[Pair, float],
     config: Optional[DirectionalConfig] = None,
     pinned: Optional[set] = None,
+    backend: Optional[SweepBackend] = None,
 ) -> Dict[Pair, float]:
     """Bit-identical compiled mirror of :func:`directional_flooding`.
 
     Scored pairs are interned to int ids in score order; the parent/child
-    structure compiles to flat index lists (parent id → child-id list,
-    plus the (child, parent) sweep order), and each iteration is a list
-    copy plus two index sweeps instead of per-iteration dict copies.
-    Positive-child sums accumulate in the reference's list order, so the
-    averages — and therefore every score — are bit-identical.
+    structure compiles to flat index arrays — parent ids plus a CSR-style
+    indptr/children pair (children kept in the reference's list order, so
+    positive-child sums accumulate identically), the (child, parent)
+    down-sweep arrays, and a pinned byte mask — then *backend* (default:
+    the pure-python reference loop) iterates the propagation via
+    :meth:`SweepBackend.sweep_directional`.  Every backend's arithmetic
+    mirrors the reference statement for statement, so scores are
+    bit-identical.
     """
     config = config or DirectionalConfig()
     pinned = pinned or set()
     pairs = list(scores)
     index = {pair: i for i, pair in enumerate(pairs)}
-    current = [clamp_confidence(scores[pair]) for pair in pairs]
+    current = array("d", (clamp_confidence(scores[pair]) for pair in pairs))
 
     parent_cache_s: Dict[str, Optional[str]] = {}
     parent_cache_t: Dict[str, Optional[str]] = {}
-    up_parents: List[int] = []
-    up_children: List[List[int]] = []
+    up_parents = array("l")
+    up_children_lists: List[List[int]] = []
     up_slot: Dict[int, int] = {}
-    down_edges: List[Tuple[int, int]] = []  # (child id, parent id), sweep order
+    down_child = array("l")
+    down_parent = array("l")
     for i, (s_id, t_id) in enumerate(pairs):
         if s_id in parent_cache_s:
             parent_s = parent_cache_s[s_id]
@@ -941,38 +1236,31 @@ def directional_flooding_compiled(
         if slot is None:
             slot = up_slot[j] = len(up_parents)
             up_parents.append(j)
-            up_children.append([])
-        up_children[slot].append(i)
-        down_edges.append((i, j))
+            up_children_lists.append([])
+        up_children_lists[slot].append(i)
+        down_child.append(i)
+        down_parent.append(j)
 
-    pinned_ids = {index[pair] for pair in pinned if pair in index}
-    up_rate = config.up_rate
-    down_rate = config.down_rate
-    for _ in range(config.iterations):
-        updated = current[:]
-        for slot, j in enumerate(up_parents):
-            if j in pinned_ids:
-                continue
-            total = 0.0
-            count = 0
-            for child in up_children[slot]:
-                value = current[child]
-                if value > 0.0:
-                    total += value
-                    count += 1
-            if count:
-                boost = up_rate * (total / count)
-                updated[j] = clamp_confidence(min(0.99, current[j] + boost))
-        for child, j in down_edges:
-            if child in pinned_ids:
-                continue
-            parent_score = current[j]
-            if parent_score < 0.0:
-                updated[child] = clamp_confidence(
-                    max(-0.99, updated[child] + down_rate * parent_score)
-                )
-        current = updated
-    return {pair: current[i] for i, pair in enumerate(pairs)}
+    up_indptr = array("l", [0])
+    up_children = array("l")
+    for children in up_children_lists:
+        up_children.extend(children)
+        up_indptr.append(len(up_children))
+
+    pinned_mask = bytearray(len(pairs))
+    for pair in pinned:
+        i = index.get(pair)
+        if i is not None:
+            pinned_mask[i] = 1
+
+    if backend is None:
+        backend = PYTHON_SWEEP_BACKEND
+    _note_sweep_run("directional", backend.name)
+    final = backend.sweep_directional(
+        current, up_parents, up_indptr, up_children,
+        down_child, down_parent, pinned_mask, config,
+    )
+    return {pair: final[i] for i, pair in enumerate(pairs)}
 
 
 def flooded_ranking(result: Mapping[Pair, float], top: int = 10) -> List[Tuple[Pair, float]]:

@@ -26,7 +26,11 @@ class DocumentationVoter(MatchVoter):
         cross-schema pair sharing vocabulary in one postings sweep
         (``SparseTfIdf.all_pairs``) before per-pair scoring starts —
         ``score`` then only does table lookups, and pairs absent from
-        the table have cosine exactly 0.0."""
+        the table have cosine exactly 0.0.  The sweep itself routes
+        through the corpus's ``all_pairs_backend`` seam: a NumPy CSR
+        matmul when NumPy is importable, the dependency-free postings
+        merge otherwise — same probe-once/auto-fallback discipline as
+        the flooding sweep's backend selector."""
         if context.sparse is not None:
             context.warm_pair_sims()
 

@@ -107,6 +107,235 @@ def schema_to_rdf(graph: SchemaGraph, store: TripleStore) -> IRI:
     return s_iri
 
 
+def _schema_slices(
+    graph: SchemaGraph,
+) -> "Tuple[Dict[object, Dict[IRI, List[object]]], int]":
+    """The canonical schema layout as ``{subject: {predicate: [objects]}}``.
+
+    The schema-side mirror of :func:`_matrix_slices`: the single source
+    of truth for the schema→RDF shape that both :func:`schema_triples`
+    (which flattens it) and the delta branch of :func:`serialize_schema`
+    (which diffs it against the store's index slices without
+    materializing a :class:`Triple` per statement) build on.  Returns
+    the nested slices plus the total statement count.
+    """
+    s_iri = schema_iri(graph.name)
+    qname = _quote(graph.name)
+    term = ELEMENT_BASE.term
+    slices: Dict[object, Dict[IRI, List[object]]] = {}
+    total = 0
+
+    m_slice: Dict[IRI, List[object]] = slices.setdefault(s_iri, {})
+    m_slice[V.RDF_TYPE] = [V.SCHEMA_CLASS]
+    m_slice[V.NAME] = [literal(graph.name)]
+    has_elements = m_slice.setdefault(V.HAS_ELEMENT, [])
+    total += 2
+    element_iris: Dict[str, IRI] = {}
+    for element in graph:
+        e_iri = term(f"{qname}/{_quote(element.element_id)}")
+        element_iris[element.element_id] = e_iri
+        has_elements.append(e_iri)
+        e_slice: Dict[IRI, List[object]] = {
+            V.RDF_TYPE: [V.ELEMENT_CLASS],
+            V.NAME: [literal(element.name)],
+            V.KIND: [literal(element.kind.value)],
+        }
+        total += 4
+        if element.datatype:
+            e_slice[V.TYPE] = [literal(element.datatype)]
+            total += 1
+        if element.documentation:
+            e_slice[V.DOCUMENTATION] = [literal(element.documentation)]
+            total += 1
+        for key, value in element.annotations.items():
+            if isinstance(value, (str, int, float, bool)):
+                e_slice[IW_NS.term(f"annotation-{_quote(key)}")] = [literal(value)]
+                total += 1
+        slices[e_iri] = e_slice
+    m_slice[V.HAS_ROOT] = [element_iris[graph.root.element_id]]
+    total += 1
+    for edge in graph.edges:
+        predicate = V.EDGE_LABEL_TO_IRI.get(edge.label, IW_NS.term(_quote(edge.label)))
+        e_slice = slices[element_iris[edge.subject]]
+        objs = e_slice.get(predicate)
+        if objs is None:
+            objs = e_slice[predicate] = []
+        objs.append(element_iris[edge.object])
+        total += 1
+    if not has_elements:
+        del m_slice[V.HAS_ELEMENT]
+    return slices, total
+
+
+def schema_triples(graph: SchemaGraph) -> List[Triple]:
+    """The canonical triple layout of a schema, as one list.
+
+    Flattens :func:`_schema_slices`, so it is content-identical (as a
+    set) to what :func:`schema_to_rdf` writes and to what the delta
+    serializer diffs.
+    """
+    slices, _total = _schema_slices(graph)
+    triples: List[Triple] = []
+    append = triples.append
+    for subject, by_pred in slices.items():
+        for predicate, objs in by_pred.items():
+            for obj in objs:
+                append(Triple(subject, predicate, obj))
+    return triples
+
+
+def remove_schema(store: TripleStore, schema_name: str) -> int:
+    """Remove a schema and all its element triples.
+
+    Also strips triples *pointing at* the schema or its elements
+    (matrix row/column links, third-party annotations), so nothing
+    dangles.  Returns the number of triples removed; zero if no such
+    schema is stored.
+    """
+    s_iri = schema_iri(schema_name)
+    element_iris = [
+        obj for obj in store.objects(s_iri, V.HAS_ELEMENT)
+        if isinstance(obj, IRI)
+    ]
+    removed = store.remove_matching(subject=s_iri)
+    for e_iri in element_iris:
+        removed += store.remove_matching(subject=e_iri)
+        removed += store.remove_matching(obj=e_iri)
+    removed += store.remove_matching(obj=s_iri)
+    return removed
+
+
+def _dirty_schema_elements(previous: SchemaGraph, graph: SchemaGraph) -> set:
+    """Element ids whose RDF subject slices may differ between versions.
+
+    A lightweight mirror of the harmony engine's ``graph_delta`` kept
+    local so :mod:`repro.rdf` never imports :mod:`repro.harmony`:
+    added/removed ids, attribute-level changes (name, kind, datatype,
+    documentation, annotations), and the *subjects* of added or removed
+    edges (edge triples live in the subject element's slice).
+    """
+    old_ids = set(previous.element_ids)
+    new_ids = set(graph.element_ids)
+    dirty = old_ids ^ new_ids
+    for element_id in old_ids & new_ids:
+        old = previous.element(element_id)
+        new = graph.element(element_id)
+        if (
+            old.name != new.name
+            or old.kind != new.kind
+            or old.datatype != new.datatype
+            or old.documentation != new.documentation
+            or old.annotations != new.annotations
+        ):
+            dirty.add(element_id)
+    old_edges = {(e.subject, e.label, e.object) for e in previous.edges}
+    new_edges = {(e.subject, e.label, e.object) for e in graph.edges}
+    for subject, _label, _obj in old_edges ^ new_edges:
+        dirty.add(subject)
+    return dirty
+
+
+def serialize_schema(
+    graph: SchemaGraph,
+    store: TripleStore,
+    delta: bool = False,
+    previous: Optional[SchemaGraph] = None,
+) -> IRI:
+    """Schema serialization with an O(delta) re-serialization path.
+
+    Both modes are idempotent and produce the same stored schema state
+    as :func:`schema_to_rdf`:
+
+    * **bulk** (``delta=False``) — remove any stored schema of the same
+      name, then land the precomputed triple list in one ``add_many``;
+    * **delta** (``delta=True``) — diff the desired layout against the
+      stored subject slices and only remove the stale / add the fresh
+      statements.  When *previous* (the graph version currently in the
+      store) is given, the diff is restricted to the elements that
+      actually changed between the versions — the evolve→serialize hot
+      path touches O(delta) subjects instead of every element.  Unlike
+      the bulk mode, *inbound* triples pointing at surviving elements
+      (matrix links, third-party annotations) are preserved.
+
+    *previous* must faithfully describe the stored version: a stale
+    *previous* can leave superseded triples behind (callers like
+    ``evolve_and_rematch`` pass the version they just read).
+    """
+    stats = _SERIALIZATION_STATS
+    s_iri = schema_iri(graph.name)
+    if not delta:
+        removed = 0
+        if V.SCHEMA_CLASS in store.objects(s_iri, V.RDF_TYPE):
+            removed = remove_schema(store, graph.name)
+        desired = schema_triples(graph)
+        store.add_many(desired)
+        stats["schema_bulk_serializations"] += 1
+        stats["schema_triples_written"] += len(desired)
+        stats["schema_triples_removed"] += removed
+        return s_iri
+
+    desired_slices, total = _schema_slices(graph)
+    exists = V.SCHEMA_CLASS in store.objects(s_iri, V.RDF_TYPE)
+    if previous is not None and previous.name != graph.name:
+        previous = None
+    subject_slice = store.subject_slice
+    dropped_iris: List[IRI]
+    if previous is not None and exists:
+        dirty = _dirty_schema_elements(previous, graph)
+        subjects = {s_iri}
+        subjects.update(element_iri(graph.name, eid) for eid in dirty)
+        dropped_iris = [
+            element_iri(graph.name, eid)
+            for eid in previous.element_ids
+            if eid not in graph
+        ]
+    else:
+        subjects = set(desired_slices)
+        stored_elements = [
+            obj for obj in store.objects(s_iri, V.HAS_ELEMENT)
+            if isinstance(obj, IRI)
+        ]
+        subjects.update(stored_elements)
+        dropped_iris = [e for e in stored_elements if e not in desired_slices]
+
+    fresh: List[Triple] = []
+    stale: List[Triple] = []
+    fresh_append = fresh.append
+    stale_append = stale.append
+    reconcile = [s for s in desired_slices if s in subjects]
+    reconcile.extend(s for s in subjects if s not in desired_slices)
+    for subject in reconcile:
+        desired_slice = desired_slices.get(subject)
+        stored = subject_slice(subject)
+        if desired_slice:
+            for predicate, objs in desired_slice.items():
+                have = stored.get(predicate) if stored else None
+                if have is None:
+                    for obj in objs:
+                        fresh_append(Triple(subject, predicate, obj))
+                else:
+                    for obj in objs:
+                        if obj not in have:
+                            fresh_append(Triple(subject, predicate, obj))
+        if stored:
+            for predicate, objs in stored.items():
+                want = desired_slice.get(predicate) if desired_slice else None
+                gone = objs - set(want) if want else objs
+                for obj in gone:
+                    stale_append(Triple(subject, predicate, obj))
+    stale.sort(key=Triple.sort_key)
+    store.remove_many(stale)
+    inbound_removed = 0
+    for e_iri in dropped_iris:
+        inbound_removed += store.remove_matching(obj=e_iri)
+    store.add_many(fresh)
+    stats["schema_delta_serializations"] += 1
+    stats["schema_triples_written"] += len(fresh)
+    stats["schema_triples_removed"] += len(stale) + inbound_removed
+    stats["schema_triples_unchanged"] += total - len(fresh)
+    return s_iri
+
+
 def rdf_to_schema(store: TripleStore, schema_name: str) -> SchemaGraph:
     """Reconstruct a schema graph from its triples."""
     s_iri = schema_iri(schema_name)
@@ -171,11 +400,16 @@ _SERIALIZATION_STATS = {
     "matrix_triples_written": 0,
     "matrix_triples_removed": 0,
     "matrix_triples_unchanged": 0,
+    "schema_bulk_serializations": 0,
+    "schema_delta_serializations": 0,
+    "schema_triples_written": 0,
+    "schema_triples_removed": 0,
+    "schema_triples_unchanged": 0,
 }
 
 
 def serialization_stats() -> Dict[str, int]:
-    """A snapshot of the matrix-serialization counters."""
+    """A snapshot of the matrix/schema-serialization counters."""
     return dict(_SERIALIZATION_STATS)
 
 

@@ -26,6 +26,17 @@ the corpus's two revision counters: ``revision`` (document set changed →
 rebuild vocabulary + structure) and ``weights_revision`` (feedback moved
 a word weight → refresh weights and norms only, structure survives).
 
+:meth:`SparseTfIdf.all_pairs` — the documentation voter's one-sweep
+cross-partition scoring — additionally routes through an optional-NumPy
+seam mirroring the flooding ``SweepBackend`` pattern: when NumPy is
+importable (``all_pairs_backend="auto"``, the default), the per-document
+postings walk is replaced by a CSR-style sparse matmul — indptr/indices/
+data arrays assembled zero-copy from the interned term-id arrays, then
+multiplied per vocabulary chunk into the document-pair similarity
+matrix.  The sorted-merge path stays the dependency-free reference;
+agreement is differentially tested to ≤1e-12 (accumulation order
+differs, so CSR is near- but not bit-identical).
+
 The differential harness (``tests/text/test_tfidf_sparse_differential
 .py``) proves agreement with the reference ``TfIdfCorpus.cosine`` to
 within 1e-12 on hypothesis-generated corpora and the golden schema
@@ -41,7 +52,53 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from .tfidf import CorpusSnapshot, TfIdfCorpus
 
-__all__ = ["SparseTfIdf", "sparse_from_snapshot"]
+__all__ = [
+    "ALL_PAIRS_BACKENDS",
+    "SparseTfIdf",
+    "all_pairs_stats",
+    "reset_all_pairs_stats",
+    "sparse_from_snapshot",
+]
+
+#: valid ``SparseTfIdf(all_pairs_backend=...)`` selectors
+ALL_PAIRS_BACKENDS = ("auto", "merge", "csr")
+
+#: past this many document-pair cells the CSR path would allocate
+#: oversized dense similarity/co-occurrence matrices; ``"auto"`` falls
+#: back to the sorted merge instead (recorded in the stats below — no
+#: silent cap)
+_CSR_DENSE_CELL_LIMIT = 4_000_000
+
+#: vocabulary chunk width for the blocked CSR matmul
+_CSR_TERM_CHUNK = 2048
+
+#: process-wide all_pairs routing counters — which implementation ran
+#: each sweep; surfaced via :meth:`HarmonyEngine.fastpath_stats` and
+#: asserted in perf_smoke.py
+_ALL_PAIRS_STATS = {
+    "allpairs_csr_sweeps": 0,
+    "allpairs_merge_sweeps": 0,
+    "allpairs_csr_oversize_fallbacks": 0,
+}
+
+
+def all_pairs_stats() -> Dict[str, int]:
+    """A snapshot of the ``all_pairs`` routing counters."""
+    return dict(_ALL_PAIRS_STATS)
+
+
+def reset_all_pairs_stats() -> None:
+    for key in _ALL_PAIRS_STATS:
+        _ALL_PAIRS_STATS[key] = 0
+
+
+def _probe_numpy():
+    """Import numpy if available, else ``None`` (never raises)."""
+    try:
+        import numpy
+    except Exception:
+        return None
+    return numpy
 
 
 def sparse_from_snapshot(
@@ -69,8 +126,16 @@ class SparseTfIdf:
     layer (structure or weights) that went stale.
     """
 
-    def __init__(self, corpus: TfIdfCorpus) -> None:
+    def __init__(
+        self, corpus: TfIdfCorpus, all_pairs_backend: str = "auto"
+    ) -> None:
+        if all_pairs_backend not in ALL_PAIRS_BACKENDS:
+            raise ValueError(
+                f"unknown all_pairs backend {all_pairs_backend!r}; "
+                f"expected one of {ALL_PAIRS_BACKENDS}"
+            )
         self.corpus = corpus
+        self._all_pairs_backend = all_pairs_backend
         self._structure_rev: Optional[int] = None
         self._weights_rev: Optional[int] = None
         #: corpus-level vocabulary: term → interned integer id
@@ -265,6 +330,14 @@ class SparseTfIdf:
         pairs whose groups differ are scored — the documentation voter
         passes the source/target partition so same-schema pairs are
         never touched.
+
+        Routing follows the instance's ``all_pairs_backend``:
+        ``"merge"`` always runs the postings sorted-merge reference;
+        ``"csr"`` demands the NumPy CSR matmul (raising
+        :class:`ImportError` with the install remedy when NumPy is
+        absent); ``"auto"`` (default) picks CSR when NumPy is importable
+        and the corpus fits the dense pair-matrix budget, silently the
+        merge otherwise.  Both implementations agree to ≤1e-12.
         """
         self._ensure_current()
         groups = (
@@ -272,6 +345,33 @@ class SparseTfIdf:
             if group_of is not None
             else None
         )
+        selector = self._all_pairs_backend
+        if selector != "merge":
+            np = _probe_numpy()
+            if np is None:
+                if selector == "csr":
+                    raise ImportError(
+                        "all_pairs_backend='csr' requires NumPy, which is "
+                        "not importable; install it with `pip install "
+                        ".[fast]` (or `pip install numpy`), or use "
+                        "all_pairs_backend='auto' to fall back to the "
+                        "sorted-merge sweep silently"
+                    )
+            else:
+                n = len(self._doc_ids)
+                if selector == "csr" or n * n <= _CSR_DENSE_CELL_LIMIT:
+                    _ALL_PAIRS_STATS["allpairs_csr_sweeps"] += 1
+                    return self._all_pairs_csr(np, min_sim, groups)
+                _ALL_PAIRS_STATS["allpairs_csr_oversize_fallbacks"] += 1
+        _ALL_PAIRS_STATS["allpairs_merge_sweeps"] += 1
+        return self._all_pairs_merge(min_sim, groups)
+
+    def _all_pairs_merge(
+        self,
+        min_sim: float,
+        groups: Optional[List[Hashable]],
+    ) -> Dict[Tuple[str, str], float]:
+        """The dependency-free postings-walk reference implementation."""
         out: Dict[Tuple[str, str], float] = {}
         postings_docs = self._postings_docs
         postings_weights = self._postings_weights
@@ -297,6 +397,158 @@ class SparseTfIdf:
             for other, sim in accumulator.items():
                 if sim >= min_sim:
                     out[(doc_id, doc_ids[other])] = sim
+        return out
+
+    def _all_pairs_csr(
+        self,
+        np,
+        min_sim: float,
+        groups: Optional[List[Hashable]],
+    ) -> Dict[Tuple[str, str], float]:
+        """CSR-style sparse matmul over the interned term-id arrays.
+
+        The packed per-document arrays concatenate (zero-copy via
+        ``np.frombuffer``) into the canonical CSR triple — ``indptr``
+        (document row offsets), ``indices`` (term ids), ``data``
+        (normalized weights) — and X·Xᵀ is evaluated per vocabulary
+        chunk: each chunk scatters its CSR entries into a dense
+        (documents × chunk) block and one matmul accumulates the
+        document-pair similarity matrix.  A parallel 0/1-pattern matmul
+        (float32 — the counts are small integers, exact well past any
+        real document length) counts shared terms, so the result's
+        *membership* (pairs sharing at least one term) matches the merge
+        path exactly; values agree to ≤1e-12 (summation order differs
+        across chunks).
+
+        A two-way *groups* partition — the documentation voter's
+        source/target split — takes a rectangular fast path: only the
+        (group A × group B) cross block is ever scattered or multiplied,
+        a ~4× FLOP cut over the square product at an even split.
+        """
+        n = len(self._doc_ids)
+        if n == 0:
+            return {}
+        lengths = np.fromiter(
+            (len(terms) for terms in self._doc_terms), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        nnz = int(indptr[n])
+        if nnz == 0:
+            return {}
+        int_dtype = np.dtype(f"i{self._doc_terms[0].itemsize or 8}")
+        indices = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=np.float64)
+        for i in range(n):
+            lo, hi = indptr[i], indptr[i + 1]
+            if hi > lo:
+                indices[lo:hi] = np.frombuffer(self._doc_terms[i], dtype=int_dtype)
+                data[lo:hi] = np.frombuffer(self._doc_weights[i], dtype=np.float64)
+        rows = np.repeat(np.arange(n, dtype=np.int64), lengths)
+
+        group_ids = None
+        if groups is not None:
+            interned: Dict[Hashable, int] = {}
+            group_ids = np.fromiter(
+                (interned.setdefault(group, len(interned)) for group in groups),
+                dtype=np.int64,
+                count=n,
+            )
+            if len(interned) == 2:
+                return self._all_pairs_csr_bipartite(
+                    np, min_sim, group_ids, indices, data, rows
+                )
+
+        vocabulary = len(self._term_ids)
+        sims = np.zeros((n, n))
+        cooc = np.zeros((n, n), dtype=np.float32)
+        for lo in range(0, vocabulary, _CSR_TERM_CHUNK):
+            hi = min(vocabulary, lo + _CSR_TERM_CHUNK)
+            mask = (indices >= lo) & (indices < hi)
+            if not mask.any():
+                continue
+            block_rows = rows[mask]
+            block_cols = indices[mask] - lo
+            block = np.zeros((n, hi - lo))
+            block[block_rows, block_cols] = data[mask]
+            sims += block @ block.T
+            pattern = np.zeros((n, hi - lo), dtype=np.float32)
+            pattern[block_rows, block_cols] = 1.0
+            cooc += pattern @ pattern.T
+
+        keep = np.triu(cooc > 0.0, k=1)
+        if min_sim > 0.0:
+            keep &= sims >= min_sim
+        if group_ids is not None:
+            keep &= group_ids[:, None] != group_ids[None, :]
+        doc_ids = self._doc_ids
+        left, right = np.nonzero(keep)
+        values = sims[keep]
+        return {
+            (doc_ids[i], doc_ids[j]): float(sim)
+            for i, j, sim in zip(left.tolist(), right.tolist(), values.tolist())
+        }
+
+    def _all_pairs_csr_bipartite(
+        self, np, min_sim, group_ids, indices, data, rows
+    ) -> Dict[Tuple[str, str], float]:
+        """The rectangular (group A × group B) CSR product.
+
+        Each side's CSR entries scatter into their own dense chunk block
+        and one ``A @ Bᵀ`` per chunk accumulates exactly the cross-group
+        slice of the pair matrix — same chunk summation order as the
+        square path restricted to the kept cells, so values are
+        identical to it.  Result keys keep the corpus-insertion-order
+        orientation the merge path produces.
+        """
+        in_a = group_ids == group_ids[0]
+        a_docs = np.nonzero(in_a)[0]
+        b_docs = np.nonzero(~in_a)[0]
+        na, nb = len(a_docs), len(b_docs)
+        if na == 0 or nb == 0:
+            return {}
+        remap = np.zeros(len(group_ids), dtype=np.int64)
+        remap[a_docs] = np.arange(na)
+        remap[b_docs] = np.arange(nb)
+        entry_in_a = in_a[rows]
+        entry_rows = remap[rows]
+
+        vocabulary = len(self._term_ids)
+        sims = np.zeros((na, nb))
+        cooc = np.zeros((na, nb), dtype=np.float32)
+        for lo in range(0, vocabulary, _CSR_TERM_CHUNK):
+            hi = min(vocabulary, lo + _CSR_TERM_CHUNK)
+            mask = (indices >= lo) & (indices < hi)
+            a_mask = mask & entry_in_a
+            b_mask = mask & ~entry_in_a
+            if not a_mask.any() or not b_mask.any():
+                continue
+            a_block = np.zeros((na, hi - lo))
+            a_block[entry_rows[a_mask], indices[a_mask] - lo] = data[a_mask]
+            b_block = np.zeros((nb, hi - lo))
+            b_block[entry_rows[b_mask], indices[b_mask] - lo] = data[b_mask]
+            sims += a_block @ b_block.T
+            a_pattern = np.zeros((na, hi - lo), dtype=np.float32)
+            a_pattern[entry_rows[a_mask], indices[a_mask] - lo] = 1.0
+            b_pattern = np.zeros((nb, hi - lo), dtype=np.float32)
+            b_pattern[entry_rows[b_mask], indices[b_mask] - lo] = 1.0
+            cooc += a_pattern @ b_pattern.T
+
+        keep = cooc > 0.0
+        if min_sim > 0.0:
+            keep &= sims >= min_sim
+        doc_ids = self._doc_ids
+        a_orig = a_docs.tolist()
+        b_orig = b_docs.tolist()
+        left, right = np.nonzero(keep)
+        values = sims[keep]
+        out: Dict[Tuple[str, str], float] = {}
+        for i, j, sim in zip(left.tolist(), right.tolist(), values.tolist()):
+            a, b = a_orig[i], b_orig[j]
+            if a < b:
+                out[(doc_ids[a], doc_ids[b])] = sim
+            else:
+                out[(doc_ids[b], doc_ids[a])] = sim
         return out
 
     def __repr__(self) -> str:

@@ -66,8 +66,25 @@ class IntegrationBlackboard:
 
     # -- schemata -----------------------------------------------------------------
 
-    def put_schema(self, graph: SchemaGraph) -> IRI:
-        """Write (or replace) a schema graph."""
+    def put_schema(
+        self,
+        graph: SchemaGraph,
+        delta: bool = False,
+        previous: Optional[SchemaGraph] = None,
+    ) -> IRI:
+        """Write (or replace) a schema graph.
+
+        With ``delta=True`` the write goes through
+        :func:`~repro.rdf.schema_rdf.serialize_schema`'s diffing path:
+        only statements that actually changed relative to the stored
+        version are touched, and passing *previous* (the stored
+        version, as ``evolve_and_rematch`` does) narrows the diff to
+        the changed elements — O(delta) instead of O(schema).
+        """
+        if delta:
+            return schema_rdf.serialize_schema(
+                graph, self.store, delta=True, previous=previous
+            )
         if graph.name in self.schema_names():
             self.remove_schema(graph.name)
         return schema_rdf.schema_to_rdf(graph, self.store)
@@ -83,17 +100,7 @@ class IntegrationBlackboard:
 
     def remove_schema(self, name: str) -> int:
         """Remove a schema and all its element triples."""
-        s_iri = schema_rdf.schema_iri(name)
-        element_iris = [
-            obj for obj in self.store.objects(s_iri, V.HAS_ELEMENT)
-            if isinstance(obj, IRI)
-        ]
-        removed = self.store.remove_matching(subject=s_iri)
-        for e_iri in element_iris:
-            removed += self.store.remove_matching(subject=e_iri)
-            removed += self.store.remove_matching(obj=e_iri)
-        removed += self.store.remove_matching(obj=s_iri)
-        return removed
+        return schema_rdf.remove_schema(self.store, name)
 
     # -- mapping matrices ---------------------------------------------------------------
 

@@ -1,22 +1,30 @@
 """Tests for schema/matrix ↔ RDF conversions (the IB's triple layout)."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import ElementKind, SchemaElement, SchemaGraph, StoreError
 from repro.rdf import (
     TripleStore,
     cell_iri,
+    element_iri,
     matrices_in_store,
     matrix_to_rdf,
     matrix_triples,
     rdf_to_matrix,
     rdf_to_schema,
     remove_matrix,
+    remove_schema,
     reset_serialization_stats,
     schema_to_rdf,
+    schema_triples,
     schemas_in_store,
     serialization_stats,
     serialize_matrix,
+    serialize_schema,
 )
 from repro.core import MappingMatrix
 
@@ -253,3 +261,233 @@ class TestSerializeMatrix:
         stats = serialization_stats()
         assert stats["matrix_bulk_serializations"] == 1
         assert stats["matrix_triples_written"] == len(store)
+
+
+# -- serialize_schema: bulk + O(delta) ----------------------------------------
+
+
+def _evolution_graph(seed, size=12, name="ev"):
+    rng = random.Random(seed)
+    graph = SchemaGraph.create(name)
+    ids = [name]
+    for i in range(size):
+        element = SchemaElement(
+            f"{name}/e{i}",
+            f"elem{i}",
+            ElementKind.ATTRIBUTE if i % 2 else ElementKind.ENTITY,
+            datatype=rng.choice(["string", "decimal", None]),
+            documentation=rng.choice(["documented field", None]),
+        )
+        if rng.random() < 0.5:
+            element.annotate("nullable", rng.random() < 0.5)
+        graph.add_child(rng.choice(ids), element)
+        ids.append(element.element_id)
+    return graph
+
+
+def _mutate(graph, seed):
+    """One seeded evolution step: add/remove/retype/redocument/re-edge."""
+    rng = random.Random(seed)
+    ids = [e for e in graph.element_ids if graph.element(e).kind is not ElementKind.SCHEMA]
+    op = rng.randrange(6)
+    if op == 0 or not ids:
+        new_id = f"{graph.name}/new{seed}"
+        while new_id in graph:
+            new_id += "x"
+        graph.add_child(
+            rng.choice(graph.element_ids),
+            SchemaElement(new_id, f"added{seed}", ElementKind.ATTRIBUTE),
+        )
+    elif op == 1 and len(ids) > 1:
+        graph.remove_element(rng.choice(ids))
+    elif op == 2:
+        graph.element(rng.choice(ids)).name = f"renamed{seed}"
+    elif op == 3:
+        graph.element(rng.choice(ids)).datatype = rng.choice(["string", "int", None])
+    elif op == 4:
+        graph.element(rng.choice(ids)).documentation = rng.choice(
+            [f"docs {seed}", None]
+        )
+    else:
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b:
+            graph.add_edge(a, "references", b)
+    return graph
+
+
+class TestSerializeSchema:
+    def test_schema_triples_matches_schema_to_rdf(self, purchase_order_graph):
+        store = TripleStore()
+        schema_to_rdf(purchase_order_graph, store)
+        assert set(schema_triples(purchase_order_graph)) == _store_state(store)
+
+    def test_bulk_and_delta_cold_writes_match(self, purchase_order_graph):
+        bulk_store = TripleStore()
+        schema_to_rdf(purchase_order_graph, bulk_store)
+        serialized = TripleStore()
+        serialize_schema(purchase_order_graph, serialized)
+        delta_store = TripleStore()
+        serialize_schema(purchase_order_graph, delta_store, delta=True)
+        assert _store_state(bulk_store) == _store_state(serialized)
+        assert _store_state(bulk_store) == _store_state(delta_store)
+
+    def test_reserialize_is_idempotent(self, purchase_order_graph):
+        store = TripleStore()
+        serialize_schema(purchase_order_graph, store)
+        before = _store_state(store)
+        serialize_schema(purchase_order_graph, store)
+        assert _store_state(store) == before
+        serialize_schema(purchase_order_graph, store, delta=True)
+        assert _store_state(store) == before
+
+    def test_unchanged_delta_materializes_zero_triples(
+        self, purchase_order_graph, monkeypatch
+    ):
+        """Regression: an unchanged re-serialize must never build a Triple."""
+        from repro.rdf import schema_rdf as schema_rdf_mod
+
+        store = TripleStore()
+        serialize_schema(purchase_order_graph, store)
+        counter = {"built": 0}
+        real_triple = schema_rdf_mod.Triple
+
+        def counting_triple(*args, **kwargs):
+            counter["built"] += 1
+            return real_triple(*args, **kwargs)
+
+        counting_triple.sort_key = real_triple.sort_key
+        monkeypatch.setattr(schema_rdf_mod, "Triple", counting_triple)
+        serialize_schema(
+            purchase_order_graph, store, delta=True, previous=purchase_order_graph
+        )
+        assert counter["built"] == 0
+
+    def test_delta_with_previous_touches_only_dirty_subjects(self):
+        graph = _evolution_graph(7)
+        store = TripleStore()
+        serialize_schema(graph, store)
+        evolved = graph.copy()
+        evolved.element(f"{graph.name}/e3").documentation = "fresh docs"
+        reset_serialization_stats()
+        serialize_schema(evolved, store, delta=True, previous=graph)
+        stats = serialization_stats()
+        assert stats["schema_delta_serializations"] == 1
+        assert stats["schema_triples_written"] == 1
+        assert stats["schema_triples_removed"] <= 1
+        reference = TripleStore()
+        schema_to_rdf(evolved, reference)
+        assert _store_state(store) == _store_state(reference)
+
+    def test_delta_preserves_inbound_annotations(self):
+        from repro.rdf.namespace import IW_NS
+
+        graph = _evolution_graph(9)
+        store = TripleStore()
+        serialize_schema(graph, store)
+        target = element_iri(graph.name, f"{graph.name}/e2")
+        note = (IW_NS.term("note"), IW_NS.term("about"), target)
+        store.add(*note)
+        evolved = graph.copy()
+        evolved.element(f"{graph.name}/e2").name = "renamed"
+        serialize_schema(evolved, store, delta=True, previous=graph)
+        assert list(store.match(obj=target))
+
+    def test_delta_cleans_inbound_to_removed_elements(self):
+        from repro.rdf.namespace import IW_NS
+
+        graph = _evolution_graph(11)
+        store = TripleStore()
+        serialize_schema(graph, store)
+        doomed = f"{graph.name}/e5"
+        target = element_iri(graph.name, doomed)
+        store.add(IW_NS.term("note"), IW_NS.term("about"), target)
+        evolved = graph.copy()
+        evolved.remove_element(doomed)
+        serialize_schema(evolved, store, delta=True, previous=graph)
+        assert not list(store.match(obj=target))
+        reference = TripleStore()
+        schema_to_rdf(evolved, reference)
+        assert _store_state(store) == _store_state(reference)
+
+    def test_stale_previous_name_falls_back_to_full_diff(self):
+        graph = _evolution_graph(13)
+        other = _evolution_graph(14, name="other")
+        store = TripleStore()
+        serialize_schema(graph, store)
+        evolved = graph.copy()
+        evolved.element(f"{graph.name}/e1").name = "renamed"
+        serialize_schema(evolved, store, delta=True, previous=other)
+        reference = TripleStore()
+        schema_to_rdf(evolved, reference)
+        assert _store_state(store) == _store_state(reference)
+
+    def test_remove_schema_helper_strips_everything(self, purchase_order_graph):
+        store = TripleStore()
+        serialize_schema(purchase_order_graph, store)
+        removed = remove_schema(store, purchase_order_graph.name)
+        assert removed == len(schema_triples(purchase_order_graph))
+        assert len(store) == 0
+        assert remove_schema(store, purchase_order_graph.name) == 0
+
+    def test_bulk_counters(self):
+        graph = _evolution_graph(15)
+        reset_serialization_stats()
+        store = TripleStore()
+        serialize_schema(graph, store)
+        stats = serialization_stats()
+        assert stats["schema_bulk_serializations"] == 1
+        assert stats["schema_triples_written"] == len(store)
+        assert stats["schema_triples_removed"] == 0
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(
+            st.integers(min_value=0, max_value=10_000), min_size=1, max_size=6
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_evolution_chain_delta_equals_from_scratch(self, seed, steps):
+        """Delta-serializing each evolution step lands the exact triple
+        set a from-scratch ``schema_to_rdf`` of that version produces."""
+        graph = _evolution_graph(seed)
+        store = TripleStore()
+        serialize_schema(graph, store)
+        for step_seed in steps:
+            previous = graph.copy()
+            _mutate(graph, step_seed)
+            serialize_schema(graph, store, delta=True, previous=previous)
+            reference = TripleStore()
+            schema_to_rdf(graph, reference)
+            assert _store_state(store) == _store_state(reference)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(
+            st.integers(min_value=0, max_value=10_000), min_size=1, max_size=6
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_evolution_chain_without_previous(self, seed, steps):
+        """The delta path reconciles correctly even with no *previous*
+        narrowing — every subject is diffed, same final state."""
+        graph = _evolution_graph(seed)
+        store = TripleStore()
+        serialize_schema(graph, store)
+        for step_seed in steps:
+            _mutate(graph, step_seed)
+            serialize_schema(graph, store, delta=True)
+            reference = TripleStore()
+            schema_to_rdf(graph, reference)
+            assert _store_state(store) == _store_state(reference)
+
+    def test_roundtrip_after_delta_chain(self):
+        graph = _evolution_graph(21)
+        store = TripleStore()
+        serialize_schema(graph, store)
+        for step_seed in (1, 2, 3, 4, 5):
+            previous = graph.copy()
+            _mutate(graph, step_seed)
+            serialize_schema(graph, store, delta=True, previous=previous)
+        restored = rdf_to_schema(store, graph.name)
+        assert sorted(restored.element_ids) == sorted(graph.element_ids)
+        assert restored.edges == graph.edges

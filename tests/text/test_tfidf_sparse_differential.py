@@ -24,6 +24,15 @@ from hypothesis import strategies as st
 
 from repro.harmony import EngineConfig, HarmonyEngine
 from repro.text import SparseTfIdf, TfIdfCorpus
+from repro.text import tfidf_sparse as tfidf_sparse_mod
+from repro.text.tfidf_sparse import (
+    ALL_PAIRS_BACKENDS,
+    all_pairs_stats,
+    reset_all_pairs_stats,
+)
+
+HAS_NUMPY = tfidf_sparse_mod._probe_numpy() is not None
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
 
 #: the acceptance bound; in practice worst observed drift is ~5e-16
 #: (sorted-id merge vs dict-insertion-order float summation)
@@ -194,6 +203,115 @@ class TestInvalidation:
         assert stats["postings"] == 4
         assert stats["structure_builds"] == 1
         assert stats["weight_refreshes"] == 1
+
+
+class TestAllPairsBackends:
+    """The CSR matmul route vs the sorted-merge reference."""
+
+    def test_selector_vocabulary(self):
+        assert ALL_PAIRS_BACKENDS == ("auto", "merge", "csr")
+
+    def test_unknown_selector_raises(self):
+        corpus = TfIdfCorpus()
+        with pytest.raises(ValueError, match="unknown all_pairs backend"):
+            SparseTfIdf(corpus, all_pairs_backend="gpu")
+
+    def test_csr_without_numpy_raises_actionably(self, monkeypatch):
+        corpus, _, _ = build(["alpha beta", "beta gamma"])
+        monkeypatch.setattr(tfidf_sparse_mod, "_probe_numpy", lambda: None)
+        sparse = SparseTfIdf(corpus, all_pairs_backend="csr")
+        with pytest.raises(ImportError, match=r"pip install \.\[fast\]"):
+            sparse.all_pairs()
+
+    def test_auto_without_numpy_uses_merge(self, monkeypatch):
+        corpus, _, ids = build(["alpha beta", "beta gamma"])
+        monkeypatch.setattr(tfidf_sparse_mod, "_probe_numpy", lambda: None)
+        sparse = SparseTfIdf(corpus)
+        reset_all_pairs_stats()
+        table = sparse.all_pairs()
+        assert table[(ids[0], ids[1])] > 0.0
+        stats = all_pairs_stats()
+        assert stats["allpairs_merge_sweeps"] == 1
+        assert stats["allpairs_csr_sweeps"] == 0
+
+    @needs_numpy
+    def test_auto_with_numpy_uses_csr(self):
+        _, sparse, ids = build(["alpha beta", "beta gamma"])
+        reset_all_pairs_stats()
+        table = sparse.all_pairs()
+        assert table[(ids[0], ids[1])] > 0.0
+        stats = all_pairs_stats()
+        assert stats["allpairs_csr_sweeps"] == 1
+        assert stats["allpairs_merge_sweeps"] == 0
+
+    @needs_numpy
+    def test_oversize_corpus_falls_back_to_merge(self, monkeypatch):
+        corpus, _, ids = build(["alpha beta", "beta gamma", "alpha gamma"])
+        monkeypatch.setattr(tfidf_sparse_mod, "_CSR_DENSE_CELL_LIMIT", 4)
+        sparse = SparseTfIdf(corpus)
+        reset_all_pairs_stats()
+        table = sparse.all_pairs()
+        assert len(table) == 3
+        stats = all_pairs_stats()
+        assert stats["allpairs_csr_oversize_fallbacks"] == 1
+        assert stats["allpairs_merge_sweeps"] == 1
+        # explicit "csr" ignores the budget
+        explicit = SparseTfIdf(corpus, all_pairs_backend="csr")
+        assert explicit.all_pairs().keys() == table.keys()
+
+    @needs_numpy
+    @given(corpora)
+    @settings(max_examples=60)
+    def test_csr_matches_merge_exactly_in_membership(self, texts):
+        corpus = TfIdfCorpus()
+        for i, text in enumerate(texts):
+            corpus.add_document(f"doc{i}", text)
+        merge = SparseTfIdf(corpus, all_pairs_backend="merge").all_pairs()
+        csr = SparseTfIdf(corpus, all_pairs_backend="csr").all_pairs()
+        assert csr.keys() == merge.keys()
+        for pair, sim in merge.items():
+            assert abs(sim - csr[pair]) <= TOLERANCE
+
+    @needs_numpy
+    @given(corpora, st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=40)
+    def test_csr_min_sim_and_groups_match_merge(self, texts, min_sim):
+        corpus = TfIdfCorpus()
+        for i, text in enumerate(texts):
+            corpus.add_document(f"doc{i}", text)
+        ids = [f"doc{i}" for i in range(len(texts))]
+        evens = {doc for i, doc in enumerate(ids) if i % 2 == 0}
+        group_of = lambda doc: doc in evens
+        merge = SparseTfIdf(corpus, all_pairs_backend="merge").all_pairs(
+            min_sim=min_sim, group_of=group_of
+        )
+        csr = SparseTfIdf(corpus, all_pairs_backend="csr").all_pairs(
+            min_sim=min_sim, group_of=group_of
+        )
+        assert csr.keys() == merge.keys()
+        for pair, sim in merge.items():
+            assert abs(sim - csr[pair]) <= TOLERANCE
+
+    @needs_numpy
+    def test_csr_values_are_plain_floats(self):
+        _, sparse, _ = build(["alpha beta", "beta gamma"])
+        table = SparseTfIdf(sparse.corpus, all_pairs_backend="csr").all_pairs()
+        assert all(type(v) is float for v in table.values())
+
+    @needs_numpy
+    def test_golden_corpus_csr_matches_merge(self):
+        data = golden()
+        texts = [" ".join(tokens) for tokens in data["token_lists"]]
+        corpus = TfIdfCorpus()
+        for i, text in enumerate(texts):
+            corpus.add_document(f"doc{i}", text)
+        merge = SparseTfIdf(corpus, all_pairs_backend="merge").all_pairs()
+        csr = SparseTfIdf(corpus, all_pairs_backend="csr").all_pairs()
+        assert csr.keys() == merge.keys()
+        worst = max(
+            (abs(sim - csr[pair]) for pair, sim in merge.items()), default=0.0
+        )
+        assert worst <= TOLERANCE, f"max |csr - merge| = {worst}"
 
 
 class TestEngineEquivalence:

@@ -255,3 +255,57 @@ class TestStructuralEvolution:
         # batched_matrix: one coalesced event, not per-cell spam
         assert len(matrix_events) == 1
         assert matrix_events[0].cells_updated > 0
+
+
+def _graph_t() -> SchemaGraph:
+    graph = SchemaGraph.create("t")
+    graph.add_child("t", SchemaElement("t/X", "X", ElementKind.TABLE),
+                    label="contains-element")
+    for name in ("p", "q"):
+        graph.add_child("t/X", SchemaElement(
+            f"t/X/{name}", name, ElementKind.ATTRIBUTE, datatype="string",
+            documentation=f"Attribute {name}."))
+    return graph
+
+
+class TestDeltaSchemaSerialization:
+    """``delta_schema_rdf=True`` routes the evolved schema through the
+    O(delta) serializer without changing any observable blackboard state."""
+
+    def _run(self, config):
+        from repro.harmony import HarmonyEngine
+
+        manager = WorkbenchManager()
+        manager.register(MatcherTool(HarmonyEngine(config=config)))
+        manager.blackboard.put_schema(_graph_v1())
+        manager.blackboard.put_schema(_graph_t())
+        matrix = manager.invoke(
+            "harmony", source_schema="s", target_schema="t")
+        report = evolve_and_rematch(
+            manager, matrix.name, _graph_v1(), _graph_v2(),
+            side="source", other_schema="t")
+        return manager, report
+
+    def test_delta_flag_produces_identical_blackboard_state(self):
+        from repro.harmony import EngineConfig
+        from repro.rdf import reset_serialization_stats, serialization_stats
+
+        reset_serialization_stats()
+        plain_manager, plain_report = self._run(EngineConfig())
+        baseline = serialization_stats()
+        assert baseline["schema_delta_serializations"] == 0
+        delta_manager, delta_report = self._run(
+            EngineConfig(delta_schema_rdf=True))
+        stats = serialization_stats()
+        assert stats["schema_delta_serializations"] >= 1
+        assert set(plain_manager.blackboard.store) == set(
+            delta_manager.blackboard.store)
+        assert plain_report.axes_added == delta_report.axes_added
+        restored = delta_manager.blackboard.get_schema("s")
+        assert sorted(restored.element_ids) == sorted(_graph_v2().element_ids)
+
+    def test_fast_preset_enables_delta_schema_rdf(self):
+        from repro.harmony import EngineConfig
+
+        assert EngineConfig.fast().delta_schema_rdf is True
+        assert EngineConfig().delta_schema_rdf is False
