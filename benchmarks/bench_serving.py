@@ -1,0 +1,197 @@
+"""A13_serving — match-as-a-service under a mixed multi-session load.
+
+A load generator fires thousands of mixed requests (match / canned
+query / cell updates / schema-evolve-and-rematch) across many named
+sessions of one :class:`~repro.serving.server.WorkbenchServer`,
+honouring backpressure the way a real client would (sleep the
+retry-after hint and resubmit).  Per-request latency is measured from
+submission to future resolution; the numbers recorded are p50/p95/p99
+per kind and overall, aggregate throughput, and the conservation
+counters — the bench asserts nothing was lost, duplicated, or failed.
+"""
+
+import os
+import time
+
+from repro.loaders import load_sql, load_xsd
+from repro.serving import ServingConfig, WorkbenchClient, WorkbenchServer
+
+SESSIONS = 16
+TOTAL_REQUESTS = int(os.environ.get("SERVING_BENCH_REQUESTS", "2000"))
+#: request mix, cycled deterministically: heavier on reads like a
+#: real workbench, with enough matches and evolves to keep workers hot
+MIX = ("query", "match", "query", "update_cell", "query",
+       "match", "update_cell", "query", "evolve", "query")
+
+ORDERS_DDL = """
+CREATE TABLE orders (
+  po_number INT PRIMARY KEY,
+  customer VARCHAR(40),
+  ship_date DATE,
+  total DECIMAL(10, 2)
+);
+CREATE TABLE order_lines (
+  line_id INT PRIMARY KEY,
+  po_number INT REFERENCES orders(po_number),
+  sku VARCHAR(20),
+  quantity INT
+);
+"""
+
+ORDERS_DDL_V2 = ORDERS_DDL + """
+CREATE TABLE carriers (
+  carrier_id INT PRIMARY KEY,
+  carrier_name VARCHAR(40)
+);
+"""
+
+NOTICE_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="shippingNotice">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="poNo" type="xs:integer"/>
+        <xs:element name="recipientName" type="xs:string"/>
+        <xs:element name="arrivalDate" type="xs:date"/>
+        <xs:element name="amountDue" type="xs:decimal"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+    if not ordered:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+
+    def at(fraction):
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return round(ordered[index] * 1000.0, 3)
+
+    return {"p50_ms": at(0.50), "p95_ms": at(0.95), "p99_ms": at(0.99)}
+
+
+def run_serving_load():
+    workers = min(4, os.cpu_count() or 1)
+    server = WorkbenchServer(ServingConfig(
+        workers=workers, queue_limit=512, retry_after_s=0.002))
+    client = WorkbenchClient(server)
+    names = [f"tenant-{i:02d}" for i in range(SESSIONS)]
+
+    # per-session private graph objects: v1/v2 alternate per evolve
+    setup = {}
+    for name in names:
+        setup[name] = {
+            "v1": load_sql(ORDERS_DDL, "orders"),
+            "v2": load_sql(ORDERS_DDL_V2, "orders"),
+            "evolves": 0,
+        }
+        client.put_schema(name, setup[name]["v1"])
+        client.put_schema(name, load_xsd(NOTICE_XSD, "notice"))
+        client.match(name, "orders", "notice")
+
+    latencies = {"match": [], "query": [], "update_cell": [], "evolve": []}
+    handles = []
+
+    def fire(kind, name):
+        state = setup[name]
+        t0 = time.perf_counter()
+        if kind == "match":
+            handle = client.submit_with_retry(
+                name, "match", attempts=1000,
+                source_schema="orders", target_schema="notice")
+        elif kind == "query":
+            handle = client.submit_with_retry(
+                name, "query", attempts=1000,
+                name="strong_cells",
+                params={"matrix_name": "orders->notice",
+                        "threshold": 0.5})
+        elif kind == "update_cell":
+            handle = client.submit_with_retry(
+                name, "update_cell", attempts=1000,
+                matrix_name="orders->notice",
+                source_id="orders/orders/customer",
+                target_id="notice/shippingNotice/recipientName",
+                confidence=1.0, user_defined=True)
+        else:  # evolve
+            state["evolves"] += 1
+            graph = (state["v2"] if state["evolves"] % 2 else state["v1"])
+            handle = client.submit_with_retry(
+                name, "evolve", attempts=1000,
+                new_graph=graph, matrix_name="orders->notice",
+                side="source", other_schema="notice")
+        handle.future.add_done_callback(
+            lambda future, t0=t0, kind=kind:
+            latencies[kind].append(time.perf_counter() - t0))
+        handles.append(handle)
+
+    load_start = time.perf_counter()
+    for index in range(TOTAL_REQUESTS):
+        fire(MIX[index % len(MIX)], names[index % SESSIONS])
+    for handle in handles:
+        handle.result(600)
+    wall = time.perf_counter() - load_start
+    stats = server.stats()
+    server.close()
+
+    all_samples = [s for samples in latencies.values() for s in samples]
+    result = {
+        "workers": workers,
+        "sessions": SESSIONS,
+        "requests": TOTAL_REQUESTS,
+        "wall_s": round(wall, 3),
+        "throughput_rps": round(TOTAL_REQUESTS / wall, 1),
+        "rejected_resubmits": stats["rejected"],
+        "overall": _percentiles(all_samples),
+        "by_kind": {
+            kind: dict(_percentiles(samples), count=len(samples))
+            for kind, samples in latencies.items()
+        },
+        "counters": {key: stats[key] for key in
+                     ("submitted", "completed", "failed", "cancelled",
+                      "pending")},
+    }
+    return result
+
+
+def test_a13_serving_load(benchmark, report, perf_record):
+    stats = benchmark.pedantic(run_serving_load, rounds=1, iterations=1)
+    overall = stats["overall"]
+
+    lines = [
+        "A13_serving — mixed multi-session load on the workbench server",
+        "",
+        f"{stats['requests']} requests, {stats['sessions']} sessions, "
+        f"{stats['workers']} workers (thread executor)",
+        f"wall {stats['wall_s']}s -> {stats['throughput_rps']} req/s "
+        f"({stats['rejected_resubmits']} backpressure resubmits)",
+        "",
+        f"  {'kind':>12} {'count':>6} {'p50 ms':>8} {'p95 ms':>8} "
+        f"{'p99 ms':>8}",
+    ]
+    for kind, numbers in sorted(stats["by_kind"].items()):
+        lines.append(
+            f"  {kind:>12} {numbers['count']:>6} {numbers['p50_ms']:>8} "
+            f"{numbers['p95_ms']:>8} {numbers['p99_ms']:>8}")
+    lines.append(
+        f"  {'overall':>12} {stats['requests']:>6} {overall['p50_ms']:>8} "
+        f"{overall['p95_ms']:>8} {overall['p99_ms']:>8}")
+    lines.append("")
+    lines.append(
+        "conservation: " + ", ".join(
+            f"{key}={value}" for key, value in stats["counters"].items()))
+    report("A13_serving", "\n".join(lines))
+    perf_record("A13_serving", stats)
+
+    counters = stats["counters"]
+    # zero lost, duplicated, failed, or stuck requests
+    assert counters["failed"] == 0
+    assert counters["cancelled"] == 0
+    assert counters["pending"] == 0
+    assert counters["completed"] == counters["submitted"]
+    assert sum(k["count"] for k in stats["by_kind"].values()) \
+        == stats["requests"]
+    assert overall["p50_ms"] <= overall["p95_ms"] <= overall["p99_ms"]
+    assert stats["throughput_rps"] > 0

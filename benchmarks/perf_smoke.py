@@ -89,6 +89,17 @@ and enforces these guards:
   the same ``EngineConfig.fast()``, with every pair matrix bit-identical
   (1e-12).  Skipped (with a note) on single-CPU runners, where a process
   pool cannot win.
+* **serving gates** — (1) the single-session sequential workflow (match,
+  canned query, cell update, repeated) through the
+  :class:`~repro.serving.server.WorkbenchServer` job queue must cost at
+  most ``SERVING_MAX_OVERHEAD`` times the identical direct
+  ``WorkbenchManager``-and-engine calls, best-of-2 per arm — the queue
+  hop, session lock, and future plumbing are the overhead being bounded;
+  (2) a multi-session match load through 4 process-executor workers must
+  reach at least ``SERVING_MIN_PARALLEL_SPEEDUP`` times the aggregate
+  throughput of the single-worker thread server on the same load, with
+  every matrix bit-identical.  Skipped (with a note) on single-CPU
+  runners, where no executor can win.
 * **N-way pruning gate** — hub-schema pair selection over the 100-schema
   family workload must run at least ``NWAY_MIN_PRUNED_SPEEDUP`` times
   faster than the exhaustive sweep (both arms at the same parallelism),
@@ -227,6 +238,17 @@ NWAY_MAX_F1_LOSS = 0.02
 #: N-way workload tiers (schema counts) for the two gates
 NWAY_PARALLEL_TIER = 50
 NWAY_PRUNED_TIER = 100
+#: the serving layer may cost at most this multiple of direct
+#: WorkbenchManager calls on a single-session sequential workload
+SERVING_MAX_OVERHEAD = 1.5
+#: 4 process-executor workers must beat the single-worker thread server
+#: by this factor in aggregate throughput on a multi-session load
+SERVING_MIN_PARALLEL_SPEEDUP = 2.0
+#: rounds of (match, query, update_cell) in the serving overhead arm
+SERVING_ROUNDS = 4
+#: sessions x matches-per-session in the serving throughput arm
+SERVING_LOAD_SESSIONS = 8
+SERVING_LOAD_MATCHES = 2
 
 
 def _schema_pair():
@@ -1133,6 +1155,134 @@ def _nway_parallel_microbench():
     return result
 
 
+def _serving_microbench(source, target):
+    """Two serving gates (see the module docstring).
+
+    **Overhead** — the same single-session sequential workload — match on
+    a warm engine, write the matrix back in a transaction, run the
+    ``strong_cells`` canned query, update one cell — once as direct
+    ``WorkbenchManager`` + ``HarmonyEngine`` calls and once through the
+    ``WorkbenchServer`` job queue (one worker, one job in flight at a
+    time).  The direct arm mirrors the server handler exactly (existing
+    matrix re-fetched from the blackboard each round), so the ratio
+    isolates the queue hop, session lock, and future plumbing.
+
+    **Throughput** — ``SERVING_LOAD_SESSIONS`` sessions each firing
+    ``SERVING_LOAD_MATCHES`` matches, submitted all at once: the
+    single-worker thread server vs 4 process-executor workers.  The
+    matrices must be bit-identical; given >=2 CPUs the process pool must
+    reach ``SERVING_MIN_PARALLEL_SPEEDUP`` times the aggregate
+    throughput.
+    """
+    from repro.serving import ServingConfig, WorkbenchServer
+    from repro.workbench import WorkbenchManager
+    from repro.workbench.queries import strong_cells
+
+    matrix_name = f"{source.name}->{target.name}"
+    cell_source = sorted(e.element_id for e in source)[1]
+    cell_target = sorted(e.element_id for e in target)[1]
+
+    def direct_round(manager, engine):
+        board = manager.blackboard
+        if board.has_matrix(matrix_name):
+            matrix = board.get_matrix(matrix_name)
+            matrix.name = matrix_name
+        else:
+            matrix = MappingMatrix.from_schemas(source, target)
+            matrix.name = matrix_name
+        engine.match(source, target, matrix=matrix)
+        with manager.transaction():
+            board.put_matrix(matrix)
+        strong_cells(board.store, matrix_name, 0.5)
+        board.update_cell(matrix_name, cell_source, cell_target, 1.0,
+                          user_defined=True)
+
+    direct_wall = float("inf")
+    for _ in range(2):
+        kernels.clear_caches()
+        manager = WorkbenchManager()
+        manager.blackboard.put_schema(source)
+        manager.blackboard.put_schema(target)
+        engine = HarmonyEngine(config=EngineConfig.fast())
+        t0 = time.perf_counter()
+        for _ in range(SERVING_ROUNDS):
+            direct_round(manager, engine)
+        direct_wall = min(direct_wall, time.perf_counter() - t0)
+        manager.close()
+
+    served_wall = float("inf")
+    for _ in range(2):
+        kernels.clear_caches()
+        server = WorkbenchServer(ServingConfig(workers=1))
+        server.put_schema("smoke", source).result(60)
+        server.put_schema("smoke", target).result(60)
+        t0 = time.perf_counter()
+        for _ in range(SERVING_ROUNDS):
+            server.match("smoke", source.name, target.name).result(60)
+            server.query("smoke", "strong_cells", matrix_name=matrix_name,
+                         threshold=0.5).result(60)
+            server.update_cell("smoke", matrix_name, cell_source,
+                               cell_target, 1.0,
+                               user_defined=True).result(60)
+        served_wall = min(served_wall, time.perf_counter() - t0)
+        server.close()
+
+    result = {
+        "serving_rounds": SERVING_ROUNDS,
+        "serving_direct_wall_s": round(direct_wall, 4),
+        "serving_served_wall_s": round(served_wall, 4),
+        "serving_overhead": round(served_wall / direct_wall, 3),
+    }
+
+    # -- throughput arm ----------------------------------------------------
+    def serve_load(config):
+        kernels.clear_caches()
+        server = WorkbenchServer(config)
+        names = [f"s{i}" for i in range(SERVING_LOAD_SESSIONS)]
+        for name in names:
+            server.put_schema(name, source).result(60)
+            server.put_schema(name, target).result(60)
+        handles = []
+        t0 = time.perf_counter()
+        for _ in range(SERVING_LOAD_MATCHES):
+            for name in names:
+                handles.append(server.match(name, source.name, target.name))
+        matrices = [handle.result(300) for handle in handles]
+        wall = time.perf_counter() - t0
+        server.close()
+        cells = [
+            {(c.source_id, c.target_id): c.confidence
+             for c in matrix.cells()}
+            for matrix in matrices
+        ]
+        return wall, cells
+
+    serial_wall, serial_cells = serve_load(ServingConfig(workers=1))
+    jobs = SERVING_LOAD_SESSIONS * SERVING_LOAD_MATCHES
+    result.update({
+        "serving_load_jobs": jobs,
+        "serving_serial_wall_s": round(serial_wall, 4),
+        "serving_serial_rps": round(jobs / serial_wall, 1),
+    })
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        print("note: single CPU; serving throughput gate skipped")
+        return result
+
+    pool_wall, pool_cells = serve_load(
+        ServingConfig(workers=4, executor="process"))
+    if pool_cells != serial_cells:
+        raise AssertionError(
+            "process-executor serving changed some matrix bits vs the "
+            "single-worker thread server")
+    result.update({
+        "serving_parallel_wall_s": round(pool_wall, 4),
+        "serving_parallel_rps": round(jobs / pool_wall, 1),
+        "serving_parallel_speedup": round(serial_wall / pool_wall, 2),
+    })
+    return result
+
+
 def _nway_pruned_microbench():
     """Exhaustive vs hub-pruned N-way matching over the 100-schema family
     workload, both arms at the same parallelism.  Clustering quality is
@@ -1218,6 +1368,7 @@ def main(argv) -> int:
     result.update(_allpairs_microbench())
     result.update(_durability_microbench(source, target))
     result.update(_nway_parallel_microbench())
+    result.update(_serving_microbench(source, target))
     result.update(_nway_pruned_microbench())
     print("perf smoke (A12-large pair):")
     for key, value in result.items():
@@ -1333,6 +1484,19 @@ def main(argv) -> int:
             f"N-way process pool only {result['nway_parallel_speedup']:.2f}x "
             f"faster than the serial pair loop "
             f"(required >= {NWAY_MIN_PARALLEL_SPEEDUP}x)")
+    if result["serving_overhead"] > SERVING_MAX_OVERHEAD:
+        failures.append(
+            f"serving layer cost {result['serving_overhead']:.3f}x the "
+            f"direct WorkbenchManager calls on the sequential workload "
+            f"(allowed <= {SERVING_MAX_OVERHEAD}x)")
+    if ("serving_parallel_speedup" in result
+            and result["serving_parallel_speedup"]
+            < SERVING_MIN_PARALLEL_SPEEDUP):
+        failures.append(
+            f"4 process-executor serving workers only "
+            f"{result['serving_parallel_speedup']:.2f}x the single-worker "
+            f"thread server's throughput "
+            f"(required >= {SERVING_MIN_PARALLEL_SPEEDUP}x)")
     if result["nway_pruned_speedup"] < NWAY_MIN_PRUNED_SPEEDUP:
         failures.append(
             f"hub-pruned N-way sweep only {result['nway_pruned_speedup']:.2f}x "

@@ -1,11 +1,12 @@
-"""Doc-consistency check: every EngineConfig knob must be documented.
+"""Doc-consistency check: every config knob must be documented.
 
-Walks `dataclasses.fields(EngineConfig)` and asserts each field name
-appears in backticks in
+Walks the fields of each CI-enforced config dataclass and asserts each
+field name appears in backticks in that dataclass's doc set:
 
-* the README configuration table,
-* `docs/performance.md` (the fast-path narrative), and
-* `docs/MATCHING.md` (the engine reference section),
+* ``EngineConfig`` (the match fast path) — the README configuration
+  table, `docs/performance.md` and `docs/MATCHING.md`;
+* ``ServingConfig`` (the workbench server) — the README,
+  `docs/SERVING.md` and `docs/performance.md`,
 
 so adding a flag without documenting it fails CI.  Run directly::
 
@@ -21,42 +22,60 @@ import sys
 HERE = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(HERE)
 
-#: every one of these files must mention every EngineConfig field
-DOC_PATHS = [
-    "README.md",
-    os.path.join("docs", "performance.md"),
-    os.path.join("docs", "MATCHING.md"),
+#: (config import, doc paths): every listed file must mention every field
+DOC_SETS = [
+    (
+        ("repro.harmony.engine", "EngineConfig"),
+        [
+            "README.md",
+            os.path.join("docs", "performance.md"),
+            os.path.join("docs", "MATCHING.md"),
+        ],
+    ),
+    (
+        ("repro.serving.config", "ServingConfig"),
+        [
+            "README.md",
+            os.path.join("docs", "SERVING.md"),
+            os.path.join("docs", "performance.md"),
+        ],
+    ),
 ]
 
 
 def undocumented_flags() -> list:
-    """(flag, doc-path) pairs for every missing mention."""
+    """(config name, flag, doc-path) triples for every missing mention."""
     sys.path.insert(0, os.path.join(REPO, "src"))
-    from repro.harmony.engine import EngineConfig
+    import importlib
 
-    flags = [f.name for f in dataclasses.fields(EngineConfig)]
     missing = []
-    for path in DOC_PATHS:
-        with open(os.path.join(REPO, path), "r", encoding="utf-8") as handle:
-            text = handle.read()
-        for flag in flags:
-            if f"`{flag}`" not in text and f"`EngineConfig.{flag}`" not in text:
-                missing.append((flag, path))
+    for (module_name, class_name), doc_paths in DOC_SETS:
+        config_class = getattr(importlib.import_module(module_name),
+                               class_name)
+        flags = [f.name for f in dataclasses.fields(config_class)]
+        for path in doc_paths:
+            with open(os.path.join(REPO, path), "r",
+                      encoding="utf-8") as handle:
+                text = handle.read()
+            for flag in flags:
+                if (f"`{flag}`" not in text
+                        and f"`{class_name}.{flag}`" not in text):
+                    missing.append((class_name, flag, path))
     return missing
 
 
 def main() -> int:
     missing = undocumented_flags()
     if missing:
-        for flag, path in missing:
-            print(f"FAIL: EngineConfig.{flag} is not documented in {path}",
+        for config_name, flag, path in missing:
+            print(f"FAIL: {config_name}.{flag} is not documented in {path}",
                   file=sys.stderr)
         print(f"{len(missing)} missing flag mention(s); document the flag "
               f"in a backticked table row or prose reference.",
               file=sys.stderr)
         return 1
-    print("doc-consistency OK: every EngineConfig flag is documented in "
-          + ", ".join(DOC_PATHS))
+    checked = ", ".join(class_name for (_, class_name), _ in DOC_SETS)
+    print(f"doc-consistency OK: every {checked} field is documented")
     return 0
 
 

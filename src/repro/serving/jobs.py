@@ -1,0 +1,185 @@
+"""Jobs: the unit of work the serving layer schedules.
+
+Lifecycle (documented in ``docs/SERVING.md``)::
+
+    submit --> QUEUED --> RUNNING --> DONE
+                  |           |  \\--> FAILED
+                  |           \\----> CANCELLED   (result discarded)
+                  \\----------------> CANCELLED   (never ran)
+
+    submit --(queue full)--> rejected: no Job is created; the submit
+    raises :class:`QueueFullError` carrying a retry-after hint.
+
+A :class:`Job` resolves exactly once: its ``future`` (a
+``concurrent.futures.Future``) gets the result on DONE, the raising
+exception on FAILED, and :class:`JobCancelledError` on CANCELLED — so
+``zero lost results`` is checkable by counting resolutions.
+:class:`JobHandle` is the caller-facing view; it also adapts to asyncio
+via ``asyncio.wrap_future(handle.future)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.errors import ToolError
+
+
+class ServingError(ToolError):
+    """Base class for serving-layer errors."""
+
+
+class QueueFullError(ServingError):
+    """Backpressure: the bounded queue is full; retry after a delay."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"job queue is full; retry after {retry_after_s}s")
+        self.retry_after_s = retry_after_s
+
+
+class ServerClosedError(ServingError):
+    """The server no longer accepts work."""
+
+
+class SessionNotFoundError(ServingError):
+    """The named session does not exist (and creation was not asked for)."""
+
+
+class JobCancelledError(ServingError):
+    """The job was cancelled before its effects were applied."""
+
+
+class JobStatus(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+_JOB_IDS = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One queued/running/finished request against a session."""
+
+    session: str
+    kind: str
+    params: Dict[str, Any]
+    priority: int = 0
+    #: arrival order within the whole server — the FIFO tiebreaker
+    seq: int = 0
+    job_id: str = field(default_factory=lambda: f"job-{next(_JOB_IDS)}")
+    status: JobStatus = JobStatus.QUEUED
+    future: Future = field(default_factory=Future)
+    #: set by cancel() while RUNNING: the worker discards effects
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def resolve(self, result: Any) -> bool:
+        with self._lock:
+            if self.status.is_terminal:
+                return False
+            self.status = JobStatus.DONE
+        self.future.set_result(result)
+        return True
+
+    def fail(self, error: BaseException) -> bool:
+        with self._lock:
+            if self.status.is_terminal:
+                return False
+            self.status = JobStatus.FAILED
+        self.future.set_exception(error)
+        return True
+
+    def cancel(self) -> bool:
+        """Move to CANCELLED if not already terminal.
+
+        A QUEUED job resolves immediately (it will never run); a RUNNING
+        job is flagged so the worker discards its effects and resolves
+        the future itself once it notices.
+        """
+        with self._lock:
+            if self.status.is_terminal:
+                return False
+            was_running = self.status is JobStatus.RUNNING
+            self.status = JobStatus.CANCELLED
+        self.cancel_event.set()
+        if not was_running:
+            self.future.set_exception(JobCancelledError(
+                f"{self.job_id} cancelled before running"))
+        return True
+
+    def finish_cancelled(self) -> None:
+        """Worker-side completion of a RUNNING job cancelled mid-flight."""
+        if not self.future.done():
+            self.future.set_exception(JobCancelledError(
+                f"{self.job_id} cancelled mid-flight; effects discarded"))
+
+    def start(self) -> bool:
+        """QUEUED -> RUNNING; False if the job was cancelled meanwhile."""
+        with self._lock:
+            if self.status is not JobStatus.QUEUED:
+                return False
+            self.status = JobStatus.RUNNING
+        return True
+
+
+class JobHandle:
+    """The caller's view of a submitted job.
+
+    ``result()`` blocks (re-raising the job's failure or
+    :class:`JobCancelledError`); ``handle.future`` is a plain
+    ``concurrent.futures.Future`` usable with ``asyncio.wrap_future``
+    for async callers.
+    """
+
+    def __init__(self, job: Job, server: Optional[object] = None) -> None:
+        self._job = job
+        self._server = server
+
+    @property
+    def job_id(self) -> str:
+        return self._job.job_id
+
+    @property
+    def session(self) -> str:
+        return self._job.session
+
+    @property
+    def kind(self) -> str:
+        return self._job.kind
+
+    @property
+    def status(self) -> JobStatus:
+        return self._job.status
+
+    @property
+    def future(self) -> Future:
+        return self._job.future
+
+    def done(self) -> bool:
+        return self._job.status.is_terminal
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        return self._job.future.result(timeout=timeout)
+
+    def cancel(self) -> bool:
+        """Best-effort cancellation; True if the job will not apply
+        (or did not apply) its effects."""
+        return self._job.cancel()
+
+    def __repr__(self) -> str:
+        return (f"JobHandle({self.job_id}, session={self.session!r}, "
+                f"kind={self.kind!r}, status={self.status.value})")

@@ -1,0 +1,39 @@
+"""Warm per-process match workers (the PR-6 N-way pattern, serving-side).
+
+In ``executor="process"`` mode match compute is shipped to a
+``ProcessPoolExecutor`` whose initializer builds one
+:class:`~repro.harmony.engine.HarmonyEngine` per process; the engine
+(and the process-wide kernel memo caches under it) stays warm across
+every job the worker receives.  The parent ships the picklable inputs —
+both schema graphs and the current matrix, user decisions included — and
+writes the returned matrix back to the session blackboard itself, so
+durability and events stay in one place.
+
+Matching is a pure function of ``(source, target, matrix, config)``
+(the N-way differential harness proves warm-engine results bit-identical
+to cold serial runs), so process scheduling can never leak into results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: per-worker-process state, set once by the pool initializer
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def init_serving_worker(engine_config) -> None:
+    """Pool initializer: one warm engine per worker process."""
+    from ..harmony.engine import HarmonyEngine
+
+    _WORKER_STATE["engine"] = HarmonyEngine(config=engine_config)
+
+
+def match_in_worker(source, target, matrix):
+    """Run one match job on this worker's warm engine.
+
+    Returns the filled matrix (pickled back to the parent, which owns
+    the blackboard write)."""
+    engine = _WORKER_STATE["engine"]
+    engine.match(source, target, matrix=matrix)
+    return matrix

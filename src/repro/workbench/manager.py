@@ -41,6 +41,8 @@ class WorkbenchManager:
         self.blackboard = blackboard
         self.events = EventBus()
         self._tools: Dict[str, Tool] = {}
+        self._open_transactions: List[Transaction] = []
+        self._closed = False
 
     # -- tool registry ---------------------------------------------------------------
 
@@ -69,8 +71,19 @@ class WorkbenchManager:
 
     def transaction(self) -> Transaction:
         """Open a transaction: IB changes are atomic and events are
-        deferred until commit."""
-        return Transaction(self.blackboard.store, bus=self.events)
+        deferred until commit.
+
+        The manager remembers the window until it commits or rolls
+        back, so :meth:`close` can roll back whatever a cancelled job
+        left open *before* the durable layer detaches — otherwise the
+        partial writes would persist (they are already in the WAL) while
+        the rollback that should undo them never lands.
+        """
+        transaction = Transaction(self.blackboard.store, bus=self.events)
+        self._open_transactions = [
+            t for t in self._open_transactions if t.is_open]
+        self._open_transactions.append(transaction)
+        return transaction
 
     # -- ad hoc queries --------------------------------------------------------------------
 
@@ -84,11 +97,23 @@ class WorkbenchManager:
         return explain(self.blackboard.store, query)
 
     def close(self) -> None:
-        """Release the blackboard's durable layer, if any.
+        """Release the blackboard's durable layer, if any.  Idempotent.
 
-        A durable workbench reopened on the same directory recovers the
-        session (schemas, matrices, focus) exactly as it was.
+        Transactions still open — a job cancelled mid-flight leaves
+        one — are rolled back first (newest inward, matching savepoint
+        nesting), while the WAL is still attached to record the undo.
+        Only then does the durable layer flush and release its file
+        handles, so a workbench reopened on the same directory recovers
+        the session (schemas, matrices, focus) exactly as it was at the
+        last commit, with no torn half-job state.
         """
+        if self._closed:
+            return
+        self._closed = True
+        for transaction in reversed(self._open_transactions):
+            if transaction.is_open:
+                transaction.rollback()
+        self._open_transactions.clear()
         self.blackboard.close()
 
     def __repr__(self) -> str:

@@ -1,0 +1,35 @@
+"""Shared fixtures for the serving suite."""
+
+import pytest
+
+from repro.serving import ServingConfig, WorkbenchClient, WorkbenchServer
+
+
+@pytest.fixture()
+def make_server():
+    """A server factory that closes everything it built at teardown."""
+    created = []
+
+    def factory(**overrides) -> WorkbenchServer:
+        defaults = dict(workers=2, queue_limit=64)
+        defaults.update(overrides)
+        server = WorkbenchServer(ServingConfig(**defaults))
+        created.append(server)
+        return server
+
+    yield factory
+    for server in created:
+        server.close(drain=False)
+
+
+@pytest.fixture()
+def load_pair(orders_ddl_text, notice_xsd_text):
+    """Load the Figure-3 schema pair into a session; returns a client."""
+
+    def loader(server: WorkbenchServer, session: str) -> WorkbenchClient:
+        client = WorkbenchClient(server)
+        client.load_schema(session, orders_ddl_text, "sql", "orders")
+        client.load_schema(session, notice_xsd_text, "xsd", "notice")
+        return client
+
+    return loader

@@ -1,0 +1,59 @@
+"""Property: under any interleaving of jobs across sessions, each
+session's final blackboard state equals applying that session's jobs
+serially, in submission order, on a private workbench.
+
+The fair scheduler may interleave sessions arbitrarily, but it never
+reorders jobs *within* a session — so serial-per-session is the spec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import to_ntriples
+from repro.serving import ServingConfig, WorkbenchServer
+from repro.workbench import WorkbenchManager
+
+SESSIONS = ("red", "green", "blue")
+
+op_strategy = st.tuples(
+    st.integers(min_value=0, max_value=len(SESSIONS) - 1),
+    st.sampled_from(["orders/customer", "orders/po_number",
+                     "orders/ship_date", "orders/total"]),
+    st.sampled_from(["notice/recipientName", "notice/poNo",
+                     "notice/arrivalDate"]),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+              allow_infinity=False),
+    st.booleans(),
+)
+
+
+def _lines(store) -> list:
+    return sorted(to_ntriples(store).splitlines())
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=st.lists(op_strategy, min_size=1, max_size=40))
+def test_random_interleavings_match_serial_per_session(ops):
+    server = WorkbenchServer(ServingConfig(workers=3, queue_limit=256))
+    try:
+        handles = [
+            server.update_cell(
+                SESSIONS[index], "m", source_id, target_id, confidence,
+                user_defined=user_defined)
+            for index, source_id, target_id, confidence, user_defined in ops
+        ]
+        for handle in handles:
+            handle.result(30)
+
+        for session_index, name in enumerate(SESSIONS):
+            reference = WorkbenchManager()
+            for index, source_id, target_id, confidence, user_defined in ops:
+                if index == session_index:
+                    reference.blackboard.update_cell(
+                        "m", source_id, target_id, confidence,
+                        user_defined=user_defined)
+            served = server.sessions.get_or_create(name)
+            assert (_lines(served.manager.blackboard.store)
+                    == _lines(reference.blackboard.store))
+            reference.close()
+    finally:
+        server.close(drain=False)

@@ -1,4 +1,5 @@
-"""Docs must keep up with the code: every EngineConfig flag documented."""
+"""Docs must keep up with the code: every CI-enforced config flag
+(EngineConfig, ServingConfig) documented in its doc set."""
 
 import os
 import sys
@@ -11,15 +12,22 @@ sys.path.insert(0, SCRIPTS)
 import check_doc_flags  # noqa: E402
 
 
-def test_every_engine_config_flag_is_documented():
+def test_every_config_flag_is_documented():
     missing = check_doc_flags.undocumented_flags()
     assert not missing, (
-        "undocumented EngineConfig flags (add a backticked mention): "
-        + ", ".join(f"{flag} in {path}" for flag, path in missing)
+        "undocumented config flags (add a backticked mention): "
+        + ", ".join(f"{config}.{flag} in {path}"
+                    for config, flag, path in missing)
     )
 
 
-def test_checker_covers_readme_and_both_docs():
-    assert "README.md" in check_doc_flags.DOC_PATHS
-    assert os.path.join("docs", "performance.md") in check_doc_flags.DOC_PATHS
-    assert os.path.join("docs", "MATCHING.md") in check_doc_flags.DOC_PATHS
+def test_checker_covers_both_configs_and_their_docs():
+    doc_sets = {class_name: paths
+                for (_, class_name), paths in check_doc_flags.DOC_SETS}
+    assert set(doc_sets) == {"EngineConfig", "ServingConfig"}
+    assert "README.md" in doc_sets["EngineConfig"]
+    assert os.path.join("docs", "performance.md") in doc_sets["EngineConfig"]
+    assert os.path.join("docs", "MATCHING.md") in doc_sets["EngineConfig"]
+    assert "README.md" in doc_sets["ServingConfig"]
+    assert os.path.join("docs", "SERVING.md") in doc_sets["ServingConfig"]
+    assert os.path.join("docs", "performance.md") in doc_sets["ServingConfig"]

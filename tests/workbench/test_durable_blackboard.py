@@ -160,6 +160,35 @@ class TestDurableWorkbenchManager:
         assert recovered.blackboard.store.snapshot() == committed
         recovered.close()
 
+    def test_close_rolls_back_mid_flight_transaction_and_releases_wal(
+            self, tmp_path, purchase_order_graph, shipping_notice_graph):
+        """A job cancelled mid-flight leaves its transaction window open
+        with partial writes already in the WAL.  close() must roll the
+        window back *before* detaching the durable layer, release the
+        WAL file handle, and be idempotent — so a reopen finds the last
+        committed state with no torn half-job writes."""
+        directory = str(tmp_path / "ib")
+        manager = WorkbenchManager(durable=directory)
+        manager.blackboard.put_schema(purchase_order_graph)
+        committed = manager.blackboard.store.snapshot()
+
+        window = manager.transaction()  # never commits: job was cancelled
+        manager.blackboard.put_schema(shipping_notice_graph)
+        assert window.is_open
+
+        manager.close()
+        assert not window.is_open  # rolled back, not abandoned
+        durability = manager.blackboard.durability
+        assert durability is not None
+        assert durability._closed  # WAL handle released
+        assert durability._wal_file is None
+        manager.close()  # double close is a no-op
+
+        reopened = WorkbenchManager(durable=directory)
+        assert reopened.blackboard.schema_names() == ["po"]
+        assert reopened.blackboard.store.snapshot() == committed
+        reopened.close()
+
     def test_committed_transaction_is_durable(self, tmp_path,
                                               purchase_order_graph):
         directory = str(tmp_path / "wb")
