@@ -1,0 +1,194 @@
+"""A14 — dense embeddings and ANN retrieval at registry scale.
+
+The dense-retrieval subsystem (``repro.embed``) exists to make candidate
+blocking sub-linear per query: hash-projection vectors instead of token
+postings, LSH band probes instead of inverted-index unions.  This bench
+records the numbers that story rests on, on whatever backend resolves in
+the running environment:
+
+* embedding throughput — one :func:`snapshot_embeddings` pass over a
+  registry-scale corpus (vectors/second);
+* ANN index build and query latency — ``top_k_similar`` vs the
+  ``exhaustive_top_k`` oracle over sampled queries, with tie-aware
+  recall@k;
+* end-to-end blocking — the same schema pair matched under
+  ``BlockingConfig(strategy="ann")`` and ``"inverted"``, walls plus
+  strong-link candidate recall of each against an unblocked run.
+
+The hard perf *gates* (3× ANN speedup at ≥0.95 recall on numpy, ANN
+blocking within 1.1× of inverted at equal recall) live in
+``benchmarks/perf_smoke.py`` where tolerances are explicit; this bench
+keeps the archival record and asserts only sanity floors.
+"""
+
+import time
+
+from repro.embed import AnnConfig, AnnIndex, resolve_embed_backend
+from repro.embed.ann import ann_stats, reset_ann_stats
+from repro.harmony import (
+    BlockingConfig,
+    HarmonyEngine,
+    snapshot_embeddings,
+)
+from repro.harmony.engine import EngineConfig
+from repro.loaders import load_registry
+from repro.registry import RegistryProfile, generate_registry
+
+CORPUS_MODELS = 30
+QUERY_COUNT = 64
+TOP_K = 10
+STRONG_THRESHOLD = 0.5
+
+
+def _corpus_schemas():
+    profile = RegistryProfile(
+        model_count=CORPUS_MODELS,
+        elements_per_model=10,
+        attributes_per_element=8,
+        domain_values_per_attribute=0.5,
+    )
+    registry = generate_registry(seed=53, scale=1.0, profile=profile,
+                                 name="embed-bench")
+    return load_registry(registry).schemas
+
+
+def _schema_pair():
+    profile = RegistryProfile(
+        model_count=2,
+        elements_per_model=10,
+        attributes_per_element=8,
+        domain_values_per_attribute=0.5,
+    )
+    registry = generate_registry(seed=99, scale=1.0, profile=profile,
+                                 name="embed-bench-pair")
+    loaded = load_registry(registry)
+    return loaded.schemas[0], loaded.schemas[1]
+
+
+def run_embedding():
+    backend = resolve_embed_backend("auto")
+    schemas = _corpus_schemas()
+
+    t0 = time.perf_counter()
+    snapshot = snapshot_embeddings(
+        schemas,
+        engine_config=EngineConfig(embedding=True, embed_backend="auto"),
+    )
+    embed_wall = time.perf_counter() - t0
+    doc_ids = snapshot.doc_ids()
+    dim = len(snapshot.vector(doc_ids[0]))
+
+    t0 = time.perf_counter()
+    index = AnnIndex(dim, AnnConfig(), backend=backend)
+    index.add_batch([(doc, snapshot.vector(doc)) for doc in doc_ids])
+    index.exhaustive_top_k(snapshot.vector(doc_ids[0]), TOP_K)  # pack now
+    build_wall = time.perf_counter() - t0
+
+    step = max(1, len(doc_ids) // QUERY_COUNT)
+    queries = doc_ids[::step][:QUERY_COUNT]
+    index.top_k_similar(snapshot.vector(queries[0]), TOP_K)  # warm planes
+
+    reset_ann_stats()
+    t0 = time.perf_counter()
+    oracle = [index.exhaustive_top_k(snapshot.vector(q), TOP_K)
+              for q in queries]
+    exhaustive_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    retrieved = [index.top_k_similar(snapshot.vector(q), TOP_K)
+                 for q in queries]
+    ann_wall = time.perf_counter() - t0
+    counters = ann_stats()
+
+    recall_sum = 0.0
+    for exact, approx in zip(oracle, retrieved):
+        cutoff = exact[-1][1] - 1e-9  # tie-aware, as in perf_smoke
+        recall_sum += sum(
+            1 for _, score in approx if score >= cutoff
+        ) / len(exact)
+    recall = recall_sum / len(queries)
+
+    # end-to-end blocking: one registry pair, three engine arms
+    source, target = _schema_pair()
+    unblocked = HarmonyEngine(
+        config=EngineConfig(embedding=True)).match(source, target)
+    strong = {
+        pair for pair, score in unblocked.post_flooding.items()
+        if score > STRONG_THRESHOLD
+    }
+    arms = {}
+    for strategy in ("inverted", "ann"):
+        config = EngineConfig(
+            embedding=True, blocking=BlockingConfig(strategy=strategy))
+        t0 = time.perf_counter()
+        run = HarmonyEngine(config=config).match(source, target)
+        wall = time.perf_counter() - t0
+        kept = set(run.post_flooding)
+        arms[strategy] = {
+            "wall_s": round(wall, 3),
+            "kept_pairs": run.blocking.kept_pairs,
+            "strong_recall": round(
+                len(kept & strong) / len(strong), 4) if strong else 1.0,
+        }
+
+    return {
+        "backend": backend.name,
+        "corpus_models": CORPUS_MODELS,
+        "corpus_vectors": len(doc_ids),
+        "dim": dim,
+        "embed_wall_s": round(embed_wall, 3),
+        "vectors_per_s": round(len(doc_ids) / embed_wall, 1),
+        "index_build_wall_s": round(build_wall, 3),
+        "queries": len(queries),
+        "top_k": TOP_K,
+        "exhaustive_wall_s": round(exhaustive_wall, 4),
+        "ann_wall_s": round(ann_wall, 4),
+        "ann_speedup": round(exhaustive_wall / ann_wall, 2),
+        "ann_recall": round(recall, 4),
+        "ann_probes": counters["ann_probes"],
+        "ann_fallbacks": counters["ann_exhaustive_fallbacks"],
+        "strong_links": len(strong),
+        "blocking": arms,
+    }
+
+
+def test_a14_embedding(benchmark, report, perf_record):
+    stats = benchmark.pedantic(run_embedding, rounds=1, iterations=1)
+    inverted = stats["blocking"]["inverted"]
+    ann = stats["blocking"]["ann"]
+
+    lines = [
+        f"A14 — dense embeddings & ANN retrieval "
+        f"(backend {stats['backend']}, dim {stats['dim']})",
+        "",
+        f"corpus: {stats['corpus_vectors']} element vectors from "
+        f"{stats['corpus_models']} registry models",
+        f"  embed pass:   {stats['embed_wall_s']}s "
+        f"({stats['vectors_per_s']} vectors/s)",
+        f"  index build:  {stats['index_build_wall_s']}s "
+        f"(sketch + bucket + pack)",
+        "",
+        f"retrieval over {stats['queries']} queries, k={stats['top_k']}:",
+        f"  exhaustive cosine: {stats['exhaustive_wall_s']}s",
+        f"  ANN band probes:   {stats['ann_wall_s']}s "
+        f"({stats['ann_speedup']}x, recall@{stats['top_k']} "
+        f"{stats['ann_recall']:.3f}, {stats['ann_probes']} probes / "
+        f"{stats['ann_fallbacks']} fallbacks)",
+        "",
+        f"end-to-end blocking ({stats['strong_links']} strong links):",
+        f"  inverted: {inverted['wall_s']}s, "
+        f"{inverted['kept_pairs']} kept, "
+        f"strong recall {inverted['strong_recall']:.3f}",
+        f"  ann:      {ann['wall_s']}s, "
+        f"{ann['kept_pairs']} kept, "
+        f"strong recall {ann['strong_recall']:.3f}",
+        "",
+        "hard speed/recall gates live in perf_smoke.py; this record is "
+        "the archival trend line",
+    ]
+    report("A14_embedding", "\n".join(lines))
+    perf_record("A14_embedding", stats)
+
+    # sanity floors only — the strict bars are perf_smoke's job
+    assert stats["ann_recall"] >= 0.9
+    assert stats["ann_speedup"] >= 1.5
+    assert ann["strong_recall"] >= inverted["strong_recall"] - 0.02

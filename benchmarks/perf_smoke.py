@@ -68,6 +68,18 @@ and enforces these guards:
   ``BlockingIndex`` must run at least ``BLOCKING_MIN_SPEEDUP`` times
   faster than a cold index build on the evolved pair, returning the
   identical ordered candidate list.
+* **embedding gates** — (1) ANN ``top_k_similar`` over a registry-scale
+  (~4k vector) corpus must beat ``exhaustive_top_k`` by at least
+  ``EMBED_MIN_SPEEDUP_NUMPY``× (numpy backend) or
+  ``EMBED_MIN_SPEEDUP_PYTHON``× (pure python) at tie-aware mean
+  recall@k ≥ ``EMBED_MIN_RECALL`` against the exhaustive oracle, every
+  query counted as exactly one probe or fallback; (2) end-to-end ANN
+  blocking (``BlockingConfig(strategy="ann")``) on the A12 pair may
+  cost at most ``ANN_BLOCKING_MAX_OVERHEAD``× the inverted-index path
+  (``ANN_BLOCKING_MAX_OVERHEAD_PYTHON``× on the pure-python backend)
+  at equal-or-better strong-link candidate recall, and a warm
+  incremental engine's embedding index must build exactly once and
+  patch exactly once across a match + rematch.
 * **matrix-serialization micro-benchmark** — re-serializing a
   blackboard-sized matrix after a rematch-style update through
   ``serialize_matrix`` (delta mode) must run at least
@@ -123,7 +135,7 @@ import sys
 import tempfile
 import time
 
-from repro.core import MappingMatrix
+from repro.core import ElementKind, MappingMatrix
 from repro.core.graph import CONTAINMENT_LABELS, CONTAINS_ELEMENT
 from repro.harmony import (
     BlockingConfig,
@@ -140,6 +152,10 @@ from repro.harmony import (
     resolve_sweep_backend,
     select_pairs,
 )
+from repro.embed import AnnConfig, AnnIndex, resolve_embed_backend
+from repro.embed.ann import ann_stats, reset_ann_stats
+from repro.harmony import snapshot_embeddings
+from repro.harmony.blocking import _family
 from repro.harmony.flooding import (
     FloodingConfig,
     FloodingState,
@@ -249,6 +265,28 @@ SERVING_ROUNDS = 4
 #: sessions x matches-per-session in the serving throughput arm
 SERVING_LOAD_SESSIONS = 8
 SERVING_LOAD_MATCHES = 2
+#: ANN top-k retrieval must beat exhaustive cosine by this factor on the
+#: resolved backend (the numpy matvec reference is much faster, so its
+#: bar is higher than the pure-python loop's)
+EMBED_MIN_SPEEDUP_NUMPY = 3.0
+EMBED_MIN_SPEEDUP_PYTHON = 2.0
+#: tie-aware mean recall@k of the band path against the exhaustive oracle
+EMBED_MIN_RECALL = 0.95
+#: ANN blocking end-to-end may cost at most this multiple of the
+#: inverted-index path (at equal-or-better candidate recall); the pure
+#: python backend ranks candidates with interpreted dot products where
+#: the inverted arm counts token overlaps in dict-native code, so its
+#: bar is wider
+ANN_BLOCKING_MAX_OVERHEAD = 1.1
+ANN_BLOCKING_MAX_OVERHEAD_PYTHON = 1.3
+#: registry scale behind the ANN retrieval corpus (~4k vectors)
+EMBED_CORPUS_MODELS = 30
+#: queries sampled from the corpus and the k they retrieve
+EMBED_QUERY_COUNT = 64
+EMBED_TOPK = 10
+#: post-flooding score above which a pair counts as a "strong" link the
+#: blocking stage must not prune (the candidate-recall denominator)
+ANN_STRONG_THRESHOLD = 0.5
 
 
 def _schema_pair():
@@ -626,6 +664,181 @@ def _blocking_microbench(source, target):
         "blocking_patched_wall_s": round(patched_wall, 4),
         "blocking_index_speedup": round(cold_wall / patched_wall, 2),
     }
+
+
+def _embedding_microbench(source, target):
+    """Two embedding gates plus exact counter accounting.
+
+    (1) ANN retrieval: a registry-scale corpus (~4k element vectors from
+    ``EMBED_CORPUS_MODELS`` models) is loaded into one :class:`AnnIndex`
+    on the resolved backend; ``top_k_similar`` over sampled queries must
+    beat ``exhaustive_top_k`` by the backend's factor while keeping
+    tie-aware mean recall@k against the exhaustive oracle at
+    ``EMBED_MIN_RECALL`` or better.  Every query must be answered by
+    exactly one counted path (probe or fallback).
+
+    (2) ANN blocking: the A12 pair end-to-end under
+    ``BlockingConfig(strategy="ann")`` may cost at most
+    ``ANN_BLOCKING_MAX_OVERHEAD`` times the inverted-index path
+    (best-of-2 per arm, cold engines), and its candidate recall of
+    strong links (post-flooding > ``ANN_STRONG_THRESHOLD`` in an
+    unblocked run) must be equal or better.  A warm incremental engine
+    then takes one match + one rematch: the persistent embedding index
+    must build exactly once, patch exactly once, and answer every
+    retrieval exhaustively (the blocker's floor exceeds the A12 family
+    sizes — mid-cosine recall stays exact by construction)."""
+    backend = resolve_embed_backend("auto")
+
+    # -- (1) ANN retrieval vs exhaustive cosine --------------------------
+    profile = RegistryProfile(
+        model_count=EMBED_CORPUS_MODELS,
+        elements_per_model=10,
+        attributes_per_element=8,
+        domain_values_per_attribute=0.5,
+    )
+    registry = generate_registry(seed=53, scale=1.0, profile=profile,
+                                 name="embed-corpus")
+    corpus_schemas = load_registry(registry).schemas
+    snapshot = snapshot_embeddings(
+        corpus_schemas,
+        engine_config=EngineConfig(embedding=True, embed_backend="auto"),
+    )
+    doc_ids = snapshot.doc_ids()
+    index = AnnIndex(len(snapshot.vector(doc_ids[0])), AnnConfig(),
+                     backend=backend)
+    index.add_batch([(doc, snapshot.vector(doc)) for doc in doc_ids])
+    step = max(1, len(doc_ids) // EMBED_QUERY_COUNT)
+    queries = doc_ids[::step][:EMBED_QUERY_COUNT]
+
+    # warm both paths once (packed matrix, dense hyperplanes, sketches)
+    index.exhaustive_top_k(snapshot.vector(queries[0]), EMBED_TOPK)
+    index.top_k_similar(snapshot.vector(queries[0]), EMBED_TOPK)
+
+    reset_ann_stats()
+    t0 = time.perf_counter()
+    oracle = [index.exhaustive_top_k(snapshot.vector(q), EMBED_TOPK)
+              for q in queries]
+    exhaustive_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    retrieved = [index.top_k_similar(snapshot.vector(q), EMBED_TOPK)
+                 for q in queries]
+    ann_wall = time.perf_counter() - t0
+
+    stats = ann_stats()
+    answered = stats["ann_probes"] + stats["ann_exhaustive_fallbacks"]
+    if answered != len(queries):
+        raise AssertionError(
+            f"{answered} counted ANN answers for {len(queries)} queries "
+            f"({stats}) — every top_k_similar call must count exactly one "
+            f"probe or one fallback")
+
+    recall_sum = 0.0
+    for exact, approx in zip(oracle, retrieved):
+        cutoff = exact[-1][1] - 1e-9  # tie-aware: any score at the
+        # oracle's kth counts as a hit even if ids differ
+        recall_sum += sum(
+            1 for _, score in approx if score >= cutoff
+        ) / len(exact)
+    recall = recall_sum / len(queries)
+
+    result = {
+        "embed_backend": backend.name,
+        "embed_corpus_vectors": len(index),
+        "embed_ann_queries": len(queries),
+        "embed_exhaustive_wall_s": round(exhaustive_wall, 4),
+        "embed_ann_wall_s": round(ann_wall, 4),
+        "embed_ann_speedup": round(exhaustive_wall / ann_wall, 2),
+        "embed_ann_recall": round(recall, 4),
+        "embed_ann_fallbacks": stats["ann_exhaustive_fallbacks"],
+    }
+
+    # -- (2) ANN blocking vs the inverted index --------------------------
+    unblocked = HarmonyEngine(
+        config=EngineConfig(embedding=True)).match(source, target)
+    strong = {
+        pair for pair, score in unblocked.post_flooding.items()
+        if score > ANN_STRONG_THRESHOLD
+    }
+
+    walls = {}
+    recalls = {}
+    for strategy in ("inverted", "ann"):
+        config = EngineConfig(
+            embedding=True, blocking=BlockingConfig(strategy=strategy))
+        best = None
+        for _ in range(3):  # min-of-3: the two arms differ by only a few
+            # percent, so a single noisy round can flip the overhead gate
+            kernels.clear_caches()
+            engine = HarmonyEngine(config=config)
+            t0 = time.perf_counter()
+            run = engine.match(source, target)
+            wall = time.perf_counter() - t0
+            best = wall if best is None else min(best, wall)
+        kept = set(run.post_flooding)
+        walls[strategy] = best
+        recalls[strategy] = (
+            len(kept & strong) / len(strong) if strong else 1.0
+        )
+
+    # exact counter accounting on a warm incremental engine: build once,
+    # patch once, every family retrieval exhaustively exact
+    reset_ann_stats()
+    config = EngineConfig(
+        embedding=True,
+        blocking=BlockingConfig(strategy="ann"),
+        incremental_blocking=True,
+        incremental_rematch=True,
+        reuse_context=True,
+    )
+    warm_engine = HarmonyEngine(config=config)
+    warm_engine.match(source, target)
+    evolved = source.copy()
+    leaves = sorted(
+        e.element_id for e in evolved
+        if not evolved.children(e.element_id)
+        and evolved.parent(e.element_id) is not None
+    )
+    evolved.element(leaves[0]).name += "_v2"
+    evolved.revision = source.revision + 1
+    warm_engine.rematch(evolved, target)
+
+    budget = BlockingConfig().budget
+    family_sizes = {}
+    for element in target:
+        if (element.element_id == target.root.element_id
+                or element.kind is ElementKind.KEY):
+            continue
+        family = _family(element.kind)
+        family_sizes[family] = family_sizes.get(family, 0) + 1
+    retrievals = sum(
+        1 for element in source
+        if element.element_id != source.root.element_id
+        and element.kind is not ElementKind.KEY
+        and family_sizes.get(_family(element.kind), 0) > budget
+    )
+    stats = warm_engine.fastpath_stats()
+    for counter, expected in (
+        ("embedding_builds", 1),
+        ("embedding_patches", 1),
+        ("embedding_hits", 0),
+        ("ann_probes", 0),
+        ("ann_exhaustive_fallbacks", 2 * retrievals),
+    ):
+        if stats[counter] != expected:
+            raise AssertionError(
+                f"fastpath_stats[{counter!r}] == {stats[counter]} after a "
+                f"warm ANN match + rematch (expected {expected}) — the "
+                f"embedding index or ANN counter discipline regressed")
+
+    result.update({
+        "ann_blocking_inverted_wall_s": round(walls["inverted"], 4),
+        "ann_blocking_wall_s": round(walls["ann"], 4),
+        "ann_blocking_overhead": round(walls["ann"] / walls["inverted"], 3),
+        "ann_blocking_strong_links": len(strong),
+        "ann_blocking_recall_inverted": round(recalls["inverted"], 4),
+        "ann_blocking_recall": round(recalls["ann"], 4),
+    })
+    return result
 
 
 SERIALIZE_MATRIX_SIDE = 40
@@ -1363,6 +1576,7 @@ def main(argv) -> int:
     result.update(_rematch_microbench(source, target))
     result.update(_sweep_microbench(source, target))
     result.update(_blocking_microbench(source, target))
+    result.update(_embedding_microbench(source, target))
     result.update(_serialize_microbench())
     result.update(_schema_serialize_microbench(source))
     result.update(_allpairs_microbench())
@@ -1459,6 +1673,32 @@ def main(argv) -> int:
             f"patched blocking only {result['blocking_index_speedup']:.2f}x "
             f"faster than a cold index build "
             f"(required >= {BLOCKING_MIN_SPEEDUP}x)")
+    embed_min_speedup = (
+        EMBED_MIN_SPEEDUP_NUMPY if result["embed_backend"] == "numpy"
+        else EMBED_MIN_SPEEDUP_PYTHON)
+    if result["embed_ann_speedup"] < embed_min_speedup:
+        failures.append(
+            f"ANN top-k only {result['embed_ann_speedup']:.2f}x faster than "
+            f"exhaustive cosine on the {result['embed_backend']} backend "
+            f"(required >= {embed_min_speedup}x)")
+    if result["embed_ann_recall"] < EMBED_MIN_RECALL:
+        failures.append(
+            f"ANN recall@{EMBED_TOPK} {result['embed_ann_recall']:.3f} below "
+            f"{EMBED_MIN_RECALL} against the exhaustive oracle")
+    ann_blocking_bar = (
+        ANN_BLOCKING_MAX_OVERHEAD if result["embed_backend"] == "numpy"
+        else ANN_BLOCKING_MAX_OVERHEAD_PYTHON)
+    if result["ann_blocking_overhead"] > ann_blocking_bar:
+        failures.append(
+            f"ANN blocking cost {result['ann_blocking_overhead']:.3f}x the "
+            f"inverted-index path on the {result['embed_backend']} backend "
+            f"(allowed <= {ann_blocking_bar}x)")
+    if result["ann_blocking_recall"] < result["ann_blocking_recall_inverted"]:
+        failures.append(
+            f"ANN blocking candidate recall {result['ann_blocking_recall']:.3f} "
+            f"below the inverted path's "
+            f"{result['ann_blocking_recall_inverted']:.3f} — equal or better "
+            f"is required at the same budget")
     if result["serialize_speedup"] < SERIALIZE_MIN_SPEEDUP:
         failures.append(
             f"delta re-serialization only {result['serialize_speedup']:.2f}x "

@@ -6,7 +6,11 @@ field name appears in backticks in that dataclass's doc set:
 * ``EngineConfig`` (the match fast path) — the README configuration
   table, `docs/performance.md` and `docs/MATCHING.md`;
 * ``ServingConfig`` (the workbench server) — the README,
-  `docs/SERVING.md` and `docs/performance.md`,
+  `docs/SERVING.md` and `docs/performance.md`;
+* ``BlockingConfig`` (candidate blocking, both strategies) —
+  `docs/performance.md` and `docs/MATCHING.md`;
+* ``EmbedConfig`` / ``AnnConfig`` (the dense-embedding subsystem) —
+  `docs/performance.md`,
 
 so adding a flag without documenting it fails CI.  Run directly::
 
@@ -37,6 +41,25 @@ DOC_SETS = [
         [
             "README.md",
             os.path.join("docs", "SERVING.md"),
+            os.path.join("docs", "performance.md"),
+        ],
+    ),
+    (
+        ("repro.harmony.blocking", "BlockingConfig"),
+        [
+            os.path.join("docs", "performance.md"),
+            os.path.join("docs", "MATCHING.md"),
+        ],
+    ),
+    (
+        ("repro.embed.embedder", "EmbedConfig"),
+        [
+            os.path.join("docs", "performance.md"),
+        ],
+    ),
+    (
+        ("repro.embed.ann", "AnnConfig"),
+        [
             os.path.join("docs", "performance.md"),
         ],
     ),

@@ -1,0 +1,46 @@
+"""Dense hash-projection embeddings and ANN retrieval.
+
+The dependency-free dense-retrieval substrate: a deterministic signed
+feature-hashing embedder (:mod:`repro.embed.embedder`) behind a
+python/numpy backend seam, and an LSH band index with an exhaustive
+fallback (:mod:`repro.embed.ann`).  The harmony layer consumes both for
+the ``EmbeddingVoter`` and ``BlockingConfig(strategy="ann")`` blocking.
+"""
+
+from .ann import (
+    AnnConfig,
+    AnnIndex,
+    Planes,
+    ann_stats,
+    planes_for,
+    reset_ann_stats,
+)
+from .embedder import (
+    EMBED_BACKENDS,
+    EmbedBackend,
+    EmbedConfig,
+    EmbeddingSnapshot,
+    HashEmbedder,
+    NumpyEmbedBackend,
+    PythonEmbedBackend,
+    fnv1a64,
+    resolve_embed_backend,
+)
+
+__all__ = [
+    "AnnConfig",
+    "AnnIndex",
+    "EMBED_BACKENDS",
+    "EmbedBackend",
+    "EmbedConfig",
+    "EmbeddingSnapshot",
+    "HashEmbedder",
+    "NumpyEmbedBackend",
+    "Planes",
+    "PythonEmbedBackend",
+    "ann_stats",
+    "fnv1a64",
+    "planes_for",
+    "reset_ann_stats",
+    "resolve_embed_backend",
+]

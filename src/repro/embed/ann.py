@@ -1,0 +1,357 @@
+"""Approximate nearest-neighbour retrieval over hash-projection vectors.
+
+Exhaustive cosine retrieval is O(n·dim) per query — fine for one pair of
+schemas, linear-in-registry for blocking at Table-1 scale.  This module
+implements the standard sign-random-projection LSH scheme (Charikar):
+
+* every vector is *sketched* into ``bands × band_bits`` bits, each bit
+  the sign of a dot product with a fixed random hyperplane.  The
+  probability two vectors agree on one bit is ``1 − θ/π`` (θ their
+  angle), so near neighbours agree on whole *bands* of bits with high
+  probability while far pairs rarely do;
+* each band's bit-key indexes a hash bucket; a query probes its own
+  ``bands`` buckets and only the union of those buckets is re-ranked by
+  exact cosine.  Retrieval cost is sketch + |candidates|·dim instead of
+  n·dim.
+
+Hyperplanes are *sparse* (``plane_nnz`` nonzero ±1 coordinates, drawn by
+a seeded ``random.Random``), which keeps pure-python sketching at a few
+multiplies per bit while leaving the sign statistics intact (Achlioptas-
+style sparse projections).  The heavy math routes through the same
+:class:`~repro.embed.embedder.EmbedBackend` seam as the embedder.
+
+Approximation is bounded two ways: indexes at or below
+``exhaustive_floor`` vectors answer queries exhaustively, and any probe
+whose candidate set comes back thinner than the request falls back to
+exhaustive scoring — so ``top_k_similar`` always returns ``k`` results
+and small problems are exact by construction.  Both events are counted
+(:func:`ann_stats`) and asserted in ``benchmarks/perf_smoke.py``.
+
+The index is mutable (``add`` / ``remove``) so the harmony layer can
+patch it after a schema evolution instead of rebuilding: the packed
+row matrix is rebuilt lazily in sorted-id order, which makes a patched
+index *structurally identical* to a freshly built one (same vectors,
+same sketches, same buckets — ``tests/embed/test_ann.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .embedder import EmbedBackend, fnv1a64, resolve_embed_backend
+
+Scored = Tuple[str, float]
+
+#: process-wide probe/fallback counters, mirrored into
+#: ``HarmonyEngine.fastpath_stats()`` (reset via :func:`reset_ann_stats`)
+_ANN_STATS: Dict[str, int] = {"ann_probes": 0, "ann_exhaustive_fallbacks": 0}
+
+
+def ann_stats() -> Dict[str, int]:
+    """Copy of the process-wide ANN retrieval counters."""
+    return dict(_ANN_STATS)
+
+
+def reset_ann_stats() -> None:
+    for key in _ANN_STATS:
+        _ANN_STATS[key] = 0
+
+
+@dataclass(frozen=True)
+class AnnConfig:
+    """Shape of the LSH banding scheme."""
+
+    #: number of band tables — more bands, higher recall, more probes
+    bands: int = 32
+    #: bits per band key — more bits, smaller buckets, lower recall
+    band_bits: int = 8
+    #: nonzero ±1 coordinates per hyperplane — half the default dim
+    #: (Achlioptas-style density): sparser planes sketch cheaper in pure
+    #: python but estimate angles noisily enough to cost real recall on
+    #: registry corpora (perf_smoke's sweep: nnz=4 ≈ 0.91 recall@10
+    #: where nnz=32 ≈ 0.97 at the same banding)
+    plane_nnz: int = 32
+    #: hyperplane seed — deterministic across processes
+    seed: int = 2006
+    #: indexes at or below this many vectors answer every query
+    #: exhaustively (exact by construction)
+    exhaustive_floor: int = 64
+    #: probes returning fewer candidates than ``max(k, min_candidates)``
+    #: fall back to exhaustive scoring
+    min_candidates: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bands < 1 or self.band_bits < 1:
+            raise ValueError("AnnConfig needs bands >= 1 and band_bits >= 1")
+        if self.plane_nnz < 1:
+            raise ValueError("AnnConfig.plane_nnz must be >= 1")
+
+    def signature(self) -> Tuple:
+        return (self.bands, self.band_bits, self.plane_nnz, self.seed,
+                self.exhaustive_floor, self.min_candidates)
+
+
+class Planes:
+    """The fixed sparse random hyperplanes of one (dim, config) scheme."""
+
+    __slots__ = ("dim", "bands", "band_bits", "bits", "_dense")
+
+    def __init__(self, dim: int, config: AnnConfig) -> None:
+        self.dim = dim
+        self.bands = config.bands
+        self.band_bits = config.band_bits
+        nnz = min(config.plane_nnz, dim)
+        rng = random.Random(
+            fnv1a64(f"planes:{dim}:{config.bands}:{config.band_bits}:{nnz}",
+                    config.seed)
+        )
+        #: one (coords, ±1 weights) pair per bit, band-major
+        self.bits: List[Tuple[Tuple[int, ...], Tuple[float, ...]]] = []
+        for _ in range(config.bands * config.band_bits):
+            coords = tuple(sorted(rng.sample(range(dim), nnz)))
+            weights = tuple(1.0 if rng.random() < 0.5 else -1.0
+                            for _ in coords)
+            self.bits.append((coords, weights))
+        self._dense = None
+
+    def dense(self, numpy):
+        """(dim × total bits) dense hyperplane matrix, cached (numpy)."""
+        if self._dense is None:
+            matrix = numpy.zeros((self.dim, len(self.bits)),
+                                 dtype=numpy.float64)
+            for column, (coords, weights) in enumerate(self.bits):
+                for coord, weight in zip(coords, weights):
+                    matrix[coord, column] = weight
+            self._dense = matrix
+        return self._dense
+
+
+#: (dim, config signature) → Planes — hyperplanes are pure functions of
+#: the scheme, so every index in the process shares them
+_PLANES: Dict[Tuple, Planes] = {}
+
+
+def planes_for(dim: int, config: AnnConfig) -> Planes:
+    key = (dim,) + config.signature()
+    planes = _PLANES.get(key)
+    if planes is None:
+        planes = _PLANES[key] = Planes(dim, config)
+    return planes
+
+
+class AnnIndex:
+    """A mutable LSH-band index with an exhaustive-exact fallback."""
+
+    def __init__(
+        self,
+        dim: int,
+        config: Optional[AnnConfig] = None,
+        backend: "EmbedBackend | str" = "python",
+    ) -> None:
+        self.dim = dim
+        self.config = config or AnnConfig()
+        self.backend = (
+            resolve_embed_backend(backend) if isinstance(backend, str)
+            else backend
+        )
+        self.planes = planes_for(dim, self.config)
+        self.vectors: Dict[str, List[float]] = {}
+        self.sketches: Dict[str, Tuple[int, ...]] = {}
+        #: per band: band key → ids (sets: membership only, never order)
+        self.buckets: List[Dict[int, Set[str]]] = [
+            {} for _ in range(self.config.bands)
+        ]
+        # packed row matrix, rebuilt lazily in sorted-id order so a
+        # patched index packs identically to a fresh one
+        self._packed = None
+        self._row_ids: List[str] = []
+        self._row_of: Dict[str, int] = {}
+
+    # -- mutation ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self.vectors
+
+    def ids(self) -> List[str]:
+        return sorted(self.vectors)
+
+    def add(self, item_id: str, vector: Sequence[float]) -> None:
+        """Insert (or replace) one vector."""
+        if item_id in self.vectors:
+            self.remove(item_id)
+        vector = list(vector)
+        if len(vector) != self.dim:
+            raise ValueError(
+                f"vector for {item_id!r} has dim {len(vector)}, "
+                f"index expects {self.dim}"
+            )
+        self.vectors[item_id] = vector
+        keys = tuple(self.backend.sketch_one(vector, self.planes))
+        self.sketches[item_id] = keys
+        for band, key in enumerate(keys):
+            self.buckets[band].setdefault(key, set()).add(item_id)
+        self._packed = None
+
+    def add_batch(self, items: Sequence[Tuple[str, Sequence[float]]]) -> None:
+        """Insert many vectors, sketching them in one backend call."""
+        fresh = [(item_id, list(vector)) for item_id, vector in items]
+        for item_id, vector in fresh:
+            if item_id in self.vectors:
+                self.remove(item_id)
+            if len(vector) != self.dim:
+                raise ValueError(
+                    f"vector for {item_id!r} has dim {len(vector)}, "
+                    f"index expects {self.dim}"
+                )
+        if not fresh:
+            return
+        packed = self.backend.pack([vector for _, vector in fresh])
+        sketches = self.backend.sketch(packed, self.planes)
+        for (item_id, vector), keys in zip(fresh, sketches):
+            self.vectors[item_id] = vector
+            self.sketches[item_id] = tuple(keys)
+            for band, key in enumerate(keys):
+                self.buckets[band].setdefault(key, set()).add(item_id)
+        self._packed = None
+
+    def remove(self, item_id: str) -> None:
+        if item_id not in self.vectors:
+            return
+        keys = self.sketches.pop(item_id)
+        del self.vectors[item_id]
+        for band, key in enumerate(keys):
+            members = self.buckets[band].get(key)
+            if members is not None:
+                members.discard(item_id)
+                if not members:
+                    del self.buckets[band][key]
+        self._packed = None
+
+    def structure(self) -> Tuple:
+        """Canonical structural snapshot (patch == fresh identity tests)."""
+        return (
+            sorted(self.vectors.items()),
+            sorted(self.sketches.items()),
+            [
+                sorted((key, tuple(sorted(members)))
+                       for key, members in band.items())
+                for band in self.buckets
+            ],
+        )
+
+    # -- retrieval -----------------------------------------------------------
+
+    def _ensure_packed(self):
+        if self._packed is None:
+            self._row_ids = sorted(self.vectors)
+            self._row_of = {
+                item_id: row for row, item_id in enumerate(self._row_ids)
+            }
+            self._packed = self.backend.pack(
+                [self.vectors[item_id] for item_id in self._row_ids]
+            )
+        return self._packed
+
+    def _rank(
+        self,
+        candidate_ids: Sequence[str],
+        query: Sequence[float],
+        k: int,
+    ) -> List[Scored]:
+        packed = self._ensure_packed()
+        rows = [self._row_of[item_id] for item_id in candidate_ids]
+        scores = self.backend.dots(packed, list(query), rows)
+        ranked = sorted(
+            zip(candidate_ids, scores), key=lambda pair: (-pair[1], pair[0])
+        )
+        return ranked[:k]
+
+    def exhaustive_top_k(
+        self,
+        query: Sequence[float],
+        k: int,
+        exclude: Iterable[str] = (),
+    ) -> List[Scored]:
+        """Exact top-k by cosine — the oracle the band path approximates."""
+        excluded = set(exclude)
+        self._ensure_packed()
+        candidate_ids = (
+            [i for i in self._row_ids if i not in excluded]
+            if excluded else self._row_ids
+        )
+        return self._rank(candidate_ids, query, k)
+
+    def top_k_similar(
+        self,
+        query: Sequence[float],
+        k: int,
+        exclude: Iterable[str] = (),
+    ) -> List[Scored]:
+        """Approximate top-k: probe the query's LSH buckets, re-rank the
+        candidate union exactly; exhaustive below the size floor or when
+        the buckets come back too thin.  Always returns ``min(k, n)``
+        results, sorted by (−score, id)."""
+        if k <= 0 or not self.vectors:
+            return []
+        excluded = set(exclude)
+        available = len(self.vectors) - len(
+            excluded & self.vectors.keys()
+        )
+        floor = max(self.config.exhaustive_floor, k)
+        if available <= floor:
+            _ANN_STATS["ann_exhaustive_fallbacks"] += 1
+            return self.exhaustive_top_k(query, k, excluded)
+        keys = self.backend.sketch_one(list(query), self.planes)
+        candidates: Set[str] = set()
+        for band, key in enumerate(keys):
+            members = self.buckets[band].get(key)
+            if members:
+                candidates.update(members)
+        candidates -= excluded
+        if len(candidates) < max(k, self.config.min_candidates):
+            _ANN_STATS["ann_exhaustive_fallbacks"] += 1
+            return self.exhaustive_top_k(query, k, excluded)
+        _ANN_STATS["ann_probes"] += 1
+        return self._rank(sorted(candidates), query, k)
+
+    def all_pairs_above(
+        self, threshold: float
+    ) -> Dict[Tuple[str, str], float]:
+        """Every unordered pair with cosine ≥ *threshold* (approximate
+        above the size floor: only pairs sharing at least one bucket are
+        scored; exact below it)."""
+        n = len(self.vectors)
+        if n < 2:
+            return {}
+        self._ensure_packed()
+        pairs: Set[Tuple[str, str]] = set()
+        if n <= self.config.exhaustive_floor:
+            _ANN_STATS["ann_exhaustive_fallbacks"] += 1
+            ids = self._row_ids
+            for i, id_a in enumerate(ids):
+                for id_b in ids[i + 1:]:
+                    pairs.add((id_a, id_b))
+        else:
+            _ANN_STATS["ann_probes"] += 1
+            for band in self.buckets:
+                for members in band.values():
+                    if len(members) < 2:
+                        continue
+                    group = sorted(members)
+                    for i, id_a in enumerate(group):
+                        for id_b in group[i + 1:]:
+                            pairs.add((id_a, id_b))
+        packed = self._packed
+        out: Dict[Tuple[str, str], float] = {}
+        for id_a, id_b in sorted(pairs):
+            score = self.backend.dots(
+                packed, self.vectors[id_b], [self._row_of[id_a]]
+            )[0]
+            if score >= threshold:
+                out[(id_a, id_b)] = score
+        return out

@@ -41,9 +41,16 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.elements import CONTAINER_KINDS, ElementKind, SchemaElement
 from ..core.graph import SchemaGraph
+from ..embed import AnnConfig, AnnIndex
 from .voters.base import MatchContext
 
 Pair = Tuple[str, str]
+
+#: the token inverted index (the reference blocking path)
+STRATEGY_INVERTED = "inverted"
+#: dense-embedding ANN retrieval (``repro.embed``), sub-linear per query
+STRATEGY_ANN = "ann"
+BLOCKING_STRATEGIES = (STRATEGY_INVERTED, STRATEGY_ANN)
 
 
 @dataclass
@@ -64,6 +71,28 @@ class BlockingConfig:
     index_leaves: bool = True
     #: index the containment parent's name tokens (``p:`` keys)
     index_parents: bool = True
+    #: which retrieval engine generates candidates: ``"inverted"`` (the
+    #: rarity-weighted token inverted index above) or ``"ann"`` (top
+    #: ``budget`` targets by hash-projection embedding cosine, served by
+    #: the LSH band index in :mod:`repro.embed.ann`)
+    strategy: str = STRATEGY_INVERTED
+    #: ANN-only: cosine at or above which a retrieved target is kept even
+    #: beyond the budget (still capped at 2× budget).  The inverted path
+    #: keeps *score ties* with the last admitted target — rarity-weighted
+    #: overlap scores tie exactly for same-name targets, so all of them
+    #: survive; cosines almost never tie exactly, so without this floor a
+    #: same-name target under a differently-named parent gets squeezed
+    #: out and recall drops below the inverted path's
+    ann_tie_floor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.strategy not in BLOCKING_STRATEGIES:
+            raise ValueError(
+                f"unknown blocking strategy {self.strategy!r}; expected "
+                f"one of {BLOCKING_STRATEGIES} — 'inverted' is the token "
+                f"inverted index, 'ann' retrieves candidates by dense "
+                f"embedding cosine through repro.embed"
+            )
 
 
 @dataclass
@@ -144,11 +173,69 @@ class BlockingIndex:
         self._pending[1].update(dirty_target)
 
 
+class EmbeddingBlockingIndex:
+    """Persistent ANN blocking state (``strategy="ann"``), patched
+    across schema evolutions.
+
+    The embedding analogue of :class:`BlockingIndex`: per-element
+    vectors for both sides plus one :class:`~repro.embed.ann.AnnIndex`
+    per target kind family, keyed on a (graph names, revisions,
+    embedder+ANN signature) epoch.  After an evolution the engine calls
+    :meth:`note_evolution` with the dirty closure and the next ensure
+    re-embeds only those elements, patching the family indexes in place
+    — structurally identical to a fresh build (the ``AnnIndex`` packs
+    its row matrix in sorted-id order regardless of insertion history).
+    """
+
+    def __init__(self) -> None:
+        self.source_vectors: Dict[str, List[float]] = {}
+        self.target_vectors: Dict[str, List[float]] = {}
+        #: target element id → kind family currently indexed under
+        self.target_family: Dict[str, str] = {}
+        #: kind family → ANN index over that family's target vectors
+        self.families: Dict[str, AnnIndex] = {}
+        #: kind family → target elements in current-graph order (small
+        #: families are kept whole in this order, mirroring the
+        #: inverted-index path)
+        self.family_members: Dict[str, List[SchemaElement]] = {}
+        self.by_id: Dict[str, SchemaElement] = {}
+        self._key: Optional[Tuple] = None
+        self._pending: Optional[Tuple[Set[str], Set[str]]] = None
+        self.builds = 0
+        self.patches = 0
+        self.hits = 0
+
+    def note_evolution(
+        self,
+        dirty_source: Iterable[str],
+        dirty_target: Iterable[str],
+    ) -> None:
+        """Mark element ids whose embeddings may have changed; the next
+        ensure with a new revision re-embeds only those (plus
+        adds/removes)."""
+        if self._pending is None:
+            self._pending = (set(), set())
+        self._pending[0].update(dirty_source)
+        self._pending[1].update(dirty_target)
+
+
 class CandidateBlocker:
     """Builds the target-side inverted index and retrieves candidates."""
 
-    def __init__(self, config: Optional[BlockingConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[BlockingConfig] = None,
+        ann_config: Optional[AnnConfig] = None,
+    ) -> None:
         self.config = config or BlockingConfig()
+        #: LSH banding scheme for ``strategy="ann"`` retrieval.  The
+        #: default raises the exhaustive floor well above AnnConfig's:
+        #: blocking must retrieve *mid*-cosine matches (a same-name
+        #: attribute under a differently-named parent sits near 0.5,
+        #: where a 16×8 band sketch misses ~half the time), so families
+        #: below the floor are ranked by exact cosine and the bands only
+        #: engage where exhaustive scoring would actually hurt
+        self.ann_config = ann_config or AnnConfig(exhaustive_floor=512)
 
     # -- key extraction ------------------------------------------------------
 
@@ -285,19 +372,190 @@ class CandidateBlocker:
         index._key = key
         index._pending = None
 
+    # -- ANN (embedding) blocking -------------------------------------------
+
+    @staticmethod
+    def _side_elements(
+        graph: SchemaGraph,
+    ) -> List[SchemaElement]:
+        """The blockable elements of one graph (no root, no keys)."""
+        root = graph.root.element_id
+        return [
+            element for element in graph
+            if element.element_id != root
+            and element.kind is not ElementKind.KEY
+        ]
+
+    def _new_ann(self, context: MatchContext) -> AnnIndex:
+        embedder = context.embedder
+        return AnnIndex(
+            embedder.config.dim, self.ann_config, backend=embedder.backend
+        )
+
+    def ensure_embedding_index(
+        self, context: MatchContext, index: EmbeddingBlockingIndex
+    ) -> None:
+        """Bring the ANN blocking *index* up to date: reuse on an epoch
+        hit, re-embed only the dirty closure after an evolution, rebuild
+        from scratch otherwise (the :meth:`ensure_index` discipline)."""
+        embedder = context.embedder
+        signature = (embedder.signature(), self.ann_config.signature())
+        key = (
+            context.source.name,
+            context.target.name,
+            context.source.revision,
+            context.target.revision,
+            signature,
+        )
+        if index._key == key and index.families:
+            index._pending = None
+            index.hits += 1
+            return
+        old_key = index._key
+        pending = index._pending
+        patchable = (
+            old_key is not None
+            and pending is not None
+            and old_key[0] == key[0]
+            and old_key[1] == key[1]
+            and old_key[4] == key[4]
+        )
+        source_elements = self._side_elements(context.source)
+        target_elements = self._side_elements(context.target)
+        context.warm_embeddings(context.source, source_elements)
+        context.warm_embeddings(context.target, target_elements)
+        if patchable:
+            dirty_source, dirty_target = pending
+            index.patches += 1
+            current_source = {e.element_id for e in source_elements}
+            for element_id in list(index.source_vectors):
+                if element_id not in current_source:
+                    del index.source_vectors[element_id]
+            for element in source_elements:
+                element_id = element.element_id
+                if (element_id in dirty_source
+                        or element_id not in index.source_vectors):
+                    index.source_vectors[element_id] = context.embedding_of(
+                        context.source, element)
+            current_target = {e.element_id for e in target_elements}
+            for element_id in list(index.target_vectors):
+                if element_id not in current_target:
+                    family = index.target_family.pop(element_id)
+                    del index.target_vectors[element_id]
+                    ann = index.families.get(family)
+                    if ann is not None:
+                        ann.remove(element_id)
+            for element in target_elements:
+                element_id = element.element_id
+                if (element_id not in dirty_target
+                        and element_id in index.target_vectors):
+                    continue
+                vector = context.embedding_of(context.target, element)
+                family = _family(element.kind)
+                old_family = index.target_family.get(element_id)
+                if old_family is not None and old_family != family:
+                    old_ann = index.families.get(old_family)
+                    if old_ann is not None:
+                        old_ann.remove(element_id)
+                index.target_vectors[element_id] = vector
+                index.target_family[element_id] = family
+                if family not in index.families:
+                    index.families[family] = self._new_ann(context)
+                index.families[family].add(element_id, vector)
+        else:
+            index.builds += 1
+            index.source_vectors = {
+                element.element_id: context.embedding_of(
+                    context.source, element)
+                for element in source_elements
+            }
+            index.target_vectors = {}
+            index.target_family = {}
+            index.families = {}
+            per_family: Dict[str, List[Tuple[str, List[float]]]] = {}
+            for element in target_elements:
+                vector = context.embedding_of(context.target, element)
+                family = _family(element.kind)
+                index.target_vectors[element.element_id] = vector
+                index.target_family[element.element_id] = family
+                per_family.setdefault(family, []).append(
+                    (element.element_id, vector))
+            for family, items in per_family.items():
+                ann = self._new_ann(context)
+                ann.add_batch(items)
+                index.families[family] = ann
+        members: Dict[str, List[SchemaElement]] = {}
+        for element in target_elements:
+            members.setdefault(_family(element.kind), []).append(element)
+        index.family_members = members
+        index.by_id = {e.element_id: e for e in target_elements}
+        index._key = key
+        index._pending = None
+
+    def _candidates_ann(
+        self,
+        context: MatchContext,
+        index: Optional[EmbeddingBlockingIndex] = None,
+    ) -> BlockingResult:
+        """ANN retrieval: each source element keeps its ``budget`` best
+        targets per kind family by embedding cosine (ties at the cut
+        kept up to 2× the budget, families at or below the budget kept
+        whole — the same recall-floor semantics as the inverted path)."""
+        config = self.config
+        if index is None:
+            index = EmbeddingBlockingIndex()  # ephemeral, built ad hoc
+        self.ensure_embedding_index(context, index)
+        source_root = context.source.root.element_id
+        pairs: List[Tuple[SchemaElement, SchemaElement]] = []
+        total = 0
+        for source_el in context.source:
+            if (source_el.element_id == source_root
+                    or source_el.kind is ElementKind.KEY):
+                continue
+            family = _family(source_el.kind)
+            members = index.family_members.get(family, [])
+            total += len(members)
+            if not members:
+                continue
+            if len(members) <= config.budget:
+                pairs.extend((source_el, target) for target in members)
+                continue
+            query = index.source_vectors[source_el.element_id]
+            ranked = index.families[family].top_k_similar(
+                query, 2 * config.budget)
+            kept = [target_id for target_id, _ in ranked[: config.budget]]
+            if len(ranked) > config.budget:
+                # keep score ties with the last admitted target and any
+                # strong-evidence candidate at or above the tie floor,
+                # but never more than twice the budget (the inverted
+                # path's tie policy, adapted to continuous scores)
+                cutoff = min(ranked[config.budget - 1][1],
+                             config.ann_tie_floor)
+                for target_id, score in ranked[config.budget:]:
+                    if score < cutoff:
+                        break
+                    kept.append(target_id)
+            pairs.extend((source_el, index.by_id[t]) for t in kept)
+        return BlockingResult(pairs=pairs, total_pairs=total)
+
     # -- retrieval ----------------------------------------------------------
 
     def candidates(
         self,
         context: MatchContext,
-        index: Optional[BlockingIndex] = None,
+        index: "Optional[BlockingIndex | EmbeddingBlockingIndex]" = None,
     ) -> BlockingResult:
         """The pruned (source, target) pair set, in deterministic order.
 
-        With *index* (a persistent :class:`BlockingIndex`), key sets are
-        served from the warm cache; without one, keys are extracted ad
-        hoc exactly as before — both paths retrieve identical pairs.
+        Dispatches on ``config.strategy``: ``"inverted"`` retrieves
+        through the token inverted index (*index*, when given, must be a
+        :class:`BlockingIndex`), ``"ann"`` through per-family embedding
+        ANN indexes (*index* an :class:`EmbeddingBlockingIndex`).  With
+        a persistent index, cached state is served warm; without one,
+        state is built ad hoc — both paths retrieve identical pairs.
         """
+        if self.config.strategy == STRATEGY_ANN:
+            return self._candidates_ann(context, index)
         config = self.config
         source_root = context.source.root.element_id
 

@@ -25,9 +25,17 @@ from ..core.correspondence import VoterScore
 from ..core.elements import SchemaElement
 from ..core.graph import SchemaGraph
 from ..core.matrix import MappingMatrix
+from ..embed import EmbeddingSnapshot
 from ..text.tfidf import CorpusSnapshot
 from ..text.thesaurus import Thesaurus
-from .blocking import BlockingConfig, BlockingIndex, BlockingResult, CandidateBlocker
+from .blocking import (
+    STRATEGY_ANN,
+    BlockingConfig,
+    BlockingIndex,
+    BlockingResult,
+    CandidateBlocker,
+    EmbeddingBlockingIndex,
+)
 from .flooding import (
     DirectionalConfig,
     FloodingConfig,
@@ -137,6 +145,22 @@ class EngineConfig:
     #: against the stored cell set so re-serializing after a rematch
     #: touches only changed cells (idempotent, no stale cell triples)
     delta_matrix_rdf: bool = False
+    #: add the dense hash-projection :class:`EmbeddingVoter` to the
+    #: default voter panel (``repro.embed``: signed feature hashing over
+    #: name tokens, subword n-grams and documentation terms, scored by
+    #: cosine).  Off by default — and deliberately not yet part of
+    #: :meth:`fast`, which stays output-identical to the reference
+    #: pipeline; opt in per engine.  Ignored when an explicit voter list
+    #: is passed
+    embedding: bool = False
+    #: which :class:`~repro.embed.embedder.EmbedBackend` runs the
+    #: embedding/ANN math (the embedding voter and
+    #: ``BlockingConfig(strategy="ann")`` blocking): ``"python"`` (the
+    #: dependency-free reference), ``"numpy"`` (batched ``bincount``
+    #: accumulation and matmul retrieval — requires the ``fast`` extra)
+    #: or ``"auto"`` (probes numpy → python, silently falling back).
+    #: Backends agree to ≤1e-12 (tests/embed/)
+    embed_backend: str = "python"
     #: serialize evolved schemas to blackboard RDF through the delta
     #: :func:`~repro.rdf.schema_rdf.serialize_schema` path — the term
     #: level diff against ``TripleStore.subject_slice`` the matrix path
@@ -163,6 +187,11 @@ class EngineConfig:
             incremental_blocking=True,
             delta_matrix_rdf=True,
             delta_schema_rdf=True,
+            # embedding math rides the accelerated backend when present;
+            # the voter and ANN blocking stay opt-in until their recall
+            # gates have run on the caller's corpus (perf_smoke gates
+            # them on the registry workload)
+            embed_backend="auto",
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -320,16 +349,24 @@ class HarmonyEngine:
         config: Optional[EngineConfig] = None,
         thesaurus: Optional[Thesaurus] = None,
         corpus_snapshot: Optional[CorpusSnapshot] = None,
+        embedding_snapshot: Optional[EmbeddingSnapshot] = None,
     ) -> None:
-        self.voters: List[MatchVoter] = list(voters) if voters is not None else default_voters()
-        self.merger = merger if merger is not None else VoteMerger()
         self.config = config or EngineConfig()
+        self.voters: List[MatchVoter] = (
+            list(voters) if voters is not None
+            else default_voters(include_embedding=self.config.embedding)
+        )
+        self.merger = merger if merger is not None else VoteMerger()
         self.thesaurus = thesaurus
         #: shared preprocessed-documentation snapshot (N-way matching):
         #: contexts built by this engine skip the linguistic pipeline for
         #: documents the snapshot covers — bit-identical corpora, built
         #: once in the parent instead of once per schema pair per worker
         self.corpus_snapshot = corpus_snapshot
+        #: shared pre-computed embedding table (N-way matching): contexts
+        #: built by this engine serve element vectors from it instead of
+        #: re-hashing — the same floats, so bit-identical
+        self.embedding_snapshot = embedding_snapshot
         #: votes from the most recent run, kept for feedback learning
         self._last_votes: List[VoterScore] = []
         self._last_context: Optional[MatchContext] = None
@@ -347,6 +384,10 @@ class HarmonyEngine:
         #: persistent blocking index for ``config.incremental_blocking``
         #: (epoch-keyed key-set cache, patched after evolutions)
         self._blocking_index: Optional[BlockingIndex] = None
+        #: persistent ANN blocking state (``strategy="ann"`` with
+        #: ``incremental_blocking``): per-element vectors plus per-family
+        #: LSH indexes, epoch-keyed and patched like ``_blocking_index``
+        self._embedding_index: Optional[EmbeddingBlockingIndex] = None
         #: resolved sweep backend, memoized per selector so ``auto``
         #: probes importlib once per engine, not once per run
         self._sweep_backend: Optional[SweepBackend] = None
@@ -387,6 +428,8 @@ class HarmonyEngine:
                 use_kernels=self.config.similarity_kernels,
                 use_sparse_tfidf=self.config.sparse_tfidf,
                 corpus_snapshot=self.corpus_snapshot,
+                embed_backend=self.config.embed_backend,
+                embedding_snapshot=self.embedding_snapshot,
             )
             self.context_builds += 1
 
@@ -411,9 +454,15 @@ class HarmonyEngine:
         if self.config.blocking is not None:
             blocker = CandidateBlocker(self.config.blocking)
             if self.config.incremental_blocking:
-                if self._blocking_index is None:
-                    self._blocking_index = BlockingIndex()
-                blocking_result = blocker.candidates(context, self._blocking_index)
+                if self.config.blocking.strategy == STRATEGY_ANN:
+                    if self._embedding_index is None:
+                        self._embedding_index = EmbeddingBlockingIndex()
+                    persistent = self._embedding_index
+                else:
+                    if self._blocking_index is None:
+                        self._blocking_index = BlockingIndex()
+                    persistent = self._blocking_index
+                blocking_result = blocker.candidates(context, persistent)
             else:
                 blocking_result = blocker.candidates(context)
             candidate_pairs = blocking_result.pairs
@@ -523,6 +572,10 @@ class HarmonyEngine:
             # full closure (plus removals) is the stale set — the same
             # one the voter-score cache invalidates on
             self._blocking_index.note_evolution(stale_source, stale_target)
+        if self._embedding_index is not None:
+            # embeddings hash name/doc evidence, so the same closure
+            # (plus removals) is the stale set
+            self._embedding_index.note_evolution(stale_source, stale_target)
         self.rematch_patches += 1
         return self.match(source, target, matrix)
 
@@ -694,6 +747,7 @@ class HarmonyEngine:
         """
         flooding = self._flooding_state
         blocking = self._blocking_index
+        embedding = self._embedding_index
         stats: Dict[str, object] = {
             "context_builds": self.context_builds,
             "rematch_patches": self.rematch_patches,
@@ -704,10 +758,14 @@ class HarmonyEngine:
             "blocking_builds": blocking.builds if blocking else 0,
             "blocking_patches": blocking.patches if blocking else 0,
             "blocking_hits": blocking.hits if blocking else 0,
+            "embedding_builds": embedding.builds if embedding else 0,
+            "embedding_patches": embedding.patches if embedding else 0,
+            "embedding_hits": embedding.hits if embedding else 0,
         }
         # process-wide bulk/delta serialization counters live with the
         # serializer; imported lazily to keep harmony → rdf decoupled at
         # import time
+        from ..embed.ann import ann_stats
         from ..rdf.schema_rdf import serialization_stats
         from ..text.tfidf_sparse import all_pairs_stats
         from .flooding import sweep_run_stats
@@ -715,4 +773,5 @@ class HarmonyEngine:
         stats.update(serialization_stats())
         stats.update(all_pairs_stats())
         stats.update(sweep_run_stats())
+        stats.update(ann_stats())
         return stats

@@ -62,6 +62,7 @@ from ..core.elements import CONTAINER_KINDS, ElementKind, SchemaElement
 from ..core.errors import SchemaError
 from ..core.graph import HAS_DOMAIN, SchemaGraph
 from ..core.matrix import MappingMatrix
+from ..embed import EmbeddingSnapshot
 from ..text.stemmer import stem
 from ..text.tfidf import CorpusSnapshot, cosine_of_counts, preprocess
 from ..text.tokenize import split_identifier
@@ -133,6 +134,67 @@ def snapshot_corpus(schemas: Sequence[SchemaGraph]) -> CorpusSnapshot:
                 documents[f"{graph.name}::{element.element_id}"] = (
                     element.documentation)
     return CorpusSnapshot.build(documents)
+
+
+def _uses_embeddings(engine_config) -> bool:
+    """Whether a config makes engines touch dense embeddings at all."""
+    if engine_config is None:
+        return False
+    from .blocking import STRATEGY_ANN
+
+    return bool(
+        engine_config.embedding
+        or (
+            engine_config.blocking is not None
+            and engine_config.blocking.strategy == STRATEGY_ANN
+        )
+    )
+
+
+def snapshot_embeddings(
+    schemas: Sequence[SchemaGraph],
+    *,
+    engine_config=None,
+    corpus_snapshot: Optional[CorpusSnapshot] = None,
+    thesaurus=None,
+) -> EmbeddingSnapshot:
+    """Embed every schema element once, for sharing across workers.
+
+    The dense analogue of :func:`snapshot_corpus`: element vectors are
+    pure functions of the element (name pipeline + documentation terms
+    + the embedder config), so one table computed in the parent serves
+    every pair context in every worker — the same floats, hence
+    bit-identical matrices.  Built with each schema self-paired in a
+    throwaway :class:`~repro.harmony.voters.MatchContext` so tokens ride
+    exactly the per-pair pipeline (thesaurus expansion included; pass
+    the engines' *thesaurus* if they use a custom one).
+    """
+    from .engine import EngineConfig
+    from .voters.base import MatchContext
+
+    config = engine_config if engine_config is not None else EngineConfig()
+    vectors: Dict[str, Tuple[float, ...]] = {}
+    signature: Tuple = ()
+    for graph in schemas:
+        context = MatchContext(
+            graph,
+            graph,
+            thesaurus=thesaurus,
+            corpus_snapshot=corpus_snapshot,
+            embed_backend=config.embed_backend,
+        )
+        root = graph.root.element_id
+        elements = [
+            element for element in graph
+            if element.element_id != root
+            and element.kind is not ElementKind.KEY
+        ]
+        context.warm_embeddings(graph, elements)
+        signature = context.embedder.signature()
+        for element in elements:
+            vectors[f"{graph.name}::{element.element_id}"] = tuple(
+                context.embedding_of(graph, element))
+    return EmbeddingSnapshot(vectors, signature)
 
 
 # -- hub-schema pair pruning --------------------------------------------------
@@ -313,6 +375,7 @@ def _build_matcher(
     matcher: Optional[Matcher],
     engine_config,
     snapshot: Optional[CorpusSnapshot],
+    embedding_snapshot: Optional[EmbeddingSnapshot] = None,
 ) -> Matcher:
     """The matcher a (serial loop or worker process) runs its batch on."""
     if matcher is not None:
@@ -322,7 +385,8 @@ def _build_matcher(
 
     config = engine_config if engine_config is not None else EngineConfig()
     return HarmonyMatcher(
-        HarmonyEngine(config=config, corpus_snapshot=snapshot))
+        HarmonyEngine(config=config, corpus_snapshot=snapshot,
+                      embedding_snapshot=embedding_snapshot))
 
 
 def _init_nway_worker(
@@ -330,10 +394,12 @@ def _init_nway_worker(
     matcher: Optional[Matcher],
     engine_config,
     snapshot: Optional[CorpusSnapshot],
+    embedding_snapshot: Optional[EmbeddingSnapshot] = None,
 ) -> None:
     """Pool initializer: one warm engine per process, shared snapshot."""
     _WORKER_STATE["schemas"] = list(schemas)
-    _WORKER_STATE["matcher"] = _build_matcher(matcher, engine_config, snapshot)
+    _WORKER_STATE["matcher"] = _build_matcher(
+        matcher, engine_config, snapshot, embedding_snapshot)
 
 
 def _match_pair_batch(
@@ -374,6 +440,7 @@ def match_all_pairs(
     selection=None,
     share_corpus: bool = True,
     corpus_snapshot: Optional[CorpusSnapshot] = None,
+    embedding_snapshot: Optional[EmbeddingSnapshot] = None,
     chunk_size: Optional[int] = None,
 ) -> Dict[Tuple[str, str], MappingMatrix]:
     """Match source-schema pairs (first-listed is the row side).
@@ -398,6 +465,11 @@ def match_all_pairs(
       :class:`~repro.text.tfidf.CorpusSnapshot` of every schema's
       preprocessed documentation and share it with every engine, so
       per-pair corpus builds skip the linguistic pipeline;
+    * ``embedding_snapshot`` — likewise for dense embeddings: when the
+      engine config touches them (``embedding`` voter or
+      ``BlockingConfig(strategy="ann")``), one
+      :func:`snapshot_embeddings` table is built (or reused) and shared,
+      so workers serve element vectors instead of re-hashing per pair;
     * ``chunk_size`` — pairs per worker batch (default: pair count /
       (4·parallelism), so slow chunks load-balance).
 
@@ -410,7 +482,14 @@ def match_all_pairs(
 
     matrices: Dict[Tuple[str, str], MappingMatrix] = {}
     if parallelism <= 1 or len(pair_list) <= 1:
-        serial_matcher = _build_matcher(matcher, engine_config, snapshot)
+        embed_snapshot = embedding_snapshot
+        if (embed_snapshot is None and share_corpus and matcher is None
+                and pair_list and _uses_embeddings(engine_config)):
+            embed_snapshot = snapshot_embeddings(
+                schemas, engine_config=engine_config,
+                corpus_snapshot=snapshot)
+        serial_matcher = _build_matcher(
+            matcher, engine_config, snapshot, embed_snapshot)
         for i, j in pair_list:
             source, target = schemas[i], schemas[j]
             matrices[(source.name, target.name)] = serial_matcher.match(
@@ -421,6 +500,11 @@ def match_all_pairs(
         from .engine import EngineConfig
 
         engine_config = EngineConfig.fast()
+    embed_snapshot = embedding_snapshot
+    if (embed_snapshot is None and share_corpus and matcher is None
+            and _uses_embeddings(engine_config)):
+        embed_snapshot = snapshot_embeddings(
+            schemas, engine_config=engine_config, corpus_snapshot=snapshot)
     if chunk_size is None:
         chunk_size = max(1, (len(pair_list) + parallelism * 4 - 1)
                          // (parallelism * 4))
@@ -432,7 +516,8 @@ def match_all_pairs(
     with ProcessPoolExecutor(
         max_workers=parallelism,
         initializer=_init_nway_worker,
-        initargs=(list(schemas), matcher, engine_config, snapshot),
+        initargs=(list(schemas), matcher, engine_config, snapshot,
+                  embed_snapshot),
     ) as pool:
         for part in pool.map(_match_pair_batch, chunks):
             for i, j, matrix in part:

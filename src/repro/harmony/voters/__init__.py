@@ -7,18 +7,25 @@ from .base import MatchContext, MatchVoter, calibrate, kinds_comparable
 from .datatype import DatatypeVoter
 from .documentation import DocumentationVoter
 from .domain_values import DomainValueVoter
+from .embedding import EmbeddingVoter
 from .instance import InstanceVoter
 from .name import NameVoter
 from .structure import StructureVoter
 from .thesaurus import ThesaurusVoter
 
 
-def default_voters(include_instance: bool = True) -> List[MatchVoter]:
+def default_voters(
+    include_instance: bool = True,
+    include_embedding: bool = False,
+) -> List[MatchVoter]:
     """The standard Harmony voter suite.
 
     The instance voter is included by default but abstains automatically
     when no instance data is attached (Section 2: instance data is often
     unavailable); pass ``include_instance=False`` to exclude it entirely.
+    ``include_embedding`` adds the dense hash-projection
+    :class:`EmbeddingVoter` (the engine passes ``EngineConfig.embedding``
+    here).
     """
     voters: List[MatchVoter] = [
         NameVoter(),
@@ -31,6 +38,8 @@ def default_voters(include_instance: bool = True) -> List[MatchVoter]:
     ]
     if include_instance:
         voters.append(InstanceVoter())
+    if include_embedding:
+        voters.append(EmbeddingVoter())
     return voters
 
 
@@ -39,6 +48,7 @@ __all__ = [
     "DatatypeVoter",
     "DocumentationVoter",
     "DomainValueVoter",
+    "EmbeddingVoter",
     "InstanceVoter",
     "MatchContext",
     "MatchVoter",

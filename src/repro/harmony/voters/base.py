@@ -19,14 +19,15 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ...core.elements import CONTAINER_KINDS, ElementKind, SchemaElement
 from ...core.graph import SchemaGraph
+from ...embed import EmbedConfig, EmbeddingSnapshot, HashEmbedder, resolve_embed_backend
 from ...text import kernels as similarity_kernels
 from ...text import similarity as similarity_reference
 from ...text.stemmer import stem, stem_all
 from ...text.stopwords import remove_stop_words
-from ...text.tfidf import CorpusSnapshot, TfIdfCorpus
+from ...text.tfidf import CorpusSnapshot, TfIdfCorpus, preprocess
 from ...text.tfidf_sparse import SparseTfIdf
 from ...text.thesaurus import Thesaurus
-from ...text.tokenize import split_identifier, word_tokens
+from ...text.tokenize import ngrams, split_identifier, word_tokens
 
 
 class MatchContext:
@@ -46,6 +47,9 @@ class MatchContext:
         use_kernels: bool = False,
         use_sparse_tfidf: bool = False,
         corpus_snapshot: Optional[CorpusSnapshot] = None,
+        embed_backend: str = "python",
+        embed_config: Optional[EmbedConfig] = None,
+        embedding_snapshot: Optional[EmbeddingSnapshot] = None,
     ) -> None:
         self.source = source
         self.target = target
@@ -77,6 +81,19 @@ class MatchContext:
         self._name_tokens: Dict[Tuple[str, str], List[str]] = {}
         self._path_tokens: Dict[Tuple[str, str], List[str]] = {}
         self._leaf_tokens: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        #: dense-embedding state (``repro.embed``): the embedder is built
+        #: lazily on first :meth:`embedding_of` call, vectors are memoized
+        #: per element under the same (graph name, element id) keys as the
+        #: token caches and invalidated by :meth:`patch_side` exactly like
+        #: them.  A shared :class:`EmbeddingSnapshot` (N-way matching)
+        #: serves pre-computed vectors, except for elements an evolution
+        #: has since touched.
+        self._embed_backend_selector = embed_backend
+        self._embed_config = embed_config or EmbedConfig()
+        self._embedder: Optional[HashEmbedder] = None
+        self._embeddings: Dict[Tuple[str, str], List[float]] = {}
+        self._embedding_snapshot = embedding_snapshot
+        self._stale_snapshot_docs: set = set()
         #: cross-run voter-score memo: (voter name, source id, target id) →
         #: score.  Only populated when the engine reuses the context across
         #: refinement rounds; the engine owns invalidation.
@@ -133,11 +150,17 @@ class MatchContext:
         old_graph = self.source if side == "source" else self.target
         graph_name = old_graph.name
         removed = delta.removed
-        for cache in (self._name_tokens, self._path_tokens, self._leaf_tokens):
+        for cache in (self._name_tokens, self._path_tokens,
+                      self._leaf_tokens, self._embeddings):
             for element_id in closure_ids:
                 cache.pop((graph_name, element_id), None)
             for element_id in removed:
                 cache.pop((graph_name, element_id), None)
+        if self._embedding_snapshot is not None:
+            # the shared snapshot predates the evolution: vectors for the
+            # touched closure must be re-hashed, not served stale
+            for element_id in set(closure_ids) | removed:
+                self._stale_snapshot_docs.add(f"{graph_name}::{element_id}")
         for element_id in removed:
             doc = f"{graph_name}::{element_id}"
             if doc in self.corpus:
@@ -285,6 +308,123 @@ class MatchContext:
                         names.add(stem(token))
             self._leaf_tokens[key] = frozenset(names)
         return self._leaf_tokens[key]
+
+    @property
+    def embedder(self) -> HashEmbedder:
+        """The context's hash-projection embedder, resolved lazily so
+        contexts that never touch embeddings pay nothing."""
+        if self._embedder is None:
+            self._embedder = HashEmbedder(
+                self._embed_config,
+                resolve_embed_backend(self._embed_backend_selector),
+            )
+        return self._embedder
+
+    def embedding_features(
+        self, graph: SchemaGraph, element: SchemaElement
+    ) -> List[str]:
+        """The lexical feature multiset one element hashes into.
+
+        Mirrors the blocking index's key namespaces so ANN retrieval
+        sees the same evidence as the inverted index, fused into one
+        vector: name tokens ride the standard pipeline
+        (:meth:`name_tokens`: abbreviation expansion → stop words →
+        stemming) plus their thesaurus synonyms and character n-grams
+        (subword robustness: ``lname``/``lastname`` share mass),
+        documentation contributes its preprocessed terms, the
+        containment parent its name tokens (generic attribute names
+        under similar entities stay near) and containers their leaf
+        attribute tokens.  Deliberately independent of the TF-IDF
+        corpus composition, so the same element embeds identically in
+        every context and in the N-way :class:`EmbeddingSnapshot`.
+        """
+        config = self._embed_config
+        features: List[str] = []
+        for token in self.name_tokens(graph, element):
+            # tokens twice: exact-name evidence outweighs subword grams,
+            # and integer counts keep backend parity bit-exact
+            features.append(f"t:{token}")
+            features.append(f"t:{token}")
+            for synonym in self.thesaurus.synonyms(token):
+                # same t: namespace as tokens — a synonym of A must land
+                # on the token of B, like the inverted index's n: keys
+                features.append(f"t:{synonym.lower()}")
+        # grams over the raw (unstemmed) name, like the g: keys: stems
+        # destroy the shared suffixes of pairs like version~revision
+        for gram in sorted(set(ngrams(element.name, config.token_ngram))):
+            features.append(f"g:{gram}")
+        if config.use_documentation and element.documentation:
+            for term in preprocess(element.documentation):
+                features.append(f"d:{term}")
+        parent = graph.parent(element.element_id)
+        if parent is not None and parent.element_id != graph.root.element_id:
+            for token in self.name_tokens(graph, parent):
+                features.append(f"p:{token}")
+        if element.kind in CONTAINER_KINDS:
+            for token in self.leaf_tokens(graph, element):
+                features.append(f"l:{token}")
+        return features
+
+    def embedding_of(
+        self, graph: SchemaGraph, element: SchemaElement
+    ) -> List[float]:
+        """The element's L2-normalised hash-projection vector, memoized.
+
+        Served from the shared N-way snapshot when one covers this
+        element (and no evolution has touched it), hashed on demand
+        otherwise.  All-zero vectors mean "no lexical evidence at all".
+        """
+        key = (graph.name, element.element_id)
+        vector = self._embeddings.get(key)
+        if vector is None:
+            snapshot = self._embedding_snapshot
+            doc = f"{graph.name}::{element.element_id}"
+            if (
+                snapshot is not None
+                and doc in snapshot
+                and doc not in self._stale_snapshot_docs
+            ):
+                vector = snapshot.vector(doc)
+            else:
+                vector = self.embedder.embed(
+                    self.embedding_features(graph, element)
+                )
+            self._embeddings[key] = vector
+        return vector
+
+    def warm_embeddings(
+        self, graph: SchemaGraph, elements: List[SchemaElement]
+    ) -> None:
+        """Memoize vectors for *elements* in one batched backend call.
+
+        The ANN blocking path warms a whole schema side at once so the
+        numpy backend pays one ``bincount`` instead of one call per
+        element; snapshot-served and already-memoized elements are
+        skipped.  Results are identical to element-at-a-time
+        :meth:`embedding_of` calls.
+        """
+        missing: List[Tuple[Tuple[str, str], SchemaElement]] = []
+        snapshot = self._embedding_snapshot
+        for element in elements:
+            key = (graph.name, element.element_id)
+            if key in self._embeddings:
+                continue
+            doc = f"{graph.name}::{element.element_id}"
+            if (
+                snapshot is not None
+                and doc in snapshot
+                and doc not in self._stale_snapshot_docs
+            ):
+                self._embeddings[key] = snapshot.vector(doc)
+            else:
+                missing.append((key, element))
+        if missing:
+            vectors = self.embedder.embed_batch(
+                [self.embedding_features(graph, element)
+                 for _, element in missing]
+            )
+            for (key, _), vector in zip(missing, vectors):
+                self._embeddings[key] = vector
 
     def candidate_pairs(self) -> List[Tuple[SchemaElement, SchemaElement]]:
         """All (source, target) pairs worth scoring.

@@ -1,0 +1,292 @@
+"""The ANN index against its own exhaustive oracle.
+
+``AnnIndex`` carries two exactness promises — indexes at or below
+``exhaustive_floor`` answer queries exhaustively, and thin band probes
+fall back to exhaustive scoring — plus a structural promise: a patched
+index (add/remove/replace after build) is indistinguishable from a
+freshly built one.  This file checks all three, measures band-path
+recall against ``exhaustive_top_k`` on a clustered corpus, and pins the
+probe/fallback counter accounting the perf gates rely on.
+
+Cross-backend sketch parity is deliberately NOT asserted here: a plane
+dot product near zero can legitimately flip sign between the python
+coordinate-order sum and the numpy matmul, flipping a band bit.  The
+backends' ``accumulate``/``dots`` agree to 1e-12 (see
+``test_embedder_differential.py``); sketches only need to agree
+statistically, which the recall gates cover.
+"""
+
+import math
+import random
+
+import pytest
+
+import repro.embed.embedder as embedder_mod
+from repro.embed import (
+    AnnConfig,
+    AnnIndex,
+    ann_stats,
+    planes_for,
+    reset_ann_stats,
+    resolve_embed_backend,
+)
+
+DIM = 64
+
+HAS_NUMPY = embedder_mod._probe_numpy() is not None
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+
+
+def unit(vector):
+    norm = math.sqrt(sum(v * v for v in vector))
+    return [v / norm for v in vector] if norm else list(vector)
+
+
+def clustered_corpus(clusters=30, members=10, noise=0.05, seed=7):
+    """Unit vectors in tight cosine clusters — the regime LSH banding is
+    built for, so the band path has genuine near neighbours to find.
+
+    Noise is per coordinate against a unit-norm center, so total noise
+    norm is ``noise * sqrt(dim)``: 0.05 keeps within-cluster cosines
+    around 0.8–0.9 (high-cosine regime).  Much larger and the corpus
+    degenerates to near-random vectors, which banding rightly misses.
+    """
+    rng = random.Random(seed)
+    corpus = {}
+    for c in range(clusters):
+        center = unit([rng.gauss(0.0, 1.0) for _ in range(DIM)])
+        for m in range(members):
+            vector = unit([
+                v + rng.gauss(0.0, noise) for v in center
+            ])
+            corpus[f"c{c:02d}:m{m:02d}"] = vector
+    return corpus
+
+
+@pytest.fixture
+def corpus():
+    return clustered_corpus()
+
+
+def build(corpus, config=None, backend="python"):
+    index = AnnIndex(DIM, config or AnnConfig(), backend=backend)
+    index.add_batch(sorted(corpus.items()))
+    return index
+
+
+def tie_aware_recall(approx, exact, k):
+    """Fraction of oracle-grade results retrieved, counting any hit that
+    scores at least as high as the oracle's k-th as correct."""
+    if not exact:
+        return 1.0
+    cutoff = exact[-1][1] - 1e-9
+    hits = sum(1 for _, score in approx if score >= cutoff)
+    return hits / len(exact)
+
+
+class TestExactnessFloor:
+    def test_below_floor_matches_oracle_exactly(self, corpus):
+        small = dict(list(sorted(corpus.items()))[:40])
+        index = build(small, AnnConfig(exhaustive_floor=64))
+        reset_ann_stats()
+        query = unit([0.3] * DIM)
+        assert index.top_k_similar(query, 5) == index.exhaustive_top_k(query, 5)
+        stats = ann_stats()
+        assert stats["ann_exhaustive_fallbacks"] == 1
+        assert stats["ann_probes"] == 0
+
+    def test_floor_counts_available_after_exclusion(self, corpus):
+        index = build(corpus, AnnConfig(exhaustive_floor=8))
+        keep = index.ids()[:3]
+        excluded = [i for i in index.ids() if i not in keep]
+        reset_ann_stats()
+        results = index.top_k_similar(unit([1.0] * DIM), 2, exclude=excluded)
+        assert [item_id for item_id, _ in results] != []
+        assert all(item_id in keep for item_id, _ in results)
+        assert ann_stats()["ann_exhaustive_fallbacks"] == 1
+
+    def test_thin_candidates_fall_back_and_still_return_k(self, corpus):
+        # min_candidates above the corpus size: every probe is thin
+        config = AnnConfig(exhaustive_floor=8, min_candidates=10_000)
+        index = build(corpus, config)
+        reset_ann_stats()
+        results = index.top_k_similar(unit([1.0] * DIM), 10)
+        assert len(results) == 10
+        assert results == index.exhaustive_top_k(unit([1.0] * DIM), 10)
+        assert ann_stats()["ann_exhaustive_fallbacks"] == 1
+
+
+class TestBandPath:
+    def test_recall_against_oracle(self, corpus):
+        index = build(corpus, AnnConfig(exhaustive_floor=8))
+        reset_ann_stats()
+        queries = [corpus[i] for i in sorted(corpus)][::7]
+        recalls = []
+        for query in queries:
+            approx = index.top_k_similar(query, 10)
+            exact = index.exhaustive_top_k(query, 10)
+            assert len(approx) == 10
+            recalls.append(tie_aware_recall(approx, exact, 10))
+        stats = ann_stats()
+        assert stats["ann_probes"] + stats["ann_exhaustive_fallbacks"] == len(
+            queries
+        )
+        assert stats["ann_probes"] > 0  # the band path actually engaged
+        mean_recall = sum(recalls) / len(recalls)
+        assert mean_recall >= 0.9, mean_recall
+
+    def test_results_sorted_and_deduplicated(self, corpus):
+        index = build(corpus, AnnConfig(exhaustive_floor=8))
+        results = index.top_k_similar(corpus["c00:m00"], 15)
+        ids = [item_id for item_id, _ in results]
+        scores = [score for _, score in results]
+        assert len(set(ids)) == len(ids)
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exclude_is_honoured_on_band_path(self, corpus):
+        index = build(corpus, AnnConfig(exhaustive_floor=8))
+        target = "c00:m00"
+        results = index.top_k_similar(corpus[target], 10, exclude=[target])
+        assert all(item_id != target for item_id, _ in results)
+
+    def test_deterministic_across_rebuilds(self, corpus):
+        first = build(corpus, AnnConfig(exhaustive_floor=8))
+        second = build(corpus, AnnConfig(exhaustive_floor=8))
+        query = corpus["c03:m04"]
+        assert first.top_k_similar(query, 8) == second.top_k_similar(query, 8)
+
+
+class TestAllPairsAbove:
+    def brute(self, corpus, threshold):
+        out = {}
+        ids = sorted(corpus)
+        for i, id_a in enumerate(ids):
+            for id_b in ids[i + 1:]:
+                score = sum(
+                    a * b for a, b in zip(corpus[id_a], corpus[id_b])
+                )
+                if score >= threshold:
+                    out[(id_a, id_b)] = score
+        return out
+
+    def test_exact_below_floor(self):
+        corpus = clustered_corpus(clusters=4, members=6, seed=11)
+        index = build(corpus, AnnConfig(exhaustive_floor=64))
+        got = index.all_pairs_above(0.5)
+        want = self.brute(corpus, 0.5)
+        assert got.keys() == want.keys()
+        for pair, score in got.items():
+            assert abs(score - want[pair]) <= 1e-12
+
+    def test_subset_with_exact_scores_above_floor(self, corpus):
+        index = build(corpus, AnnConfig(exhaustive_floor=8))
+        got = index.all_pairs_above(0.6)
+        want = self.brute(corpus, 0.6)
+        assert got  # clusters guarantee plenty of high-cosine pairs
+        for pair, score in got.items():
+            assert pair in want
+            assert abs(score - want[pair]) <= 1e-12
+
+
+class TestMutation:
+    def test_patched_index_is_structurally_fresh(self, corpus):
+        items = sorted(corpus.items())
+        final = dict(items[:200])
+        fresh = build(final, AnnConfig(exhaustive_floor=8))
+
+        patched = AnnIndex(DIM, AnnConfig(exhaustive_floor=8))
+        patched.add_batch(items[:150])            # initial build
+        patched.add_batch(items[150:220])         # evolution: additions
+        for item_id, _ in items[200:220]:         # evolution: deletions
+            patched.remove(item_id)
+        stale = unit([1.0] + [0.0] * (DIM - 1))
+        patched.add(items[0][0], stale)           # evolution: rename...
+        patched.add(*items[0])                    # ...then renamed back
+
+        assert patched.structure() == fresh.structure()
+        query = unit([0.2] * DIM)
+        assert patched.top_k_similar(query, 10) == fresh.top_k_similar(
+            query, 10
+        )
+
+    def test_add_replaces_existing_id(self):
+        index = AnnIndex(DIM, AnnConfig())
+        index.add("a", unit([1.0] + [0.0] * (DIM - 1)))
+        replacement = unit([0.0, 1.0] + [0.0] * (DIM - 2))
+        index.add("a", replacement)
+        assert len(index) == 1
+        assert index.vectors["a"] == replacement
+
+    def test_remove_missing_id_is_a_noop(self):
+        index = AnnIndex(DIM, AnnConfig())
+        index.add("a", unit([1.0] * DIM))
+        index.remove("ghost")
+        assert index.ids() == ["a"]
+
+    def test_dim_mismatch_raises(self):
+        index = AnnIndex(DIM, AnnConfig())
+        with pytest.raises(ValueError, match="dim"):
+            index.add("short", [1.0] * (DIM - 1))
+        with pytest.raises(ValueError, match="dim"):
+            index.add_batch([("short", [1.0] * (DIM - 1))])
+
+
+class TestConfigAndPlanes:
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            AnnConfig(bands=0)
+        with pytest.raises(ValueError):
+            AnnConfig(band_bits=0)
+        with pytest.raises(ValueError):
+            AnnConfig(plane_nnz=0)
+
+    def test_planes_shared_per_scheme(self):
+        config = AnnConfig()
+        assert planes_for(DIM, config) is planes_for(DIM, config)
+        assert planes_for(DIM, config) is not planes_for(
+            DIM, AnnConfig(seed=1)
+        )
+
+    def test_empty_index_and_k_zero(self):
+        index = AnnIndex(DIM, AnnConfig())
+        assert index.top_k_similar(unit([1.0] * DIM), 5) == []
+        index.add("a", unit([1.0] * DIM))
+        assert index.top_k_similar(unit([1.0] * DIM), 0) == []
+        assert index.all_pairs_above(0.0) == {}
+
+
+@needs_numpy
+class TestNumpyBackend:
+    """Exhaustive-path parity only — sketch bits may legitimately differ
+    between backends near zero plane dots (module docstring)."""
+
+    def test_below_floor_matches_python_oracle(self, corpus):
+        small = dict(list(sorted(corpus.items()))[:50])
+        py = build(small, AnnConfig(exhaustive_floor=64), backend="python")
+        np_ = build(
+            small,
+            AnnConfig(exhaustive_floor=64),
+            backend=resolve_embed_backend("numpy"),
+        )
+        query = unit([0.15] * DIM)
+        for (id_py, score_py), (id_np, score_np) in zip(
+            py.top_k_similar(query, 12), np_.top_k_similar(query, 12)
+        ):
+            assert abs(score_py - score_np) <= 1e-9
+            assert id_py == id_np
+
+    def test_band_path_recall(self, corpus):
+        index = build(
+            corpus,
+            AnnConfig(exhaustive_floor=8),
+            backend=resolve_embed_backend("numpy"),
+        )
+        reset_ann_stats()
+        queries = [corpus[i] for i in sorted(corpus)][::7]
+        recalls = []
+        for query in queries:
+            approx = index.top_k_similar(query, 10)
+            exact = index.exhaustive_top_k(query, 10)
+            recalls.append(tie_aware_recall(approx, exact, 10))
+        assert ann_stats()["ann_probes"] > 0
+        assert sum(recalls) / len(recalls) >= 0.9

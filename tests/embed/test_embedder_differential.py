@@ -1,0 +1,224 @@
+"""Differential harness: the hash-projection embedder across backends.
+
+``repro.embed.embedder`` carries the same seam discipline as the sweep
+backends: ``PythonEmbedBackend`` is the dependency-free reference,
+``NumpyEmbedBackend`` the vectorized mirror, and the engine flips
+between them through ``resolve_embed_backend`` without a correctness
+argument in prose.  This harness is that argument: hypothesis-driven
+parity on arbitrary feature multisets (signed counts are exact integers
+in float64, so the backends agree to ``TOLERANCE`` — in practice
+bitwise), a frozen golden corpus pinning the projection itself against
+accidental hash or slot-layout changes, and the resolve semantics
+(unknown selector, actionable ImportError, silent auto fallback).
+"""
+
+import json
+import math
+import os
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.embed.embedder as embedder_mod
+from repro.embed import (
+    EMBED_BACKENDS,
+    EmbedConfig,
+    EmbeddingSnapshot,
+    HashEmbedder,
+    PythonEmbedBackend,
+    fnv1a64,
+    resolve_embed_backend,
+)
+
+TOLERANCE = 1e-12
+
+HAS_NUMPY = embedder_mod._probe_numpy() is not None
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_embeddings.json")
+
+# feature strings shaped like the namespaced lexical features the match
+# context emits (t:/g:/d:/p:/l: plus arbitrary unicode payloads)
+features = st.text(
+    alphabet=string.ascii_letters + string.digits + ":_é߉", max_size=16
+)
+feature_lists = st.lists(features, max_size=40)
+dims = st.sampled_from([1, 8, 33, 64])
+
+
+def golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestFnv1a64:
+    def test_deterministic(self):
+        assert fnv1a64("element_name") == fnv1a64("element_name")
+
+    def test_seed_folds_in(self):
+        assert fnv1a64("element_name", seed=1) != fnv1a64("element_name", seed=2)
+
+    def test_64_bit_range(self):
+        for text in ("", "a", "schema element", "é߉"):
+            assert 0 <= fnv1a64(text) < (1 << 64)
+
+
+class TestEmbedConfig:
+    def test_dim_validated(self):
+        with pytest.raises(ValueError, match="dim"):
+            EmbedConfig(dim=0)
+
+    def test_signature_covers_every_knob(self):
+        base = EmbedConfig()
+        for variant in (
+            EmbedConfig(dim=32),
+            EmbedConfig(seed=7),
+            EmbedConfig(token_ngram=4),
+            EmbedConfig(use_documentation=False),
+        ):
+            assert variant.signature() != base.signature()
+
+
+class TestPythonReference:
+    def test_unit_norm_or_zero(self):
+        embedder = HashEmbedder(backend=PythonEmbedBackend())
+        for case in ([], ["t:name"], ["t:a", "t:b", "g:ab"] * 5):
+            vector = embedder.embed(case)
+            norm = math.sqrt(sum(v * v for v in vector))
+            assert norm == 0.0 or abs(norm - 1.0) <= TOLERANCE
+
+    def test_order_independent(self):
+        embedder = HashEmbedder(backend=PythonEmbedBackend())
+        case = ["t:order", "g:ord", "g:rde", "d:doc", "t:order"]
+        assert embedder.embed(case) == embedder.embed(list(reversed(case)))
+
+    def test_batch_matches_single(self):
+        embedder = HashEmbedder(backend=PythonEmbedBackend())
+        cases = [["t:a"], [], ["t:a", "t:b", "g:ab"]]
+        batch = embedder.embed_batch(cases)
+        assert batch == [embedder.embed(case) for case in cases]
+
+    def test_slots_memoized_per_dim_seed(self):
+        a = HashEmbedder(EmbedConfig(dim=16, seed=3))
+        b = HashEmbedder(EmbedConfig(dim=16, seed=3))
+        assert a.slots(["t:x"]) == b.slots(["t:x"])
+        assert a._slots_memo is b._slots_memo
+
+    def test_signature_includes_backend(self):
+        embedder = HashEmbedder(backend=PythonEmbedBackend())
+        assert embedder.signature()[-1] == "python"
+
+
+class TestGoldenCorpus:
+    """The projection itself is frozen: a hash change, slot-layout
+    change, or normalisation change fails here even if both backends
+    still agree with each other."""
+
+    def test_python_matches_golden(self):
+        payload = golden()
+        config = EmbedConfig(**payload["config"])
+        embedder = HashEmbedder(config, PythonEmbedBackend())
+        for case in payload["cases"]:
+            got = embedder.embed(case["features"])
+            worst = max(
+                (abs(a - b) for a, b in zip(got, case["vector"])),
+                default=0.0,
+            )
+            assert len(got) == len(case["vector"])
+            assert worst <= TOLERANCE, case["features"]
+
+    @needs_numpy
+    def test_numpy_matches_golden(self):
+        payload = golden()
+        config = EmbedConfig(**payload["config"])
+        embedder = HashEmbedder(config, resolve_embed_backend("numpy"))
+        for case in payload["cases"]:
+            got = embedder.embed(case["features"])
+            worst = max(
+                (abs(a - b) for a, b in zip(got, case["vector"])),
+                default=0.0,
+            )
+            assert worst <= TOLERANCE, case["features"]
+
+
+@needs_numpy
+class TestNumpyDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(feature_lists, dims)
+    def test_embed_parity(self, feats, dim):
+        config = EmbedConfig(dim=dim)
+        py = HashEmbedder(config, PythonEmbedBackend()).embed(feats)
+        np_ = HashEmbedder(config, resolve_embed_backend("numpy")).embed(feats)
+        worst = max((abs(a - b) for a, b in zip(py, np_)), default=0.0)
+        assert len(py) == len(np_) == dim
+        assert worst <= TOLERANCE
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(feature_lists, max_size=8), dims)
+    def test_batch_parity(self, cases, dim):
+        config = EmbedConfig(dim=dim)
+        py = HashEmbedder(config, PythonEmbedBackend()).embed_batch(cases)
+        np_ = HashEmbedder(
+            config, resolve_embed_backend("numpy")).embed_batch(cases)
+        assert len(py) == len(np_)
+        for row_py, row_np in zip(py, np_):
+            worst = max(
+                (abs(a - b) for a, b in zip(row_py, row_np)), default=0.0)
+            assert worst <= TOLERANCE
+
+    @settings(max_examples=40, deadline=None)
+    @given(feature_lists, feature_lists)
+    def test_dots_parity(self, feats_a, feats_b):
+        config = EmbedConfig()
+        py_backend = PythonEmbedBackend()
+        np_backend = resolve_embed_backend("numpy")
+        a_py = HashEmbedder(config, py_backend).embed(feats_a)
+        b_py = HashEmbedder(config, py_backend).embed(feats_b)
+        dot_py = py_backend.dots(py_backend.pack([a_py]), b_py)[0]
+        dot_np = np_backend.dots(np_backend.pack([a_py]), b_py)[0]
+        assert abs(dot_py - dot_np) <= TOLERANCE
+
+
+class TestResolveSemantics:
+    def test_selector_vocabulary(self):
+        assert EMBED_BACKENDS == ("auto", "python", "numpy")
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(ValueError, match="unknown embed backend"):
+            resolve_embed_backend("gpu")
+
+    def test_python_is_memoized_singleton(self):
+        assert resolve_embed_backend("python") is resolve_embed_backend("python")
+
+    def test_auto_degrades_silently_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(embedder_mod, "_probe_numpy", lambda: None)
+        monkeypatch.setattr(embedder_mod, "_RESOLVED", {})
+        assert resolve_embed_backend("auto").name == "python"
+
+    def test_explicit_numpy_raises_actionably_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(embedder_mod, "_probe_numpy", lambda: None)
+        monkeypatch.setattr(embedder_mod, "_RESOLVED", {})
+        with pytest.raises(ImportError) as excinfo:
+            resolve_embed_backend("numpy")
+        message = str(excinfo.value)
+        assert "pip install" in message and "auto" in message
+
+    @needs_numpy
+    def test_auto_prefers_numpy(self, monkeypatch):
+        monkeypatch.setattr(embedder_mod, "_RESOLVED", {})
+        assert resolve_embed_backend("auto").name == "numpy"
+
+
+class TestEmbeddingSnapshot:
+    def test_table_semantics(self):
+        snapshot = EmbeddingSnapshot(
+            {"s::a": (0.0, 1.0), "s::b": (1.0, 0.0)}, signature=("sig",))
+        assert "s::a" in snapshot and "s::c" not in snapshot
+        assert len(snapshot) == 2
+        assert snapshot.doc_ids() == ["s::a", "s::b"]
+        vector = snapshot.vector("s::a")
+        assert vector == [0.0, 1.0]
+        vector[0] = 9.9  # callers get a copy, never the stored tuple
+        assert snapshot.vector("s::a") == [0.0, 1.0]

@@ -1,5 +1,6 @@
 """Docs must keep up with the code: every CI-enforced config flag
-(EngineConfig, ServingConfig) documented in its doc set."""
+(EngineConfig, ServingConfig, BlockingConfig, EmbedConfig, AnnConfig)
+documented in its doc set."""
 
 import os
 import sys
@@ -21,13 +22,21 @@ def test_every_config_flag_is_documented():
     )
 
 
-def test_checker_covers_both_configs_and_their_docs():
+def test_checker_covers_every_config_and_its_docs():
     doc_sets = {class_name: paths
                 for (_, class_name), paths in check_doc_flags.DOC_SETS}
-    assert set(doc_sets) == {"EngineConfig", "ServingConfig"}
+    assert set(doc_sets) == {
+        "EngineConfig", "ServingConfig", "BlockingConfig",
+        "EmbedConfig", "AnnConfig",
+    }
+    performance = os.path.join("docs", "performance.md")
     assert "README.md" in doc_sets["EngineConfig"]
-    assert os.path.join("docs", "performance.md") in doc_sets["EngineConfig"]
+    assert performance in doc_sets["EngineConfig"]
     assert os.path.join("docs", "MATCHING.md") in doc_sets["EngineConfig"]
     assert "README.md" in doc_sets["ServingConfig"]
     assert os.path.join("docs", "SERVING.md") in doc_sets["ServingConfig"]
-    assert os.path.join("docs", "performance.md") in doc_sets["ServingConfig"]
+    assert performance in doc_sets["ServingConfig"]
+    assert performance in doc_sets["BlockingConfig"]
+    assert os.path.join("docs", "MATCHING.md") in doc_sets["BlockingConfig"]
+    assert performance in doc_sets["EmbedConfig"]
+    assert performance in doc_sets["AnnConfig"]
